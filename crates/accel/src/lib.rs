@@ -1,0 +1,44 @@
+//! # gdr-accel — accelerator and GPU platform models
+//!
+//! The evaluation platforms of the GDR-HGNN paper:
+//!
+//! * [`hihgnn`] — cycle-level HiHGNN model (Table 3 configuration:
+//!   multi-lane, systolic + SIMD, four-buffer hierarchy, HBM 1.0), with
+//!   the NA stage walking a real buffer model;
+//! * [`gpu`] — DGL-on-T4/A100 baselines with a sector-accurate L2
+//!   simulation for the NA gathers and roofline models elsewhere;
+//! * [`na_engine`] — the shared NA-stage buffer/trace simulator;
+//! * [`calib`] — every absolute-scale calibration constant, in one place;
+//! * [`report`] — [`report::ExecReport`] and helpers shared by all
+//!   platforms.
+//!
+//! # Examples
+//!
+//! ```
+//! use gdr_hetgraph::datasets::Dataset;
+//! use gdr_hgnn::model::{ModelConfig, ModelKind};
+//! use gdr_hgnn::workload::Workload;
+//! use gdr_accel::hihgnn::{HiHgnnConfig, HiHgnnSim};
+//! use gdr_accel::gpu::GpuSim;
+//! use gdr_accel::calib::T4;
+//!
+//! let het = Dataset::Acm.build_scaled(1, 0.05);
+//! let w = Workload::from_hetero(ModelConfig::paper(ModelKind::Rgcn), &het);
+//! let graphs = het.all_semantic_graphs();
+//! let hihgnn = HiHgnnSim::new(HiHgnnConfig::default()).execute(&w, &graphs, None, "HiHGNN");
+//! let t4 = GpuSim::new(T4).execute(&w, &graphs);
+//! assert!(hihgnn.report.time_ns < t4.report.time_ns);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calib;
+pub mod gpu;
+pub mod hihgnn;
+pub mod na_engine;
+pub mod report;
+
+pub use gpu::{GpuRun, GpuSim};
+pub use hihgnn::{HiHgnnConfig, HiHgnnRun, HiHgnnSim};
+pub use report::{geomean, ExecReport, StageBreakdown};

@@ -1,0 +1,345 @@
+//! NA-stage buffer simulation.
+//!
+//! Walks an edge schedule against the (set-associative) NA feature buffer
+//! and produces the DRAM request trace plus the per-vertex replacement
+//! statistics of Fig. 2. Used by the HiHGNN model with either the natural
+//! destination-major schedule or a GDR-restructured schedule.
+
+use std::collections::HashMap;
+
+use gdr_core::schedule::EdgeSchedule;
+use gdr_hetgraph::BipartiteGraph;
+use gdr_memsim::buffer::{Access, Replacement, SetAssocBuffer};
+use gdr_memsim::hbm::MemRequest;
+
+use crate::calib::FEATURE_BYTES;
+
+/// DRAM layout bases for the NA stage's feature spaces.
+const SRC_BASE: u64 = 0x4000_0000;
+const DST_BASE: u64 = 0x8000_0000;
+const TOPO_BASE: u64 = 0xC000_0000;
+
+/// Tag encoding: bit 40 distinguishes destination accumulators from
+/// source features; the low bits carry `graph_tag` and the vertex id.
+fn tag(graph_tag: u64, is_dst: bool, id: u32) -> u64 {
+    ((is_dst as u64) << 40) | (graph_tag << 32) | id as u64
+}
+
+/// One edge's buffer traffic: a source feature read and a destination
+/// partial-sum read-modify-write, with dirty accumulator write-backs.
+fn access_edge(
+    buf: &mut SetAssocBuffer,
+    requests: &mut Vec<MemRequest>,
+    graph_tag: u64,
+    e: &gdr_hetgraph::Edge,
+    fb: u32,
+) {
+    let t = tag(graph_tag, false, e.src.raw());
+    if let Access::Miss { .. } = buf.access(t) {
+        requests.push(MemRequest::read(SRC_BASE + e.src.raw() as u64 * fb as u64, fb));
+    }
+    let t = tag(graph_tag, true, e.dst.raw());
+    if let Access::Miss { evicted } = buf.access(t) {
+        requests.push(MemRequest::read(DST_BASE + e.dst.raw() as u64 * fb as u64, fb));
+        if let Some(victim) = evicted {
+            // dirty accumulator write-back (sources are clean)
+            if victim >> 40 == 1 {
+                let vid = (victim & 0xFFFF_FFFF) as u64;
+                requests.push(MemRequest::write(DST_BASE + vid * fb as u64, fb));
+            }
+        }
+    }
+}
+
+/// Result of simulating the NA stage of one semantic graph.
+#[derive(Debug, Clone)]
+pub struct NaTrace {
+    /// Buffer accesses (2 per edge).
+    pub accesses: u64,
+    /// Buffer hits.
+    pub hits: u64,
+    /// Buffer misses (feature fetches).
+    pub misses: u64,
+    /// The DRAM request trace (feature fetches, dirty write-backs,
+    /// topology streaming).
+    pub requests: Vec<MemRequest>,
+    /// Fetch counts per tag (see [`NaBufferSim::simulate`]); replacement
+    /// times = fetches − 1.
+    pub fetch_counts: HashMap<u64, u32>,
+}
+
+impl NaTrace {
+    /// Buffer hit rate (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Total bytes of the request trace.
+    pub fn bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.bytes as u64).sum()
+    }
+
+    /// Replacement times of **source** features only (the statistic
+    /// Fig. 2 plots: how often a neighbor's feature vector had to be
+    /// re-fetched during aggregation).
+    pub fn src_replacement_times(&self) -> Vec<u32> {
+        self.fetch_counts
+            .iter()
+            .filter(|(&t, _)| t >> 40 == 0)
+            .map(|(_, &f)| f.saturating_sub(1))
+            .collect()
+    }
+}
+
+/// The NA buffer simulator.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::BipartiteGraph;
+/// use gdr_core::schedule::EdgeSchedule;
+/// use gdr_accel::na_engine::NaBufferSim;
+/// let g = BipartiteGraph::from_pairs("g", 4, 4, &[(0, 0), (1, 1)])?;
+/// let sim = NaBufferSim::new(64, 8);
+/// let trace = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 0);
+/// assert_eq!(trace.misses, 4); // two sources + two destinations, cold
+/// # Ok::<(), gdr_hetgraph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaBufferSim {
+    capacity_features: usize,
+    ways: usize,
+    policy: Replacement,
+}
+
+impl NaBufferSim {
+    /// Creates a simulator for a buffer holding `capacity_features`
+    /// vectors with the given associativity. The replacement policy
+    /// defaults to FIFO — the policy large accelerator scratchpads
+    /// implement in practice (true LRU over tens of thousands of lines is
+    /// not economical); see [`NaBufferSim::with_policy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(capacity_features: usize, ways: usize) -> Self {
+        assert!(capacity_features > 0 && ways > 0, "degenerate na buffer");
+        Self {
+            capacity_features,
+            ways,
+            policy: Replacement::Fifo,
+        }
+    }
+
+    /// Overrides the replacement policy.
+    pub fn with_policy(mut self, policy: Replacement) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Buffer capacity in feature vectors.
+    pub fn capacity_features(&self) -> usize {
+        self.capacity_features
+    }
+
+    /// Simulates a *wave* of semantic graphs executing concurrently on the
+    /// accelerator's lanes, all contending for this one buffer: edge
+    /// chunks of `chunk` edges are interleaved round-robin across the
+    /// lanes, which is how the multi-lane NA engines interleave their
+    /// buffer traffic in time.
+    pub fn simulate_wave(
+        &self,
+        items: &[(&BipartiteGraph, &EdgeSchedule, u64)],
+        chunk: usize,
+    ) -> NaTrace {
+        assert!(chunk > 0, "chunk must be positive");
+        let mut buf =
+            SetAssocBuffer::with_capacity(self.capacity_features, self.ways, self.policy);
+        let fb = FEATURE_BYTES as u32;
+        let mut requests: Vec<MemRequest> = Vec::new();
+
+        // Topology streams per lane.
+        for &(g, _, graph_tag) in items {
+            let topo_bytes = (g.edge_count() as u64) * 8;
+            let mut off = 0;
+            while off < topo_bytes {
+                let size = (topo_bytes - off).min(256) as u32;
+                requests.push(MemRequest::read(
+                    TOPO_BASE + graph_tag * 0x0100_0000 + off,
+                    size,
+                ));
+                off += size as u64;
+            }
+        }
+
+        let mut cursors = vec![0usize; items.len()];
+        let mut live = items.len();
+        while live > 0 {
+            live = 0;
+            for (i, &(_, schedule, graph_tag)) in items.iter().enumerate() {
+                let edges = schedule.edges();
+                if cursors[i] >= edges.len() {
+                    continue;
+                }
+                let end = (cursors[i] + chunk).min(edges.len());
+                for e in &edges[cursors[i]..end] {
+                    access_edge(&mut buf, &mut requests, graph_tag, e, fb);
+                }
+                cursors[i] = end;
+                if cursors[i] < edges.len() {
+                    live += 1;
+                }
+            }
+        }
+        // Per-graph flush of finished accumulators.
+        for &(g, _, _) in items {
+            for d in 0..g.dst_count() {
+                if g.in_degree(d) > 0 {
+                    requests.push(MemRequest::write(DST_BASE + d as u64 * fb as u64, fb));
+                }
+            }
+        }
+        let stats = buf.stats().clone();
+        NaTrace {
+            accesses: stats.accesses,
+            hits: stats.hits,
+            misses: stats.misses,
+            requests,
+            fetch_counts: buf.fetch_counts().clone(),
+        }
+    }
+
+    /// Simulates the schedule; `graph_tag` namespaces the tags so traces
+    /// from several semantic graphs can be aggregated.
+    pub fn simulate(
+        &self,
+        g: &BipartiteGraph,
+        schedule: &EdgeSchedule,
+        graph_tag: u64,
+    ) -> NaTrace {
+        let mut buf = SetAssocBuffer::with_capacity(self.capacity_features, self.ways, self.policy);
+        let fb = FEATURE_BYTES as u32;
+        let mut requests: Vec<MemRequest> = Vec::new();
+
+        // Topology streaming: the edge list itself (8 B per edge), read
+        // sequentially in 256 B bursts.
+        let topo_bytes = (g.edge_count() as u64) * 8;
+        let mut off = 0;
+        while off < topo_bytes {
+            let chunk = (topo_bytes - off).min(256) as u32;
+            requests.push(MemRequest::read(TOPO_BASE + graph_tag * 0x0100_0000 + off, chunk));
+            off += chunk as u64;
+        }
+
+        for e in schedule.iter() {
+            access_edge(&mut buf, &mut requests, graph_tag, &e, fb);
+        }
+        // Flush: every destination written once at the end (finished
+        // accumulators stream out to the SF stage's DRAM region).
+        for d in 0..g.dst_count() {
+            if g.in_degree(d) > 0 {
+                requests.push(MemRequest::write(DST_BASE + d as u64 * fb as u64, fb));
+            }
+        }
+        let stats = buf.stats().clone();
+        NaTrace {
+            accesses: stats.accesses,
+            hits: stats.hits,
+            misses: stats.misses,
+            requests,
+            fetch_counts: buf.fetch_counts().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdr_core::backbone::BackboneStrategy;
+    use gdr_core::restructure::Restructurer;
+    use gdr_hetgraph::gen::PowerLawConfig;
+
+    fn graph() -> BipartiteGraph {
+        PowerLawConfig::new(600, 600, 4800)
+            .dst_alpha(0.9)
+            .generate("g", 7)
+    }
+
+    #[test]
+    fn cold_misses_only_with_large_buffer() {
+        let g = graph();
+        let sim = NaBufferSim::new(1 << 20, 16);
+        let t = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 0);
+        let touched_src = (0..g.src_count()).filter(|&s| g.out_degree(s) > 0).count();
+        let touched_dst = (0..g.dst_count()).filter(|&d| g.in_degree(d) > 0).count();
+        assert_eq!(t.misses as usize, touched_src + touched_dst);
+        assert!(t.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn small_buffer_thrashes_and_restructuring_helps() {
+        // The frontend's contract: the backbone fits on-chip while the full
+        // working set does not (DESIGN.md). Pick the capacity accordingly.
+        let g = graph();
+        let r = Restructurer::new()
+            .backbone_strategy(BackboneStrategy::KonigExact)
+            .restructure(&g);
+        let backbone = r.backbone().len();
+        let working_set = (0..g.src_count()).filter(|&s| g.out_degree(s) > 0).count()
+            + (0..g.dst_count()).filter(|&d| g.in_degree(d) > 0).count();
+        let cap = backbone + 128;
+        assert!(cap < working_set, "test premise: backbone fits, WS does not");
+        let sim = NaBufferSim::new(cap, 8);
+        let base = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 0);
+        let gdr = sim.simulate(&g, r.schedule(), 0);
+        assert!(
+            gdr.misses < base.misses,
+            "restructured {} vs baseline {}",
+            gdr.misses,
+            base.misses
+        );
+        assert!(gdr.bytes() < base.bytes());
+    }
+
+    #[test]
+    fn replacement_times_nonzero_under_thrash() {
+        let g = graph();
+        let sim = NaBufferSim::new(64, 8);
+        let t = sim.simulate(&g, &EdgeSchedule::random(&g, 3), 0);
+        let rt = t.src_replacement_times();
+        assert!(rt.iter().any(|&r| r > 0), "expected refetches under thrash");
+    }
+
+    #[test]
+    fn trace_contains_topology_and_flush() {
+        let g = BipartiteGraph::from_pairs("t", 2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let sim = NaBufferSim::new(16, 4);
+        let t = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 1);
+        let reads = t.requests.iter().filter(|r| !r.write).count();
+        let writes = t.requests.iter().filter(|r| r.write).count();
+        // 1 topo chunk + 2 src + 2 dst reads; 2 flush writes
+        assert_eq!(reads, 5);
+        assert_eq!(writes, 2);
+    }
+
+    #[test]
+    fn graph_tags_namespace_fetch_counts() {
+        let g = BipartiteGraph::from_pairs("t", 1, 1, &[(0, 0)]).unwrap();
+        let sim = NaBufferSim::new(16, 4);
+        let a = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 0);
+        let b = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 3);
+        let ka: Vec<u64> = a.fetch_counts.keys().copied().collect();
+        let kb: Vec<u64> = b.fetch_counts.keys().copied().collect();
+        assert!(ka.iter().all(|k| !kb.contains(k)));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate na buffer")]
+    fn zero_capacity_rejected() {
+        let _ = NaBufferSim::new(0, 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Execution reports shared by every platform model.
+
+/// Per-stage time breakdown in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Feature projection.
+    pub fp_ns: f64,
+    /// Neighbor aggregation.
+    pub na_ns: f64,
+    /// Semantic fusion.
+    pub sf_ns: f64,
+    /// Fixed overheads (kernel launches, pipeline fill).
+    pub overhead_ns: f64,
+}
+
+impl StageBreakdown {
+    /// Total of all components.
+    pub fn total_ns(&self) -> f64 {
+        self.fp_ns + self.na_ns + self.sf_ns + self.overhead_ns
+    }
+
+    /// Fraction of time in the NA stage (the paper's ~74% observation).
+    pub fn na_fraction(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.na_ns / t
+        }
+    }
+}
+
+/// The result of executing one (model, dataset) workload on a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Platform label (`"T4"`, `"A100"`, `"HiHGNN"`, `"HiHGNN+GDR"`).
+    pub platform: String,
+    /// Workload label (`"RGCN/ACM"` etc.).
+    pub workload: String,
+    /// End-to-end inference latency in nanoseconds.
+    pub time_ns: f64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// DRAM transactions (bytes / burst size).
+    pub dram_accesses: u64,
+    /// Achieved DRAM bandwidth / peak bandwidth, in `[0, 1]`.
+    pub bandwidth_utilization: f64,
+    /// Per-stage breakdown.
+    pub stages: StageBreakdown,
+    /// NA-stage feature cache/buffer hit rate, when the platform models one.
+    pub na_hit_rate: Option<f64>,
+}
+
+impl ExecReport {
+    /// Speedup of this report relative to a baseline report of the same
+    /// workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time is non-positive.
+    pub fn speedup_vs(&self, baseline: &ExecReport) -> f64 {
+        assert!(
+            self.time_ns > 0.0 && baseline.time_ns > 0.0,
+            "speedup needs positive execution times"
+        );
+        baseline.time_ns / self.time_ns
+    }
+
+    /// DRAM traffic normalized to a baseline (1.0 = same traffic).
+    pub fn dram_ratio_vs(&self, baseline: &ExecReport) -> f64 {
+        if baseline.dram_bytes == 0 {
+            return 0.0;
+        }
+        self.dram_bytes as f64 / baseline.dram_bytes as f64
+    }
+}
+
+/// Geometric mean of a sequence of positive ratios; 0 for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_accel::report::geomean;
+/// assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// assert_eq!(geomean(&[]), 0.0);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-300).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(platform: &str, time_ns: f64, bytes: u64) -> ExecReport {
+        ExecReport {
+            platform: platform.into(),
+            workload: "RGCN/ACM".into(),
+            time_ns,
+            dram_bytes: bytes,
+            dram_accesses: bytes / 32,
+            bandwidth_utilization: 0.5,
+            stages: StageBreakdown::default(),
+            na_hit_rate: None,
+        }
+    }
+
+    #[test]
+    fn speedup_and_ratio() {
+        let slow = report("T4", 1000.0, 1000);
+        let fast = report("HiHGNN", 100.0, 100);
+        assert!((fast.speedup_vs(&slow) - 10.0).abs() < 1e-12);
+        assert!((fast.dram_ratio_vs(&slow) - 0.1).abs() < 1e-12);
+        assert_eq!(fast.dram_ratio_vs(&report("x", 1.0, 0)), 0.0);
+    }
+
+    #[test]
+    fn stage_breakdown_math() {
+        let s = StageBreakdown {
+            fp_ns: 10.0,
+            na_ns: 74.0,
+            sf_ns: 6.0,
+            overhead_ns: 10.0,
+        };
+        assert!((s.total_ns() - 100.0).abs() < 1e-12);
+        assert!((s.na_fraction() - 0.74).abs() < 1e-12);
+        assert_eq!(StageBreakdown::default().na_fraction(), 0.0);
+    }
+
+    #[test]
+    fn geomean_properties() {
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive execution times")]
+    fn speedup_rejects_zero_time() {
+        let a = report("a", 0.0, 1);
+        let b = report("b", 1.0, 1);
+        let _ = b.speedup_vs(&a);
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 10: area and power of HiHGNN vs the GDR-HGNN frontend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdr_frontend::area_power::FrontendAreaPower;
+use gdr_frontend::config::FrontendConfig;
+use gdr_memsim::cacti_lite::TechNode;
+use gdr_system::experiments::fig10;
+
+fn bench(c: &mut Criterion) {
+    let f = fig10();
+    println!("\n=== Fig. 10 ===\n{}", f.to_markdown());
+    println!(
+        "GDR share: area {:.2}% (paper 2.30%), power {:.2}% (paper 0.46%)",
+        f.gdr_area_pct, f.gdr_power_pct
+    );
+    let (af, ab, ao) = f.gdr_area_breakdown;
+    println!("GDR area breakdown: FIFOs {af:.2}% / buffers {ab:.2}% / others {ao:.2}% (paper 0.87/91.74/7.39)\n");
+
+    c.bench_function("fig10/cacti_lite_estimate", |b| {
+        b.iter(|| FrontendAreaPower::estimate(&FrontendConfig::default(), TechNode::tsmc12()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

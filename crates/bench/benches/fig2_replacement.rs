@@ -1,0 +1,37 @@
+//! Fig. 2: replacement times of vertex features during the NA stage on
+//! HiHGNN with RGCN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdr_accel::na_engine::NaBufferSim;
+use gdr_core::schedule::EdgeSchedule;
+use gdr_hetgraph::datasets::Dataset;
+use gdr_hgnn::model::ModelKind;
+use gdr_system::experiments::fig2;
+use gdr_system::grid::{ExperimentConfig, GridPoint};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { seed: 42, scale: 0.4 };
+    let grid: Vec<GridPoint> = Dataset::ALL
+        .iter()
+        .map(|&d| GridPoint::run(ModelKind::Rgcn, d, &cfg))
+        .collect();
+    println!("\n=== Fig. 2 (scale {}) ===\n{}", cfg.scale, fig2(&grid).to_markdown());
+
+    let het = Dataset::Dblp.build_scaled(42, 0.2);
+    let g2 = het
+        .all_semantic_graphs()
+        .into_iter()
+        .max_by_key(|g| g.edge_count())
+        .unwrap();
+    let sched = EdgeSchedule::dst_major(&g2);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    g.bench_function("na_buffer_replacement_tracking", |b| {
+        b.iter(|| NaBufferSim::new(1024, 8).simulate(&g2, &sched, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 7: speedup of A100 / HiHGNN / HiHGNN+GDR over T4.
+//!
+//! Prints the regenerated figure table at the configured scale, then
+//! benchmarks one representative grid cell end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdr_hetgraph::datasets::Dataset;
+use gdr_hgnn::model::ModelKind;
+use gdr_system::experiments::fig7;
+use gdr_system::grid::{run_grid, ExperimentConfig, GridPoint};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { seed: 42, scale: 0.25 };
+    let grid = run_grid(&cfg);
+    let f = fig7(&grid);
+    println!("\n=== Fig. 7 (scale {}) ===\n{}", cfg.scale, f.to_markdown());
+    let (t4, a100, hihgnn) = f.headline();
+    println!("headline: {t4:.1}x vs T4 (paper 68.8x), {a100:.1}x vs A100 (paper 14.6x), {hihgnn:.2}x vs HiHGNN (paper 1.78x)\n");
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("grid_cell_rgcn_acm", |b| {
+        b.iter(|| {
+            GridPoint::run(
+                ModelKind::Rgcn,
+                Dataset::Acm,
+                &ExperimentConfig { seed: 42, scale: 0.1 },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 9: DRAM bandwidth utilization on all four platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdr_memsim::hbm::{HbmConfig, HbmModel, MemRequest};
+use gdr_system::experiments::fig9;
+use gdr_system::grid::{run_grid, ExperimentConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { seed: 42, scale: 0.25 };
+    let grid = run_grid(&cfg);
+    let f = fig9(&grid);
+    println!("\n=== Fig. 9 (scale {}) ===\n{}", cfg.scale, f.to_markdown());
+    let (t4, a100) = f.headline();
+    println!("headline: GDR+HiHGNN utilization {t4:.2}x of T4 (paper 2.58x), {a100:.2}x of A100 (paper 6.35x)\n");
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    g.bench_function("hbm_drain_64k_requests", |b| {
+        b.iter(|| {
+            let mut hbm = HbmModel::new(HbmConfig::hbm1_512gbps());
+            let end = hbm.drain_trace(0, (0..65_536u64).map(|i| MemRequest::read(i * 331 * 256, 256)));
+            hbm.bandwidth_utilization(end)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,304 @@
+//! Graph recoupling: vertex partition and subgraph generation
+//! (paper Algorithm 2 and `GenerateGraph`).
+
+use gdr_hetgraph::BipartiteGraph;
+
+use crate::backbone::Backbone;
+
+/// The four vertex classes of §4.1: source/destination vertices inside or
+/// outside the graph backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexClass {
+    /// Source vertex included in the backbone.
+    SrcIn,
+    /// Source vertex excluded from the backbone.
+    SrcOut,
+    /// Destination vertex included in the backbone.
+    DstIn,
+    /// Destination vertex excluded from the backbone.
+    DstOut,
+}
+
+/// Vertex partition derived from a [`Backbone`]: the contents of the four
+/// FIFOs (`Src_in`, `Src_out`, `Dst_in`, `Dst_out`) the Recoupler fills.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexPartition {
+    src_in: Vec<u32>,
+    src_out: Vec<u32>,
+    dst_in: Vec<u32>,
+    dst_out: Vec<u32>,
+}
+
+impl VertexPartition {
+    /// Classifies every vertex of `g` against the backbone.
+    ///
+    /// Isolated vertices (degree 0) are excluded from the partition
+    /// entirely — the paper's "eliminating irrelevant vertices from each
+    /// subgraph".
+    pub fn from_backbone(g: &BipartiteGraph, b: &Backbone) -> Self {
+        let mut p = VertexPartition {
+            src_in: Vec::new(),
+            src_out: Vec::new(),
+            dst_in: Vec::new(),
+            dst_out: Vec::new(),
+        };
+        for s in 0..g.src_count() {
+            if g.out_degree(s) == 0 {
+                continue;
+            }
+            if b.src_in(s) {
+                p.src_in.push(s as u32);
+            } else {
+                p.src_out.push(s as u32);
+            }
+        }
+        for d in 0..g.dst_count() {
+            if g.in_degree(d) == 0 {
+                continue;
+            }
+            if b.dst_in(d) {
+                p.dst_in.push(d as u32);
+            } else {
+                p.dst_out.push(d as u32);
+            }
+        }
+        p
+    }
+
+    /// Sources inside the backbone.
+    pub fn src_in(&self) -> &[u32] {
+        &self.src_in
+    }
+
+    /// Sources outside the backbone.
+    pub fn src_out(&self) -> &[u32] {
+        &self.src_out
+    }
+
+    /// Destinations inside the backbone.
+    pub fn dst_in(&self) -> &[u32] {
+        &self.dst_in
+    }
+
+    /// Destinations outside the backbone.
+    pub fn dst_out(&self) -> &[u32] {
+        &self.dst_out
+    }
+
+    /// Class of a source vertex, or `None` if isolated.
+    pub fn classify_src(&self, s: u32) -> Option<VertexClass> {
+        if self.src_in.binary_search(&s).is_ok() {
+            Some(VertexClass::SrcIn)
+        } else if self.src_out.binary_search(&s).is_ok() {
+            Some(VertexClass::SrcOut)
+        } else {
+            None
+        }
+    }
+
+    /// Class of a destination vertex, or `None` if isolated.
+    pub fn classify_dst(&self, d: u32) -> Option<VertexClass> {
+        if self.dst_in.binary_search(&d).is_ok() {
+            Some(VertexClass::DstIn)
+        } else if self.dst_out.binary_search(&d).is_ok() {
+            Some(VertexClass::DstOut)
+        } else {
+            None
+        }
+    }
+}
+
+/// Which of the three restructured subgraphs an edge belongs to.
+///
+/// Every edge has at least one backbone endpoint (vertex-cover property),
+/// so these three classes are exhaustive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubgraphKind {
+    /// `Src_in × Dst_out`: backbone sources feeding streamed destinations.
+    InOut,
+    /// `Src_in × Dst_in`: edges internal to the backbone.
+    InIn,
+    /// `Src_out × Dst_in`: streamed sources feeding backbone destinations.
+    OutIn,
+}
+
+impl SubgraphKind {
+    /// All kinds in the emission order of the paper's Fig. 4 pipeline
+    /// (`Src_out+Dst_in`, `Src_in+Dst_in`, `Src_in+Dst_out`).
+    pub const ALL: [SubgraphKind; 3] = [SubgraphKind::OutIn, SubgraphKind::InIn, SubgraphKind::InOut];
+}
+
+impl std::fmt::Display for SubgraphKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SubgraphKind::InOut => "src_in x dst_out",
+            SubgraphKind::InIn => "src_in x dst_in",
+            SubgraphKind::OutIn => "src_out x dst_in",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The output of `GenerateGraph`: the three subgraphs `G_Ps1..G_Ps3`, each
+/// over the **original** vertex id spaces so feature tables need no
+/// remapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestructuredSubgraphs {
+    subgraphs: [BipartiteGraph; 3],
+}
+
+impl RestructuredSubgraphs {
+    /// Partitions the edges of `g` into the three subgraphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if an edge has neither endpoint in the
+    /// backbone, i.e. if `b` is not a vertex cover of `g`.
+    pub fn generate(g: &BipartiteGraph, b: &Backbone) -> Self {
+        let mut in_out: Vec<(u32, u32)> = Vec::new();
+        let mut in_in: Vec<(u32, u32)> = Vec::new();
+        let mut out_in: Vec<(u32, u32)> = Vec::new();
+        for e in g.iter_edges() {
+            let (s, d) = (e.src.raw(), e.dst.raw());
+            match (b.src_in(s as usize), b.dst_in(d as usize)) {
+                (true, false) => in_out.push((s, d)),
+                (true, true) => in_in.push((s, d)),
+                (false, true) => out_in.push((s, d)),
+                (false, false) => {
+                    debug_assert!(false, "backbone is not a vertex cover: edge {e}");
+                    // Release-mode fallback keeps the partition total.
+                    in_out.push((s, d));
+                }
+            }
+        }
+        let make = |name: &str, pairs: &[(u32, u32)]| {
+            BipartiteGraph::from_pairs(
+                format!("{}/{}", g.name(), name),
+                g.src_count(),
+                g.dst_count(),
+                pairs,
+            )
+            .expect("edges come from a validated graph")
+        };
+        Self {
+            subgraphs: [
+                make("in-out", &in_out),
+                make("in-in", &in_in),
+                make("out-in", &out_in),
+            ],
+        }
+    }
+
+    /// The subgraph of a given kind.
+    pub fn get(&self, kind: SubgraphKind) -> &BipartiteGraph {
+        match kind {
+            SubgraphKind::InOut => &self.subgraphs[0],
+            SubgraphKind::InIn => &self.subgraphs[1],
+            SubgraphKind::OutIn => &self.subgraphs[2],
+        }
+    }
+
+    /// Iterates `(kind, subgraph)` pairs in pipeline emission order.
+    pub fn iter(&self) -> impl Iterator<Item = (SubgraphKind, &BipartiteGraph)> {
+        SubgraphKind::ALL.iter().map(move |&k| (k, self.get(k)))
+    }
+
+    /// Total edges across the three subgraphs (equals the original graph's
+    /// edge count — the partition property).
+    pub fn total_edges(&self) -> usize {
+        self.subgraphs.iter().map(|g| g.edge_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::BackboneStrategy;
+    use crate::matching::hopcroft_karp;
+    use gdr_hetgraph::gen::PowerLawConfig;
+
+    fn setup(seed: u64) -> (BipartiteGraph, Backbone) {
+        let g = PowerLawConfig::new(40, 40, 160)
+            .dst_alpha(0.9)
+            .generate("t", seed);
+        let m = hopcroft_karp(&g);
+        let b = Backbone::select(&g, &m, BackboneStrategy::KonigExact);
+        (g, b)
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let (g, b) = setup(1);
+        let p = VertexPartition::from_backbone(&g, &b);
+        let touched_src = (0..g.src_count()).filter(|&s| g.out_degree(s) > 0).count();
+        let touched_dst = (0..g.dst_count()).filter(|&d| g.in_degree(d) > 0).count();
+        assert_eq!(p.src_in().len() + p.src_out().len(), touched_src);
+        assert_eq!(p.dst_in().len() + p.dst_out().len(), touched_dst);
+        for &s in p.src_in() {
+            assert!(p.src_out().binary_search(&s).is_err());
+        }
+    }
+
+    #[test]
+    fn classify_matches_membership() {
+        let (g, b) = setup(2);
+        let p = VertexPartition::from_backbone(&g, &b);
+        for s in 0..g.src_count() as u32 {
+            match p.classify_src(s) {
+                Some(VertexClass::SrcIn) => assert!(b.src_in(s as usize)),
+                Some(VertexClass::SrcOut) => assert!(!b.src_in(s as usize)),
+                None => assert_eq!(g.out_degree(s as usize), 0),
+                other => panic!("source classified as {other:?}"),
+            }
+        }
+        for d in 0..g.dst_count() as u32 {
+            match p.classify_dst(d) {
+                Some(VertexClass::DstIn) => assert!(b.dst_in(d as usize)),
+                Some(VertexClass::DstOut) => assert!(!b.dst_in(d as usize)),
+                None => assert_eq!(g.in_degree(d as usize), 0),
+                other => panic!("destination classified as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn subgraphs_partition_the_edge_set() {
+        for seed in 0..10 {
+            let (g, b) = setup(seed);
+            let r = RestructuredSubgraphs::generate(&g, &b);
+            assert_eq!(r.total_edges(), g.edge_count(), "seed {seed}");
+            // every original edge appears in exactly one subgraph
+            let mut all: Vec<(u32, u32)> = r
+                .iter()
+                .flat_map(|(_, sg)| sg.iter_edges().map(|e| (e.src.raw(), e.dst.raw())))
+                .collect();
+            all.sort_unstable();
+            let mut orig: Vec<(u32, u32)> =
+                g.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+            orig.sort_unstable();
+            assert_eq!(all, orig, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn subgraph_classes_respect_backbone() {
+        let (g, b) = setup(3);
+        let r = RestructuredSubgraphs::generate(&g, &b);
+        for e in r.get(SubgraphKind::InOut).iter_edges() {
+            assert!(b.src_in(e.src.index()) && !b.dst_in(e.dst.index()));
+        }
+        for e in r.get(SubgraphKind::InIn).iter_edges() {
+            assert!(b.src_in(e.src.index()) && b.dst_in(e.dst.index()));
+        }
+        for e in r.get(SubgraphKind::OutIn).iter_edges() {
+            assert!(!b.src_in(e.src.index()) && b.dst_in(e.dst.index()));
+        }
+    }
+
+    #[test]
+    fn kind_display_and_order() {
+        assert_eq!(SubgraphKind::ALL.len(), 3);
+        assert_eq!(SubgraphKind::InOut.to_string(), "src_in x dst_out");
+        assert_eq!(SubgraphKind::ALL[0], SubgraphKind::OutIn);
+    }
+}

@@ -1,0 +1,120 @@
+//! Area and power of the GDR-HGNN frontend (Fig. 10, GDR side).
+//!
+//! Component-level estimation via `gdr-memsim`'s CACTI-lite at TSMC
+//! 12 nm. The paper reports 0.50 mm² and 55.6 mW total, broken down into
+//! FIFOs / buffers / others; this module reproduces that breakdown
+//! structure from the Table 3 component list.
+
+use gdr_memsim::cacti_lite::{CactiLite, MacroEstimate, TechNode};
+
+use crate::config::FrontendConfig;
+
+/// Control-logic complexity of the frontend (backbone searcher,
+/// comparators, bitmap logic, dispatch crossbar) in kilo-gates.
+const FRONTEND_LOGIC_KGATES: f64 = 260.0;
+
+/// Component-level area/power breakdown of the frontend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendAreaPower {
+    /// The four class FIFOs (8 KB total).
+    pub fifos: MacroEstimate,
+    /// Matching + Candidate + adjacency buffers.
+    pub buffers: MacroEstimate,
+    /// Everything else (Fig. 10's "Others").
+    pub logic: MacroEstimate,
+}
+
+impl FrontendAreaPower {
+    /// Estimates the frontend at a technology node.
+    pub fn estimate(cfg: &FrontendConfig, node: TechNode) -> Self {
+        let cacti = CactiLite::new(node);
+        let buffers_bytes = (cfg.matching_buffer_bytes
+            + cfg.candidate_buffer_bytes
+            + cfg.adj_buffer_bytes) as u64;
+        Self {
+            fifos: cacti.fifo(cfg.fifo_bytes as u64),
+            buffers: cacti.sram(buffers_bytes),
+            logic: cacti.logic(FRONTEND_LOGIC_KGATES),
+        }
+    }
+
+    /// Total silicon area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.fifos.area_mm2 + self.buffers.area_mm2 + self.logic.area_mm2
+    }
+
+    /// Total power in mW at a given activity level. `buffer_bps` is the
+    /// aggregate byte rate through the frontend's storage (restructuring
+    /// streams each edge through the buffers a handful of times).
+    pub fn total_power_mw(&self, buffer_bps: f64) -> f64 {
+        // FIFOs see roughly a tenth of the buffer stream (vertex ids vs
+        // full adjacency), logic toggles with the buffer stream.
+        self.fifos.power_mw(buffer_bps * 0.1)
+            + self.buffers.power_mw(buffer_bps)
+            + self.logic.power_mw(buffer_bps)
+    }
+
+    /// Area fractions `(fifos, buffers, others)` in percent.
+    pub fn area_breakdown_pct(&self) -> (f64, f64, f64) {
+        let t = self.total_area_mm2();
+        (
+            self.fifos.area_mm2 / t * 100.0,
+            self.buffers.area_mm2 / t * 100.0,
+            self.logic.area_mm2 / t * 100.0,
+        )
+    }
+
+    /// Power fractions `(fifos, buffers, others)` in percent at an
+    /// activity level.
+    pub fn power_breakdown_pct(&self, buffer_bps: f64) -> (f64, f64, f64) {
+        let t = self.total_power_mw(buffer_bps);
+        (
+            self.fifos.power_mw(buffer_bps * 0.1) / t * 100.0,
+            self.buffers.power_mw(buffer_bps) / t * 100.0,
+            self.logic.power_mw(buffer_bps) / t * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate() -> FrontendAreaPower {
+        FrontendAreaPower::estimate(&FrontendConfig::default(), TechNode::tsmc12())
+    }
+
+    #[test]
+    fn area_lands_near_half_square_mm() {
+        let a = estimate().total_area_mm2();
+        assert!(a > 0.35 && a < 0.70, "area {a} mm² not near the paper's 0.50");
+    }
+
+    #[test]
+    fn power_lands_near_paper_at_working_activity() {
+        // restructuring streams ~16 GB/s through the buffers at full tilt
+        let p = estimate().total_power_mw(16e9);
+        assert!(p > 25.0 && p < 110.0, "power {p} mW not near the paper's 55.6");
+    }
+
+    #[test]
+    fn buffers_dominate_breakdown() {
+        let e = estimate();
+        let (fifo_pct, buf_pct, other_pct) = e.area_breakdown_pct();
+        assert!(buf_pct > 85.0, "buffers {buf_pct}% should dominate area");
+        assert!(fifo_pct < 5.0);
+        assert!((fifo_pct + buf_pct + other_pct - 100.0).abs() < 1e-9);
+        let (pf, pb, po) = e.power_breakdown_pct(16e9);
+        assert!(pb > 80.0, "buffers {pb}% should dominate power");
+        assert!((pf + pb + po - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_node_scales_area() {
+        let c12 = estimate().total_area_mm2();
+        let c28 =
+            FrontendAreaPower::estimate(&FrontendConfig::default(), TechNode::generic28())
+                .total_area_mm2();
+        assert!(c28 > 3.0 * c12);
+    }
+}

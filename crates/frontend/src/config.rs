@@ -1,0 +1,91 @@
+//! GDR-HGNN frontend hardware configuration (Table 3).
+
+/// Hardware parameters of the GDR-HGNN frontend.
+///
+/// Defaults follow Table 3: 8 KB of FIFOs, a 160 KB Matching Buffer, a
+/// 160 KB Candidate Buffer and a 320 KB adjacency-list buffer, clocked in
+/// the accelerator's 1 GHz domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendConfig {
+    /// Total FIFO bytes (split across the four class FIFOs).
+    pub fifo_bytes: usize,
+    /// Matching Buffer bytes (displaced matching-FIFO state).
+    pub matching_buffer_bytes: usize,
+    /// Candidate Buffer bytes (backbone candidates awaiting recoupling).
+    pub candidate_buffer_bytes: usize,
+    /// Adjacency-list buffer bytes (src + dst halves).
+    pub adj_buffer_bytes: usize,
+    /// Hash-table sets for matching-FIFO allocation.
+    pub hash_sets: usize,
+    /// Hash-table ways.
+    pub hash_ways: usize,
+    /// Vertices dispatched per cycle (Fig. 5's parallel dispatch of
+    /// source vertices to their set-associative FIFOs).
+    pub dispatch_width: usize,
+    /// Clock in GHz (shared with HiHGNN).
+    pub clock_ghz: f64,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self {
+            fifo_bytes: 8 * 1024,
+            matching_buffer_bytes: 160 * 1024,
+            candidate_buffer_bytes: 160 * 1024,
+            adj_buffer_bytes: 320 * 1024,
+            hash_sets: 512,
+            hash_ways: 8,
+            dispatch_width: 64,
+            clock_ghz: 1.0,
+        }
+    }
+}
+
+impl FrontendConfig {
+    /// Entries of one of the four class FIFOs (4-byte vertex ids, FIFO
+    /// bytes split four ways).
+    pub fn class_fifo_entries(&self) -> usize {
+        (self.fifo_bytes / 4 / 4).max(1)
+    }
+
+    /// Candidate Buffer capacity in matched pairs (8 bytes per pair).
+    pub fn candidate_capacity_pairs(&self) -> usize {
+        (self.candidate_buffer_bytes / 8).max(1)
+    }
+
+    /// Adjacency-buffer capacity in edges (4-byte neighbor entries).
+    pub fn adj_capacity_edges(&self) -> usize {
+        (self.adj_buffer_bytes / 4).max(1)
+    }
+
+    /// Total on-chip storage of the frontend in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.fifo_bytes
+            + self.matching_buffer_bytes
+            + self.candidate_buffer_bytes
+            + self.adj_buffer_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let c = FrontendConfig::default();
+        assert_eq!(c.fifo_bytes, 8 * 1024);
+        assert_eq!(c.matching_buffer_bytes, 160 * 1024);
+        assert_eq!(c.candidate_buffer_bytes, 160 * 1024);
+        assert_eq!(c.adj_buffer_bytes, 320 * 1024);
+        assert_eq!(c.total_bytes(), 648 * 1024);
+    }
+
+    #[test]
+    fn derived_capacities() {
+        let c = FrontendConfig::default();
+        assert_eq!(c.class_fifo_entries(), 512);
+        assert_eq!(c.candidate_capacity_pairs(), 20 * 1024);
+        assert_eq!(c.adj_capacity_edges(), 80 * 1024);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gdr-frontend — the GDR-HGNN hardware frontend
+//!
+//! Cycle-level model of the paper's contribution as hardware (Fig. 4-6):
+//!
+//! * [`decoupler`] — Algorithm 1 through the modeled datapath (hash
+//!   table, matching FIFOs, visited/matching bitmaps, Matching and
+//!   Candidate buffers), producing a maximum matching and a cycle count;
+//! * [`recoupler`] — Algorithm 2: the Backbone Searcher, four class
+//!   FIFOs and the Graph Generator, producing the three restructured
+//!   subgraphs and their schedule;
+//! * [`pipeline`] — the epoch-overlapped Decoupler → Recoupler →
+//!   accelerator pipeline with exposed-cycle accounting;
+//! * [`area_power`] — Fig. 10's component-level area/power estimate;
+//! * [`config`] — Table 3 hardware parameters.
+//!
+//! # Examples
+//!
+//! ```
+//! use gdr_hetgraph::datasets::Dataset;
+//! use gdr_frontend::config::FrontendConfig;
+//! use gdr_frontend::pipeline::FrontendPipeline;
+//!
+//! let het = Dataset::Acm.build_scaled(1, 0.03);
+//! let graphs = het.all_semantic_graphs();
+//! let run = FrontendPipeline::new(FrontendConfig::default()).process_all(&graphs);
+//! for (g, r) in graphs.iter().zip(run.per_graph()) {
+//!     assert!(r.schedule.is_permutation_of(g));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area_power;
+pub mod config;
+pub mod decoupler;
+pub mod pipeline;
+pub mod recoupler;
+
+pub use area_power::FrontendAreaPower;
+pub use config::FrontendConfig;
+pub use decoupler::{Decoupler, DecouplerRun};
+pub use pipeline::{FrontendPipeline, FrontendRun, GraphResult};
+pub use recoupler::{Recoupler, RecouplerRun};

@@ -1,0 +1,257 @@
+//! Cycle-level Recoupler model (Fig. 6).
+//!
+//! The Backbone Searcher consumes candidates from the Candidate Buffer,
+//! reads their adjacency from the Src/Dst adjacency buffers, checks
+//! neighbors against the Matching Bm., and sorts vertices into the four
+//! class FIFOs (`Src_in`, `Src_out`, `Dst_in`, `Dst_out`). The Graph
+//! Generator drains those FIFOs into the three restructured subgraphs.
+
+use gdr_core::backbone::{Backbone, BackboneStrategy};
+use gdr_core::matching::Matching;
+use gdr_core::recouple::{RestructuredSubgraphs, VertexPartition};
+use gdr_core::schedule::EdgeSchedule;
+use gdr_hetgraph::BipartiteGraph;
+use gdr_memsim::fifo::HwFifo;
+use gdr_memsim::hbm::MemRequest;
+
+use crate::config::FrontendConfig;
+
+/// Micro-operation counters of one recoupling run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecouplerStats {
+    /// Candidates examined by the Backbone Searcher.
+    pub candidates_examined: u64,
+    /// Neighbor lookups against the Matching Bm.
+    pub neighbor_checks: u64,
+    /// Pushes into the four class FIFOs.
+    pub class_pushes: u64,
+    /// Class-FIFO back-pressure events (FIFO full, drained next cycle).
+    pub fifo_stalls: u64,
+    /// Edges emitted by the Graph Generator.
+    pub edges_emitted: u64,
+    /// Adjacency-buffer overflow fetches served from DRAM.
+    pub adj_spill_fetches: u64,
+}
+
+/// Result of recoupling one semantic graph in hardware.
+#[derive(Debug, Clone)]
+pub struct RecouplerRun {
+    /// The selected backbone.
+    pub backbone: Backbone,
+    /// Four-way vertex partition (the class FIFOs' final contents).
+    pub partition: VertexPartition,
+    /// The three generated subgraphs.
+    pub subgraphs: RestructuredSubgraphs,
+    /// The restructured edge schedule handed to the accelerator.
+    pub schedule: EdgeSchedule,
+    /// Cycle count of the run.
+    pub cycles: u64,
+    /// Micro-operation counters.
+    pub stats: RecouplerStats,
+    /// DRAM traffic (adjacency overflow fetches, subgraph write-out).
+    pub requests: Vec<MemRequest>,
+}
+
+/// The Recoupler model.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::BipartiteGraph;
+/// use gdr_frontend::config::FrontendConfig;
+/// use gdr_frontend::decoupler::Decoupler;
+/// use gdr_frontend::recoupler::Recoupler;
+/// let g = BipartiteGraph::from_pairs("g", 3, 3, &[(0, 0), (1, 0), (2, 2)])?;
+/// let cfg = FrontendConfig::default();
+/// let dec = Decoupler::new(cfg.clone()).decouple(&g);
+/// let rec = Recoupler::new(cfg).recouple(&g, &dec.matching);
+/// assert!(rec.backbone.covers_all_edges(&g));
+/// assert!(rec.schedule.is_permutation_of(&g));
+/// # Ok::<(), gdr_hetgraph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recoupler {
+    cfg: FrontendConfig,
+}
+
+/// Restructured-topology write-out region.
+const OUT_BASE: u64 = 0xF000_0000;
+
+impl Recoupler {
+    /// Creates a Recoupler with the given configuration.
+    pub fn new(cfg: FrontendConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.cfg
+    }
+
+    /// Runs graph recoupling from the Decoupler's matching, producing the
+    /// restructured subgraphs and their execution schedule.
+    pub fn recouple(&self, g: &BipartiteGraph, matching: &Matching) -> RecouplerRun {
+        let mut stats = RecouplerStats::default();
+        let mut requests = Vec::new();
+
+        // ---- Backbone Searcher (Algorithm 2 through the datapath) ----
+        // The functional selection is delegated to gdr-core (same
+        // algorithm); here we charge the hardware events it implies.
+        let backbone = Backbone::select(g, matching, BackboneStrategy::Paper);
+        for s in 0..g.src_count() {
+            if matching.src_matched(s) {
+                stats.candidates_examined += 1;
+                stats.neighbor_checks += g.out_degree(s) as u64;
+            }
+        }
+        for d in 0..g.dst_count() {
+            if matching.dst_matched(d) {
+                stats.candidates_examined += 1;
+                stats.neighbor_checks += g.in_degree(d) as u64;
+            }
+        }
+        // Adjacency working set beyond the on-chip buffer refetches from DRAM.
+        let adj_entries = 2 * g.edge_count() as u64; // src + dst halves
+        let adj_capacity = self.cfg.adj_capacity_edges() as u64;
+        if adj_entries > adj_capacity {
+            stats.adj_spill_fetches = adj_entries - adj_capacity;
+            let bytes = stats.adj_spill_fetches * 4;
+            let mut off = 0;
+            while off < bytes {
+                let chunk = (bytes - off).min(256) as u32;
+                requests.push(MemRequest::read(OUT_BASE + 0x0800_0000 + off, chunk));
+                off += chunk as u64;
+            }
+        }
+
+        // ---- Class FIFOs ----
+        let partition = VertexPartition::from_backbone(g, &backbone);
+        let entries = self.cfg.class_fifo_entries();
+        let mut fifos = [
+            HwFifo::<u32>::new("src_in", entries),
+            HwFifo::<u32>::new("src_out", entries),
+            HwFifo::<u32>::new("dst_in", entries),
+            HwFifo::<u32>::new("dst_out", entries),
+        ];
+        for (i, class) in [
+            partition.src_in(),
+            partition.src_out(),
+            partition.dst_in(),
+            partition.dst_out(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for &v in class.iter() {
+                stats.class_pushes += 1;
+                if !fifos[i].push(v) {
+                    // full: the Graph Generator drains one entry this cycle
+                    stats.fifo_stalls += 1;
+                    let _ = fifos[i].pop();
+                    let pushed = fifos[i].push(v);
+                    debug_assert!(pushed, "pop freed a slot");
+                }
+            }
+        }
+
+        // ---- Graph Generator ----
+        let subgraphs = RestructuredSubgraphs::generate(g, &backbone);
+        let schedule = EdgeSchedule::restructured(&subgraphs);
+        stats.edges_emitted = schedule.len() as u64;
+        // restructured topology streams back to HBM for the accelerator
+        let out_bytes = stats.edges_emitted * 8;
+        let mut off = 0;
+        while off < out_bytes {
+            let chunk = (out_bytes - off).min(256) as u32;
+            requests.push(MemRequest::write(OUT_BASE + off, chunk));
+            off += chunk as u64;
+        }
+
+        // Cycle model: neighbor checks and edge emission retire
+        // `dispatch_width` per cycle; stalls and spills serialize.
+        let w = self.cfg.dispatch_width as u64;
+        let cycles = stats.neighbor_checks.div_ceil(w)
+            + stats.edges_emitted.div_ceil(w)
+            + stats.class_pushes.div_ceil(w)
+            + stats.fifo_stalls
+            + stats.adj_spill_fetches.div_ceil(w);
+
+        RecouplerRun {
+            backbone,
+            partition,
+            subgraphs,
+            schedule,
+            cycles,
+            stats,
+            requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoupler::Decoupler;
+    use gdr_hetgraph::gen::PowerLawConfig;
+
+    fn pipeline(seed: u64, cfg: FrontendConfig) -> (BipartiteGraph, RecouplerRun) {
+        let g = PowerLawConfig::new(300, 280, 1400)
+            .dst_alpha(0.9)
+            .generate("g", seed);
+        let dec = Decoupler::new(cfg.clone()).decouple(&g);
+        let rec = Recoupler::new(cfg).recouple(&g, &dec.matching);
+        (g, rec)
+    }
+
+    #[test]
+    fn produces_valid_restructuring() {
+        for seed in 0..6 {
+            let (g, rec) = pipeline(seed, FrontendConfig::default());
+            assert!(rec.backbone.covers_all_edges(&g), "seed {seed}");
+            assert!(rec.schedule.is_permutation_of(&g), "seed {seed}");
+            assert_eq!(rec.subgraphs.total_edges(), g.edge_count());
+            assert_eq!(rec.stats.edges_emitted as usize, g.edge_count());
+        }
+    }
+
+    #[test]
+    fn cycles_and_checks_scale_with_edges() {
+        let (g, rec) = pipeline(1, FrontendConfig::default());
+        assert!(rec.stats.neighbor_checks >= g.edge_count() as u64 / 2);
+        assert!(rec.cycles > 0);
+    }
+
+    #[test]
+    fn small_class_fifos_stall_but_stay_correct() {
+        let cfg = FrontendConfig {
+            fifo_bytes: 64, // 4 entries per class FIFO
+            ..FrontendConfig::default()
+        };
+        let (g, rec) = pipeline(2, cfg);
+        assert!(rec.stats.fifo_stalls > 0);
+        assert!(rec.schedule.is_permutation_of(&g));
+    }
+
+    #[test]
+    fn adjacency_overflow_fetches_from_dram() {
+        let cfg = FrontendConfig {
+            adj_buffer_bytes: 1024, // 256 edges
+            ..FrontendConfig::default()
+        };
+        let (_, rec) = pipeline(3, cfg);
+        assert!(rec.stats.adj_spill_fetches > 0);
+        assert!(rec.requests.iter().any(|r| !r.write));
+    }
+
+    #[test]
+    fn restructured_topology_written_back() {
+        let (g, rec) = pipeline(4, FrontendConfig::default());
+        let written: u64 = rec
+            .requests
+            .iter()
+            .filter(|r| r.write)
+            .map(|r| r.bytes as u64)
+            .sum();
+        assert_eq!(written, g.edge_count() as u64 * 8);
+    }
+}

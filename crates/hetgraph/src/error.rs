@@ -1,0 +1,127 @@
+//! Error types for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{RelationId, VertexTypeId};
+
+/// Errors produced while building or validating heterogeneous graphs.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::GraphError;
+/// let err = GraphError::VertexOutOfRange {
+///     what: "source",
+///     index: 10,
+///     len: 4,
+/// };
+/// assert!(err.to_string().contains("source"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index referenced by an edge exceeds its type's vertex count.
+    VertexOutOfRange {
+        /// Which endpoint was out of range (`"source"` or `"destination"`).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The size of the id space that was indexed.
+        len: usize,
+    },
+    /// A relation references a vertex type that is not in the schema.
+    UnknownVertexType {
+        /// The offending type id.
+        ty: VertexTypeId,
+        /// Number of types in the schema.
+        len: usize,
+    },
+    /// A relation id is not present in the schema.
+    UnknownRelation {
+        /// The offending relation id.
+        relation: RelationId,
+        /// Number of relations in the schema.
+        len: usize,
+    },
+    /// Two schema items were registered under the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A CSR offset array was not monotonically non-decreasing.
+    MalformedCsr {
+        /// Row at which the violation was detected.
+        row: usize,
+    },
+    /// An operation required a non-empty graph but the graph had no edges.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { what, index, len } => {
+                write!(f, "{what} vertex index {index} out of range for space of {len}")
+            }
+            GraphError::UnknownVertexType { ty, len } => {
+                write!(f, "vertex type {ty} not in schema of {len} types")
+            }
+            GraphError::UnknownRelation { relation, len } => {
+                write!(f, "relation {relation} not in schema of {len} relations")
+            }
+            GraphError::DuplicateName { name } => {
+                write!(f, "duplicate schema name `{name}`")
+            }
+            GraphError::MalformedCsr { row } => {
+                write!(f, "csr offsets decrease at row {row}")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no edges"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Convenience result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<GraphError> = vec![
+            GraphError::VertexOutOfRange {
+                what: "destination",
+                index: 9,
+                len: 3,
+            },
+            GraphError::UnknownVertexType {
+                ty: VertexTypeId::new(5),
+                len: 2,
+            },
+            GraphError::UnknownRelation {
+                relation: RelationId::new(4),
+                len: 1,
+            },
+            GraphError::DuplicateName {
+                name: "paper".into(),
+            },
+            GraphError::MalformedCsr { row: 7 },
+            GraphError::EmptyGraph,
+        ];
+        for c in cases {
+            let msg = c.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,234 @@
+//! Strongly-typed identifier newtypes for heterogeneous graphs.
+//!
+//! The substrate distinguishes three id spaces:
+//!
+//! * [`VertexTypeId`] — an index into a graph schema's vertex-type table
+//!   (e.g. `movie`, `actor`).
+//! * [`RelationId`] — an index into a schema's relation (edge-type) table
+//!   (e.g. `A → M`).
+//! * [`VertexId`] — a *local* vertex index within one vertex type's space.
+//!
+//! Keeping these distinct prevents the classic accelerator-model bug of
+//! indexing a per-type feature table with a global vertex number.
+
+use std::fmt;
+
+/// Index of a vertex type within a [`crate::schema::Schema`].
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::VertexTypeId;
+/// let t = VertexTypeId::new(2);
+/// assert_eq!(t.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexTypeId(u16);
+
+impl VertexTypeId {
+    /// Creates a vertex-type id from a raw table index.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vt{}", self.0)
+    }
+}
+
+impl From<u16> for VertexTypeId {
+    fn from(v: u16) -> Self {
+        Self(v)
+    }
+}
+
+/// Index of a relation (edge type) within a [`crate::schema::Schema`].
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::RelationId;
+/// let r = RelationId::new(0);
+/// assert_eq!(r.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RelationId(u16);
+
+impl RelationId {
+    /// Creates a relation id from a raw table index.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+impl From<u16> for RelationId {
+    fn from(v: u16) -> Self {
+        Self(v)
+    }
+}
+
+/// Local vertex index within a single vertex type's id space.
+///
+/// A `VertexId` is only meaningful together with the [`VertexTypeId`] of the
+/// space it indexes; the pairing is carried implicitly by context (for
+/// example a semantic graph knows its source and destination types).
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::VertexId;
+/// let v = VertexId::new(41);
+/// assert_eq!(v.index(), 41);
+/// assert_eq!(format!("{v}"), "v41");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from a raw local index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw local index as `usize` for table addressing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw local index as `u32`.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+/// A directed typed edge `(src, dst)` in local-index form.
+///
+/// The source indexes the relation's source-type space and the destination
+/// indexes the destination-type space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Edge {
+    /// Source endpoint (local index in the source type space).
+    pub src: VertexId,
+    /// Destination endpoint (local index in the destination type space).
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge from raw local indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gdr_hetgraph::Edge;
+    /// let e = Edge::new(3, 7);
+    /// assert_eq!(e.src.index(), 3);
+    /// assert_eq!(e.dst.index(), 7);
+    /// ```
+    pub const fn new(src: u32, dst: u32) -> Self {
+        Self {
+            src: VertexId::new(src),
+            dst: VertexId::new(dst),
+        }
+    }
+
+    /// Returns the edge with endpoints swapped (the reverse relation view).
+    pub const fn reversed(self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((s, d): (u32, u32)) -> Self {
+        Edge::new(s, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(123);
+        assert_eq!(v.index(), 123);
+        assert_eq!(v.raw(), 123);
+        assert_eq!(u32::from(v), 123);
+        assert_eq!(VertexId::from(123u32), v);
+    }
+
+    #[test]
+    fn type_and_relation_ids() {
+        assert_eq!(VertexTypeId::new(7).index(), 7);
+        assert_eq!(RelationId::new(9).index(), 9);
+        assert_eq!(VertexTypeId::from(1u16), VertexTypeId::new(1));
+        assert_eq!(RelationId::from(2u16), RelationId::new(2));
+    }
+
+    #[test]
+    fn edge_reverse_is_involutive() {
+        let e = Edge::new(4, 9);
+        assert_eq!(e.reversed().reversed(), e);
+        assert_eq!(e.reversed(), Edge::new(9, 4));
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert_eq!(format!("{}", VertexId::new(0)), "v0");
+        assert_eq!(format!("{}", VertexTypeId::new(0)), "vt0");
+        assert_eq!(format!("{}", RelationId::new(0)), "rel0");
+        assert_eq!(format!("{}", Edge::new(1, 2)), "v1->v2");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        let mut v = vec![Edge::new(1, 0), Edge::new(0, 5), Edge::new(0, 2)];
+        v.sort();
+        assert_eq!(v, vec![Edge::new(0, 2), Edge::new(0, 5), Edge::new(1, 0)]);
+    }
+}

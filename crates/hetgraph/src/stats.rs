@@ -1,0 +1,180 @@
+//! Topology statistics used by the motivation analysis (paper §3).
+
+use crate::bipartite::BipartiteGraph;
+
+/// Summary statistics of one semantic graph.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::{BipartiteGraph, stats::GraphStats};
+/// let g = BipartiteGraph::from_pairs("g", 3, 2, &[(0, 0), (1, 0), (2, 1)])?;
+/// let s = GraphStats::compute(&g);
+/// assert_eq!(s.edges, 3);
+/// assert_eq!(s.max_in_degree, 2);
+/// # Ok::<(), gdr_hetgraph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Source-side vertex count.
+    pub src_vertices: usize,
+    /// Destination-side vertex count.
+    pub dst_vertices: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Maximum out-degree over sources.
+    pub max_out_degree: usize,
+    /// Maximum in-degree over destinations.
+    pub max_in_degree: usize,
+    /// Mean in-degree over non-isolated destinations.
+    pub mean_in_degree: f64,
+    /// Gini coefficient of the destination in-degree distribution
+    /// (0 = perfectly even, →1 = concentrated on few vertices).
+    pub in_degree_gini: f64,
+    /// Fraction of sources with zero out-edges.
+    pub isolated_src_fraction: f64,
+    /// Fraction of destinations with zero in-edges.
+    pub isolated_dst_fraction: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a semantic graph.
+    pub fn compute(g: &BipartiteGraph) -> Self {
+        let in_degrees: Vec<usize> = (0..g.dst_count()).map(|d| g.in_degree(d)).collect();
+        let out_degrees: Vec<usize> = (0..g.src_count()).map(|s| g.out_degree(s)).collect();
+        let isolated_src = out_degrees.iter().filter(|&&d| d == 0).count();
+        let isolated_dst = in_degrees.iter().filter(|&&d| d == 0).count();
+        Self {
+            src_vertices: g.src_count(),
+            dst_vertices: g.dst_count(),
+            edges: g.edge_count(),
+            max_out_degree: out_degrees.iter().copied().max().unwrap_or(0),
+            max_in_degree: in_degrees.iter().copied().max().unwrap_or(0),
+            mean_in_degree: g.mean_in_degree(),
+            in_degree_gini: gini(&in_degrees),
+            isolated_src_fraction: if g.src_count() == 0 {
+                0.0
+            } else {
+                isolated_src as f64 / g.src_count() as f64
+            },
+            isolated_dst_fraction: if g.dst_count() == 0 {
+                0.0
+            } else {
+                isolated_dst as f64 / g.dst_count() as f64
+            },
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative integer distribution.
+///
+/// Returns 0 for empty or all-zero input.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::stats::gini;
+/// assert_eq!(gini(&[5, 5, 5, 5]), 0.0);
+/// assert!(gini(&[0, 0, 0, 20]) > 0.7);
+/// ```
+pub fn gini(values: &[usize]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = values.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = values.to_vec();
+    sorted.sort_unstable();
+    // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, with 1-based i
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Degree histogram with logarithmic-ish fixed buckets `1, 2, 3, ..., cap+`,
+/// mirroring the bucket axis of the paper's Fig. 2.
+///
+/// `values[d]` counts vertices whose degree is exactly `d + 1`; the last
+/// bucket accumulates everything `>= cap`.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hetgraph::stats::bucket_histogram;
+/// let h = bucket_histogram(&[1, 1, 2, 9, 12], 8);
+/// assert_eq!(h[0], 2); // two vertices of degree 1
+/// assert_eq!(h[7], 2); // 9 and 12 land in the 8+ bucket
+/// ```
+pub fn bucket_histogram(degrees: &[usize], cap: usize) -> Vec<usize> {
+    assert!(cap >= 1, "need at least one bucket");
+    let mut out = vec![0usize; cap];
+    for &d in degrees {
+        if d == 0 {
+            continue;
+        }
+        let b = d.min(cap);
+        out[b - 1] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::PowerLawConfig;
+
+    #[test]
+    fn stats_on_toy_graph() {
+        let g = BipartiteGraph::from_pairs("g", 4, 3, &[(0, 0), (1, 0), (1, 1)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.src_vertices, 4);
+        assert_eq!(s.dst_vertices, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert!((s.isolated_src_fraction - 0.5).abs() < 1e-12);
+        assert!((s.isolated_dst_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_edges() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert!(gini(&[1, 1, 1]).abs() < 1e-12);
+        let concentrated = gini(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 100]);
+        assert!(concentrated > 0.85, "got {concentrated}");
+    }
+
+    #[test]
+    fn zipf_graphs_have_higher_gini_than_uniform() {
+        let zipf = PowerLawConfig::new(500, 500, 5000)
+            .dst_alpha(1.0)
+            .generate("z", 1);
+        let unif = PowerLawConfig::new(500, 500, 5000).generate("u", 1);
+        let gz = GraphStats::compute(&zipf).in_degree_gini;
+        let gu = GraphStats::compute(&unif).in_degree_gini;
+        assert!(gz > gu + 0.2, "zipf gini {gz} vs uniform {gu}");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = bucket_histogram(&[0, 1, 1, 3, 8, 20], 8);
+        assert_eq!(h.len(), 8);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[7], 2);
+        assert_eq!(h.iter().sum::<usize>(), 5); // zero-degree excluded
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_zero_cap() {
+        let _ = bucket_histogram(&[1], 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Minimal dense linear algebra for the functional HGNN reference.
+//!
+//! No BLAS, no SIMD intrinsics — this is a correctness oracle, not a
+//! performance path. The accelerator models never call into it; they only
+//! count work.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A row-major `rows × cols` matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_hgnn::tensor::Matrix;
+/// let m = Matrix::zeros(2, 3);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.get(1, 2), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Deterministic pseudo-random matrix with entries in `[-scale, scale]`
+    /// (Glorot-ish init for the reference models).
+    pub fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Builds from a row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrowed row slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Dense matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Raw data slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Maximum absolute elementwise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `out += scale * add`, elementwise.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(out: &mut [f32], scale: f32, add: &[f32]) {
+    assert_eq!(out.len(), add.len(), "axpy length mismatch");
+    for (o, &a) in out.iter_mut().zip(add) {
+        *o += scale * a;
+    }
+}
+
+/// LeakyReLU with the conventional 0.01 negative slope.
+pub fn leaky_relu(x: f32) -> f32 {
+    if x >= 0.0 {
+        x
+    } else {
+        0.01 * x
+    }
+}
+
+/// Numerically-stable softmax in place; no-op on an empty slice.
+pub fn softmax(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = Matrix::random(4, 4, 0.5, 1);
+        let b = Matrix::random(4, 4, 0.5, 1);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|&x| x.abs() <= 0.5));
+        assert_ne!(a, Matrix::random(4, 4, 0.5, 2));
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax(&mut xs);
+        let s: f32 = xs.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+        let mut empty: Vec<f32> = vec![];
+        softmax(&mut empty); // must not panic
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut xs = vec![1000.0, 1001.0];
+        softmax(&mut xs);
+        assert!(xs.iter().all(|x| x.is_finite()));
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut out = vec![1.0, 1.0];
+        axpy(&mut out, 2.0, &[1.0, 2.0]);
+        assert_eq!(out, vec![3.0, 5.0]);
+        assert_eq!(leaky_relu(5.0), 5.0);
+        assert_eq!(leaky_relu(-1.0), -0.01);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_difference() {
+        let a = Matrix::zeros(2, 2);
+        let mut b = Matrix::zeros(2, 2);
+        b.set(1, 1, 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+        assert_eq!(b.get(1, 1), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data length mismatch")]
+    fn from_vec_validates() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

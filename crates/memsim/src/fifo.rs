@@ -1,0 +1,196 @@
+//! Hardware FIFO model with occupancy and stall accounting.
+//!
+//! GDR-HGNN is built almost entirely out of FIFOs (Table 3 budgets 8 KB of
+//! them): the Decoupler's per-vertex matching FIFOs and the Recoupler's
+//! four class FIFOs (`Src_in`, `Src_out`, `Dst_in`, `Dst_out`). The model
+//! tracks high-water marks and push/pop stalls so the cycle model can
+//! charge back-pressure.
+
+use std::collections::VecDeque;
+
+/// Statistics of one hardware FIFO.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Successful pushes.
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Pushes rejected because the FIFO was full (back-pressure events).
+    pub push_stalls: u64,
+    /// Pops attempted while empty.
+    pub pop_stalls: u64,
+    /// Maximum occupancy ever observed.
+    pub high_water: usize,
+}
+
+/// A bounded hardware FIFO of `T` entries.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_memsim::fifo::HwFifo;
+/// let mut f = HwFifo::new("src_in", 2);
+/// assert!(f.push(1));
+/// assert!(f.push(2));
+/// assert!(!f.push(3)); // full -> stall
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.stats().push_stalls, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwFifo<T> {
+    name: String,
+    capacity: usize,
+    queue: VecDeque<T>,
+    stats: FifoStats,
+}
+
+impl<T> HwFifo<T> {
+    /// Creates a FIFO with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Self {
+            name: name.into(),
+            capacity,
+            queue: VecDeque::with_capacity(capacity),
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// FIFO label (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Attempts to push; returns `false` (and counts a stall) when full.
+    pub fn push(&mut self, value: T) -> bool {
+        if self.is_full() {
+            self.stats.push_stalls += 1;
+            return false;
+        }
+        self.queue.push_back(value);
+        self.stats.pushes += 1;
+        self.stats.high_water = self.stats.high_water.max(self.queue.len());
+        true
+    }
+
+    /// Pops the oldest entry; counts a stall when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        match self.queue.pop_front() {
+            Some(v) => {
+                self.stats.pops += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.pop_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at the oldest entry.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Drains every entry in order (counts as pops).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.stats.pops += self.queue.len() as u64;
+        self.queue.drain(..).collect()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+
+    /// Empties the FIFO and clears statistics.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.stats = FifoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let mut f = HwFifo::new("f", 4);
+        for i in 0..4 {
+            assert!(f.push(i));
+        }
+        assert!(f.is_full());
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.stats().pushes, 4);
+        assert_eq!(f.stats().pops, 4);
+        assert_eq!(f.stats().high_water, 4);
+    }
+
+    #[test]
+    fn stalls_counted() {
+        let mut f = HwFifo::new("f", 1);
+        assert!(f.push(1));
+        assert!(!f.push(2));
+        assert_eq!(f.stats().push_stalls, 1);
+        f.pop();
+        assert_eq!(f.pop(), None::<i32>);
+        assert_eq!(f.stats().pop_stalls, 1);
+    }
+
+    #[test]
+    fn drain_and_reset() {
+        let mut f = HwFifo::new("f", 3);
+        f.push("a");
+        f.push("b");
+        assert_eq!(f.drain_all(), vec!["a", "b"]);
+        assert_eq!(f.stats().pops, 2);
+        f.push("c");
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.stats().pushes, 0);
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.capacity(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut f = HwFifo::new("f", 2);
+        f.push(7);
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: HwFifo<u8> = HwFifo::new("bad", 0);
+    }
+}

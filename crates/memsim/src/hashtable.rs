@@ -1,0 +1,215 @@
+//! Set-associative hardware hash table model.
+//!
+//! The Decoupler front of Fig. 5 hashes incoming vertex ids to allocate
+//! matching-FIFO slots ("the topology … is received and passed on to the
+//! hash table for FIFO allocation. The FIFOs, organized in a
+//! set-associative manner…"). The model charges one cycle per probe and
+//! counts collisions, which feed the Decoupler cycle model.
+
+/// Result of a hash-table insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insert {
+    /// Key was already present (slot returned).
+    Present(usize),
+    /// Key inserted into a free way (slot returned).
+    Inserted(usize),
+    /// Set was full: the oldest entry was displaced into the victim
+    /// buffer (Matching Buffer in Fig. 5).
+    Displaced {
+        /// Slot the new key took.
+        slot: usize,
+        /// The displaced key.
+        victim: u64,
+    },
+}
+
+/// Hash-table statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashTableStats {
+    /// Lookup probes performed.
+    pub probes: u64,
+    /// Probes that found the key.
+    pub hits: u64,
+    /// Inserts that displaced a victim (set conflicts).
+    pub displacements: u64,
+}
+
+/// A hardware set-associative hash table mapping `u64` keys to way slots.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_memsim::hashtable::{HashTable, Insert};
+/// let mut ht = HashTable::new(16, 4);
+/// matches!(ht.insert(42), Insert::Inserted(_));
+/// matches!(ht.insert(42), Insert::Present(_));
+/// assert!(ht.lookup(42).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Vec<(u64, u64)>>, // (key, insert stamp)
+    clock: u64,
+    stats: HashTableStats,
+}
+
+impl HashTable {
+    /// Creates a table with `sets × ways` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0` or `ways == 0`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "degenerate hash table geometry");
+        Self {
+            sets,
+            ways,
+            entries: vec![Vec::new(); sets],
+            clock: 0,
+            stats: HashTableStats::default(),
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % self.sets as u64) as usize
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Current live entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks a key up; returns its global slot index if present.
+    pub fn lookup(&mut self, key: u64) -> Option<usize> {
+        self.stats.probes += 1;
+        let set = self.set_of(key);
+        let found = self.entries[set].iter().position(|(k, _)| *k == key);
+        if let Some(way) = found {
+            self.stats.hits += 1;
+            Some(set * self.ways + way)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a key, displacing the oldest entry when the set is full.
+    pub fn insert(&mut self, key: u64) -> Insert {
+        self.clock += 1;
+        self.stats.probes += 1;
+        let set = self.set_of(key);
+        if let Some(way) = self.entries[set].iter().position(|(k, _)| *k == key) {
+            self.stats.hits += 1;
+            return Insert::Present(set * self.ways + way);
+        }
+        if self.entries[set].len() < self.ways {
+            self.entries[set].push((key, self.clock));
+            let way = self.entries[set].len() - 1;
+            return Insert::Inserted(set * self.ways + way);
+        }
+        // displace the oldest
+        self.stats.displacements += 1;
+        let (idx, _) = self.entries[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .expect("full set is non-empty");
+        let victim = self.entries[set][idx].0;
+        self.entries[set][idx] = (key, self.clock);
+        Insert::Displaced {
+            slot: set * self.ways + idx,
+            victim,
+        }
+    }
+
+    /// Removes a key if present; returns whether it was there.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let set = self.set_of(key);
+        if let Some(way) = self.entries[set].iter().position(|(k, _)| *k == key) {
+            self.entries[set].swap_remove(way);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HashTableStats {
+        self.stats
+    }
+
+    /// Clears entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.iter_mut().for_each(|s| s.clear());
+        self.clock = 0;
+        self.stats = HashTableStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ht = HashTable::new(8, 2);
+        assert!(matches!(ht.insert(5), Insert::Inserted(_)));
+        assert!(matches!(ht.insert(5), Insert::Present(_)));
+        assert_eq!(ht.len(), 1);
+        assert!(ht.lookup(5).is_some());
+        assert!(ht.lookup(6).is_none());
+        assert!(ht.remove(5));
+        assert!(!ht.remove(5));
+        assert!(ht.is_empty());
+    }
+
+    #[test]
+    fn displacement_on_full_set() {
+        let mut ht = HashTable::new(1, 2);
+        ht.insert(1);
+        ht.insert(2);
+        match ht.insert(3) {
+            Insert::Displaced { victim, .. } => assert_eq!(victim, 1),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        assert_eq!(ht.stats().displacements, 1);
+        assert_eq!(ht.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_probes_and_hits() {
+        let mut ht = HashTable::new(4, 4);
+        ht.insert(10);
+        ht.lookup(10);
+        ht.lookup(11);
+        let s = ht.stats();
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut ht = HashTable::new(2, 2);
+        ht.insert(1);
+        ht.reset();
+        assert!(ht.is_empty());
+        assert_eq!(ht.stats().probes, 0);
+        assert_eq!(ht.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate hash table geometry")]
+    fn zero_sets_rejected() {
+        let _ = HashTable::new(0, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Design-choice ablations (not in the paper; called out in DESIGN.md).
+//!
+//! * backbone strategy: paper heuristic vs exact König vs greedy-degree
+//!   (the I-GCN-like baseline) vs no restructuring;
+//! * recursive restructuring depth (the paper's §4.3 extension);
+//! * NA-buffer capacity sweep.
+
+use gdr_accel::na_engine::NaBufferSim;
+use gdr_core::backbone::BackboneStrategy;
+use gdr_core::restructure::Restructurer;
+use gdr_core::schedule::EdgeSchedule;
+use gdr_hetgraph::datasets::Dataset;
+use gdr_hetgraph::BipartiteGraph;
+
+use crate::grid::ExperimentConfig;
+
+/// Largest semantic graph of a dataset (the thrashing-dominant one).
+pub fn largest_semantic_graph(cfg: &ExperimentConfig, dataset: Dataset) -> BipartiteGraph {
+    let het = dataset.build_scaled(cfg.seed, cfg.scale);
+    het.all_semantic_graphs()
+        .into_iter()
+        .max_by_key(|g| g.edge_count())
+        .expect("datasets have relations")
+}
+
+/// A1: NA buffer misses per scheduling strategy on one semantic graph.
+/// Returns `(strategy label, misses)`; lower is better.
+pub fn ablation_backbone(
+    g: &BipartiteGraph,
+    buffer_features: usize,
+) -> Vec<(String, u64)> {
+    let sim = NaBufferSim::new(buffer_features, 8);
+    let mut out = Vec::new();
+    let baseline = sim.simulate(g, &EdgeSchedule::dst_major(g), 0);
+    out.push(("none (dst-major)".to_string(), baseline.misses));
+    let island = sim.simulate(g, &EdgeSchedule::islandized(g), 0);
+    out.push(("islandized (I-GCN-like)".to_string(), island.misses));
+    for strat in [
+        BackboneStrategy::Paper,
+        BackboneStrategy::KonigExact,
+        BackboneStrategy::GreedyDegree,
+    ] {
+        let r = Restructurer::new().backbone_strategy(strat).restructure(g);
+        let t = sim.simulate(g, r.schedule(), 0);
+        out.push((format!("gdr/{strat}"), t.misses));
+    }
+    out
+}
+
+/// A2: recursive restructuring depth sweep at a given buffer size.
+/// Returns `(depth, misses)`.
+pub fn ablation_recursive(
+    g: &BipartiteGraph,
+    buffer_features: usize,
+    max_depth: usize,
+) -> Vec<(usize, u64)> {
+    let sim = NaBufferSim::new(buffer_features, 8);
+    (0..=max_depth)
+        .map(|depth| {
+            let r = Restructurer::new()
+                .backbone_strategy(BackboneStrategy::KonigExact)
+                .recursion_depth(depth)
+                .restructure(g);
+            (depth, sim.simulate(g, r.schedule(), 0).misses)
+        })
+        .collect()
+}
+
+/// A3: NA buffer capacity sweep: `(features, baseline misses, gdr misses)`.
+pub fn ablation_buffer_sweep(
+    g: &BipartiteGraph,
+    capacities: &[usize],
+) -> Vec<(usize, u64, u64)> {
+    let r = Restructurer::new()
+        .backbone_strategy(BackboneStrategy::KonigExact)
+        .restructure(g);
+    capacities
+        .iter()
+        .map(|&c| {
+            let sim = NaBufferSim::new(c, 8);
+            let base = sim.simulate(g, &EdgeSchedule::dst_major(g), 0).misses;
+            let gdr = sim.simulate(g, r.schedule(), 0).misses;
+            (c, base, gdr)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_graph() -> BipartiteGraph {
+        largest_semantic_graph(
+            &ExperimentConfig {
+                seed: 3,
+                scale: 0.08,
+            },
+            Dataset::Dblp,
+        )
+    }
+
+    #[test]
+    fn backbone_ablation_ranks_strategies() {
+        let g = test_graph();
+        // capacity between backbone and working set (the design point)
+        let cap = (g.src_count() + g.dst_count()) / 4;
+        let results = ablation_backbone(&g, cap.max(64));
+        assert_eq!(results.len(), 5);
+        let baseline = results[0].1;
+        let gdr_paper = results.iter().find(|(n, _)| n == "gdr/paper").unwrap().1;
+        assert!(
+            gdr_paper < baseline,
+            "paper strategy {gdr_paper} should beat baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn recursion_depths_all_valid() {
+        let g = test_graph();
+        let sweep = ablation_recursive(&g, 96, 2);
+        assert_eq!(sweep.len(), 3);
+        // all depths produce *some* misses (compulsory at least)
+        assert!(sweep.iter().all(|&(_, m)| m > 0));
+    }
+
+    #[test]
+    fn buffer_sweep_is_monotone_for_gdr() {
+        let g = test_graph();
+        let sweep = ablation_buffer_sweep(&g, &[64, 256, 1024, 4096]);
+        for w in sweep.windows(2) {
+            assert!(w[1].2 <= w[0].2, "gdr misses increased with capacity");
+        }
+        // at large capacity both converge to compulsory misses
+        let last = sweep.last().unwrap();
+        assert_eq!(last.1, last.2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # gdr-system — combined-system simulation and experiment drivers
+//!
+//! The top of the GDR-HGNN reproduction stack:
+//!
+//! * [`combined`] — the pipelined HiHGNN + GDR-HGNN system of §4.3;
+//! * [`grid`] — the 3 models × 3 datasets × 4 platforms evaluation grid;
+//! * [`experiments`] — one driver per paper table/figure (Table 2/3,
+//!   §3 motivation, Fig. 2, Fig. 7-10);
+//! * [`ablations`] — design-choice ablations (backbone strategy,
+//!   recursion depth, buffer capacity);
+//! * [`markdown`] — report formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use gdr_system::grid::{run_grid, ExperimentConfig};
+//! use gdr_system::experiments::fig7;
+//!
+//! let grid = run_grid(&ExperimentConfig { seed: 42, scale: 0.05 });
+//! let f7 = fig7(&grid);
+//! let (a100, hihgnn, gdr) = f7.geomean;
+//! assert!(gdr > a100 && hihgnn > a100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod combined;
+pub mod experiments;
+pub mod grid;
+pub mod markdown;
+
+pub use combined::{CombinedRun, CombinedSystem};
+pub use grid::{run_grid, ExperimentConfig, GridPoint};

@@ -1,0 +1,71 @@
+//! Minimal markdown table formatting for experiment reports.
+
+/// Renders a GitHub-flavored markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_system::markdown::table;
+/// let md = table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+/// assert!(md.contains("| a | b |"));
+/// assert!(md.contains("| 1 | 2 |"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float as a percentage with 1 decimal place.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table() {
+        let md = table(
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "|---|---|");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn validates_row_width() {
+        let _ = table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

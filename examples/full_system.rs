@@ -1,0 +1,65 @@
+//! End-to-end platform comparison on one workload: DGL-on-T4, DGL-on-A100,
+//! HiHGNN, and HiHGNN + GDR-HGNN (the paper's Fig. 7/8/9 for a single
+//! cell of the grid).
+//!
+//! Run with: `cargo run --release --example full_system [model] [dataset] [scale]`
+//! e.g. `cargo run --release --example full_system RGAT DBLP 1.0`
+
+use gdr::hetgraph::datasets::Dataset;
+use gdr::hgnn::model::ModelKind;
+use gdr::system::grid::{ExperimentConfig, GridPoint};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = match args.get(1).map(String::as_str) {
+        Some("RGAT") => ModelKind::Rgat,
+        Some("Simple-HGN") | Some("SHGN") => ModelKind::SimpleHgn,
+        _ => ModelKind::Rgcn,
+    };
+    let dataset = match args.get(2).map(String::as_str) {
+        Some("ACM") => Dataset::Acm,
+        Some("IMDB") => Dataset::Imdb,
+        _ => Dataset::Dblp,
+    };
+    let scale: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    println!("simulating {model} on {dataset} (scale {scale}) across all platforms...\n");
+    let p = GridPoint::run(model, dataset, &ExperimentConfig { seed: 42, scale });
+
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "platform", "time (us)", "vs T4", "DRAM (MB)", "% of T4", "BW util"
+    );
+    let rows = [&p.t4, &p.a100, &p.hihgnn, &p.gdr];
+    for r in rows {
+        println!(
+            "{:<12} {:>12.1} {:>9.1}x {:>12.2} {:>9.1}% {:>7.1}%",
+            r.platform,
+            r.time_ns / 1000.0,
+            p.t4.time_ns / r.time_ns,
+            r.dram_bytes as f64 / 1e6,
+            r.dram_bytes as f64 / p.t4.dram_bytes as f64 * 100.0,
+            r.bandwidth_utilization * 100.0,
+        );
+    }
+
+    println!("\nstage breakdown (ns):");
+    for r in rows {
+        let s = &r.stages;
+        println!(
+            "  {:<12} FP {:>12.0}  NA {:>12.0} ({:>4.1}%)  SF {:>10.0}  overhead {:>10.0}",
+            r.platform,
+            s.fp_ns,
+            s.na_ns,
+            s.na_fraction() * 100.0,
+            s.sf_ns,
+            s.overhead_ns
+        );
+    }
+    if let Some(hit) = p.hihgnn.na_hit_rate {
+        println!("\nHiHGNN NA buffer hit rate: {:.1}%", hit * 100.0);
+    }
+    if let Some(hit) = p.gdr.na_hit_rate {
+        println!("HiHGNN+GDR NA buffer hit rate: {:.1}%", hit * 100.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Domain scenario from the paper's introduction: a session-based
+//! recommendation heterogeneous graph (users, items, sessions), run
+//! through the full RGAT + GDR-HGNN stack.
+//!
+//! This exercises the public API on a schema the paper's datasets do not
+//! cover, including metapath-composed semantic graphs.
+//!
+//! Run with: `cargo run --release --example recommendation`
+
+use gdr::core::restructure::Restructurer;
+use gdr::hetgraph::gen::PowerLawConfig;
+use gdr::hetgraph::metapath::metapath_graph;
+use gdr::hetgraph::{HeteroGraph, Schema};
+use gdr::hgnn::model::{ModelConfig, ModelKind};
+use gdr::hgnn::workload::Workload;
+use gdr::system::combined::CombinedSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Schema: users click items within sessions.
+    let mut schema = Schema::new();
+    let user = schema.add_vertex_type("user", 8_000, 128)?;
+    let item = schema.add_vertex_type("item", 20_000, 256)?;
+    let session = schema.add_vertex_type("session", 30_000, 0)?;
+    let u_s = schema.add_relation("U->S", user, session)?;
+    let s_u = schema.add_relation("S->U", session, user)?;
+    let s_i = schema.add_relation("S->I", session, item)?;
+    let i_s = schema.add_relation("I->S", item, session)?;
+    let mut g = HeteroGraph::new(schema).with_name("SessionRec");
+
+    // 2. Seeded synthetic interactions: sessions belong to users; items
+    //    are clicked with heavy popularity skew.
+    let sessions_per_user =
+        PowerLawConfig::new(30_000, 8_000, 30_000).dst_alpha(0.7).generate("s-u", 7);
+    let pairs: Vec<(u32, u32)> =
+        sessions_per_user.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    g.add_edges(s_u, &pairs)?;
+    g.add_edges(u_s, &pairs.iter().map(|&(s, u)| (u, s)).collect::<Vec<_>>())?;
+    let clicks = PowerLawConfig::new(30_000, 20_000, 240_000)
+        .dst_alpha(1.0)
+        .dedup(true)
+        .generate("s-i", 8);
+    let pairs: Vec<(u32, u32)> =
+        clicks.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    g.add_edges(s_i, &pairs)?;
+    g.add_edges(i_s, &pairs.iter().map(|&(s, i)| (i, s)).collect::<Vec<_>>())?;
+    println!("{}: {} edges over {} relations", g.name(), g.total_edges(), 4);
+
+    // 3. A metapath semantic graph: items co-clicked in a session (I-S-I).
+    let isi = metapath_graph(&g, "I-S-I", &[i_s, s_i])?;
+    println!("metapath I-S-I: {} co-click edges", isi.edge_count());
+    let restructured = Restructurer::new().restructure(&isi);
+    println!(
+        "  restructured: backbone {} of {} items covers every co-click edge",
+        restructured.backbone().len(),
+        isi.src_count(),
+    );
+
+    // 4. Full RGAT inference through HiHGNN + GDR-HGNN.
+    let workload = Workload::from_hetero(ModelConfig::paper(ModelKind::Rgat), &g);
+    let graphs = g.all_semantic_graphs();
+    let run = CombinedSystem::default_config().execute(&workload, &graphs);
+    let r = run.report();
+    println!(
+        "\nRGAT inference on HiHGNN+GDR: {:.1} us, {:.1} MB DRAM, {:.1}% bandwidth utilization",
+        r.time_ns / 1000.0,
+        r.dram_bytes as f64 / 1e6,
+        r.bandwidth_utilization * 100.0
+    );
+    for fr in run.frontend.per_graph() {
+        println!(
+            "  frontend {:>5} edges restructured in {:>7} cycles (backbone {})",
+            fr.schedule.len(),
+            fr.cycles,
+            fr.backbone_size
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # gdr — the GDR-HGNN reproduction facade
+//!
+//! One-stop re-export of the whole workspace reproducing *GDR-HGNN: A
+//! Heterogeneous Graph Neural Networks Accelerator Frontend with Graph
+//! Decoupling and Recoupling* (Xue et al., DAC 2024):
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`hetgraph`] | heterogeneous graph substrate + Table 2 datasets |
+//! | [`core`] | graph decoupling / recoupling algorithms |
+//! | [`memsim`] | HBM, buffers, FIFOs, CACTI-lite |
+//! | [`hgnn`] | RGCN / RGAT / Simple-HGN models and workloads |
+//! | [`accel`] | HiHGNN cycle model + T4/A100 baselines |
+//! | [`frontend`] | the GDR-HGNN hardware frontend |
+//! | [`system`] | combined system + paper experiment drivers |
+//!
+//! # Examples
+//!
+//! Restructure a semantic graph and measure the locality win:
+//!
+//! ```
+//! use gdr::hetgraph::datasets::Dataset;
+//! use gdr::core::restructure::Restructurer;
+//! use gdr::core::schedule::EdgeSchedule;
+//! use gdr::core::locality::simulate_lru;
+//!
+//! let acm = Dataset::Acm.build_scaled(42, 0.05);
+//! let sg = acm.all_semantic_graphs().into_iter()
+//!     .max_by_key(|g| g.edge_count()).unwrap();
+//! let restructured = Restructurer::new().restructure(&sg);
+//! let cap = 256;
+//! let before = simulate_lru(&sg, &EdgeSchedule::dst_major(&sg), cap);
+//! let after = simulate_lru(&sg, restructured.schedule(), cap);
+//! assert!(after.misses() <= before.misses());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use gdr_accel as accel;
+pub use gdr_core as core;
+pub use gdr_frontend as frontend;
+pub use gdr_hetgraph as hetgraph;
+pub use gdr_hgnn as hgnn;
+pub use gdr_memsim as memsim;
+pub use gdr_system as system;

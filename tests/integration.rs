@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the full GDR-HGNN stack end to end.
+
+use gdr::core::backbone::{Backbone, BackboneStrategy};
+use gdr::core::matching::hopcroft_karp;
+use gdr::core::restructure::Restructurer;
+use gdr::core::schedule::EdgeSchedule;
+use gdr::frontend::config::FrontendConfig;
+use gdr::frontend::pipeline::FrontendPipeline;
+use gdr::hetgraph::datasets::Dataset;
+use gdr::hgnn::model::{ModelConfig, ModelKind};
+use gdr::hgnn::reference::HgnnReference;
+use gdr::hgnn::tensor::Matrix;
+use gdr::hgnn::workload::Workload;
+use gdr::system::combined::CombinedSystem;
+use gdr::system::grid::{ExperimentConfig, GridPoint};
+
+const SCALE: f64 = 0.06;
+
+#[test]
+fn every_dataset_and_model_runs_end_to_end() {
+    for dataset in Dataset::ALL {
+        for model in ModelKind::ALL {
+            let het = dataset.build_scaled(11, SCALE);
+            let workload = Workload::from_hetero(ModelConfig::paper(model), &het);
+            let graphs = het.all_semantic_graphs();
+            let run = CombinedSystem::default_config().execute(&workload, &graphs);
+            let r = run.report();
+            assert!(r.time_ns > 0.0, "{model}/{dataset}");
+            assert!(r.dram_bytes > 0, "{model}/{dataset}");
+            assert!(
+                r.bandwidth_utilization > 0.0 && r.bandwidth_utilization <= 1.0,
+                "{model}/{dataset}"
+            );
+        }
+    }
+}
+
+#[test]
+fn frontend_matches_software_restructuring_semantics() {
+    // The cycle-level hardware frontend must produce a maximum matching of
+    // oracle size and a valid edge-permutation schedule on every semantic
+    // graph of every dataset.
+    for dataset in Dataset::ALL {
+        let het = dataset.build_scaled(5, SCALE);
+        let graphs = het.all_semantic_graphs();
+        let fe = FrontendPipeline::new(FrontendConfig::default()).process_all(&graphs);
+        for (g, fr) in graphs.iter().zip(fe.per_graph()) {
+            let oracle = hopcroft_karp(g);
+            assert_eq!(
+                fr.matching_size,
+                oracle.size(),
+                "{dataset}/{}: matching below maximum",
+                g.name()
+            );
+            assert!(
+                fr.schedule.is_permutation_of(g),
+                "{dataset}/{}: schedule lost edges",
+                g.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn restructured_execution_is_numerically_equivalent() {
+    // Restructuring only reorders commutative accumulations: the NA result
+    // computed in restructured order must match the natural order.
+    let het = Dataset::Acm.build_scaled(3, 0.03);
+    let graphs = het.all_semantic_graphs();
+    for model in ModelKind::ALL {
+        let hgnn = HgnnReference::new(ModelConfig::paper(model), 17);
+        for (i, g) in graphs.iter().enumerate() {
+            if g.is_empty() {
+                continue;
+            }
+            let src = Matrix::random(g.src_count(), 64, 1.0, i as u64);
+            let dst = Matrix::random(g.dst_count(), 64, 1.0, 1000 + i as u64);
+            let natural = hgnn.neighbor_aggregation(g, &src, &dst, i as u64);
+            let restructured = Restructurer::new().restructure(g);
+            let reordered = hgnn.na_with_schedule(
+                g,
+                restructured.schedule().edges(),
+                &src,
+                &dst,
+                i as u64,
+            );
+            let diff = natural.max_abs_diff(&reordered);
+            assert!(
+                diff < 1e-3,
+                "{model}/{}: restructured result drifted by {diff}",
+                g.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn backbone_strategies_all_cover_all_datasets() {
+    for dataset in Dataset::ALL {
+        let het = dataset.build_scaled(7, SCALE);
+        for g in het.all_semantic_graphs() {
+            let m = hopcroft_karp(&g);
+            for strat in [
+                BackboneStrategy::Paper,
+                BackboneStrategy::KonigExact,
+                BackboneStrategy::GreedyDegree,
+            ] {
+                let b = Backbone::select(&g, &m, strat);
+                assert!(
+                    b.covers_all_edges(&g),
+                    "{dataset}/{} with {strat}",
+                    g.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn platform_ordering_holds_on_a_grid_cell() {
+    let p = GridPoint::run(
+        ModelKind::Rgat,
+        Dataset::Imdb,
+        &ExperimentConfig {
+            seed: 42,
+            scale: SCALE,
+        },
+    );
+    assert!(p.a100.time_ns < p.t4.time_ns);
+    assert!(p.hihgnn.time_ns < p.a100.time_ns);
+    assert!(p.hihgnn.dram_bytes < p.a100.dram_bytes);
+}
+
+#[test]
+fn restructuring_reduces_na_misses_under_pressure() {
+    use gdr::accel::na_engine::NaBufferSim;
+    let het = Dataset::Dblp.build_scaled(13, 0.15);
+    let g = het
+        .all_semantic_graphs()
+        .into_iter()
+        .max_by_key(|g| g.edge_count())
+        .expect("DBLP has relations");
+    let r = Restructurer::new().restructure(&g);
+    let cap = (r.backbone().len() + 128).max(64);
+    let sim = NaBufferSim::new(cap, 8);
+    let base = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 0);
+    let gdr = sim.simulate(&g, r.schedule(), 0);
+    assert!(
+        gdr.misses < base.misses,
+        "restructured {} >= baseline {}",
+        gdr.misses,
+        base.misses
+    );
+}

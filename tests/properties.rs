@@ -1,0 +1,131 @@
+//! Property-based tests over the core invariants, on arbitrary random
+//! bipartite graphs (not just the paper's datasets).
+
+use gdr::core::backbone::{Backbone, BackboneStrategy};
+use gdr::core::locality::{compulsory_misses, simulate_lru};
+use gdr::core::matching::{fifo_matching, greedy_matching, hopcroft_karp};
+use gdr::core::recouple::RestructuredSubgraphs;
+use gdr::core::restructure::{MatcherKind, Restructurer};
+use gdr::core::schedule::EdgeSchedule;
+use gdr::hetgraph::gen::PowerLawConfig;
+use gdr::hetgraph::BipartiteGraph;
+use proptest::prelude::*;
+
+/// Strategy: a random bipartite graph with up to 60×60 vertices and up to
+/// 400 edges (possibly empty, possibly with duplicates).
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..60, 1usize..60, 0usize..400, any::<u64>(), 0u8..20).prop_map(
+        |(ns, nd, ne, seed, alpha10)| {
+            PowerLawConfig::new(ns, nd, ne)
+                .dst_alpha(alpha10 as f64 / 10.0)
+                .generate("prop", seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fifo_matching_is_maximum(g in arb_graph()) {
+        let oracle = hopcroft_karp(&g);
+        let fifo = fifo_matching(&g);
+        prop_assert!(oracle.is_valid(&g));
+        prop_assert!(fifo.is_valid(&g));
+        prop_assert_eq!(fifo.size(), oracle.size());
+    }
+
+    #[test]
+    fn greedy_matching_is_half_approximate(g in arb_graph()) {
+        let oracle = hopcroft_karp(&g);
+        let greedy = greedy_matching(&g);
+        prop_assert!(greedy.is_valid(&g));
+        prop_assert!(greedy.is_maximal(&g));
+        prop_assert!(2 * greedy.size() >= oracle.size());
+    }
+
+    #[test]
+    fn konig_cover_size_equals_maximum_matching(g in arb_graph()) {
+        let m = hopcroft_karp(&g);
+        let b = Backbone::select(&g, &m, BackboneStrategy::KonigExact);
+        prop_assert!(b.covers_all_edges(&g));
+        prop_assert_eq!(b.len(), m.size());
+    }
+
+    #[test]
+    fn every_backbone_strategy_is_a_vertex_cover(g in arb_graph()) {
+        let m = hopcroft_karp(&g);
+        for strat in [
+            BackboneStrategy::Paper,
+            BackboneStrategy::KonigExact,
+            BackboneStrategy::GreedyDegree,
+        ] {
+            let b = Backbone::select(&g, &m, strat);
+            prop_assert!(b.covers_all_edges(&g), "strategy {}", strat);
+        }
+    }
+
+    #[test]
+    fn subgraphs_partition_the_edge_multiset(g in arb_graph()) {
+        let m = hopcroft_karp(&g);
+        let b = Backbone::select(&g, &m, BackboneStrategy::Paper);
+        let r = RestructuredSubgraphs::generate(&g, &b);
+        prop_assert_eq!(r.total_edges(), g.edge_count());
+        let mut got: Vec<(u32, u32)> = r
+            .iter()
+            .flat_map(|(_, sg)| sg.iter_edges().map(|e| (e.src.raw(), e.dst.raw())))
+            .collect();
+        let mut want: Vec<(u32, u32)> =
+            g.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_schedules_are_permutations(g in arb_graph(), seed in any::<u64>()) {
+        let r = Restructurer::new().restructure(&g);
+        for sched in [
+            EdgeSchedule::dst_major(&g),
+            EdgeSchedule::src_major(&g),
+            EdgeSchedule::random(&g, seed),
+            EdgeSchedule::degree_sorted(&g),
+            EdgeSchedule::islandized(&g),
+            r.schedule().clone(),
+            EdgeSchedule::restructured_backbone_major(r.subgraphs()),
+            EdgeSchedule::restructured_tiled(r.subgraphs(), 8),
+        ] {
+            prop_assert!(sched.is_permutation_of(&g), "{}", sched.name());
+        }
+    }
+
+    #[test]
+    fn lru_misses_bounded_and_monotone(g in arb_graph(), cap in 1usize..64) {
+        let sched = EdgeSchedule::dst_major(&g);
+        let small = simulate_lru(&g, &sched, cap);
+        let big = simulate_lru(&g, &sched, cap * 2);
+        // stack property of LRU
+        prop_assert!(big.misses() <= small.misses());
+        // bounds: compulsory <= misses <= accesses
+        prop_assert!(small.misses() >= compulsory_misses(&g));
+        prop_assert!(small.misses() <= small.accesses());
+    }
+
+    #[test]
+    fn all_matchers_produce_covering_restructurings(g in arb_graph()) {
+        for matcher in [MatcherKind::Fifo, MatcherKind::HopcroftKarp, MatcherKind::Greedy] {
+            let r = Restructurer::new().matcher(matcher).restructure(&g);
+            prop_assert!(r.backbone().covers_all_edges(&g), "{}", matcher);
+            prop_assert!(r.schedule().is_permutation_of(&g), "{}", matcher);
+        }
+    }
+
+    #[test]
+    fn recursion_preserves_the_permutation_property(g in arb_graph(), depth in 0usize..3) {
+        let r = Restructurer::new()
+            .recursion_depth(depth)
+            .min_recurse_edges(16)
+            .restructure(&g);
+        prop_assert!(r.schedule().is_permutation_of(&g));
+    }
+}
