@@ -116,6 +116,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // consistency checks on calibration consts
     fn platform_ordering() {
         assert!(A100.peak_flops > T4.peak_flops);
         assert!(A100.mem_bw > T4.mem_bw);
@@ -138,6 +139,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // consistency check on a calibration const
     fn density_is_a_small_fraction() {
         assert!(RAW_FEATURE_DENSITY > 0.0 && RAW_FEATURE_DENSITY < 0.1);
     }

@@ -10,13 +10,15 @@
 //! DRAM, both of which the characterization study [Yan et al., CAL 2022]
 //! identifies as the dominant GPU inefficiencies.
 
-use gdr_hetgraph::BipartiteGraph;
+use gdr_core::schedule::EdgeSchedule;
+use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult};
 use gdr_hgnn::workload::Workload;
 use gdr_memsim::buffer::{Replacement, SetAssocBuffer};
 
 use crate::calib::{
     dgl_kernels, dgl_message_bytes_per_edge, GpuParams, DRAM_ACCESS_BYTES, FEATURE_BYTES,
 };
+use crate::platform::{reject_schedules, Platform, PlatformRun};
 use crate::report::{ExecReport, StageBreakdown};
 
 /// One GPU execution: the report plus NA-stage cache observables.
@@ -66,19 +68,32 @@ impl GpuSim {
     ///
     /// # Panics
     ///
-    /// Panics if `graphs` is not index-aligned with the workload.
+    /// Panics if `graphs` is not index-aligned with the workload. Use
+    /// [`GpuSim::try_execute`] for a fallible variant.
     pub fn execute(&self, workload: &Workload, graphs: &[BipartiteGraph]) -> GpuRun {
-        assert_eq!(
+        self.try_execute(workload, graphs)
+            .expect("GPU execution inputs misaligned")
+    }
+
+    /// Fallible [`GpuSim::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::LengthMismatch`] if `graphs` is not
+    /// index-aligned with the workload descriptors.
+    pub fn try_execute(&self, workload: &Workload, graphs: &[BipartiteGraph]) -> GdrResult<GpuRun> {
+        GdrError::check_aligned(
+            "workload graph descriptors",
             workload.graphs().len(),
             graphs.len(),
-            "workload/graph descriptor mismatch"
-        );
+        )?;
         let p = self.params;
         let model = *workload.model();
         let attention = model.kind.uses_attention();
         let (k_fp, k_na, k_sf) = dgl_kernels(attention);
         let sectors_per_feature = (FEATURE_BYTES / p.l2_sector).max(1);
-        let mut l2 = SetAssocBuffer::with_capacity(p.l2_bytes / p.l2_sector, p.l2_ways, Replacement::Lru);
+        let mut l2 =
+            SetAssocBuffer::with_capacity(p.l2_bytes / p.l2_sector, p.l2_ways, Replacement::Lru);
 
         let mut stage = StageBreakdown::default();
         let mut dram_bytes: u64 = 0;
@@ -168,8 +183,7 @@ impl GpuSim {
             // ---- SF: streaming fuse over destination embeddings ----
             let sf_bytes = sgw.touched_dst as u64 * FEATURE_BYTES as u64 * 2 * layers;
             let t_sf_mem = sf_bytes as f64 / (p.mem_bw * p.stream_eff) * 1e9;
-            let t_sf_cmp =
-                (workload.sf_ops(sgw) * 2 * layers) as f64 / (p.peak_flops * 0.2) * 1e9;
+            let t_sf_cmp = (workload.sf_ops(sgw) * 2 * layers) as f64 / (p.peak_flops * 0.2) * 1e9;
             stage.sf_ns += t_sf_mem.max(t_sf_cmp);
             dram_bytes += sf_bytes;
 
@@ -192,10 +206,29 @@ impl GpuSim {
             stages: stage,
             na_hit_rate: Some(na_l2_hit_rate),
         };
-        GpuRun {
+        Ok(GpuRun {
             report,
             na_l2_hit_rate,
-        }
+        })
+    }
+}
+
+impl Platform for GpuSim {
+    fn name(&self) -> &str {
+        self.params.name
+    }
+
+    fn execute(
+        &self,
+        workload: &Workload,
+        graphs: &[BipartiteGraph],
+        schedules: Option<&[EdgeSchedule]>,
+    ) -> GdrResult<PlatformRun> {
+        // DGL fixes its own kernel iteration order; restructured
+        // schedules cannot be injected into the baseline.
+        reject_schedules(Platform::name(self), schedules)?;
+        let run = self.try_execute(workload, graphs)?;
+        Ok(PlatformRun::from_report(run.report))
     }
 }
 
@@ -257,6 +290,22 @@ mod tests {
         let shgn = run_on(T4, ModelKind::SimpleHgn, Dataset::Acm, 0.1);
         assert!(shgn.report.time_ns > rgcn.report.time_ns);
         assert!(shgn.report.dram_bytes > rgcn.report.dram_bytes);
+    }
+
+    #[test]
+    fn platform_trait_rejects_schedules() {
+        let het = Dataset::Acm.build_scaled(1, 0.05);
+        let w = Workload::from_hetero(ModelConfig::paper(ModelKind::Rgcn), &het);
+        let graphs = het.all_semantic_graphs();
+        let sim = GpuSim::new(T4);
+        let p: &dyn Platform = &sim;
+        assert_eq!(p.name(), "T4");
+        assert!(!p.supports_schedules());
+        let run = p.execute(&w, &graphs, None).unwrap();
+        assert_eq!(run.report.platform, "T4");
+        let schedules: Vec<EdgeSchedule> = graphs.iter().map(EdgeSchedule::dst_major).collect();
+        let err = p.execute(&w, &graphs, Some(&schedules)).unwrap_err();
+        assert!(matches!(err, gdr_hetgraph::GdrError::InvalidConfig { .. }));
     }
 
     #[test]

@@ -10,10 +10,12 @@
 use std::collections::HashMap;
 
 use gdr_core::schedule::EdgeSchedule;
-use gdr_hetgraph::BipartiteGraph;
+use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult};
 use gdr_hgnn::similarity::similarity_order;
 use gdr_hgnn::workload::Workload;
 use gdr_memsim::hbm::{HbmConfig, HbmModel, MemRequest};
+
+use crate::platform::{Platform, PlatformRun};
 
 use crate::calib::{
     DRAM_ACCESS_BYTES, FEATURE_BYTES, HIHGNN_CLOCK_GHZ, HIHGNN_LANES, HIHGNN_SIMD_OPS,
@@ -153,7 +155,8 @@ impl HiHgnnSim {
     /// # Panics
     ///
     /// Panics if `graphs` and the workload's descriptors disagree in
-    /// length, or if `schedules` is given with a mismatched length.
+    /// length, or if `schedules` is given with a mismatched length. Use
+    /// [`HiHgnnSim::try_execute`] for a fallible variant.
     pub fn execute(
         &self,
         workload: &Workload,
@@ -161,24 +164,59 @@ impl HiHgnnSim {
         schedules: Option<&[EdgeSchedule]>,
         label: &str,
     ) -> HiHgnnRun {
-        assert_eq!(
+        self.try_execute(workload, graphs, schedules, label)
+            .expect("HiHGNN execution inputs misaligned")
+    }
+
+    /// Fallible [`HiHgnnSim::execute`]: validates input alignment and
+    /// returns typed errors instead of panicking.
+    ///
+    /// Generic over the schedule storage so callers can pass owned
+    /// schedules (`&[EdgeSchedule]`) or schedules borrowed from a
+    /// frontend run (`&[&EdgeSchedule]`) without cloning edge lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::LengthMismatch`] if `graphs` is not
+    /// index-aligned with the workload descriptors, or if `schedules` is
+    /// given and does not supply exactly one schedule per graph, and
+    /// [`GdrError::InvalidConfig`] if a supplied schedule is not a
+    /// permutation of its graph's edge multiset.
+    pub fn try_execute<S: AsRef<EdgeSchedule>>(
+        &self,
+        workload: &Workload,
+        graphs: &[BipartiteGraph],
+        schedules: Option<&[S]>,
+        label: &str,
+    ) -> GdrResult<HiHgnnRun> {
+        GdrError::check_aligned(
+            "workload graph descriptors",
             workload.graphs().len(),
             graphs.len(),
-            "workload/graph descriptor mismatch"
-        );
+        )?;
         if let Some(s) = schedules {
-            assert_eq!(s.len(), graphs.len(), "one schedule per semantic graph");
+            GdrError::check_aligned("schedules", graphs.len(), s.len())?;
+            // A wrong-but-right-length schedule would silently simulate
+            // garbage traffic; validate the permutation per graph here,
+            // at the boundary.
+            for (g, sched) in graphs.iter().zip(s) {
+                sched.as_ref().validate_for(g)?;
+            }
         }
         let model = *workload.model();
         let order = similarity_order(workload.graphs());
         let na_sim = NaBufferSim::new(self.cfg.na_window_features(), self.cfg.na_ways);
         let layers = model.layers.max(1) as u64;
 
-        // Materialize one schedule per graph (provided restructured ones,
-        // or the natural destination-major order).
-        let all_schedules: Vec<EdgeSchedule> = match schedules {
-            Some(s) => s.to_vec(),
-            None => graphs.iter().map(EdgeSchedule::dst_major).collect(),
+        // One schedule per graph: borrow the provided restructured ones,
+        // or materialize the natural destination-major order.
+        let fallback: Vec<EdgeSchedule>;
+        let all_schedules: Vec<&EdgeSchedule> = match schedules {
+            Some(s) => s.iter().map(AsRef::as_ref).collect(),
+            None => {
+                fallback = graphs.iter().map(EdgeSchedule::dst_major).collect();
+                fallback.iter().collect()
+            }
         };
 
         let mut hbm = HbmModel::new(self.cfg.hbm.clone());
@@ -205,9 +243,7 @@ impl HiHgnnSim {
                     (sgw.src_ty, sgw.touched_src, sgw.src_in_dim),
                     (sgw.dst_ty, sgw.touched_dst, sgw.dst_in_dim),
                 ] {
-                    let reused = prev_types
-                        .map(|(a, b)| ty == a || ty == b)
-                        .unwrap_or(false);
+                    let reused = prev_types.map(|(a, b)| ty == a || ty == b).unwrap_or(false);
                     if reused {
                         continue;
                     }
@@ -253,7 +289,12 @@ impl HiHgnnSim {
                 // ---- NA / SF compute (SIMD), charged per lane ----
                 let na_cycles = (workload.na_ops(sgw) * layers).div_ceil(self.cfg.simd_ops);
                 let sf_bytes = sgw.touched_dst as u64 * FEATURE_BYTES as u64 * layers;
-                push_stream(&mut requests, OUT_BASE + gi as u64 * 0x0100_0000, sf_bytes, false);
+                push_stream(
+                    &mut requests,
+                    OUT_BASE + gi as u64 * 0x0100_0000,
+                    sf_bytes,
+                    false,
+                );
                 push_stream(
                     &mut requests,
                     OUT_BASE + 0x8000_0000 + gi as u64 * 0x0100_0000,
@@ -274,7 +315,7 @@ impl HiHgnnSim {
             //      of their schedules through the shared buffer ----
             let items: Vec<(&BipartiteGraph, &EdgeSchedule, u64)> = wave
                 .iter()
-                .map(|&gi| (&graphs[gi], &all_schedules[gi], gi as u64))
+                .map(|&gi| (&graphs[gi], all_schedules[gi], gi as u64))
                 .collect();
             let trace = na_sim.simulate_wave(&items, 16);
             na_hits += trace.hits * layers;
@@ -314,7 +355,7 @@ impl HiHgnnSim {
                 na_hits as f64 / na_accesses as f64
             }),
         };
-        HiHgnnRun {
+        Ok(HiHgnnRun {
             report,
             na_fetch_counts,
             na_hit_rate: if na_accesses == 0 {
@@ -323,7 +364,32 @@ impl HiHgnnSim {
                 na_hits as f64 / na_accesses as f64
             },
             total_edges,
-        }
+        })
+    }
+}
+
+impl Platform for HiHgnnSim {
+    fn name(&self) -> &str {
+        "HiHGNN"
+    }
+
+    fn supports_schedules(&self) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        workload: &Workload,
+        graphs: &[BipartiteGraph],
+        schedules: Option<&[EdgeSchedule]>,
+    ) -> GdrResult<PlatformRun> {
+        // report.platform == Platform::name() for every accepted input,
+        // so drivers can join results back to their platform list.
+        let run = self.try_execute(workload, graphs, schedules, Platform::name(self))?;
+        Ok(PlatformRun {
+            src_replacement_times: run.src_replacement_times(),
+            report: run.report,
+        })
     }
 }
 
@@ -424,10 +490,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one schedule per semantic graph")]
     fn schedule_length_checked() {
         let (w, graphs) = setup(0.03);
         let sim = HiHgnnSim::new(HiHgnnConfig::default());
-        let _ = sim.execute(&w, &graphs, Some(&[]), "x");
+        let err = sim
+            .try_execute::<EdgeSchedule>(&w, &graphs, Some(&[]), "x")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            gdr_hetgraph::GdrError::length_mismatch("schedules", graphs.len(), 0)
+        );
+    }
+
+    #[test]
+    fn wrong_permutation_schedules_rejected() {
+        // right length, wrong edges: schedules built from the *previous*
+        // graph must be rejected at the boundary, not simulated
+        let (w, graphs) = setup(0.05);
+        let rotated: Vec<EdgeSchedule> = (0..graphs.len())
+            .map(|i| EdgeSchedule::dst_major(&graphs[(i + 1) % graphs.len()]))
+            .collect();
+        let sim = HiHgnnSim::new(HiHgnnConfig::default());
+        let err = sim
+            .try_execute(&w, &graphs, Some(&rotated), "x")
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                gdr_hetgraph::GdrError::InvalidConfig { .. }
+                    | gdr_hetgraph::GdrError::LengthMismatch { .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn workload_alignment_checked() {
+        let (w, graphs) = setup(0.03);
+        let sim = HiHgnnSim::new(HiHgnnConfig::default());
+        let err = sim
+            .try_execute::<EdgeSchedule>(&w, &graphs[..1], None, "x")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            gdr_hetgraph::GdrError::LengthMismatch { what, .. } if what.contains("workload")
+        ));
+    }
+
+    #[test]
+    fn borrowed_schedules_match_owned() {
+        let (w, graphs) = setup(0.05);
+        let schedules: Vec<EdgeSchedule> = graphs.iter().map(EdgeSchedule::dst_major).collect();
+        let refs: Vec<&EdgeSchedule> = schedules.iter().collect();
+        let sim = HiHgnnSim::new(HiHgnnConfig::default());
+        let owned = sim.try_execute(&w, &graphs, Some(&schedules), "x").unwrap();
+        let borrowed = sim.try_execute(&w, &graphs, Some(&refs), "x").unwrap();
+        assert_eq!(owned.report, borrowed.report);
+    }
+
+    #[test]
+    fn platform_trait_reports_hihgnn() {
+        let (w, graphs) = setup(0.03);
+        let sim = HiHgnnSim::new(HiHgnnConfig::default());
+        let p: &dyn Platform = &sim;
+        assert!(p.supports_schedules());
+        let run = p.execute(&w, &graphs, None).unwrap();
+        assert_eq!(run.report.platform, "HiHGNN");
+        let direct = sim.execute(&w, &graphs, None, "HiHGNN");
+        assert_eq!(run.report, direct.report);
+        assert_eq!(
+            run.src_replacement_times.len(),
+            direct.src_replacement_times().len()
+        );
     }
 }

@@ -9,6 +9,8 @@
 //!   simulation for the NA gathers and roofline models elsewhere;
 //! * [`na_engine`] — the shared NA-stage buffer/trace simulator;
 //! * [`calib`] — every absolute-scale calibration constant, in one place;
+//! * [`platform`] — the [`Platform`] trait every execution target
+//!   implements, so drivers iterate over `&dyn Platform`;
 //! * [`report`] — [`report::ExecReport`] and helpers shared by all
 //!   platforms.
 //!
@@ -37,8 +39,10 @@ pub mod calib;
 pub mod gpu;
 pub mod hihgnn;
 pub mod na_engine;
+pub mod platform;
 pub mod report;
 
 pub use gpu::{GpuRun, GpuSim};
 pub use hihgnn::{HiHgnnConfig, HiHgnnRun, HiHgnnSim};
+pub use platform::{Platform, PlatformRun};
 pub use report::{geomean, ExecReport, StageBreakdown};

@@ -36,15 +36,21 @@ fn access_edge(
 ) {
     let t = tag(graph_tag, false, e.src.raw());
     if let Access::Miss { .. } = buf.access(t) {
-        requests.push(MemRequest::read(SRC_BASE + e.src.raw() as u64 * fb as u64, fb));
+        requests.push(MemRequest::read(
+            SRC_BASE + e.src.raw() as u64 * fb as u64,
+            fb,
+        ));
     }
     let t = tag(graph_tag, true, e.dst.raw());
     if let Access::Miss { evicted } = buf.access(t) {
-        requests.push(MemRequest::read(DST_BASE + e.dst.raw() as u64 * fb as u64, fb));
+        requests.push(MemRequest::read(
+            DST_BASE + e.dst.raw() as u64 * fb as u64,
+            fb,
+        ));
         if let Some(victim) = evicted {
             // dirty accumulator write-back (sources are clean)
             if victim >> 40 == 1 {
-                let vid = (victim & 0xFFFF_FFFF) as u64;
+                let vid = victim & 0xFFFF_FFFF;
                 requests.push(MemRequest::write(DST_BASE + vid * fb as u64, fb));
             }
         }
@@ -157,8 +163,7 @@ impl NaBufferSim {
         chunk: usize,
     ) -> NaTrace {
         assert!(chunk > 0, "chunk must be positive");
-        let mut buf =
-            SetAssocBuffer::with_capacity(self.capacity_features, self.ways, self.policy);
+        let mut buf = SetAssocBuffer::with_capacity(self.capacity_features, self.ways, self.policy);
         let fb = FEATURE_BYTES as u32;
         let mut requests: Vec<MemRequest> = Vec::new();
 
@@ -215,12 +220,7 @@ impl NaBufferSim {
 
     /// Simulates the schedule; `graph_tag` namespaces the tags so traces
     /// from several semantic graphs can be aggregated.
-    pub fn simulate(
-        &self,
-        g: &BipartiteGraph,
-        schedule: &EdgeSchedule,
-        graph_tag: u64,
-    ) -> NaTrace {
+    pub fn simulate(&self, g: &BipartiteGraph, schedule: &EdgeSchedule, graph_tag: u64) -> NaTrace {
         let mut buf = SetAssocBuffer::with_capacity(self.capacity_features, self.ways, self.policy);
         let fb = FEATURE_BYTES as u32;
         let mut requests: Vec<MemRequest> = Vec::new();
@@ -231,7 +231,10 @@ impl NaBufferSim {
         let mut off = 0;
         while off < topo_bytes {
             let chunk = (topo_bytes - off).min(256) as u32;
-            requests.push(MemRequest::read(TOPO_BASE + graph_tag * 0x0100_0000 + off, chunk));
+            requests.push(MemRequest::read(
+                TOPO_BASE + graph_tag * 0x0100_0000 + off,
+                chunk,
+            ));
             off += chunk as u64;
         }
 
@@ -292,7 +295,10 @@ mod tests {
         let working_set = (0..g.src_count()).filter(|&s| g.out_degree(s) > 0).count()
             + (0..g.dst_count()).filter(|&d| g.in_degree(d) > 0).count();
         let cap = backbone + 128;
-        assert!(cap < working_set, "test premise: backbone fits, WS does not");
+        assert!(
+            cap < working_set,
+            "test premise: backbone fits, WS does not"
+        );
         let sim = NaBufferSim::new(cap, 8);
         let base = sim.simulate(&g, &EdgeSchedule::dst_major(&g), 0);
         let gdr = sim.simulate(&g, r.schedule(), 0);

@@ -1,0 +1,158 @@
+//! The [`Platform`] abstraction: every execution target of the
+//! evaluation — the HiHGNN cycle model, the DGL-on-GPU baselines, and
+//! (in `gdr-system`) the combined GDR-HGNN + HiHGNN system — behind one
+//! trait, so experiment drivers iterate over `&dyn Platform` instead of
+//! hand-writing one call per backend.
+//!
+//! The paper frames the accelerator as one pluggable stage of a larger
+//! pipeline (HiHGNN §2, SiHGNN §4); this trait is that plug point. New
+//! backends (multi-GPU, different accelerators, analytic models) drop in
+//! by implementing [`Platform`] and joining the platform list passed to
+//! `gdr-system`'s grid drivers.
+//!
+//! # Examples
+//!
+//! ```
+//! use gdr_hetgraph::datasets::Dataset;
+//! use gdr_hgnn::model::{ModelConfig, ModelKind};
+//! use gdr_hgnn::workload::Workload;
+//! use gdr_accel::platform::Platform;
+//! use gdr_accel::hihgnn::{HiHgnnConfig, HiHgnnSim};
+//! use gdr_accel::gpu::GpuSim;
+//! use gdr_accel::calib::{A100, T4};
+//!
+//! let het = Dataset::Acm.build_scaled(1, 0.05);
+//! let w = Workload::from_hetero(ModelConfig::paper(ModelKind::Rgcn), &het);
+//! let graphs = het.all_semantic_graphs();
+//! let platforms: Vec<Box<dyn Platform>> = vec![
+//!     Box::new(GpuSim::new(T4)),
+//!     Box::new(GpuSim::new(A100)),
+//!     Box::new(HiHgnnSim::new(HiHgnnConfig::default())),
+//! ];
+//! for p in &platforms {
+//!     let run = p.execute(&w, &graphs, None).unwrap();
+//!     assert_eq!(run.report.platform, p.name());
+//! }
+//! ```
+
+use gdr_core::schedule::EdgeSchedule;
+use gdr_hetgraph::{BipartiteGraph, GdrResult};
+use gdr_hgnn::workload::Workload;
+
+use crate::report::ExecReport;
+
+/// The result of executing one workload on one platform: the common
+/// report plus the cross-platform NA-locality observables the paper's
+/// motivation figures are built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformRun {
+    /// The execution report (time, traffic, bandwidth, stage breakdown).
+    pub report: ExecReport,
+    /// Per-source-feature replacement (re-fetch) counts in the platform's
+    /// NA-stage buffer, when the platform models one (Fig. 2 data).
+    /// Empty for platforms without a feature-granular buffer model.
+    pub src_replacement_times: Vec<u32>,
+}
+
+impl PlatformRun {
+    /// Wraps a bare report with no buffer observables.
+    pub fn from_report(report: ExecReport) -> Self {
+        Self {
+            report,
+            src_replacement_times: Vec::new(),
+        }
+    }
+
+    /// NA-stage hit rate, when modeled (forwarded from the report).
+    pub fn na_hit_rate(&self) -> Option<f64> {
+        self.report.na_hit_rate
+    }
+}
+
+/// An execution target for HGNN inference workloads.
+///
+/// Implementations validate their inputs and return typed errors instead
+/// of panicking, so drivers can sweep untrusted configuration spaces.
+/// The trait is dyn-compatible: drivers hold `Vec<Box<dyn Platform>>`.
+pub trait Platform {
+    /// The platform label used in reports and figure tables
+    /// (`"T4"`, `"A100"`, `"HiHGNN"`, `"HiHGNN+GDR"`).
+    fn name(&self) -> &str;
+
+    /// Whether the platform consumes externally-supplied edge schedules
+    /// (restructured topology from the GDR-HGNN frontend). Platforms that
+    /// return `false` reject a `Some` schedule argument with
+    /// [`gdr_hetgraph::GdrError::InvalidConfig`] rather than silently
+    /// ignoring it.
+    fn supports_schedules(&self) -> bool {
+        false
+    }
+
+    /// Executes `workload` over `graphs`, optionally with one edge
+    /// schedule per semantic graph (index-aligned with `graphs`).
+    ///
+    /// # Errors
+    ///
+    /// * [`gdr_hetgraph::GdrError::LengthMismatch`] when `graphs` and the
+    ///   workload descriptors (or `schedules`) disagree in length;
+    /// * [`gdr_hetgraph::GdrError::InvalidConfig`] when schedules are
+    ///   supplied but [`Platform::supports_schedules`] is `false`.
+    fn execute(
+        &self,
+        workload: &Workload,
+        graphs: &[BipartiteGraph],
+        schedules: Option<&[EdgeSchedule]>,
+    ) -> GdrResult<PlatformRun>;
+}
+
+/// Rejects schedules on platforms that cannot consume them.
+pub(crate) fn reject_schedules(
+    platform: &str,
+    schedules: Option<&[EdgeSchedule]>,
+) -> GdrResult<()> {
+    if schedules.is_some() {
+        return Err(gdr_hetgraph::GdrError::invalid_config(
+            "schedules",
+            format!("platform {platform} does not consume external edge schedules"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::StageBreakdown;
+
+    fn report() -> ExecReport {
+        ExecReport {
+            platform: "X".into(),
+            workload: "RGCN/ACM".into(),
+            time_ns: 1.0,
+            dram_bytes: 1,
+            dram_accesses: 1,
+            bandwidth_utilization: 0.1,
+            stages: StageBreakdown::default(),
+            na_hit_rate: Some(0.5),
+        }
+    }
+
+    #[test]
+    fn platform_run_wraps_report() {
+        let run = PlatformRun::from_report(report());
+        assert!(run.src_replacement_times.is_empty());
+        assert_eq!(run.na_hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn schedule_rejection_is_typed() {
+        assert!(reject_schedules("T4", None).is_ok());
+        let err = reject_schedules("T4", Some(&[])).unwrap_err();
+        assert!(err.to_string().contains("T4"));
+    }
+
+    #[test]
+    fn trait_is_dyn_compatible() {
+        fn _takes(_: &dyn Platform) {}
+    }
+}

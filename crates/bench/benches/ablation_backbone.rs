@@ -10,19 +10,38 @@ use gdr_system::grid::ExperimentConfig;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 42, scale: 1.0 };
+    let cfg = ExperimentConfig {
+        seed: 42,
+        scale: 1.0,
+    };
     let g2 = largest_semantic_graph(&cfg, Dataset::Dblp);
     let cap = gdr_accel::hihgnn::HiHgnnConfig::default().na_window_features();
-    println!("\n=== Ablation A1: backbone strategy ({} @ {} features) ===", g2.name(), cap);
+    println!(
+        "\n=== Ablation A1: backbone strategy ({} @ {} features) ===",
+        g2.name(),
+        cap
+    );
     for (name, misses) in ablation_backbone(&g2, cap) {
         println!("  {name}: {misses} misses");
     }
     println!();
 
-    let small = largest_semantic_graph(&ExperimentConfig { seed: 42, scale: 0.15 }, Dataset::Dblp);
+    let small = largest_semantic_graph(
+        &ExperimentConfig {
+            seed: 42,
+            scale: 0.15,
+        },
+        Dataset::Dblp,
+    );
     let mut group = c.benchmark_group("ablation_backbone");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
-    for strat in [BackboneStrategy::Paper, BackboneStrategy::KonigExact, BackboneStrategy::GreedyDegree] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
+    for strat in [
+        BackboneStrategy::Paper,
+        BackboneStrategy::KonigExact,
+        BackboneStrategy::GreedyDegree,
+    ] {
         group.bench_function(format!("{strat}"), |b| {
             let r = Restructurer::new().backbone_strategy(strat);
             b.iter(|| r.restructure(&small))

@@ -9,21 +9,33 @@ use gdr_system::grid::ExperimentConfig;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 42, scale: 1.0 };
+    let cfg = ExperimentConfig {
+        seed: 42,
+        scale: 1.0,
+    };
     let g2 = largest_semantic_graph(&cfg, Dataset::Dblp);
     let cap = gdr_accel::hihgnn::HiHgnnConfig::default().na_window_features();
     println!("\n=== Ablation A3: buffer sweep ({}) ===", g2.name());
-    for (cpt, base, gdr) in
-        ablation_buffer_sweep(&g2, &[cap / 8, cap / 4, cap / 2, cap, cap * 2])
-    {
-        println!("  {cpt} features: baseline {base}, gdr {gdr} ({:.2}x)", base as f64 / gdr.max(1) as f64);
+    for (cpt, base, gdr) in ablation_buffer_sweep(&g2, &[cap / 8, cap / 4, cap / 2, cap, cap * 2]) {
+        println!(
+            "  {cpt} features: baseline {base}, gdr {gdr} ({:.2}x)",
+            base as f64 / gdr.max(1) as f64
+        );
     }
     println!();
 
-    let small = largest_semantic_graph(&ExperimentConfig { seed: 42, scale: 0.15 }, Dataset::Dblp);
+    let small = largest_semantic_graph(
+        &ExperimentConfig {
+            seed: 42,
+            scale: 0.15,
+        },
+        Dataset::Dblp,
+    );
     let sched = EdgeSchedule::dst_major(&small);
     let mut group = c.benchmark_group("ablation_buffer_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     for cap in [256usize, 1024, 4096] {
         group.bench_function(format!("simulate_{cap}"), |b| {
             let sim = NaBufferSim::new(cap, 8);

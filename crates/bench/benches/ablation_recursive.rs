@@ -9,18 +9,33 @@ use gdr_system::grid::ExperimentConfig;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 42, scale: 1.0 };
+    let cfg = ExperimentConfig {
+        seed: 42,
+        scale: 1.0,
+    };
     let g2 = largest_semantic_graph(&cfg, Dataset::Dblp);
     let cap = gdr_accel::hihgnn::HiHgnnConfig::default().na_window_features() / 8;
-    println!("\n=== Ablation A2: recursion depth ({} @ {} features) ===", g2.name(), cap);
+    println!(
+        "\n=== Ablation A2: recursion depth ({} @ {} features) ===",
+        g2.name(),
+        cap
+    );
     for (depth, misses) in ablation_recursive(&g2, cap.max(64), 2) {
         println!("  depth {depth}: {misses} misses");
     }
     println!();
 
-    let small = largest_semantic_graph(&ExperimentConfig { seed: 42, scale: 0.15 }, Dataset::Dblp);
+    let small = largest_semantic_graph(
+        &ExperimentConfig {
+            seed: 42,
+            scale: 0.15,
+        },
+        Dataset::Dblp,
+    );
     let mut group = c.benchmark_group("ablation_recursive");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     for depth in 0..=2usize {
         group.bench_function(format!("depth_{depth}"), |b| {
             let r = Restructurer::new().recursion_depth(depth);

@@ -16,17 +16,26 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     println!(
         "\ndecoupling target: {} ({} x {}, {} edges)",
-        g2.name(), g2.src_count(), g2.dst_count(), g2.edge_count()
+        g2.name(),
+        g2.src_count(),
+        g2.dst_count(),
+        g2.edge_count()
     );
 
     let mut group = c.benchmark_group("decoupling");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
-    group.bench_with_input(BenchmarkId::new("hopcroft_karp", g2.edge_count()), &g2, |b, g| {
-        b.iter(|| hopcroft_karp(g))
-    });
-    group.bench_with_input(BenchmarkId::new("fifo_paper", g2.edge_count()), &g2, |b, g| {
-        b.iter(|| fifo_matching(g))
-    });
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_with_input(
+        BenchmarkId::new("hopcroft_karp", g2.edge_count()),
+        &g2,
+        |b, g| b.iter(|| hopcroft_karp(g)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("fifo_paper", g2.edge_count()),
+        &g2,
+        |b, g| b.iter(|| fifo_matching(g)),
+    );
     group.bench_with_input(BenchmarkId::new("greedy", g2.edge_count()), &g2, |b, g| {
         b.iter(|| greedy_matching(g))
     });

@@ -11,12 +11,19 @@ use gdr_system::grid::{ExperimentConfig, GridPoint};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 42, scale: 0.4 };
+    let cfg = ExperimentConfig {
+        seed: 42,
+        scale: 0.4,
+    };
     let grid: Vec<GridPoint> = Dataset::ALL
         .iter()
         .map(|&d| GridPoint::run(ModelKind::Rgcn, d, &cfg))
         .collect();
-    println!("\n=== Fig. 2 (scale {}) ===\n{}", cfg.scale, fig2(&grid).to_markdown());
+    println!(
+        "\n=== Fig. 2 (scale {}) ===\n{}",
+        cfg.scale,
+        fig2(&grid).to_markdown()
+    );
 
     let het = Dataset::Dblp.build_scaled(42, 0.2);
     let g2 = het

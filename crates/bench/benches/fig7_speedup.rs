@@ -11,10 +11,17 @@ use gdr_system::grid::{run_grid, ExperimentConfig, GridPoint};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 42, scale: 0.25 };
+    let cfg = ExperimentConfig {
+        seed: 42,
+        scale: 0.25,
+    };
     let grid = run_grid(&cfg);
     let f = fig7(&grid);
-    println!("\n=== Fig. 7 (scale {}) ===\n{}", cfg.scale, f.to_markdown());
+    println!(
+        "\n=== Fig. 7 (scale {}) ===\n{}",
+        cfg.scale,
+        f.to_markdown()
+    );
     let (t4, a100, hihgnn) = f.headline();
     println!("headline: {t4:.1}x vs T4 (paper 68.8x), {a100:.1}x vs A100 (paper 14.6x), {hihgnn:.2}x vs HiHGNN (paper 1.78x)\n");
 
@@ -25,7 +32,10 @@ fn bench(c: &mut Criterion) {
             GridPoint::run(
                 ModelKind::Rgcn,
                 Dataset::Acm,
-                &ExperimentConfig { seed: 42, scale: 0.1 },
+                &ExperimentConfig {
+                    seed: 42,
+                    scale: 0.1,
+                },
             )
         })
     });

@@ -10,10 +10,17 @@ use gdr_system::grid::{run_grid, ExperimentConfig};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 42, scale: 0.25 };
+    let cfg = ExperimentConfig {
+        seed: 42,
+        scale: 0.25,
+    };
     let grid = run_grid(&cfg);
     let f = fig8(&grid);
-    println!("\n=== Fig. 8 (scale {}) ===\n{}", cfg.scale, f.to_markdown());
+    println!(
+        "\n=== Fig. 8 (scale {}) ===\n{}",
+        cfg.scale,
+        f.to_markdown()
+    );
     let (t4, a100, hihgnn) = f.headline();
     println!("headline: GDR+HiHGNN accesses {t4:.1}% of T4 (paper 4.8%), {a100:.1}% of A100 (paper 8.7%), {hihgnn:.1}% of HiHGNN (paper 57.1%)\n");
 

@@ -7,10 +7,17 @@ use gdr_system::grid::{run_grid, ExperimentConfig};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig { seed: 42, scale: 0.25 };
+    let cfg = ExperimentConfig {
+        seed: 42,
+        scale: 0.25,
+    };
     let grid = run_grid(&cfg);
     let f = fig9(&grid);
-    println!("\n=== Fig. 9 (scale {}) ===\n{}", cfg.scale, f.to_markdown());
+    println!(
+        "\n=== Fig. 9 (scale {}) ===\n{}",
+        cfg.scale,
+        f.to_markdown()
+    );
     let (t4, a100) = f.headline();
     println!("headline: GDR+HiHGNN utilization {t4:.2}x of T4 (paper 2.58x), {a100:.2}x of A100 (paper 6.35x)\n");
 
@@ -19,7 +26,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("hbm_drain_64k_requests", |b| {
         b.iter(|| {
             let mut hbm = HbmModel::new(HbmConfig::hbm1_512gbps());
-            let end = hbm.drain_trace(0, (0..65_536u64).map(|i| MemRequest::read(i * 331 * 256, 256)));
+            let end = hbm.drain_trace(
+                0,
+                (0..65_536u64).map(|i| MemRequest::read(i * 331 * 256, 256)),
+            );
             hbm.bandwidth_utilization(end)
         })
     });

@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
     let m = hopcroft_karp(&g2);
 
     let mut group = c.benchmark_group("recoupling");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     for strat in [
         BackboneStrategy::Paper,
         BackboneStrategy::KonigExact,

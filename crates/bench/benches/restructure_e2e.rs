@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("restructure_e2e");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for d in Dataset::ALL {
         let het = d.build_scaled(42, 0.25);
         let graphs = het.all_semantic_graphs();
@@ -18,10 +20,14 @@ fn bench(c: &mut Criterion) {
             let r = Restructurer::new();
             b.iter(|| gs.iter().map(|g| r.restructure(g)).collect::<Vec<_>>())
         });
-        group.bench_with_input(BenchmarkId::new("frontend_hw", d.name()), &graphs, |b, gs| {
-            let p = FrontendPipeline::new(FrontendConfig::default());
-            b.iter(|| p.process_all(gs))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("frontend_hw", d.name()),
+            &graphs,
+            |b, gs| {
+                let p = FrontendPipeline::new(FrontendConfig::default());
+                b.iter(|| p.process_all(gs))
+            },
+        );
     }
     group.finish();
 }

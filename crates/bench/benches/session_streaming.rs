@@ -1,0 +1,59 @@
+//! Session streaming vs. batch: the frontend restructuring fan-out.
+//!
+//! Semantic graphs are independent restructuring problems, so
+//! `Session::par_process` should beat the sequential path on any
+//! multi-core host. Prints the measured speedup per Table 2 dataset,
+//! then benchmarks both paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdr_frontend::config::FrontendConfig;
+use gdr_frontend::session::Session;
+use gdr_hetgraph::datasets::Dataset;
+use std::time::{Duration, Instant};
+
+fn bench(c: &mut Criterion) {
+    let scale = 0.5;
+    println!(
+        "\nsession streaming on {} cores (scale {scale})",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let mut group = c.benchmark_group("session");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
+    for dataset in Dataset::ALL {
+        let graphs = dataset.build_scaled(42, scale).all_semantic_graphs();
+        let session = Session::new(FrontendConfig::default(), &graphs);
+
+        // one measured round-trip of each path, for the printed headline
+        let t0 = Instant::now();
+        let seq = session.process();
+        let t_seq = t0.elapsed();
+        let t0 = Instant::now();
+        let par = session.par_process();
+        let t_par = t0.elapsed();
+        assert_eq!(seq.total_cycles(), par.total_cycles());
+        println!(
+            "  {:>5}: sequential {:>8.1} ms, parallel {:>8.1} ms  ({:.2}x)",
+            dataset.name(),
+            t_seq.as_secs_f64() * 1e3,
+            t_par.as_secs_f64() * 1e3,
+            t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("sequential", dataset.name()),
+            &session,
+            |b, s| b.iter(|| s.process()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", dataset.name()),
+            &session,
+            |b, s| b.iter(|| s.par_process()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,15 +7,19 @@ use gdr_system::grid::ExperimentConfig;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    println!("\n=== Table 2 ===\n{}", table2(&ExperimentConfig { seed: 42, scale: 1.0 }));
+    println!(
+        "\n=== Table 2 ===\n{}",
+        table2(&ExperimentConfig {
+            seed: 42,
+            scale: 1.0
+        })
+    );
     println!("=== Table 3 ===\n{}", table3());
 
     let mut g = c.benchmark_group("table2");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     for d in Dataset::ALL {
-        g.bench_function(format!("build_{}", d.name()), |b| {
-            b.iter(|| d.build(42))
-        });
+        g.bench_function(format!("build_{}", d.name()), |b| b.iter(|| d.build(42)));
     }
     g.finish();
 }

@@ -77,23 +77,29 @@ impl Backbone {
         let mut src_in = vec![false; g.src_count()];
         let mut dst_in = vec![false; g.dst_count()];
         // Lines 3-9: matched sources with an unmatched destination neighbor.
-        for s in 0..g.src_count() {
+        for (s, slot) in src_in.iter_mut().enumerate() {
             if !m.src_matched(s) {
                 continue;
             }
-            let any_unmatched = g.out_neighbors(s).iter().any(|&d| !m.dst_matched(d as usize));
+            let any_unmatched = g
+                .out_neighbors(s)
+                .iter()
+                .any(|&d| !m.dst_matched(d as usize));
             if any_unmatched {
-                src_in[s] = true;
+                *slot = true;
             }
         }
         // Lines 10-16: matched destinations with an unmatched source neighbor.
-        for d in 0..g.dst_count() {
+        for (d, slot) in dst_in.iter_mut().enumerate() {
             if !m.dst_matched(d) {
                 continue;
             }
-            let any_unmatched = g.in_neighbors(d).iter().any(|&s| !m.src_matched(s as usize));
+            let any_unmatched = g
+                .in_neighbors(d)
+                .iter()
+                .any(|&s| !m.src_matched(s as usize));
             if any_unmatched {
-                dst_in[d] = true;
+                *slot = true;
             }
         }
         // Totality fixup: an edge between two matched vertices neither of
@@ -122,9 +128,9 @@ impl Backbone {
         let mut z_src = vec![false; n_src];
         let mut z_dst = vec![false; n_dst];
         let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
-        for s in 0..n_src {
+        for (s, z) in z_src.iter_mut().enumerate() {
             if !m.src_matched(s) {
-                z_src[s] = true;
+                *z = true;
                 queue.push_back(s as u32);
             }
         }
@@ -316,8 +322,7 @@ mod tests {
     fn paper_fixup_triggers_on_perfect_matching() {
         // K2,2 has a perfect matching; no vertex has an unmatched neighbor,
         // so Algorithm 2 as printed selects nothing — the fixup must act.
-        let g =
-            BipartiteGraph::from_pairs("k22", 2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let g = BipartiteGraph::from_pairs("k22", 2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
         let m = hopcroft_karp(&g);
         assert_eq!(m.size(), 2);
         let b = Backbone::select(&g, &m, BackboneStrategy::Paper);

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use gdr_hetgraph::BipartiteGraph;
+use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult};
 
 use crate::schedule::EdgeSchedule;
 
@@ -120,7 +120,8 @@ impl LocalityReport {
 ///
 /// # Panics
 ///
-/// Panics if `capacity == 0`.
+/// Panics if `capacity == 0`. Use [`try_simulate_lru`] for a fallible
+/// variant.
 ///
 /// # Examples
 ///
@@ -134,8 +135,31 @@ impl LocalityReport {
 /// assert_eq!(rep.misses(), 6);
 /// # Ok::<(), gdr_hetgraph::GraphError>(())
 /// ```
-pub fn simulate_lru(g: &BipartiteGraph, schedule: &EdgeSchedule, capacity: usize) -> LocalityReport {
-    assert!(capacity > 0, "buffer capacity must be positive");
+pub fn simulate_lru(
+    g: &BipartiteGraph,
+    schedule: &EdgeSchedule,
+    capacity: usize,
+) -> LocalityReport {
+    try_simulate_lru(g, schedule, capacity).expect("buffer capacity must be positive")
+}
+
+/// Fallible [`simulate_lru`].
+///
+/// # Errors
+///
+/// Returns [`GdrError::InvalidConfig`] if `capacity == 0` — a zero-entry
+/// buffer cannot hold the edge under process, so the model is undefined.
+pub fn try_simulate_lru(
+    g: &BipartiteGraph,
+    schedule: &EdgeSchedule,
+    capacity: usize,
+) -> GdrResult<LocalityReport> {
+    if capacity == 0 {
+        return Err(GdrError::invalid_config(
+            "capacity",
+            "buffer capacity must be positive",
+        ));
+    }
     let mut stamp: u64 = 0;
     // key -> last-use stamp; reverse index orders eviction victims.
     let mut resident: HashMap<(Side, u32), u64> = HashMap::with_capacity(capacity * 2);
@@ -184,7 +208,7 @@ pub fn simulate_lru(g: &BipartiteGraph, schedule: &EdgeSchedule, capacity: usize
         );
     }
 
-    LocalityReport {
+    Ok(LocalityReport {
         name: schedule.name().to_string(),
         capacity,
         accesses: schedule.len() * 2,
@@ -192,7 +216,7 @@ pub fn simulate_lru(g: &BipartiteGraph, schedule: &EdgeSchedule, capacity: usize
         dst_misses,
         fetches_src,
         fetches_dst,
-    }
+    })
 }
 
 /// Sweeps buffer capacities and returns `(capacity, misses)` points — the

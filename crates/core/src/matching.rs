@@ -136,9 +136,8 @@ impl Matching {
 
     /// Checks maximality: no edge has both endpoints unmatched.
     pub fn is_maximal(&self, g: &BipartiteGraph) -> bool {
-        g.iter_edges().all(|e| {
-            self.src_matched(e.src.index()) || self.dst_matched(e.dst.index())
-        })
+        g.iter_edges()
+            .all(|e| self.src_matched(e.src.index()) || self.dst_matched(e.dst.index()))
     }
 }
 
@@ -280,12 +279,12 @@ pub fn hopcroft_karp_with_stats(g: &BipartiteGraph) -> (Matching, PhaseStats) {
         stats.phases += 1;
         queue.clear();
         let mut found_free_dst = false;
-        for s in 0..n_src {
+        for (s, slot) in dist.iter_mut().enumerate() {
             if !m.src_matched(s) {
-                dist[s] = 0;
+                *slot = 0;
                 queue.push_back(s as u32);
             } else {
-                dist[s] = INF;
+                *slot = INF;
             }
         }
         while let Some(u) = queue.pop_front() {

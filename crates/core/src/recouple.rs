@@ -125,7 +125,8 @@ pub enum SubgraphKind {
 impl SubgraphKind {
     /// All kinds in the emission order of the paper's Fig. 4 pipeline
     /// (`Src_out+Dst_in`, `Src_in+Dst_in`, `Src_in+Dst_out`).
-    pub const ALL: [SubgraphKind; 3] = [SubgraphKind::OutIn, SubgraphKind::InIn, SubgraphKind::InOut];
+    pub const ALL: [SubgraphKind; 3] =
+        [SubgraphKind::OutIn, SubgraphKind::InIn, SubgraphKind::InOut];
 }
 
 impl std::fmt::Display for SubgraphKind {

@@ -175,10 +175,7 @@ impl Restructurer {
 
 /// Emits one subgraph's edges in its locality-friendly order (see
 /// [`EdgeSchedule::restructured`] for the rationale).
-fn single_subgraph_schedule(
-    kind: SubgraphKind,
-    sg: &BipartiteGraph,
-) -> Vec<gdr_hetgraph::Edge> {
+fn single_subgraph_schedule(kind: SubgraphKind, sg: &BipartiteGraph) -> Vec<gdr_hetgraph::Edge> {
     let mut edges = Vec::with_capacity(sg.edge_count());
     match kind {
         SubgraphKind::OutIn => {
@@ -267,7 +264,9 @@ mod tests {
     #[test]
     fn fifo_matcher_reports_work_counters() {
         let g = graph(1);
-        let r = Restructurer::new().matcher(MatcherKind::Fifo).restructure(&g);
+        let r = Restructurer::new()
+            .matcher(MatcherKind::Fifo)
+            .restructure(&g);
         assert!(r.decoupling_stats().expansions > 0);
         assert!(r.schedule().is_permutation_of(&g));
     }
@@ -275,7 +274,11 @@ mod tests {
     #[test]
     fn all_matchers_produce_valid_results() {
         let g = graph(2);
-        for m in [MatcherKind::Fifo, MatcherKind::HopcroftKarp, MatcherKind::Greedy] {
+        for m in [
+            MatcherKind::Fifo,
+            MatcherKind::HopcroftKarp,
+            MatcherKind::Greedy,
+        ] {
             let r = Restructurer::new().matcher(m).restructure(&g);
             assert!(r.schedule().is_permutation_of(&g), "{m}");
             assert!(r.backbone().covers_all_edges(&g), "{m}");

@@ -8,7 +8,7 @@
 //! an I-GCN-style islandized order) plus the restructured order produced
 //! by graph decoupling/recoupling.
 
-use gdr_hetgraph::{BipartiteGraph, Edge};
+use gdr_hetgraph::{BipartiteGraph, Edge, GdrError, GdrResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -217,9 +217,27 @@ impl EdgeSchedule {
     ///
     /// # Panics
     ///
-    /// Panics if `tile_vertices == 0`.
+    /// Panics if `tile_vertices == 0`. Use
+    /// [`EdgeSchedule::try_restructured_tiled`] for a fallible variant.
     pub fn restructured_tiled(r: &RestructuredSubgraphs, tile_vertices: usize) -> Self {
-        assert!(tile_vertices > 0, "tile must hold at least one vertex");
+        Self::try_restructured_tiled(r, tile_vertices).expect("tile must hold at least one vertex")
+    }
+
+    /// Fallible [`EdgeSchedule::restructured_tiled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::InvalidConfig`] if `tile_vertices == 0`.
+    pub fn try_restructured_tiled(
+        r: &RestructuredSubgraphs,
+        tile_vertices: usize,
+    ) -> GdrResult<Self> {
+        if tile_vertices == 0 {
+            return Err(GdrError::invalid_config(
+                "tile_vertices",
+                "tile must hold at least one vertex",
+            ));
+        }
         let mut edges = Vec::with_capacity(r.total_edges());
         for (kind, sg) in r.iter() {
             match kind {
@@ -259,7 +277,7 @@ impl EdgeSchedule {
                 }
             }
         }
-        Self::new("restructured-tiled", edges)
+        Ok(Self::new("restructured-tiled", edges))
     }
 
     /// Schedule label.
@@ -288,15 +306,50 @@ impl EdgeSchedule {
     }
 
     /// Checks that this schedule is a permutation of `g`'s edge multiset.
+    ///
+    /// # Errors
+    ///
+    /// As a validation entry point: [`EdgeSchedule::validate_for`] wraps
+    /// this check in a typed error.
     pub fn is_permutation_of(&self, g: &BipartiteGraph) -> bool {
         if self.edges.len() != g.edge_count() {
             return false;
         }
-        let mut a: Vec<(u32, u32)> = self.edges.iter().map(|e| (e.src.raw(), e.dst.raw())).collect();
+        let mut a: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| (e.src.raw(), e.dst.raw()))
+            .collect();
         let mut b: Vec<(u32, u32)> = g.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
         a.sort_unstable();
         b.sort_unstable();
         a == b
+    }
+
+    /// Typed-error variant of [`EdgeSchedule::is_permutation_of`], for
+    /// validation at API boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::LengthMismatch`] when the edge counts differ,
+    /// and [`GdrError::InvalidConfig`] when the counts match but the edge
+    /// multisets do not.
+    pub fn validate_for(&self, g: &BipartiteGraph) -> GdrResult<()> {
+        GdrError::check_aligned("schedule edges", g.edge_count(), self.edges.len())?;
+        if self.is_permutation_of(g) {
+            Ok(())
+        } else {
+            Err(GdrError::invalid_config(
+                "schedule",
+                format!("not a permutation of {}'s edges", g.name()),
+            ))
+        }
+    }
+}
+
+impl AsRef<EdgeSchedule> for EdgeSchedule {
+    fn as_ref(&self) -> &EdgeSchedule {
+        self
     }
 }
 

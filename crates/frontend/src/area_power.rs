@@ -28,9 +28,8 @@ impl FrontendAreaPower {
     /// Estimates the frontend at a technology node.
     pub fn estimate(cfg: &FrontendConfig, node: TechNode) -> Self {
         let cacti = CactiLite::new(node);
-        let buffers_bytes = (cfg.matching_buffer_bytes
-            + cfg.candidate_buffer_bytes
-            + cfg.adj_buffer_bytes) as u64;
+        let buffers_bytes =
+            (cfg.matching_buffer_bytes + cfg.candidate_buffer_bytes + cfg.adj_buffer_bytes) as u64;
         Self {
             fifos: cacti.fifo(cfg.fifo_bytes as u64),
             buffers: cacti.sram(buffers_bytes),
@@ -87,14 +86,20 @@ mod tests {
     #[test]
     fn area_lands_near_half_square_mm() {
         let a = estimate().total_area_mm2();
-        assert!(a > 0.35 && a < 0.70, "area {a} mm² not near the paper's 0.50");
+        assert!(
+            a > 0.35 && a < 0.70,
+            "area {a} mm² not near the paper's 0.50"
+        );
     }
 
     #[test]
     fn power_lands_near_paper_at_working_activity() {
         // restructuring streams ~16 GB/s through the buffers at full tilt
         let p = estimate().total_power_mw(16e9);
-        assert!(p > 25.0 && p < 110.0, "power {p} mW not near the paper's 55.6");
+        assert!(
+            p > 25.0 && p < 110.0,
+            "power {p} mW not near the paper's 55.6"
+        );
     }
 
     #[test]
@@ -112,9 +117,8 @@ mod tests {
     #[test]
     fn scaling_node_scales_area() {
         let c12 = estimate().total_area_mm2();
-        let c28 =
-            FrontendAreaPower::estimate(&FrontendConfig::default(), TechNode::generic28())
-                .total_area_mm2();
+        let c28 = FrontendAreaPower::estimate(&FrontendConfig::default(), TechNode::generic28())
+            .total_area_mm2();
         assert!(c28 > 3.0 * c12);
     }
 }

@@ -136,12 +136,12 @@ impl Decoupler {
             stats.phases += 1;
             queue.clear();
             let mut found_free_dst = false;
-            for s in 0..n_src {
+            for (s, slot) in dist.iter_mut().enumerate() {
                 if !matching.src_matched(s) && g.out_degree(s) > 0 {
-                    dist[s] = 0;
+                    *slot = 0;
                     queue.push_back(s as u32);
                 } else {
-                    dist[s] = INF;
+                    *slot = INF;
                 }
             }
             while let Some(u) = queue.pop_front() {
@@ -149,8 +149,7 @@ impl Decoupler {
                     stats.edge_probes += 1;
                     stats.fifo_pushes += 1;
                     // hash table allocates/locates Matching_FIFO[v]
-                    if let gdr_memsim::hashtable::Insert::Displaced { .. } = hash.insert(v as u64)
-                    {
+                    if let gdr_memsim::hashtable::Insert::Displaced { .. } = hash.insert(v as u64) {
                         stats.matching_buffer_spills += 1;
                     }
                     match matching.match_of_dst(v as usize) {
@@ -182,8 +181,7 @@ impl Decoupler {
                     let ok = match m.match_of_dst(v as usize) {
                         None => true,
                         Some(w) => {
-                            dist[w as usize] == dist[u as usize] + 1
-                                && dfs(w, g, m, dist, steps)
+                            dist[w as usize] == dist[u as usize] + 1 && dfs(w, g, m, dist, steps)
                         }
                     };
                     if ok {

@@ -10,6 +10,8 @@
 //!   subgraphs and their schedule;
 //! * [`pipeline`] — the epoch-overlapped Decoupler → Recoupler →
 //!   accelerator pipeline with exposed-cycle accounting;
+//! * [`session`] — the lazy, streaming [`Session`] API: per-graph
+//!   results on demand, parallel fan-out across cores;
 //! * [`area_power`] — Fig. 10's component-level area/power estimate;
 //! * [`config`] — Table 3 hardware parameters.
 //!
@@ -18,12 +20,12 @@
 //! ```
 //! use gdr_hetgraph::datasets::Dataset;
 //! use gdr_frontend::config::FrontendConfig;
-//! use gdr_frontend::pipeline::FrontendPipeline;
+//! use gdr_frontend::session::Session;
 //!
 //! let het = Dataset::Acm.build_scaled(1, 0.03);
 //! let graphs = het.all_semantic_graphs();
-//! let run = FrontendPipeline::new(FrontendConfig::default()).process_all(&graphs);
-//! for (g, r) in graphs.iter().zip(run.per_graph()) {
+//! let session = Session::new(FrontendConfig::default(), &graphs);
+//! for (g, r) in graphs.iter().zip(session.iter()) {
 //!     assert!(r.schedule.is_permutation_of(g));
 //! }
 //! ```
@@ -36,9 +38,11 @@ pub mod config;
 pub mod decoupler;
 pub mod pipeline;
 pub mod recoupler;
+pub mod session;
 
 pub use area_power::FrontendAreaPower;
 pub use config::FrontendConfig;
 pub use decoupler::{Decoupler, DecouplerRun};
 pub use pipeline::{FrontendPipeline, FrontendRun, GraphResult};
 pub use recoupler::{Recoupler, RecouplerRun};
+pub use session::Session;

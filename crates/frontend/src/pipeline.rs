@@ -8,7 +8,7 @@
 //! cycles are exposed.
 
 use gdr_core::schedule::EdgeSchedule;
-use gdr_hetgraph::BipartiteGraph;
+use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult};
 use gdr_memsim::hbm::MemRequest;
 
 use crate::config::FrontendConfig;
@@ -41,14 +41,24 @@ pub struct FrontendRun {
 }
 
 impl FrontendRun {
+    /// Aggregates per-graph results (input order) into a run. This is
+    /// the adapter between the streaming [`crate::session::Session`] API
+    /// and the batch totals below.
+    pub fn from_results(per_graph: Vec<GraphResult>) -> Self {
+        Self { per_graph }
+    }
+
     /// Per-graph results in input order.
     pub fn per_graph(&self) -> &[GraphResult] {
         &self.per_graph
     }
 
-    /// The restructured schedules, index-aligned with the input graphs.
-    pub fn schedules(&self) -> Vec<EdgeSchedule> {
-        self.per_graph.iter().map(|g| g.schedule.clone()).collect()
+    /// The restructured schedules, index-aligned with the input graphs,
+    /// borrowed from the per-graph results. Collect into
+    /// `Vec<&EdgeSchedule>` to feed an accelerator — no edge lists are
+    /// cloned.
+    pub fn schedules(&self) -> impl ExactSizeIterator<Item = &EdgeSchedule> + '_ {
+        self.per_graph.iter().map(|g| &g.schedule)
     }
 
     /// Sum of frontend cycles over all graphs (un-overlapped).
@@ -74,24 +84,26 @@ impl FrontendRun {
     /// whatever part of the total frontend work the accelerator cannot
     /// absorb while executing everything but its last graph.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slice length does not match the number of graphs.
-    pub fn exposed_cycles(&self, accel_cycles_per_graph: &[u64]) -> u64 {
-        assert_eq!(
-            accel_cycles_per_graph.len(),
+    /// Returns [`GdrError::LengthMismatch`] if the slice length does not
+    /// match the number of graphs — the overlap accounting is meaningless
+    /// unless exactly one accelerator time is supplied per semantic graph.
+    pub fn exposed_cycles(&self, accel_cycles_per_graph: &[u64]) -> GdrResult<u64> {
+        GdrError::check_aligned(
+            "accelerator times",
             self.per_graph.len(),
-            "one accelerator time per semantic graph"
-        );
+            accel_cycles_per_graph.len(),
+        )?;
         if self.per_graph.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let first = self.per_graph.first().map(|g| g.cycles).unwrap_or(0);
         let total_fc = self.total_cycles();
         let total_accel: u64 = accel_cycles_per_graph.iter().sum();
         let absorbable =
             total_accel.saturating_sub(accel_cycles_per_graph.last().copied().unwrap_or(0));
-        first.max(total_fc.saturating_sub(absorbable))
+        Ok(first.max(total_fc.saturating_sub(absorbable)))
     }
 }
 
@@ -146,11 +158,14 @@ impl FrontendPipeline {
         }
     }
 
-    /// Restructures every semantic graph of a dataset.
+    /// Restructures every semantic graph of a dataset, eagerly.
+    ///
+    /// This is the batch adapter over the streaming API: equivalent to
+    /// `Session::with_pipeline(self.clone(), graphs).process()`. Prefer
+    /// [`crate::session::Session`] when results should stream per graph
+    /// or fan out across cores.
     pub fn process_all(&self, graphs: &[BipartiteGraph]) -> FrontendRun {
-        FrontendRun {
-            per_graph: graphs.iter().map(|g| self.process(g)).collect(),
-        }
+        FrontendRun::from_results(graphs.iter().map(|g| self.process(g)).collect())
     }
 }
 
@@ -169,7 +184,7 @@ mod tests {
     #[test]
     fn schedules_align_and_permute() {
         let (graphs, run) = run();
-        let schedules = run.schedules();
+        let schedules: Vec<&EdgeSchedule> = run.schedules().collect();
         assert_eq!(schedules.len(), graphs.len());
         for (g, s) in graphs.iter().zip(&schedules) {
             assert!(s.is_permutation_of(g), "{}", g.name());
@@ -193,10 +208,13 @@ mod tests {
         let n = run.per_graph().len();
         // accelerator far slower than the frontend: only graph 0 exposed
         let slow = vec![u64::MAX / 16; n];
-        assert_eq!(run.exposed_cycles(&slow), run.per_graph()[0].cycles);
+        assert_eq!(
+            run.exposed_cycles(&slow).unwrap(),
+            run.per_graph()[0].cycles
+        );
         // accelerator instant: everything exposed
         let instant = vec![0; n];
-        assert_eq!(run.exposed_cycles(&instant), run.total_cycles());
+        assert_eq!(run.exposed_cycles(&instant).unwrap(), run.total_cycles());
     }
 
     #[test]
@@ -211,9 +229,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one accelerator time per semantic graph")]
-    fn exposed_cycles_validates_length() {
+    fn exposed_cycles_length_mismatch_is_err() {
         let (_, run) = run();
-        let _ = run.exposed_cycles(&[1, 2]);
+        let n = run.per_graph().len();
+        assert_ne!(n, 2, "test wants a real mismatch");
+        let err = run.exposed_cycles(&[1, 2]).unwrap_err();
+        assert_eq!(err, GdrError::length_mismatch("accelerator times", n, 2));
+        // empty run, empty times: trivially zero exposure, not an error
+        let empty = FrontendRun::from_results(Vec::new());
+        assert_eq!(empty.exposed_cycles(&[]).unwrap(), 0);
     }
 }

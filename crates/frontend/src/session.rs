@@ -1,0 +1,223 @@
+//! The streaming frontend session: lazy, per-graph restructuring.
+//!
+//! [`FrontendPipeline::process_all`] is an eager batch API: it
+//! restructures every semantic graph before the caller sees the first
+//! result. A [`Session`] is the lazy counterpart — it borrows the
+//! semantic graphs, restructures on demand ([`Session::iter`] streams
+//! one [`GraphResult`] per graph, in input order), and can fan the
+//! independent per-graph work out across cores
+//! ([`Session::par_process`]) with no extra cloning. Batch totals remain
+//! available by collecting the stream back into a [`FrontendRun`].
+//!
+//! Parallelism uses `std::thread::scope` with an atomic work queue
+//! rather than an external thread pool, so the crate stays
+//! dependency-free; semantic graphs vary widely in size, and the
+//! work-stealing index keeps lanes busy despite that skew.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gdr_hetgraph::BipartiteGraph;
+
+use crate::config::FrontendConfig;
+use crate::pipeline::{FrontendPipeline, FrontendRun, GraphResult};
+
+/// A lazy frontend run over a borrowed set of semantic graphs.
+///
+/// # Examples
+///
+/// Stream results one graph at a time:
+///
+/// ```
+/// use gdr_hetgraph::datasets::Dataset;
+/// use gdr_frontend::config::FrontendConfig;
+/// use gdr_frontend::session::Session;
+///
+/// let het = Dataset::Acm.build_scaled(1, 0.03);
+/// let graphs = het.all_semantic_graphs();
+/// let session = Session::new(FrontendConfig::default(), &graphs);
+/// for (g, r) in graphs.iter().zip(session.iter()) {
+///     assert!(r.schedule.is_permutation_of(g));
+/// }
+/// ```
+///
+/// Restructure all graphs in parallel, then aggregate:
+///
+/// ```
+/// use gdr_hetgraph::datasets::Dataset;
+/// use gdr_frontend::config::FrontendConfig;
+/// use gdr_frontend::session::Session;
+///
+/// let het = Dataset::Acm.build_scaled(1, 0.03);
+/// let graphs = het.all_semantic_graphs();
+/// let run = Session::new(FrontendConfig::default(), &graphs).par_process();
+/// assert_eq!(run.per_graph().len(), graphs.len());
+/// assert!(run.total_cycles() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session<'g> {
+    pipeline: FrontendPipeline,
+    graphs: &'g [BipartiteGraph],
+}
+
+impl<'g> Session<'g> {
+    /// Opens a session over `graphs` with the given hardware
+    /// configuration. No work happens until results are pulled.
+    pub fn new(cfg: FrontendConfig, graphs: &'g [BipartiteGraph]) -> Self {
+        Self {
+            pipeline: FrontendPipeline::new(cfg),
+            graphs,
+        }
+    }
+
+    /// Opens a session reusing an existing pipeline.
+    pub fn with_pipeline(pipeline: FrontendPipeline, graphs: &'g [BipartiteGraph]) -> Self {
+        Self { pipeline, graphs }
+    }
+
+    /// The semantic graphs this session is bound to.
+    pub fn graphs(&self) -> &'g [BipartiteGraph] {
+        self.graphs
+    }
+
+    /// Number of semantic graphs in the session.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the session holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Lazily streams one [`GraphResult`] per semantic graph, in input
+    /// order. Each result is computed when the iterator is advanced —
+    /// nothing is buffered, so a consumer that stops early (or feeds an
+    /// accelerator graph-by-graph, as the §4.3 overlap pipeline does)
+    /// never pays for the tail.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = GraphResult> + '_ {
+        self.graphs.iter().map(|g| self.pipeline.process(g))
+    }
+
+    /// Restructures every graph sequentially and aggregates the results
+    /// — the streaming equivalent of the old
+    /// [`FrontendPipeline::process_all`].
+    pub fn process(&self) -> FrontendRun {
+        FrontendRun::from_results(self.iter().collect())
+    }
+
+    /// Restructures every graph in parallel across the machine's cores
+    /// and aggregates the results in input order.
+    ///
+    /// Semantic graphs are independent restructuring problems, so this
+    /// is an embarrassingly-parallel fan-out: worker threads pull graph
+    /// indices from a shared atomic counter (cheap work stealing — graph
+    /// sizes are heavily skewed) and write results back slot-for-slot.
+    /// The output is bit-identical to [`Session::process`].
+    pub fn par_process(&self) -> FrontendRun {
+        self.par_process_with(available_workers())
+    }
+
+    /// [`Session::par_process`] with an explicit worker count
+    /// (`workers == 1` degrades to the sequential path).
+    pub fn par_process_with(&self, workers: usize) -> FrontendRun {
+        let n = self.graphs.len();
+        let workers = workers.clamp(1, n.max(1));
+        if workers <= 1 || n <= 1 {
+            return self.process();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, GraphResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, self.pipeline.process(&self.graphs[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("frontend worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        FrontendRun::from_results(indexed.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
+/// Worker count for [`Session::par_process`]: one per available core.
+fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdr_hetgraph::datasets::Dataset;
+
+    fn graphs() -> Vec<BipartiteGraph> {
+        Dataset::Imdb.build_scaled(1, 0.05).all_semantic_graphs()
+    }
+
+    #[test]
+    fn streaming_matches_batch_graph_for_graph() {
+        let graphs = graphs();
+        let cfg = FrontendConfig::default();
+        let batch = FrontendPipeline::new(cfg.clone()).process_all(&graphs);
+        let session = Session::new(cfg, &graphs);
+        let mut streamed = 0;
+        for (b, s) in batch.per_graph().iter().zip(session.iter()) {
+            assert_eq!(b.schedule, s.schedule);
+            assert_eq!(b.cycles, s.cycles);
+            assert_eq!(b.matching_size, s.matching_size);
+            assert_eq!(b.backbone_size, s.backbone_size);
+            streamed += 1;
+        }
+        assert_eq!(streamed, graphs.len());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let graphs = graphs();
+        let session = Session::new(FrontendConfig::default(), &graphs);
+        let seq = session.process();
+        for workers in [1, 2, 7, 64] {
+            let par = session.par_process_with(workers);
+            assert_eq!(seq.per_graph().len(), par.per_graph().len());
+            for (a, b) in seq.per_graph().iter().zip(par.per_graph()) {
+                assert_eq!(a.schedule, b.schedule, "workers={workers}");
+                assert_eq!(a.cycles, b.cycles, "workers={workers}");
+                assert_eq!(a.requests, b.requests, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_is_lazy_and_sized() {
+        let graphs = graphs();
+        let session = Session::new(FrontendConfig::default(), &graphs);
+        let mut it = session.iter();
+        assert_eq!(it.len(), graphs.len());
+        // pulling one result must not require the rest
+        let first = it.next().expect("non-empty dataset");
+        assert!(first.schedule.is_permutation_of(&graphs[0]));
+        assert_eq!(it.len(), graphs.len() - 1);
+    }
+
+    #[test]
+    fn empty_session() {
+        let session = Session::new(FrontendConfig::default(), &[]);
+        assert!(session.is_empty());
+        assert_eq!(session.par_process().per_graph().len(), 0);
+        assert_eq!(session.process().total_cycles(), 0);
+    }
+}

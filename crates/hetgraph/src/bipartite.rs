@@ -178,7 +178,9 @@ impl BipartiteGraph {
 
     /// Average in-degree over destinations with at least one neighbor.
     pub fn mean_in_degree(&self) -> f64 {
-        let touched = (0..self.dst_count()).filter(|&d| self.in_degree(d) > 0).count();
+        let touched = (0..self.dst_count())
+            .filter(|&d| self.in_degree(d) > 0)
+            .count();
         if touched == 0 {
             0.0
         } else {

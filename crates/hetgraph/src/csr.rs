@@ -93,8 +93,14 @@ impl Csr {
     /// non-decreasing or does not have `rows + 1` entries ending at
     /// `cols.len()`, and [`GraphError::VertexOutOfRange`] for column
     /// overflow.
-    pub fn from_raw(rows: usize, cols: usize, offsets: Vec<u32>, col_store: Vec<u32>) -> Result<Self> {
-        if offsets.len() != rows + 1 || offsets.last().copied().unwrap_or(0) as usize != col_store.len()
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        offsets: Vec<u32>,
+        col_store: Vec<u32>,
+    ) -> Result<Self> {
+        if offsets.len() != rows + 1
+            || offsets.last().copied().unwrap_or(0) as usize != col_store.len()
         {
             return Err(GraphError::MalformedCsr { row: rows });
         }
@@ -165,9 +171,7 @@ impl Csr {
 
     /// Iterates all edges as `(row, col)` pairs in row-major order.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.rows).flat_map(move |r| {
-            self.neighbors(r).iter().map(move |&c| (r as u32, c))
-        })
+        (0..self.rows).flat_map(move |r| self.neighbors(r).iter().map(move |&c| (r as u32, c)))
     }
 
     /// Iterates all edges as [`Edge`] values in row-major order.
@@ -239,7 +243,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let err = Csr::from_pairs(2, 2, &[(2, 0)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { what: "source", .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { what: "source", .. }
+        ));
         let err = Csr::from_pairs(2, 2, &[(0, 5)]).unwrap_err();
         assert!(matches!(
             err,

@@ -120,7 +120,10 @@ fn build_imdb(seed: u64, sc: f64) -> Result<HeteroGraph> {
         .dst_alpha(0.85)
         .dedup(true)
         .generate("M->A", seed ^ 0x01);
-    let pairs: Vec<_> = m_a.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = m_a
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, ma, am, &pairs)?;
 
     // M->K: ~4.8 keywords per movie, keywords heavily skewed (HGB: 23,610).
@@ -128,12 +131,18 @@ fn build_imdb(seed: u64, sc: f64) -> Result<HeteroGraph> {
         .dst_alpha(1.0)
         .dedup(true)
         .generate("M->K", seed ^ 0x02);
-    let pairs: Vec<_> = m_k.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = m_k
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, mk, km, &pairs)?;
 
     // M->D: exactly one director per movie, prolific directors skewed.
     let m_d = fixed_out_degree("M->D", n_m, n_d, 1, 0.75, seed ^ 0x03);
-    let pairs: Vec<_> = m_d.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = m_d
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, md, dm, &pairs)?;
 
     Ok(g)
@@ -166,12 +175,18 @@ fn build_acm(seed: u64, sc: f64) -> Result<HeteroGraph> {
         .dst_alpha(1.05)
         .dedup(true)
         .generate("P->T", seed ^ 0x11);
-    let pairs: Vec<_> = p_t.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = p_t
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, pt, tp, &pairs)?;
 
     // P->S: one subject per paper.
     let p_s = fixed_out_degree("P->S", n_p, n_s, 1, 0.6, seed ^ 0x12);
-    let pairs: Vec<_> = p_s.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = p_s
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, ps, sp, &pairs)?;
 
     // P->P: citations (HGB: 5,343), cited papers skewed.
@@ -179,7 +194,10 @@ fn build_acm(seed: u64, sc: f64) -> Result<HeteroGraph> {
         .dst_alpha(0.9)
         .dedup(true)
         .generate("P->P", seed ^ 0x13);
-    let pairs: Vec<_> = p_p.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = p_p
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, pp, pp_rev, &pairs)?;
 
     // P->A: authorship (HGB: 9,949).
@@ -187,7 +205,10 @@ fn build_acm(seed: u64, sc: f64) -> Result<HeteroGraph> {
         .dst_alpha(0.8)
         .dedup(true)
         .generate("P->A", seed ^ 0x14);
-    let pairs: Vec<_> = p_a.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = p_a
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, pa, ap, &pairs)?;
 
     Ok(g)
@@ -218,12 +239,18 @@ fn build_dblp(seed: u64, sc: f64) -> Result<HeteroGraph> {
         .dst_alpha(0.9)
         .dedup(true)
         .generate("P->A", seed ^ 0x21);
-    let pairs: Vec<_> = p_a.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = p_a
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, pa, ap, &pairs)?;
 
     // P->V: one venue per paper, top venues publish most papers.
     let p_v = fixed_out_degree("P->V", n_p, n_v, 1, 0.5, seed ^ 0x22);
-    let pairs: Vec<_> = p_v.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = p_v
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, pv, vp, &pairs)?;
 
     // P->T: title terms (HGB: 85,810), stop-word-like skew.
@@ -231,7 +258,10 @@ fn build_dblp(seed: u64, sc: f64) -> Result<HeteroGraph> {
         .dst_alpha(1.05)
         .dedup(true)
         .generate("P->T", seed ^ 0x23);
-    let pairs: Vec<_> = p_t.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<_> = p_t
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     add_bidirectional(&mut g, pt, tp, &pairs)?;
 
     Ok(g)
@@ -245,7 +275,11 @@ mod tests {
     fn table2_vertex_counts_exact() {
         let imdb = Dataset::Imdb.build(1);
         let s = imdb.schema();
-        let count = |n: &str| s.vertex_type(s.vertex_type_by_name(n).unwrap()).unwrap().count();
+        let count = |n: &str| {
+            s.vertex_type(s.vertex_type_by_name(n).unwrap())
+                .unwrap()
+                .count()
+        };
         assert_eq!(count("movie"), 4932);
         assert_eq!(count("director"), 2393);
         assert_eq!(count("actor"), 6124);
@@ -253,7 +287,11 @@ mod tests {
 
         let acm = Dataset::Acm.build(1);
         let s = acm.schema();
-        let count = |n: &str| s.vertex_type(s.vertex_type_by_name(n).unwrap()).unwrap().count();
+        let count = |n: &str| {
+            s.vertex_type(s.vertex_type_by_name(n).unwrap())
+                .unwrap()
+                .count()
+        };
         assert_eq!(count("paper"), 3025);
         assert_eq!(count("author"), 5959);
         assert_eq!(count("subject"), 56);
@@ -261,7 +299,11 @@ mod tests {
 
         let dblp = Dataset::Dblp.build(1);
         let s = dblp.schema();
-        let count = |n: &str| s.vertex_type(s.vertex_type_by_name(n).unwrap()).unwrap().count();
+        let count = |n: &str| {
+            s.vertex_type(s.vertex_type_by_name(n).unwrap())
+                .unwrap()
+                .count()
+        };
         assert_eq!(count("author"), 4057);
         assert_eq!(count("paper"), 14328);
         assert_eq!(count("term"), 7723);

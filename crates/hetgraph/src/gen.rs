@@ -131,7 +131,10 @@ impl ZipfSampler {
     }
 
     fn sample(&self, rng: &mut SmallRng) -> u32 {
-        let total = *self.cumulative.last().expect("sampler over non-empty space");
+        let total = *self
+            .cumulative
+            .last()
+            .expect("sampler over non-empty space");
         let x = rng.gen_range(0.0..total);
         let idx = self.cumulative.partition_point(|&c| c <= x);
         self.permutation[idx.min(self.permutation.len() - 1)]
@@ -164,7 +167,10 @@ pub fn fixed_out_degree(
     dst_alpha: f64,
     seed: u64,
 ) -> BipartiteGraph {
-    assert!(degree <= dst_count, "fixed degree exceeds destination count");
+    assert!(
+        degree <= dst_count,
+        "fixed degree exceeds destination count"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let sampler = ZipfSampler::new(dst_count, dst_alpha, &mut rng);
     let mut pairs = Vec::with_capacity(src_count * degree);
@@ -252,7 +258,9 @@ mod tests {
 
     #[test]
     fn power_law_is_deterministic() {
-        let c = PowerLawConfig::new(50, 40, 200).src_alpha(0.9).dst_alpha(0.9);
+        let c = PowerLawConfig::new(50, 40, 200)
+            .src_alpha(0.9)
+            .dst_alpha(0.9);
         let g1 = c.generate("g", 11);
         let g2 = c.generate("g", 11);
         assert_eq!(g1, g2);

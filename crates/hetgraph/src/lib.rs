@@ -46,7 +46,7 @@ pub mod stats;
 
 pub use bipartite::BipartiteGraph;
 pub use csr::Csr;
-pub use error::{GraphError, Result};
+pub use error::{GdrError, GdrResult, GraphError, Result};
 pub use hetero::HeteroGraph;
 pub use ids::{Edge, RelationId, VertexId, VertexTypeId};
 pub use schema::{Relation, Schema, VertexType};

@@ -76,11 +76,7 @@ pub fn compose(name: &str, a: &BipartiteGraph, b: &BipartiteGraph) -> Result<Bip
 /// assert_eq!(pap.src_count(), pap.dst_count());
 /// # Ok::<(), gdr_hetgraph::GraphError>(())
 /// ```
-pub fn metapath_graph(
-    g: &HeteroGraph,
-    name: &str,
-    chain: &[RelationId],
-) -> Result<BipartiteGraph> {
+pub fn metapath_graph(g: &HeteroGraph, name: &str, chain: &[RelationId]) -> Result<BipartiteGraph> {
     let (first, rest) = chain.split_first().ok_or(GraphError::EmptyGraph)?;
     let mut acc = g.semantic_graph(*first)?;
     for (i, rel) in rest.iter().enumerate() {
@@ -130,11 +126,7 @@ mod tests {
         assert_eq!(apa.name(), "A-P-A");
         // every author with >=1 paper reaches at least itself
         for s in 0..apa.src_count() {
-            let has_paper = !g
-                .semantic_graph(ap)
-                .unwrap()
-                .out_neighbors(s)
-                .is_empty();
+            let has_paper = !g.semantic_graph(ap).unwrap().out_neighbors(s).is_empty();
             if has_paper {
                 assert!(apa.out_csr().contains(s as u32, s as u32));
             }

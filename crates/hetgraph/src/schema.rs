@@ -121,7 +121,8 @@ impl Schema {
             return Err(GraphError::DuplicateName { name });
         }
         let id = VertexTypeId::new(self.vertex_types.len() as u16);
-        self.vertex_types.push(VertexType::new(name, count, feature_dim));
+        self.vertex_types
+            .push(VertexType::new(name, count, feature_dim));
         Ok(id)
     }
 

@@ -211,7 +211,10 @@ impl HgnnReference {
         let mut projected: HashMap<VertexTypeId, Matrix> = HashMap::new();
         for (i, vt) in schema.vertex_types().iter().enumerate() {
             let ty = VertexTypeId::new(i as u16);
-            projected.insert(ty, self.project_type(vt.count(), vt.feature_dim(), i as u64));
+            projected.insert(
+                ty,
+                self.project_type(vt.count(), vt.feature_dim(), i as u64),
+            );
         }
         // NA per semantic graph, grouped by destination type.
         let mut per_dst: HashMap<VertexTypeId, Vec<Matrix>> = HashMap::new();
@@ -221,7 +224,8 @@ impl HgnnReference {
                 sg.dst_ty().expect("SGB attaches provenance"),
             );
             let rel_tag = sg.relation().map(|r| r.index() as u64).unwrap_or(0);
-            let na = self.neighbor_aggregation(&sg, &projected[&src_ty], &projected[&dst_ty], rel_tag);
+            let na =
+                self.neighbor_aggregation(&sg, &projected[&src_ty], &projected[&dst_ty], rel_tag);
             per_dst.entry(dst_ty).or_default().push(na);
         }
         per_dst

@@ -237,8 +237,7 @@ mod tests {
         b.access(1);
         b.access(2); // evicts 1
         b.access(1); // refetch 1
-        let rt: std::collections::HashMap<u64, u32> =
-            b.replacement_times().into_iter().collect();
+        let rt: std::collections::HashMap<u64, u32> = b.replacement_times().into_iter().collect();
         assert_eq!(rt[&1], 1);
         assert_eq!(rt[&2], 0);
     }

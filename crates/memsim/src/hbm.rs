@@ -235,8 +235,9 @@ impl HbmModel {
             self.open_rows[slot] = Some(row);
             self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
         };
-        let transfer =
-            (req.bytes as u64).div_ceil(self.cfg.channel_bytes_per_cycle()).max(1);
+        let transfer = (req.bytes as u64)
+            .div_ceil(self.cfg.channel_bytes_per_cycle())
+            .max(1);
         let start = now.max(self.channel_free[ch]);
         let completion = start + prep + transfer;
         // The data bus is held for the transfer; activation overlaps with
@@ -274,8 +275,7 @@ impl HbmModel {
         if elapsed_cycles == 0 {
             return 0.0;
         }
-        self.stats.bytes_total() as f64
-            / (self.cfg.bytes_per_cycle as f64 * elapsed_cycles as f64)
+        self.stats.bytes_total() as f64 / (self.cfg.bytes_per_cycle as f64 * elapsed_cycles as f64)
     }
 }
 
@@ -298,9 +298,8 @@ mod tests {
     #[test]
     fn scattered_reads_miss_rows() {
         let mut hbm = HbmModel::new(HbmConfig::hbm1_512gbps());
-        let stride = HbmConfig::hbm1_512gbps().row_bytes
-            * HbmConfig::hbm1_512gbps().banks as u64
-            * 7; // distinct rows, same bank pattern
+        let stride =
+            HbmConfig::hbm1_512gbps().row_bytes * HbmConfig::hbm1_512gbps().banks as u64 * 7; // distinct rows, same bank pattern
         for i in 0..8 {
             hbm.access_at(0, MemRequest::read(i * stride, 64));
         }
@@ -314,13 +313,11 @@ mod tests {
         let interleave = cfg.interleave_bytes;
         let mut hbm = HbmModel::new(cfg.clone());
         // 8 requests on 8 distinct channels: makespan ≈ one request's time
-        let t_parallel = hbm.drain_trace(
-            0,
-            (0..8).map(|i| MemRequest::read(i * interleave, 256)),
-        );
+        let t_parallel = hbm.drain_trace(0, (0..8).map(|i| MemRequest::read(i * interleave, 256)));
         let mut hbm2 = HbmModel::new(cfg);
         // 8 requests on one channel: serialized transfers
-        let t_serial = hbm2.drain_trace(0, (0..8).map(|i| MemRequest::read(i * 8 * interleave, 256)));
+        let t_serial =
+            hbm2.drain_trace(0, (0..8).map(|i| MemRequest::read(i * 8 * interleave, 256)));
         assert!(
             t_serial > t_parallel,
             "serial {t_serial} should exceed parallel {t_parallel}"
@@ -361,8 +358,12 @@ mod tests {
 
     #[test]
     fn baseline_configs_differ_in_bandwidth() {
-        assert!(HbmConfig::hbm2e_1555gbps().bytes_per_cycle > HbmConfig::hbm1_512gbps().bytes_per_cycle);
-        assert!(HbmConfig::hbm1_512gbps().bytes_per_cycle > HbmConfig::gddr6_320gbps().bytes_per_cycle);
+        assert!(
+            HbmConfig::hbm2e_1555gbps().bytes_per_cycle > HbmConfig::hbm1_512gbps().bytes_per_cycle
+        );
+        assert!(
+            HbmConfig::hbm1_512gbps().bytes_per_cycle > HbmConfig::gddr6_320gbps().bytes_per_cycle
+        );
     }
 
     #[test]

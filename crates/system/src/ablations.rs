@@ -25,10 +25,7 @@ pub fn largest_semantic_graph(cfg: &ExperimentConfig, dataset: Dataset) -> Bipar
 
 /// A1: NA buffer misses per scheduling strategy on one semantic graph.
 /// Returns `(strategy label, misses)`; lower is better.
-pub fn ablation_backbone(
-    g: &BipartiteGraph,
-    buffer_features: usize,
-) -> Vec<(String, u64)> {
+pub fn ablation_backbone(g: &BipartiteGraph, buffer_features: usize) -> Vec<(String, u64)> {
     let sim = NaBufferSim::new(buffer_features, 8);
     let mut out = Vec::new();
     let baseline = sim.simulate(g, &EdgeSchedule::dst_major(g), 0);
@@ -67,10 +64,7 @@ pub fn ablation_recursive(
 }
 
 /// A3: NA buffer capacity sweep: `(features, baseline misses, gdr misses)`.
-pub fn ablation_buffer_sweep(
-    g: &BipartiteGraph,
-    capacities: &[usize],
-) -> Vec<(usize, u64, u64)> {
+pub fn ablation_buffer_sweep(g: &BipartiteGraph, capacities: &[usize]) -> Vec<(usize, u64, u64)> {
     let r = Restructurer::new()
         .backbone_strategy(BackboneStrategy::KonigExact)
         .restructure(g);

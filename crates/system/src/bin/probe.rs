@@ -11,8 +11,14 @@ use gdr_hgnn::workload::Workload;
 
 fn main() {
     let cfg = HiHgnnConfig::default();
-    let window: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(cfg.na_window_features());
-    let tile: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(window / 8);
+    let window: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(cfg.na_window_features());
+    let tile: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(window / 8);
     println!("window={window} tile={tile}");
     for ds in [Dataset::Acm, Dataset::Imdb, Dataset::Dblp] {
         let het = ds.build(42);
@@ -23,7 +29,8 @@ fn main() {
         let restr = Restructurer::new().backbone_strategy(BackboneStrategy::Paper);
         let base_scheds: Vec<EdgeSchedule> = graphs.iter().map(EdgeSchedule::dst_major).collect();
         let mode = std::env::args().nth(3).unwrap_or_else(|| "bb".into());
-        let gdr_scheds: Vec<EdgeSchedule> = graphs.iter()
+        let gdr_scheds: Vec<EdgeSchedule> = graphs
+            .iter()
             .map(|g| {
                 let r = restr.restructure(g);
                 match mode.as_str() {
@@ -36,14 +43,29 @@ fn main() {
         let mut b = (0u64, 0u64);
         let mut g_ = (0u64, 0u64);
         for wave in order.chunks(cfg.lanes) {
-            let items: Vec<_> = wave.iter().map(|&gi| (&graphs[gi], &base_scheds[gi], gi as u64)).collect();
+            let items: Vec<_> = wave
+                .iter()
+                .map(|&gi| (&graphs[gi], &base_scheds[gi], gi as u64))
+                .collect();
             let t = sim.simulate_wave(&items, 16);
-            b.0 += t.misses; b.1 += t.bytes();
-            let items: Vec<_> = wave.iter().map(|&gi| (&graphs[gi], &gdr_scheds[gi], gi as u64)).collect();
+            b.0 += t.misses;
+            b.1 += t.bytes();
+            let items: Vec<_> = wave
+                .iter()
+                .map(|&gi| (&graphs[gi], &gdr_scheds[gi], gi as u64))
+                .collect();
             let t = sim.simulate_wave(&items, 16);
-            g_.0 += t.misses; g_.1 += t.bytes();
+            g_.0 += t.misses;
+            g_.1 += t.bytes();
         }
-        println!("{}: base misses={} bytes={}  gdr-tiled misses={} bytes={}  ratio={:.2}",
-            ds.name(), b.0, b.1, g_.0, g_.1, b.1 as f64 / g_.1 as f64);
+        println!(
+            "{}: base misses={} bytes={}  gdr-tiled misses={} bytes={}  ratio={:.2}",
+            ds.name(),
+            b.0,
+            b.1,
+            g_.0,
+            g_.1,
+            b.1 as f64 / g_.1 as f64
+        );
     }
 }

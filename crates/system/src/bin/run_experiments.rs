@@ -7,9 +7,7 @@ use gdr_hetgraph::datasets::Dataset;
 use gdr_system::ablations::{
     ablation_backbone, ablation_buffer_sweep, ablation_recursive, largest_semantic_graph,
 };
-use gdr_system::experiments::{
-    fig10, fig2, fig7, fig8, fig9, motivation_l2, table2, table3,
-};
+use gdr_system::experiments::{fig10, fig2, fig7, fig8, fig9, motivation_l2, table2, table3};
 use gdr_system::grid::{run_grid, ExperimentConfig};
 
 fn main() {
@@ -98,10 +96,7 @@ fn main() {
         println!("- depth {depth}: {misses} misses");
     }
     println!("\n### A3: NA buffer sweep\n");
-    for (c, base, gdr) in ablation_buffer_sweep(
-        &g,
-        &[cap / 8, cap / 4, cap / 2, cap, cap * 2],
-    ) {
+    for (c, base, gdr) in ablation_buffer_sweep(&g, &[cap / 8, cap / 4, cap / 2, cap, cap * 2]) {
         println!("- {c} features: baseline {base}, gdr {gdr}");
     }
 }

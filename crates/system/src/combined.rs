@@ -6,9 +6,12 @@
 
 use gdr_accel::calib::DRAM_ACCESS_BYTES;
 use gdr_accel::hihgnn::{HiHgnnConfig, HiHgnnRun, HiHgnnSim};
+use gdr_accel::platform::{Platform, PlatformRun};
+use gdr_core::schedule::EdgeSchedule;
 use gdr_frontend::config::FrontendConfig;
-use gdr_frontend::pipeline::{FrontendPipeline, FrontendRun};
-use gdr_hetgraph::BipartiteGraph;
+use gdr_frontend::pipeline::FrontendRun;
+use gdr_frontend::session::Session;
+use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult};
 use gdr_hgnn::workload::Workload;
 
 /// Result of one combined-system execution.
@@ -74,24 +77,55 @@ impl CombinedSystem {
     }
 
     /// Executes a workload through frontend + accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is not index-aligned with the workload. Use
+    /// [`CombinedSystem::try_execute`] for a fallible variant.
     pub fn execute(&self, workload: &Workload, graphs: &[BipartiteGraph]) -> CombinedRun {
-        // Frontend restructures every semantic graph.
-        let frontend = FrontendPipeline::new(self.frontend_cfg.clone()).process_all(graphs);
-        let schedules = frontend.schedules();
+        self.try_execute(workload, graphs)
+            .expect("combined-system execution inputs misaligned")
+    }
 
-        // Accelerator executes the restructured schedules.
-        let mut accel = HiHgnnSim::new(self.accel_cfg.clone()).execute(
+    /// Fallible [`CombinedSystem::execute`].
+    ///
+    /// The frontend runs as a parallel [`Session`] over the semantic
+    /// graphs (they are independent restructuring problems) and the
+    /// accelerator borrows the restructured schedules straight out of
+    /// the frontend results — no edge lists are cloned on this path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::LengthMismatch`] if `graphs` is not
+    /// index-aligned with the workload descriptors.
+    pub fn try_execute(
+        &self,
+        workload: &Workload,
+        graphs: &[BipartiteGraph],
+    ) -> GdrResult<CombinedRun> {
+        GdrError::check_aligned(
+            "workload graph descriptors",
+            workload.graphs().len(),
+            graphs.len(),
+        )?;
+        // Frontend restructures every semantic graph (in parallel — each
+        // graph is independent).
+        let frontend = Session::new(self.frontend_cfg.clone(), graphs).par_process();
+        let schedules: Vec<&EdgeSchedule> = frontend.schedules().collect();
+
+        // Accelerator executes the restructured schedules, borrowed from
+        // the frontend run.
+        let mut accel = HiHgnnSim::new(self.accel_cfg.clone()).try_execute(
             workload,
             graphs,
             Some(&schedules),
             "HiHGNN+GDR",
-        );
+        )?;
 
         // Frontend exposure: apportion accelerator time to graphs by edge
         // share, then charge only the non-overlapped frontend cycles.
         let total_edges: usize = workload.graphs().iter().map(|g| g.edges).sum();
-        let total_accel_cycles =
-            (accel.report.time_ns * self.accel_cfg.clock_ghz).round() as u64;
+        let total_accel_cycles = (accel.report.time_ns * self.accel_cfg.clock_ghz).round() as u64;
         let accel_per_graph: Vec<u64> = workload
             .graphs()
             .iter()
@@ -103,7 +137,7 @@ impl CombinedSystem {
                 }
             })
             .collect();
-        let exposed = frontend.exposed_cycles(&accel_per_graph);
+        let exposed = frontend.exposed_cycles(&accel_per_graph)?;
 
         // Shared memory controller: frontend traffic adds to DRAM totals.
         let frontend_bytes = frontend.total_bytes();
@@ -116,7 +150,35 @@ impl CombinedSystem {
             (accel.report.dram_bytes as f64 / (peak * total_cycles.max(1) as f64)).min(1.0);
         accel.report.stages.overhead_ns += exposed as f64 / self.accel_cfg.clock_ghz;
 
-        CombinedRun { accel, frontend }
+        Ok(CombinedRun { accel, frontend })
+    }
+}
+
+impl Platform for CombinedSystem {
+    fn name(&self) -> &str {
+        "HiHGNN+GDR"
+    }
+
+    fn execute(
+        &self,
+        workload: &Workload,
+        graphs: &[BipartiteGraph],
+        schedules: Option<&[EdgeSchedule]>,
+    ) -> GdrResult<PlatformRun> {
+        // The combined system derives its schedules from its own frontend;
+        // an externally-supplied set would silently be discarded, so
+        // reject it instead.
+        if schedules.is_some() {
+            return Err(GdrError::invalid_config(
+                "schedules",
+                "the combined system restructures its own schedules via the GDR frontend",
+            ));
+        }
+        let run = self.try_execute(workload, graphs)?;
+        Ok(PlatformRun {
+            src_replacement_times: run.accel.src_replacement_times(),
+            report: run.accel.report,
+        })
     }
 }
 
@@ -152,8 +214,8 @@ mod tests {
             ..HiHgnnConfig::default()
         };
         let plain = HiHgnnSim::new(accel_cfg.clone()).execute(&w, &graphs, None, "HiHGNN");
-        let combined = CombinedSystem::new(accel_cfg, FrontendConfig::default())
-            .execute(&w, &graphs);
+        let combined =
+            CombinedSystem::new(accel_cfg, FrontendConfig::default()).execute(&w, &graphs);
         // At reduced test scale the frontend's fixed per-graph costs are
         // proportionally large; the full-scale runs (EXPERIMENTS.md) show
         // net wins. Here: traffic must drop and time must stay close.
@@ -187,13 +249,38 @@ mod tests {
         let (w, graphs) = setup();
         let cfg = CombinedSystem::default_config();
         let run = cfg.execute(&w, &graphs);
+        let schedules: Vec<&EdgeSchedule> = run.frontend.schedules().collect();
         let accel_only = HiHgnnSim::new(cfg.accel_cfg.clone())
-            .execute(&w, &graphs, Some(&run.frontend.schedules()), "HiHGNN+GDR")
+            .try_execute(&w, &graphs, Some(&schedules), "HiHGNN+GDR")
+            .unwrap()
             .report
             .dram_bytes;
         assert_eq!(
             run.report().dram_bytes,
             accel_only + run.frontend.total_bytes()
         );
+    }
+
+    #[test]
+    fn platform_trait_runs_combined() {
+        let (w, graphs) = setup();
+        let sys = CombinedSystem::default_config();
+        let p: &dyn Platform = &sys;
+        assert_eq!(p.name(), "HiHGNN+GDR");
+        assert!(!p.supports_schedules());
+        let run = p.execute(&w, &graphs, None).unwrap();
+        assert_eq!(run.report.platform, "HiHGNN+GDR");
+        let dst_major: Vec<EdgeSchedule> = graphs.iter().map(EdgeSchedule::dst_major).collect();
+        let err = p.execute(&w, &graphs, Some(&dst_major)).unwrap_err();
+        assert!(matches!(err, GdrError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn misaligned_inputs_are_typed_errors() {
+        let (w, graphs) = setup();
+        let err = CombinedSystem::default_config()
+            .try_execute(&w, &graphs[..1])
+            .unwrap_err();
+        assert!(matches!(err, GdrError::LengthMismatch { .. }));
     }
 }

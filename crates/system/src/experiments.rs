@@ -67,10 +67,7 @@ pub fn fig7(grid: &[GridPoint]) -> Fig7 {
         geomean(&rows.iter().map(|r| r.2).collect::<Vec<_>>()),
         geomean(&rows.iter().map(|r| r.3).collect::<Vec<_>>()),
     );
-    Fig7 {
-        rows,
-        geomean: geo,
-    }
+    Fig7 { rows, geomean: geo }
 }
 
 /// Fig. 8: DRAM access normalized to T4 (percent).
@@ -128,10 +125,7 @@ pub fn fig8(grid: &[GridPoint]) -> Fig8 {
         geomean(&rows.iter().map(|r| r.2).collect::<Vec<_>>()),
         geomean(&rows.iter().map(|r| r.3).collect::<Vec<_>>()),
     );
-    Fig8 {
-        rows,
-        geomean: geo,
-    }
+    Fig8 { rows, geomean: geo }
 }
 
 /// Fig. 9: DRAM bandwidth utilization (percent) on all four platforms.
@@ -192,10 +186,7 @@ pub fn fig9(grid: &[GridPoint]) -> Fig9 {
         geomean(&rows.iter().map(|r| r.3).collect::<Vec<_>>()),
         geomean(&rows.iter().map(|r| r.4).collect::<Vec<_>>()),
     );
-    Fig9 {
-        rows,
-        geomean: geo,
-    }
+    Fig9 { rows, geomean: geo }
 }
 
 /// Fig. 2: replacement-times histogram of vertex features during NA on
@@ -373,7 +364,11 @@ pub fn table2(cfg: &ExperimentConfig) -> String {
         let het = d.build_scaled(cfg.seed, cfg.scale);
         for (i, vt) in het.schema().vertex_types().iter().enumerate() {
             rows.push(vec![
-                if i == 0 { d.name().into() } else { String::new() },
+                if i == 0 {
+                    d.name().into()
+                } else {
+                    String::new()
+                },
                 vt.name().into(),
                 vt.count().to_string(),
                 if vt.feature_dim() == 0 {
@@ -547,7 +542,9 @@ mod tests {
 
     #[test]
     fn replacement_histogram_edge_cases() {
-        assert!(replacement_histogram(&[], 8).iter().all(|&(v, a)| v == 0.0 && a == 0.0));
+        assert!(replacement_histogram(&[], 8)
+            .iter()
+            .all(|&(v, a)| v == 0.0 && a == 0.0));
         let h = replacement_histogram(&[0, 0, 1, 9], 8);
         assert!((h[0].0 - 50.0).abs() < 1e-9);
         assert!((h[7].0 - 50.0).abs() < 1e-9);

@@ -7,9 +7,11 @@
 use gdr_accel::calib::{A100, T4};
 use gdr_accel::gpu::GpuSim;
 use gdr_accel::hihgnn::{HiHgnnConfig, HiHgnnSim};
+use gdr_accel::platform::{Platform, PlatformRun};
 use gdr_accel::report::ExecReport;
 use gdr_frontend::config::FrontendConfig;
 use gdr_hetgraph::datasets::Dataset;
+use gdr_hetgraph::{BipartiteGraph, GdrResult};
 use gdr_hgnn::model::{ModelConfig, ModelKind};
 use gdr_hgnn::workload::Workload;
 
@@ -67,30 +69,65 @@ pub struct GridPoint {
     pub gdr_src_replacements: Vec<u32>,
 }
 
+/// The paper's four evaluation platforms, in presentation order:
+/// T4, A100, HiHGNN, HiHGNN+GDR. Swap in (or append) any other
+/// [`Platform`] implementation to extend the evaluation — the grid
+/// drivers only see `&dyn Platform`.
+pub fn paper_platforms() -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(GpuSim::new(T4)),
+        Box::new(GpuSim::new(A100)),
+        Box::new(HiHgnnSim::new(HiHgnnConfig::default())),
+        Box::new(CombinedSystem::new(
+            HiHgnnConfig::default(),
+            FrontendConfig::default(),
+        )),
+    ]
+}
+
+/// Executes one workload on every platform, in order. This is the
+/// platform-generic core of the evaluation: every figure driver consumes
+/// reports produced here, regardless of which backends are in the list.
+///
+/// # Errors
+///
+/// Propagates the first platform error (misaligned workload/graphs).
+pub fn run_platforms(
+    platforms: &[&dyn Platform],
+    workload: &Workload,
+    graphs: &[BipartiteGraph],
+) -> GdrResult<Vec<PlatformRun>> {
+    platforms
+        .iter()
+        .map(|p| p.execute(workload, graphs, None))
+        .collect()
+}
+
 impl GridPoint {
-    /// Runs one cell of the grid.
+    /// Runs one cell of the grid over [`paper_platforms`].
     pub fn run(model: ModelKind, dataset: Dataset, cfg: &ExperimentConfig) -> Self {
         let het = dataset.build_scaled(cfg.seed, cfg.scale);
         let workload = Workload::from_hetero(ModelConfig::paper(model), &het);
         let graphs = het.all_semantic_graphs();
 
-        let t4_run = GpuSim::new(T4).execute(&workload, &graphs);
-        let a100_run = GpuSim::new(A100).execute(&workload, &graphs);
-        let hihgnn_run =
-            HiHgnnSim::new(HiHgnnConfig::default()).execute(&workload, &graphs, None, "HiHGNN");
-        let combined = CombinedSystem::new(HiHgnnConfig::default(), FrontendConfig::default())
-            .execute(&workload, &graphs);
+        let platforms = paper_platforms();
+        let refs: Vec<&dyn Platform> = platforms.iter().map(Box::as_ref).collect();
+        let runs = run_platforms(&refs, &workload, &graphs)
+            .expect("workload and graphs are aligned by construction");
+        let [t4_run, a100_run, hihgnn_run, gdr_run]: [PlatformRun; 4] = runs
+            .try_into()
+            .expect("paper_platforms() lists four platforms");
 
         GridPoint {
             model,
             dataset,
-            t4: t4_run.report.clone(),
+            t4_na_l2_hit: t4_run.na_hit_rate().unwrap_or(0.0),
+            t4: t4_run.report,
             a100: a100_run.report,
-            hihgnn: hihgnn_run.report.clone(),
-            gdr: combined.report().clone(),
-            t4_na_l2_hit: t4_run.na_l2_hit_rate,
-            hihgnn_src_replacements: hihgnn_run.src_replacement_times(),
-            gdr_src_replacements: combined.accel.src_replacement_times(),
+            hihgnn_src_replacements: hihgnn_run.src_replacement_times,
+            hihgnn: hihgnn_run.report,
+            gdr_src_replacements: gdr_run.src_replacement_times,
+            gdr: gdr_run.report,
         }
     }
 
@@ -118,7 +155,11 @@ mod tests {
 
     #[test]
     fn single_point_is_ordered() {
-        let p = GridPoint::run(ModelKind::Rgcn, Dataset::Acm, &ExperimentConfig::test_scale());
+        let p = GridPoint::run(
+            ModelKind::Rgcn,
+            Dataset::Acm,
+            &ExperimentConfig::test_scale(),
+        );
         assert_eq!(p.label(), "RGCN/ACM");
         // the paper's platform ordering must hold cell-wise
         assert!(p.a100.time_ns < p.t4.time_ns, "A100 beats T4");
@@ -131,6 +172,26 @@ mod tests {
             p.gdr.time_ns,
             p.hihgnn.time_ns
         );
+    }
+
+    #[test]
+    fn platform_driver_is_generic() {
+        let cfg = ExperimentConfig {
+            seed: 3,
+            scale: 0.04,
+        };
+        let het = Dataset::Acm.build_scaled(cfg.seed, cfg.scale);
+        let w = Workload::from_hetero(ModelConfig::paper(ModelKind::Rgcn), &het);
+        let graphs = het.all_semantic_graphs();
+        // any subset / ordering of platforms works — drivers only see the
+        // trait
+        let platforms = paper_platforms();
+        let subset: Vec<&dyn Platform> = vec![platforms[2].as_ref(), platforms[0].as_ref()];
+        let runs = run_platforms(&subset, &w, &graphs).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].report.platform, "HiHGNN");
+        assert_eq!(runs[1].report.platform, "T4");
+        assert!(runs.iter().all(|r| r.report.time_ns > 0.0));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! The top of the GDR-HGNN reproduction stack:
 //!
+//! * [`builder`] — [`SystemBuilder`], the validated entry point over
+//!   dataset/model selection plus both hardware configurations;
 //! * [`combined`] — the pipelined HiHGNN + GDR-HGNN system of §4.3;
 //! * [`grid`] — the 3 models × 3 datasets × 4 platforms evaluation grid;
 //! * [`experiments`] — one driver per paper table/figure (Table 2/3,
@@ -26,10 +28,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod builder;
 pub mod combined;
 pub mod experiments;
 pub mod grid;
 pub mod markdown;
 
+pub use builder::{System, SystemBuilder};
 pub use combined::{CombinedRun, CombinedSystem};
-pub use grid::{run_grid, ExperimentConfig, GridPoint};
+pub use grid::{paper_platforms, run_grid, run_platforms, ExperimentConfig, GridPoint};

@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run --release --example buffer_thrashing [scale]`
 
+use gdr::hetgraph::datasets::Dataset;
 use gdr::hgnn::model::ModelKind;
 use gdr::system::experiments::{fig2, motivation_l2, replacement_histogram};
 use gdr::system::grid::{ExperimentConfig, GridPoint};
-use gdr::hetgraph::datasets::Dataset;
 
 fn main() {
     let scale: f64 = std::env::args()

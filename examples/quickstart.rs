@@ -1,70 +1,68 @@
-//! Quickstart: build a heterogeneous graph, run the semantic graph build,
-//! restructure the busiest semantic graph with graph decoupling and
-//! recoupling, and measure the buffer-thrashing reduction.
+//! Quickstart: assemble a system with `SystemBuilder`, stream the
+//! GDR-HGNN frontend over the semantic graphs, and compare execution
+//! platforms behind the `Platform` trait — all through `gdr::prelude`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gdr::core::locality::simulate_lru;
-use gdr::core::restructure::Restructurer;
-use gdr::core::schedule::EdgeSchedule;
-use gdr::hetgraph::datasets::Dataset;
+use gdr::prelude::*;
 
-fn main() {
-    // 1. Build the synthetic ACM heterogeneous graph (Table 2 sizes).
-    let acm = Dataset::Acm.build(42);
+fn main() -> GdrResult<()> {
+    // 1. Build a validated system: dataset + model + Table 3 hardware.
+    let system = SystemBuilder::new()
+        .dataset(Dataset::Acm)
+        .model(ModelKind::Rgcn)
+        .seed(42)
+        .build()?;
+    let het = system.hetero();
     println!(
-        "built {}: {} vertices, {} edges, {} relations",
-        acm.name(),
-        acm.schema().total_vertices(),
-        acm.total_edges(),
-        acm.schema().relations().len()
+        "built {}: {} vertices, {} edges, {} semantic graphs",
+        het.name(),
+        het.schema().total_vertices(),
+        het.total_edges(),
+        system.graphs().len()
     );
 
-    // 2. SGB: partition the HetG into bipartite semantic graphs.
-    let graphs = acm.all_semantic_graphs();
-    for g in &graphs {
+    // 2. Stream the frontend: one restructured schedule per semantic
+    //    graph, produced lazily in input order.
+    for (g, r) in system.graphs().iter().zip(system.session().iter()) {
         println!(
-            "  {:>6}: {:>5} src x {:>5} dst, {:>6} edges",
+            "  {:>6}: {:>7} edges -> matching {:>6}, backbone {:>6}, {:>9} frontend cycles",
             g.name(),
-            g.src_count(),
-            g.dst_count(),
-            g.edge_count()
+            g.edge_count(),
+            r.matching_size,
+            r.backbone_size,
+            r.cycles
         );
     }
 
-    // 3. Restructure the busiest semantic graph.
-    let busiest = graphs
-        .iter()
-        .max_by_key(|g| g.edge_count())
-        .expect("ACM has relations");
-    let restructured = Restructurer::new().restructure(busiest);
+    // 3. The same restructuring, fanned out across every core.
+    let frontend = system.session().par_process();
     println!(
-        "\nrestructured {}: matching {} pairs, backbone {} vertices ({} src + {} dst)",
-        busiest.name(),
-        restructured.matching().size(),
-        restructured.backbone().len(),
-        restructured.backbone().src_len(),
-        restructured.backbone().dst_len(),
+        "\nfrontend total: {} cycles, {:.1} MB of DRAM traffic",
+        frontend.total_cycles(),
+        frontend.total_bytes() as f64 / 1e6
     );
-    for (kind, sg) in restructured.subgraphs().iter() {
-        println!("  subgraph {kind}: {} edges", sg.edge_count());
-    }
 
-    // 4. Measure buffer thrashing before and after, on an on-chip buffer
-    //    that holds a quarter of the working set.
-    let working_set = (0..busiest.src_count())
-        .filter(|&s| busiest.out_degree(s) > 0)
-        .count()
-        + (0..busiest.dst_count())
-            .filter(|&d| busiest.in_degree(d) > 0)
-            .count();
-    let capacity = (working_set / 4).max(64);
-    let before = simulate_lru(busiest, &EdgeSchedule::dst_major(busiest), capacity);
-    let after = simulate_lru(busiest, restructured.schedule(), capacity);
+    // 4. Compare platforms behind one trait: GPU baselines, the plain
+    //    HiHGNN accelerator, and the combined system with the frontend.
+    let mut reports: Vec<ExecReport> = Vec::new();
+    for platform in paper_platforms() {
+        let run = system.execute_on(platform.as_ref())?;
+        reports.push(run.report);
+    }
+    let t4 = reports.first().expect("paper platform list is non-empty");
     println!(
-        "\nbuffer of {capacity} features: {} misses before, {} after ({:.2}x fewer)",
-        before.misses(),
-        after.misses(),
-        before.misses() as f64 / after.misses().max(1) as f64
+        "\n{:<12} {:>12} {:>10} {:>8}",
+        "platform", "time", "DRAM", "vs T4"
     );
+    for r in &reports {
+        println!(
+            "{:<12} {:>9.2} µs {:>7.1} MB {:>7.2}x",
+            r.platform,
+            r.time_ns / 1e3,
+            r.dram_bytes as f64 / 1e6,
+            r.speedup_vs(t4)
+        );
+    }
+    Ok(())
 }

@@ -29,21 +29,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Seeded synthetic interactions: sessions belong to users; items
     //    are clicked with heavy popularity skew.
-    let sessions_per_user =
-        PowerLawConfig::new(30_000, 8_000, 30_000).dst_alpha(0.7).generate("s-u", 7);
-    let pairs: Vec<(u32, u32)> =
-        sessions_per_user.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let sessions_per_user = PowerLawConfig::new(30_000, 8_000, 30_000)
+        .dst_alpha(0.7)
+        .generate("s-u", 7);
+    let pairs: Vec<(u32, u32)> = sessions_per_user
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     g.add_edges(s_u, &pairs)?;
     g.add_edges(u_s, &pairs.iter().map(|&(s, u)| (u, s)).collect::<Vec<_>>())?;
     let clicks = PowerLawConfig::new(30_000, 20_000, 240_000)
         .dst_alpha(1.0)
         .dedup(true)
         .generate("s-i", 8);
-    let pairs: Vec<(u32, u32)> =
-        clicks.iter_edges().map(|e| (e.src.raw(), e.dst.raw())).collect();
+    let pairs: Vec<(u32, u32)> = clicks
+        .iter_edges()
+        .map(|e| (e.src.raw(), e.dst.raw()))
+        .collect();
     g.add_edges(s_i, &pairs)?;
     g.add_edges(i_s, &pairs.iter().map(|&(s, i)| (i, s)).collect::<Vec<_>>())?;
-    println!("{}: {} edges over {} relations", g.name(), g.total_edges(), 4);
+    println!(
+        "{}: {} edges over {} relations",
+        g.name(),
+        g.total_edges(),
+        4
+    );
 
     // 3. A metapath semantic graph: items co-clicked in a session (I-S-I).
     let isi = metapath_graph(&g, "I-S-I", &[i_s, s_i])?;

@@ -10,13 +10,45 @@
 //! | [`core`] | graph decoupling / recoupling algorithms |
 //! | [`memsim`] | HBM, buffers, FIFOs, CACTI-lite |
 //! | [`hgnn`] | RGCN / RGAT / Simple-HGN models and workloads |
-//! | [`accel`] | HiHGNN cycle model + T4/A100 baselines |
-//! | [`frontend`] | the GDR-HGNN hardware frontend |
-//! | [`system`] | combined system + paper experiment drivers |
+//! | [`accel`] | [`prelude::Platform`] trait, HiHGNN cycle model, T4/A100 baselines |
+//! | [`frontend`] | the GDR-HGNN hardware frontend + streaming [`prelude::Session`] |
+//! | [`system`] | [`prelude::SystemBuilder`], combined system, experiment drivers |
 //!
-//! # Examples
+//! # Getting started
 //!
-//! Restructure a semantic graph and measure the locality win:
+//! [`prelude`] is the documented entry point: it re-exports the builder,
+//! the platform abstraction, and the streaming session API. Assemble a
+//! system with [`prelude::SystemBuilder`], then run it end to end or
+//! stream the frontend per semantic graph:
+//!
+//! ```
+//! use gdr::prelude::*;
+//!
+//! // Dataset + model + hardware, validated up front.
+//! let system = SystemBuilder::new()
+//!     .dataset(Dataset::Acm)
+//!     .model(ModelKind::Rgcn)
+//!     .scale(0.05)
+//!     .build()?;
+//!
+//! // The combined GDR-HGNN + HiHGNN pipeline…
+//! let combined = system.run()?;
+//! assert_eq!(combined.report().platform, "HiHGNN+GDR");
+//!
+//! // …or any other execution platform, behind one trait.
+//! let t4 = system.execute_on(&GpuSim::new(T4))?;
+//! assert!(combined.report().time_ns < t4.report.time_ns);
+//!
+//! // …or the frontend alone, streamed one semantic graph at a time.
+//! for result in system.session().iter().take(2) {
+//!     assert!(result.cycles > 0);
+//! }
+//! # Ok::<(), gdr::prelude::GdrError>(())
+//! ```
+//!
+//! Lower-level pieces stay available through the per-crate re-exports —
+//! e.g. restructure one semantic graph by hand and measure the
+//! locality win:
 //!
 //! ```
 //! use gdr::hetgraph::datasets::Dataset;
@@ -43,3 +75,33 @@ pub use gdr_hetgraph as hetgraph;
 pub use gdr_hgnn as hgnn;
 pub use gdr_memsim as memsim;
 pub use gdr_system as system;
+
+/// The single documented entry point: everything needed to build,
+/// execute, and compare simulated systems.
+///
+/// * build: [`SystemBuilder`] → [`System`]
+/// * execute: [`Platform`] ([`HiHgnnSim`], [`GpuSim`], [`CombinedSystem`])
+/// * stream: [`Session`] → [`GraphResult`] / [`FrontendRun`]
+/// * evaluate: [`run_grid`] / [`run_platforms`] and [`ExecReport`]
+/// * errors: [`GdrError`] / [`GdrResult`] across all of the above
+pub mod prelude {
+    pub use gdr_accel::calib::{A100, T4};
+    pub use gdr_accel::gpu::{GpuRun, GpuSim};
+    pub use gdr_accel::hihgnn::{HiHgnnConfig, HiHgnnRun, HiHgnnSim};
+    pub use gdr_accel::platform::{Platform, PlatformRun};
+    pub use gdr_accel::report::{geomean, ExecReport, StageBreakdown};
+    pub use gdr_core::restructure::Restructurer;
+    pub use gdr_core::schedule::EdgeSchedule;
+    pub use gdr_frontend::config::FrontendConfig;
+    pub use gdr_frontend::pipeline::{FrontendPipeline, FrontendRun, GraphResult};
+    pub use gdr_frontend::session::Session;
+    pub use gdr_hetgraph::datasets::Dataset;
+    pub use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult, HeteroGraph};
+    pub use gdr_hgnn::model::{ModelConfig, ModelKind};
+    pub use gdr_hgnn::workload::Workload;
+    pub use gdr_system::builder::{System, SystemBuilder};
+    pub use gdr_system::combined::{CombinedRun, CombinedSystem};
+    pub use gdr_system::grid::{
+        paper_platforms, run_grid, run_platforms, ExperimentConfig, GridPoint,
+    };
+}

@@ -77,13 +77,8 @@ fn restructured_execution_is_numerically_equivalent() {
             let dst = Matrix::random(g.dst_count(), 64, 1.0, 1000 + i as u64);
             let natural = hgnn.neighbor_aggregation(g, &src, &dst, i as u64);
             let restructured = Restructurer::new().restructure(g);
-            let reordered = hgnn.na_with_schedule(
-                g,
-                restructured.schedule().edges(),
-                &src,
-                &dst,
-                i as u64,
-            );
+            let reordered =
+                hgnn.na_with_schedule(g, restructured.schedule().edges(), &src, &dst, i as u64);
             let diff = natural.max_abs_diff(&reordered);
             assert!(
                 diff < 1e-3,
@@ -129,6 +124,41 @@ fn platform_ordering_holds_on_a_grid_cell() {
     assert!(p.a100.time_ns < p.t4.time_ns);
     assert!(p.hihgnn.time_ns < p.a100.time_ns);
     assert!(p.hihgnn.dram_bytes < p.a100.dram_bytes);
+}
+
+#[test]
+fn builder_prelude_and_platforms_cover_the_stack() {
+    use gdr::prelude::*;
+
+    let system = SystemBuilder::new()
+        .dataset(Dataset::Imdb)
+        .model(ModelKind::Rgcn)
+        .seed(11)
+        .scale(SCALE)
+        .build()
+        .expect("valid configuration");
+
+    // streaming frontend, then the full platform sweep behind the trait
+    let frontend = system.session().par_process();
+    assert_eq!(frontend.per_graph().len(), system.graphs().len());
+
+    let platforms = paper_platforms();
+    let refs: Vec<&dyn Platform> = platforms.iter().map(|p| p.as_ref()).collect();
+    let runs = run_platforms(&refs, system.workload(), system.graphs()).unwrap();
+    let names: Vec<&str> = runs.iter().map(|r| r.report.platform.as_str()).collect();
+    assert_eq!(names, ["T4", "A100", "HiHGNN", "HiHGNN+GDR"]);
+    assert!(
+        runs[1].report.time_ns < runs[0].report.time_ns,
+        "A100 beats T4"
+    );
+    assert!(
+        runs[2].report.time_ns < runs[1].report.time_ns,
+        "HiHGNN beats A100"
+    );
+
+    // builder validation is typed, not a panic
+    let err = SystemBuilder::new().scale(-0.5).build().unwrap_err();
+    assert!(matches!(err, GdrError::InvalidConfig { .. }));
 }
 
 #[test]
