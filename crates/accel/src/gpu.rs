@@ -228,6 +228,8 @@ impl Platform for GpuSim {
         // schedules cannot be injected into the baseline.
         reject_schedules(Platform::name(self), schedules)?;
         let run = self.try_execute(workload, graphs)?;
+        // `na_l2_hit_rate` already travels as `report.na_hit_rate`; the
+        // GPU baselines have no further platform-specific observables.
         Ok(PlatformRun::from_report(run.report))
     }
 }

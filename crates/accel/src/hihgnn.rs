@@ -114,6 +114,20 @@ impl HiHgnnRun {
             .map(|(_, &f)| f.saturating_sub(1))
             .collect()
     }
+
+    /// The accelerator's platform-specific report extras (`cycles`,
+    /// `edges`) at the given clock — the single definition shared by the
+    /// standalone HiHGNN and combined-system `Platform` impls, so their
+    /// `gdr-bench/v1` records cannot drift apart.
+    pub fn platform_extras(&self, clock_ghz: f64) -> Vec<(String, f64)> {
+        vec![
+            (
+                "cycles".to_string(),
+                (self.report.time_ns * clock_ghz).round(),
+            ),
+            ("edges".to_string(), self.total_edges as f64),
+        ]
+    }
 }
 
 /// The HiHGNN simulator.
@@ -388,6 +402,7 @@ impl Platform for HiHgnnSim {
         let run = self.try_execute(workload, graphs, schedules, Platform::name(self))?;
         Ok(PlatformRun {
             src_replacement_times: run.src_replacement_times(),
+            extra: run.platform_extras(self.cfg.clock_ghz),
             report: run.report,
         })
     }

@@ -52,6 +52,12 @@ pub struct PlatformRun {
     /// NA-stage buffer, when the platform models one (Fig. 2 data).
     /// Empty for platforms without a feature-granular buffer model.
     pub src_replacement_times: Vec<u32>,
+    /// Platform-specific numeric observables beyond the common report
+    /// (e.g. accelerator cycles, frontend restructuring stats), as
+    /// stable-ordered `(key, value)` pairs. The bench schema serializes
+    /// these under `"extra"` so new platforms can surface their own
+    /// counters without widening [`ExecReport`].
+    pub extra: Vec<(String, f64)>,
 }
 
 impl PlatformRun {
@@ -60,7 +66,14 @@ impl PlatformRun {
         Self {
             report,
             src_replacement_times: Vec::new(),
+            extra: Vec::new(),
         }
+    }
+
+    /// Appends a platform-specific observable (builder style).
+    pub fn with_extra(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.extra.push((key.into(), value));
+        self
     }
 
     /// NA-stage hit rate, when modeled (forwarded from the report).
@@ -141,7 +154,22 @@ mod tests {
     fn platform_run_wraps_report() {
         let run = PlatformRun::from_report(report());
         assert!(run.src_replacement_times.is_empty());
+        assert!(run.extra.is_empty());
         assert_eq!(run.na_hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn extra_metrics_keep_insertion_order() {
+        let run = PlatformRun::from_report(report())
+            .with_extra("cycles", 10.0)
+            .with_extra("frontend_cycles", 3.0);
+        assert_eq!(
+            run.extra,
+            vec![
+                ("cycles".to_string(), 10.0),
+                ("frontend_cycles".into(), 3.0)
+            ]
+        );
     }
 
     #[test]

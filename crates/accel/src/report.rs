@@ -73,6 +73,25 @@ impl ExecReport {
         }
         self.dram_bytes as f64 / baseline.dram_bytes as f64
     }
+
+    /// The report's numeric metrics as stable `(key, value)` pairs — the
+    /// single source of truth for the machine-readable bench schema
+    /// (`gdr-system`'s report subsystem serializes exactly this list, in
+    /// exactly this order). `na_hit_rate` is not included because it is
+    /// optional per platform; schema consumers read it separately as a
+    /// nullable field.
+    pub fn flat_metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("time_ns", self.time_ns),
+            ("dram_bytes", self.dram_bytes as f64),
+            ("dram_accesses", self.dram_accesses as f64),
+            ("bandwidth_utilization", self.bandwidth_utilization),
+            ("fp_ns", self.stages.fp_ns),
+            ("na_ns", self.stages.na_ns),
+            ("sf_ns", self.stages.sf_ns),
+            ("overhead_ns", self.stages.overhead_ns),
+        ]
+    }
 }
 
 /// Geometric mean of a sequence of positive ratios; 0 for empty input.
@@ -129,6 +148,26 @@ mod tests {
         assert!((s.total_ns() - 100.0).abs() < 1e-12);
         assert!((s.na_fraction() - 0.74).abs() < 1e-12);
         assert_eq!(StageBreakdown::default().na_fraction(), 0.0);
+    }
+
+    #[test]
+    fn flat_metrics_are_stable() {
+        let r = report("T4", 1000.0, 4096);
+        let keys: Vec<&str> = r.flat_metrics().iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            [
+                "time_ns",
+                "dram_bytes",
+                "dram_accesses",
+                "bandwidth_utilization",
+                "fp_ns",
+                "na_ns",
+                "sf_ns",
+                "overhead_ns"
+            ]
+        );
+        assert_eq!(r.flat_metrics()[1].1, 4096.0);
     }
 
     #[test]

@@ -4,17 +4,15 @@
 //! benchmarks one representative grid cell end to end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gdr_bench::figure_config;
 use gdr_hetgraph::datasets::Dataset;
 use gdr_hgnn::model::ModelKind;
 use gdr_system::experiments::fig7;
-use gdr_system::grid::{run_grid, ExperimentConfig, GridPoint};
+use gdr_system::grid::{paper_platforms, platform_refs, run_grid, ExperimentConfig, GridPoint};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig {
-        seed: 42,
-        scale: 0.25,
-    };
+    let cfg = figure_config();
     let grid = run_grid(&cfg);
     let f = fig7(&grid);
     println!(
@@ -25,19 +23,16 @@ fn bench(c: &mut Criterion) {
     let (t4, a100, hihgnn) = f.headline();
     println!("headline: {t4:.1}x vs T4 (paper 68.8x), {a100:.1}x vs A100 (paper 14.6x), {hihgnn:.2}x vs HiHGNN (paper 1.78x)\n");
 
+    let platforms = paper_platforms();
+    let refs = platform_refs(&platforms);
+    let cell_cfg = ExperimentConfig {
+        seed: 42,
+        scale: 0.1,
+    };
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     g.bench_function("grid_cell_rgcn_acm", |b| {
-        b.iter(|| {
-            GridPoint::run(
-                ModelKind::Rgcn,
-                Dataset::Acm,
-                &ExperimentConfig {
-                    seed: 42,
-                    scale: 0.1,
-                },
-            )
-        })
+        b.iter(|| GridPoint::run_on(&refs, ModelKind::Rgcn, Dataset::Acm, &cell_cfg))
     });
     g.finish();
 }

@@ -1,19 +1,13 @@
 //! Fig. 8: DRAM access normalized to T4.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gdr_accel::hihgnn::{HiHgnnConfig, HiHgnnSim};
-use gdr_hetgraph::datasets::Dataset;
-use gdr_hgnn::model::{ModelConfig, ModelKind};
-use gdr_hgnn::workload::Workload;
+use gdr_bench::{figure_config, thrash_cell};
 use gdr_system::experiments::fig8;
-use gdr_system::grid::{run_grid, ExperimentConfig};
+use gdr_system::grid::{platform_refs, run_grid, run_platforms, select_platforms};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let cfg = ExperimentConfig {
-        seed: 42,
-        scale: 0.25,
-    };
+    let cfg = figure_config();
     let grid = run_grid(&cfg);
     let f = fig8(&grid);
     println!(
@@ -24,13 +18,15 @@ fn bench(c: &mut Criterion) {
     let (t4, a100, hihgnn) = f.headline();
     println!("headline: GDR+HiHGNN accesses {t4:.1}% of T4 (paper 4.8%), {a100:.1}% of A100 (paper 8.7%), {hihgnn:.1}% of HiHGNN (paper 57.1%)\n");
 
-    let het = Dataset::Dblp.build_scaled(42, 0.15);
-    let w = Workload::from_hetero(ModelConfig::paper(ModelKind::Rgcn), &het);
-    let graphs = het.all_semantic_graphs();
+    // Microbench the accelerator's DRAM accounting through the same
+    // `Platform` path the evaluation harness drives.
+    let (w, graphs) = thrash_cell(0.15);
+    let hihgnn_only = select_platforms(&["HiHGNN"]).expect("HiHGNN is a paper platform");
+    let refs = platform_refs(&hihgnn_only);
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     g.bench_function("hihgnn_dram_accounting_dblp", |b| {
-        b.iter(|| HiHgnnSim::new(HiHgnnConfig::default()).execute(&w, &graphs, None, "HiHGNN"))
+        b.iter(|| run_platforms(&refs, &w, &graphs).expect("aligned by construction"))
     });
     g.finish();
 }

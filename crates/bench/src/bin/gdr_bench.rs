@@ -1,0 +1,189 @@
+//! `gdr-bench` — the evaluation-harness runner behind the CI perf gate.
+//!
+//! Runs a configurable subset of the dataset × model × platform grid
+//! through `gdr-system`'s report subsystem and emits the stable
+//! `gdr-bench/v1` JSON schema (see `bench/README.md`), or compares two
+//! such reports and exits nonzero on a gated regression.
+//!
+//! ```text
+//! # run the grid and write a report
+//! gdr-bench --scale test --out bench.json
+//! gdr-bench --scale paper --platforms HiHGNN,HiHGNN+GDR --out paper.json
+//!
+//! # run, then gate against a committed baseline (exit 1 on regression)
+//! gdr-bench --scale test --out bench.json --baseline bench/baseline.json --threshold 10%
+//!
+//! # pure file-vs-file gate (no simulation)
+//! gdr-bench --compare bench.json --baseline bench/baseline.json --threshold 10%
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = perf gate failed, 2 = usage/IO error.
+
+use gdr_bench::{parse_scale, parse_threshold, BENCH_SEED};
+use gdr_system::grid::{paper_platforms, platform_refs, select_platforms, ExperimentConfig};
+use gdr_system::report::{compare, BenchReport};
+
+const USAGE: &str = "\
+gdr-bench: run the GDR-HGNN evaluation grid, emit gdr-bench/v1 JSON, gate regressions
+
+USAGE:
+  gdr-bench [--scale test|paper|<factor>] [--seed N] [--platforms A,B,..]
+            [--out FILE] [--baseline FILE] [--threshold PCT]
+  gdr-bench --compare NEW --baseline OLD [--threshold PCT]
+
+OPTIONS:
+  --scale       grid scale: \"test\" (CI gate), \"paper\" (Table 2 sizes), or a factor  [test]
+  --seed        dataset generation seed                                             [42]
+  --platforms   comma-separated subset of: T4, A100, HiHGNN, HiHGNN+GDR             [all]
+  --out         write the report as pretty JSON to FILE
+  --baseline    compare against a previously written report; exit 1 on regression
+  --threshold   regression threshold, e.g. \"10%\"                                    [10%]
+  --compare     skip simulation; gate the given report file against --baseline
+  --quiet       suppress the markdown summary on stdout
+";
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    platforms: Option<Vec<String>>,
+    out: Option<String>,
+    baseline: Option<String>,
+    threshold: f64,
+    compare_file: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        scale: parse_scale("test").expect("default scale is valid"),
+        seed: BENCH_SEED,
+        platforms: None,
+        out: None,
+        baseline: None,
+        threshold: 10.0,
+        compare_file: None,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = parse_scale(value()?)?,
+            "--seed" => {
+                args.seed = value()?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--platforms" => {
+                args.platforms = Some(
+                    value()?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--out" => args.out = Some(value()?.to_string()),
+            "--baseline" => args.baseline = Some(value()?.to_string()),
+            "--threshold" => args.threshold = parse_threshold(value()?)?,
+            "--compare" => args.compare_file = Some(value()?.to_string()),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn read_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn gate(baseline_path: &str, current: &BenchReport, threshold: f64) -> Result<bool, String> {
+    let baseline = read_report(baseline_path)?;
+    let cmp = compare(&baseline, current, threshold);
+    print!("{}", cmp.to_markdown());
+    Ok(cmp.passed())
+}
+
+fn run(argv: &[String]) -> Result<i32, String> {
+    let args = parse_args(argv)?;
+
+    // Pure file-vs-file gate: no simulation.
+    if let Some(current_path) = &args.compare_file {
+        let baseline_path = args
+            .baseline
+            .as_deref()
+            .ok_or("--compare needs --baseline")?;
+        let current = read_report(current_path)?;
+        return Ok(if gate(baseline_path, &current, args.threshold)? {
+            0
+        } else {
+            1
+        });
+    }
+
+    // Run the grid on the selected platforms.
+    let platforms = match &args.platforms {
+        Some(names) => {
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            select_platforms(&refs).map_err(|e| e.to_string())?
+        }
+        None => paper_platforms(),
+    };
+    let cfg = ExperimentConfig {
+        seed: args.seed,
+        scale: args.scale,
+    };
+    eprintln!(
+        "gdr-bench: running {} platforms over the 3x3 grid (seed {}, scale {})",
+        platforms.len(),
+        cfg.seed,
+        cfg.scale
+    );
+    let report =
+        BenchReport::collect(&platform_refs(&platforms), &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "gdr-bench: grid done in {:.1}s ({} records)",
+        report.wall_clock_s,
+        report.points.iter().map(|p| p.runs.len()).sum::<usize>()
+    );
+
+    if !args.quiet {
+        println!("{}", report.to_markdown());
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, report.to_json().to_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("gdr-bench: wrote {path}");
+    }
+    if let Some(baseline_path) = &args.baseline {
+        return Ok(if gate(baseline_path, &report, args.threshold)? {
+            0
+        } else {
+            1
+        });
+    }
+    Ok(0)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("gdr-bench: {msg}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,1 +1,124 @@
-//! placeholder
+//! Shared setup for the `gdr-bench` runner binary and the criterion
+//! figure benches, so neither duplicates grid configuration or dataset
+//! wiring that `gdr-system` already owns.
+
+#![warn(missing_docs)]
+
+use gdr_hetgraph::datasets::Dataset;
+use gdr_hetgraph::BipartiteGraph;
+use gdr_hgnn::model::ModelKind;
+use gdr_hgnn::workload::Workload;
+use gdr_system::grid::{cell_inputs, ExperimentConfig};
+
+/// The seed every bench and committed baseline uses, taken from
+/// [`ExperimentConfig::test_scale`] (the single source of truth).
+/// Changing it invalidates `bench/baseline.json`.
+pub const BENCH_SEED: u64 = ExperimentConfig::test_scale().seed;
+
+/// Reduced scale used by the CI perf gate (`--scale test`), taken from
+/// [`ExperimentConfig::test_scale`]: small enough to run the full grid
+/// in seconds, large enough that the NA buffer thrashes and the
+/// platform ordering matches full scale.
+pub const TEST_SCALE: f64 = ExperimentConfig::test_scale().scale;
+
+/// Grid configuration for the figure benches (printed headline tables).
+pub fn figure_config() -> ExperimentConfig {
+    ExperimentConfig {
+        seed: BENCH_SEED,
+        scale: 0.25,
+    }
+}
+
+/// Parses a `--scale` argument: `test` (the CI gate scale), `paper`
+/// (Table 2 sizes), or a literal factor.
+///
+/// # Errors
+///
+/// Returns a message for non-numeric, non-keyword input or a
+/// non-positive factor.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gdr_bench::parse_scale("test"), Ok(gdr_bench::TEST_SCALE));
+/// assert_eq!(gdr_bench::parse_scale("paper"), Ok(1.0));
+/// assert_eq!(gdr_bench::parse_scale("0.5"), Ok(0.5));
+/// assert!(gdr_bench::parse_scale("big").is_err());
+/// ```
+pub fn parse_scale(arg: &str) -> Result<f64, String> {
+    match arg {
+        "test" => Ok(TEST_SCALE),
+        "paper" => Ok(1.0),
+        other => match other.parse::<f64>() {
+            Ok(x) if x > 0.0 => Ok(x),
+            _ => Err(format!(
+                "invalid --scale {other:?}: expected \"test\", \"paper\", or a positive factor"
+            )),
+        },
+    }
+}
+
+/// Parses a `--threshold` argument: a percentage with or without the
+/// `%` sign.
+///
+/// # Errors
+///
+/// Returns a message for non-numeric or negative input.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gdr_bench::parse_threshold("10%"), Ok(10.0));
+/// assert_eq!(gdr_bench::parse_threshold("7.5"), Ok(7.5));
+/// assert!(gdr_bench::parse_threshold("-1").is_err());
+/// ```
+pub fn parse_threshold(arg: &str) -> Result<f64, String> {
+    match arg.strip_suffix('%').unwrap_or(arg).parse::<f64>() {
+        Ok(x) if x >= 0.0 => Ok(x),
+        _ => Err(format!(
+            "invalid --threshold {arg:?}: expected a non-negative percentage like \"10%\""
+        )),
+    }
+}
+
+/// The thrashing-dominant single-cell inputs (RGCN on DBLP) the
+/// accelerator microbenches iterate on.
+pub fn thrash_cell(scale: f64) -> (Workload, Vec<BipartiteGraph>) {
+    cell_inputs(
+        ModelKind::Rgcn,
+        Dataset::Dblp,
+        &ExperimentConfig {
+            seed: BENCH_SEED,
+            scale,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_keywords_and_factors() {
+        assert_eq!(parse_scale("test"), Ok(TEST_SCALE));
+        assert_eq!(parse_scale("paper"), Ok(1.0));
+        assert_eq!(parse_scale("0.25"), Ok(0.25));
+        assert!(parse_scale("0").is_err());
+        assert!(parse_scale("-1").is_err());
+        assert!(parse_scale("fast").is_err());
+    }
+
+    #[test]
+    fn threshold_accepts_percent_suffix() {
+        assert_eq!(parse_threshold("10%"), Ok(10.0));
+        assert_eq!(parse_threshold("0"), Ok(0.0));
+        assert!(parse_threshold("ten").is_err());
+    }
+
+    #[test]
+    fn thrash_cell_is_aligned() {
+        let (w, graphs) = thrash_cell(0.05);
+        assert_eq!(w.graphs().len(), graphs.len());
+        assert!(!graphs.is_empty());
+    }
+}

@@ -75,6 +75,30 @@ impl FrontendRun {
             .sum()
     }
 
+    /// Total matching size found by decoupling, summed over graphs.
+    pub fn total_matching(&self) -> usize {
+        self.per_graph.iter().map(|g| g.matching_size).sum()
+    }
+
+    /// Total backbone size selected by recoupling, summed over graphs.
+    pub fn total_backbone(&self) -> usize {
+        self.per_graph.iter().map(|g| g.backbone_size).sum()
+    }
+
+    /// The run's aggregate statistics as stable `(key, value)` pairs, in
+    /// the order the bench schema serializes them. This is how a
+    /// [`crate::session::Session`]'s results surface in platform reports:
+    /// the combined system forwards these into its `PlatformRun::extra`.
+    pub fn summary_metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("frontend_graphs", self.per_graph.len() as f64),
+            ("frontend_cycles", self.total_cycles() as f64),
+            ("frontend_bytes", self.total_bytes() as f64),
+            ("frontend_matching", self.total_matching() as f64),
+            ("frontend_backbone", self.total_backbone() as f64),
+        ]
+    }
+
     /// Frontend cycles left exposed when overlapped with an accelerator
     /// that spends `accel_cycles_per_graph[i]` on graph *i*.
     ///
@@ -200,6 +224,26 @@ mod tests {
             run.total_cycles(),
             run.per_graph().iter().map(|g| g.cycles).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn summary_metrics_match_totals() {
+        let (_, run) = run();
+        let m = run.summary_metrics();
+        let keys: Vec<&str> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            [
+                "frontend_graphs",
+                "frontend_cycles",
+                "frontend_bytes",
+                "frontend_matching",
+                "frontend_backbone"
+            ]
+        );
+        assert_eq!(m[1].1, run.total_cycles() as f64);
+        assert_eq!(m[2].1, run.total_bytes() as f64);
+        assert!(run.total_matching() > 0 && run.total_backbone() > 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!   with per-stage operation counts;
 //! * [`tensor`] / [`features`] — minimal dense math and deterministic
 //!   synthetic feature tables;
-//! * [`reference`] — functional FP → NA → SF execution, the numerical
+//! * [`reference`](mod@reference) — functional FP → NA → SF execution, the numerical
 //!   oracle proving restructured schedules preserve semantics;
 //! * [`workload`] — per-semantic-graph work descriptors the hardware
 //!   models charge from;

@@ -13,6 +13,7 @@ use gdr_hetgraph::datasets::Dataset;
 use gdr_hetgraph::BipartiteGraph;
 
 use crate::grid::ExperimentConfig;
+use crate::json::Json;
 
 /// Largest semantic graph of a dataset (the thrashing-dominant one).
 pub fn largest_semantic_graph(cfg: &ExperimentConfig, dataset: Dataset) -> BipartiteGraph {
@@ -79,6 +80,109 @@ pub fn ablation_buffer_sweep(g: &BipartiteGraph, capacities: &[usize]) -> Vec<(u
         .collect()
 }
 
+/// All three ablations on one dataset's thrashing-dominant semantic
+/// graph, bundled for the report subsystem (A1–A3 render as markdown
+/// and JSON alongside the paper figures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationReport {
+    /// Dataset the semantic graph came from.
+    pub dataset: Dataset,
+    /// Name of the semantic graph used.
+    pub graph: String,
+    /// NA buffer capacity (features) for A1/A2.
+    pub buffer_features: usize,
+    /// A1 rows: `(strategy label, misses)`.
+    pub backbone: Vec<(String, u64)>,
+    /// A2 rows: `(recursion depth, misses)` at `buffer_features / 8`.
+    pub recursive: Vec<(usize, u64)>,
+    /// A3 rows: `(capacity, baseline misses, gdr misses)`.
+    pub buffer_sweep: Vec<(usize, u64, u64)>,
+}
+
+impl AblationReport {
+    /// Runs A1–A3 on `dataset`'s largest semantic graph with the given
+    /// NA-buffer capacity (A2 sweeps at an eighth of it, A3 around it).
+    /// Tiny capacities are clamped to the smallest meaningful buffer
+    /// (8 features) and deduplicated, so no sweep point degenerates to
+    /// a zero-capacity simulator.
+    pub fn collect(cfg: &ExperimentConfig, dataset: Dataset, buffer_features: usize) -> Self {
+        let g = largest_semantic_graph(cfg, dataset);
+        let cap = buffer_features.max(8);
+        let mut sweep_caps: Vec<usize> = [cap / 8, cap / 4, cap / 2, cap, cap * 2]
+            .iter()
+            .map(|&c| c.max(8))
+            .collect();
+        sweep_caps.dedup();
+        Self {
+            dataset,
+            graph: g.name().to_string(),
+            buffer_features: cap,
+            backbone: ablation_backbone(&g, cap),
+            recursive: ablation_recursive(&g, (cap / 8).max(64), 2),
+            buffer_sweep: ablation_buffer_sweep(&g, &sweep_caps),
+        }
+    }
+
+    /// Markdown rendering (the `run_experiments` ablation section).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "### A1: backbone strategy ({} semantic graph `{}`, buffer {} features)\n\n",
+            self.dataset.name(),
+            self.graph,
+            self.buffer_features
+        );
+        for (name, misses) in &self.backbone {
+            out.push_str(&format!("- {name}: {misses} misses\n"));
+        }
+        out.push_str("\n### A2: recursion depth (buffer / 8)\n\n");
+        for (depth, misses) in &self.recursive {
+            out.push_str(&format!("- depth {depth}: {misses} misses\n"));
+        }
+        out.push_str("\n### A3: NA buffer sweep\n\n");
+        for (c, base, gdr) in &self.buffer_sweep {
+            out.push_str(&format!("- {c} features: baseline {base}, gdr {gdr}\n"));
+        }
+        out
+    }
+
+    /// JSON rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", Json::from(self.dataset.name())),
+            ("graph", Json::from(self.graph.as_str())),
+            ("buffer_features", Json::from(self.buffer_features)),
+            (
+                "backbone",
+                Json::arr(self.backbone.iter().map(|(name, misses)| {
+                    Json::obj([
+                        ("strategy", Json::from(name.as_str())),
+                        ("misses", Json::from(*misses)),
+                    ])
+                })),
+            ),
+            (
+                "recursive",
+                Json::arr(self.recursive.iter().map(|(depth, misses)| {
+                    Json::obj([
+                        ("depth", Json::from(*depth)),
+                        ("misses", Json::from(*misses)),
+                    ])
+                })),
+            ),
+            (
+                "buffer_sweep",
+                Json::arr(self.buffer_sweep.iter().map(|(c, base, gdr)| {
+                    Json::obj([
+                        ("capacity", Json::from(*c)),
+                        ("baseline_misses", Json::from(*base)),
+                        ("gdr_misses", Json::from(*gdr)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +219,45 @@ mod tests {
         assert_eq!(sweep.len(), 3);
         // all depths produce *some* misses (compulsory at least)
         assert!(sweep.iter().all(|&(_, m)| m > 0));
+    }
+
+    #[test]
+    fn ablation_report_bundles_all_three() {
+        let r = AblationReport::collect(
+            &ExperimentConfig {
+                seed: 3,
+                scale: 0.08,
+            },
+            Dataset::Dblp,
+            512,
+        );
+        assert_eq!(r.backbone.len(), 5);
+        assert_eq!(r.recursive.len(), 3);
+        assert_eq!(r.buffer_sweep.len(), 5);
+        let md = r.to_markdown();
+        assert!(md.contains("A1") && md.contains("A2") && md.contains("A3"));
+        let j = r.to_json();
+        assert_eq!(j.get("backbone").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(&Json::parse(&j.to_compact()).unwrap(), &j);
+    }
+
+    #[test]
+    fn ablation_report_clamps_degenerate_capacities() {
+        // A tiny capacity must clamp (no zero-capacity NaBufferSim
+        // assert) and dedup the collapsed sweep points.
+        let r = AblationReport::collect(
+            &ExperimentConfig {
+                seed: 3,
+                scale: 0.08,
+            },
+            Dataset::Dblp,
+            4,
+        );
+        assert_eq!(r.buffer_features, 8);
+        assert_eq!(
+            r.buffer_sweep.iter().map(|s| s.0).collect::<Vec<_>>(),
+            [8, 16]
+        );
     }
 
     #[test]

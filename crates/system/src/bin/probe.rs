@@ -1,4 +1,6 @@
-//! Diagnostic probe: wave-interleaved NA misses, baseline vs GDR variants.
+//! Diagnostic probe: wave-interleaved NA misses, baseline vs GDR
+//! variants, plus a cross-platform summary per dataset driven through
+//! the generic `run_platforms` harness.
 use gdr_accel::hihgnn::HiHgnnConfig;
 use gdr_accel::na_engine::NaBufferSim;
 use gdr_core::backbone::BackboneStrategy;
@@ -8,6 +10,7 @@ use gdr_hetgraph::datasets::Dataset;
 use gdr_hgnn::model::{ModelConfig, ModelKind};
 use gdr_hgnn::similarity::similarity_order;
 use gdr_hgnn::workload::Workload;
+use gdr_system::grid::{cell_inputs, paper_platforms, platform_refs, run_platforms};
 
 fn main() {
     let cfg = HiHgnnConfig::default();
@@ -67,5 +70,31 @@ fn main() {
             g_.1,
             b.1 as f64 / g_.1 as f64
         );
+    }
+
+    // Cross-platform sanity sweep: every paper platform on each dataset,
+    // driven through the same generic harness the evaluation grid uses.
+    println!("\nplatform sweep (RGCN, scale 0.25):");
+    let platforms = paper_platforms();
+    let refs = platform_refs(&platforms);
+    let sweep_cfg = gdr_system::grid::ExperimentConfig {
+        seed: 42,
+        scale: 0.25,
+    };
+    for ds in [Dataset::Acm, Dataset::Imdb, Dataset::Dblp] {
+        let (w, graphs) = cell_inputs(ModelKind::Rgcn, ds, &sweep_cfg);
+        let runs = run_platforms(&refs, &w, &graphs).expect("grid inputs are aligned");
+        let summary: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}={:.2}ms/{}MiB",
+                    r.report.platform,
+                    r.report.time_ns / 1e6,
+                    r.report.dram_bytes >> 20
+                )
+            })
+            .collect();
+        println!("  {}: {}", ds.name(), summary.join("  "));
     }
 }

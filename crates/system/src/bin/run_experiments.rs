@@ -1,102 +1,48 @@
 //! Full-scale experiment runner: regenerates every table and figure of
-//! the paper and prints them as markdown (the source of EXPERIMENTS.md).
+//! the paper via the report subsystem and prints them as markdown (the
+//! source of EXPERIMENTS.md). With `--json PATH`, additionally writes
+//! the same figures as one machine-readable document.
 //!
-//! Usage: `cargo run --release -p gdr-system --bin run_experiments [scale]`
+//! Usage: `cargo run --release -p gdr-system --bin run_experiments [scale] [--json PATH]`
 
-use gdr_hetgraph::datasets::Dataset;
-use gdr_system::ablations::{
-    ablation_backbone, ablation_buffer_sweep, ablation_recursive, largest_semantic_graph,
-};
-use gdr_system::experiments::{fig10, fig2, fig7, fig8, fig9, motivation_l2, table2, table3};
-use gdr_system::grid::{run_grid, ExperimentConfig};
+use gdr_system::grid::ExperimentConfig;
+use gdr_system::report::PaperReport;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    let mut scale = 1.0f64;
+    let mut json_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json_out = args.next();
+            if json_out.is_none() {
+                eprintln!("run_experiments: --json needs a path");
+                std::process::exit(2);
+            }
+        } else if let Ok(s) = arg.parse::<f64>() {
+            if s <= 0.0 {
+                eprintln!("run_experiments: scale must be positive, got {s}");
+                std::process::exit(2);
+            }
+            scale = s;
+        } else {
+            eprintln!("run_experiments: unexpected argument {arg:?}");
+            std::process::exit(2);
+        }
+    }
+
     let cfg = ExperimentConfig { seed: 42, scale };
     eprintln!("running full grid at scale {scale} (seed 42)...");
+    let report = PaperReport::collect(&cfg);
+    eprintln!("grid done in {:.1}s", report.grid_wall_clock_s);
 
-    println!("# GDR-HGNN experiment results (scale {scale})\n");
+    print!("{}", report.to_markdown());
 
-    println!("## Table 2: datasets\n");
-    println!("{}", table2(&cfg));
-
-    println!("## Table 3: platforms\n");
-    println!("{}", table3());
-
-    let t0 = std::time::Instant::now();
-    let grid = run_grid(&cfg);
-    eprintln!("grid done in {:.1}s", t0.elapsed().as_secs_f64());
-
-    println!("## Motivation (§3): T4 L2 hit ratio, RGCN NA stage\n");
-    println!("paper: IMDB 30.1%, DBLP 17.5%\n");
-    for (d, pct) in motivation_l2(&grid) {
-        println!("- {d}: {pct:.1}%");
-    }
-    println!();
-
-    println!("## Fig. 2: feature replacement times on HiHGNN (RGCN)\n");
-    println!("{}", fig2(&grid).to_markdown());
-
-    let f7 = fig7(&grid);
-    println!("## Fig. 7: speedup over T4\n");
-    println!("{}", f7.to_markdown());
-    let (vs_t4, vs_a100, vs_hihgnn) = f7.headline();
-    println!(
-        "\nheadline: GDR+HiHGNN = {vs_t4:.1}x vs T4 (paper 68.8x), {vs_a100:.1}x vs A100 (paper 14.6x), {vs_hihgnn:.2}x vs HiHGNN (paper 1.78x)\n"
-    );
-
-    let f8 = fig8(&grid);
-    println!("## Fig. 8: DRAM access normalized to T4 (%)\n");
-    println!("{}", f8.to_markdown());
-    let (g_t4, g_a100, g_hihgnn) = f8.headline();
-    println!(
-        "\nheadline: GDR+HiHGNN accesses {g_t4:.1}% of T4 (paper 4.8%), {g_a100:.1}% of A100 (paper 8.7%), {g_hihgnn:.1}% of HiHGNN (paper 57.1%)\n"
-    );
-
-    let f9 = fig9(&grid);
-    println!("## Fig. 9: DRAM bandwidth utilization (%)\n");
-    println!("{}", f9.to_markdown());
-    let (u_t4, u_a100) = f9.headline();
-    println!(
-        "\nheadline: GDR+HiHGNN utilization {u_t4:.2}x of T4 (paper 2.58x), {u_a100:.2}x of A100 (paper 6.35x)\n"
-    );
-
-    let f10 = fig10();
-    println!("## Fig. 10: area and power\n");
-    println!("{}", f10.to_markdown());
-    println!(
-        "\nGDR area share {:.2}% (paper 2.30%), power share {:.2}% (paper 0.46%)",
-        f10.gdr_area_pct, f10.gdr_power_pct
-    );
-    let (af, ab, ao) = f10.gdr_area_breakdown;
-    let (pf, pb, po) = f10.gdr_power_breakdown;
-    println!(
-        "GDR area breakdown: FIFOs {af:.2}% / buffers {ab:.2}% / others {ao:.2}% (paper 0.87/91.74/7.39)"
-    );
-    println!(
-        "GDR power breakdown: FIFOs {pf:.2}% / buffers {pb:.2}% / others {po:.2}% (paper 2.17/93.48/4.35)\n"
-    );
-
-    println!("## Ablations (ours)\n");
-    let g = largest_semantic_graph(&cfg, Dataset::Dblp);
-    let cap = gdr_accel::hihgnn::HiHgnnConfig::default().na_window_features();
-    println!(
-        "### A1: backbone strategy (largest DBLP semantic graph `{}`, buffer {} features)\n",
-        g.name(),
-        cap
-    );
-    for (name, misses) in ablation_backbone(&g, cap) {
-        println!("- {name}: {misses} misses");
-    }
-    println!("\n### A2: recursion depth (buffer / 8)\n");
-    for (depth, misses) in ablation_recursive(&g, (cap / 8).max(64), 2) {
-        println!("- depth {depth}: {misses} misses");
-    }
-    println!("\n### A3: NA buffer sweep\n");
-    for (c, base, gdr) in ablation_buffer_sweep(&g, &[cap / 8, cap / 4, cap / 2, cap, cap * 2]) {
-        println!("- {c} features: baseline {base}, gdr {gdr}");
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json().to_pretty()) {
+            eprintln!("run_experiments: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
     }
 }

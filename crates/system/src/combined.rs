@@ -175,8 +175,19 @@ impl Platform for CombinedSystem {
             ));
         }
         let run = self.try_execute(workload, graphs)?;
+        // Surface the frontend session's aggregate stats alongside the
+        // accelerator's cycle count, so reports show both halves of the
+        // combined system without re-running the frontend.
+        let mut extra = run.accel.platform_extras(self.accel_cfg.clock_ghz);
+        extra.extend(
+            run.frontend
+                .summary_metrics()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v)),
+        );
         Ok(PlatformRun {
             src_replacement_times: run.accel.src_replacement_times(),
+            extra,
             report: run.accel.report,
         })
     }
@@ -270,6 +281,11 @@ mod tests {
         assert!(!p.supports_schedules());
         let run = p.execute(&w, &graphs, None).unwrap();
         assert_eq!(run.report.platform, "HiHGNN+GDR");
+        // frontend session stats travel with the platform run
+        let extra_keys: Vec<&str> = run.extra.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(extra_keys.contains(&"cycles"));
+        assert!(extra_keys.contains(&"frontend_cycles"));
+        assert!(extra_keys.contains(&"frontend_bytes"));
         let dst_major: Vec<EdgeSchedule> = graphs.iter().map(EdgeSchedule::dst_major).collect();
         let err = p.execute(&w, &graphs, Some(&dst_major)).unwrap_err();
         assert!(matches!(err, GdrError::InvalidConfig { .. }));

@@ -13,7 +13,34 @@ use gdr_hgnn::model::ModelKind;
 use gdr_memsim::cacti_lite::{CactiLite, TechNode};
 
 use crate::grid::{ExperimentConfig, GridPoint};
+use crate::json::Json;
 use crate::markdown::{f2, table};
+
+/// Serializes `(label, A100, HiHGNN, GDR)` speedup/ratio rows plus their
+/// geomeans — the shared shape of Figs. 7 and 8.
+fn three_way_json(rows: &[(String, f64, f64, f64)], geomean: (f64, f64, f64)) -> Json {
+    Json::obj([
+        (
+            "rows",
+            Json::arr(rows.iter().map(|(l, a, h, g)| {
+                Json::obj([
+                    ("workload", Json::from(l.as_str())),
+                    ("a100", Json::from(*a)),
+                    ("hihgnn", Json::from(*h)),
+                    ("gdr", Json::from(*g)),
+                ])
+            })),
+        ),
+        (
+            "geomean",
+            Json::obj([
+                ("a100", Json::from(geomean.0)),
+                ("hihgnn", Json::from(geomean.1)),
+                ("gdr", Json::from(geomean.2)),
+            ]),
+        ),
+    ])
+}
 
 /// Fig. 7: speedups over the T4 baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +73,11 @@ impl Fig7 {
             f2(self.geomean.2),
         ]);
         table(&["workload", "A100", "HiHGNN", "GDR-HGNN+HiHGNN"], &rows)
+    }
+
+    /// JSON rendering (speedups vs T4).
+    pub fn to_json(&self) -> Json {
+        three_way_json(&self.rows, self.geomean)
     }
 }
 
@@ -105,6 +137,11 @@ impl Fig8 {
             &rows,
         )
     }
+
+    /// JSON rendering (DRAM access % of T4).
+    pub fn to_json(&self) -> Json {
+        three_way_json(&self.rows, self.geomean)
+    }
 }
 
 /// Fig. 8 driver.
@@ -163,6 +200,33 @@ impl Fig9 {
             &["workload", "T4 %", "A100 %", "HiHGNN %", "GDR+HiHGNN %"],
             &rows,
         )
+    }
+
+    /// JSON rendering (bandwidth utilization %).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|(l, t, a, h, g)| {
+                    Json::obj([
+                        ("workload", Json::from(l.as_str())),
+                        ("t4", Json::from(*t)),
+                        ("a100", Json::from(*a)),
+                        ("hihgnn", Json::from(*h)),
+                        ("gdr", Json::from(*g)),
+                    ])
+                })),
+            ),
+            (
+                "geomean",
+                Json::obj([
+                    ("t4", Json::from(self.geomean.0)),
+                    ("a100", Json::from(self.geomean.1)),
+                    ("hihgnn", Json::from(self.geomean.2)),
+                    ("gdr", Json::from(self.geomean.3)),
+                ]),
+            ),
+        ])
     }
 }
 
@@ -224,6 +288,28 @@ impl Fig2 {
             out.push('\n');
         }
         out
+    }
+
+    /// JSON rendering (per-dataset replacement histograms).
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "per_dataset",
+            Json::arr(self.per_dataset.iter().map(|(d, hist)| {
+                Json::obj([
+                    ("dataset", Json::from(d.name())),
+                    (
+                        "histogram",
+                        Json::arr(hist.iter().enumerate().map(|(i, (v, a))| {
+                            Json::obj([
+                                ("replacements", Json::from(i + 1)),
+                                ("vertex_pct", Json::from(*v)),
+                                ("access_pct", Json::from(*a)),
+                            ])
+                        })),
+                    ),
+                ])
+            })),
+        )])
     }
 }
 
@@ -314,6 +400,27 @@ impl Fig10 {
             ],
         ];
         table(&["component", "area mm²", "power mW"], &rows)
+    }
+
+    /// JSON rendering (areas, powers, shares, and breakdowns).
+    pub fn to_json(&self) -> Json {
+        let breakdown = |(fifos, buffers, others): (f64, f64, f64)| {
+            Json::obj([
+                ("fifos_pct", Json::from(fifos)),
+                ("buffers_pct", Json::from(buffers)),
+                ("others_pct", Json::from(others)),
+            ])
+        };
+        Json::obj([
+            ("hihgnn_area_mm2", Json::from(self.hihgnn_area_mm2)),
+            ("hihgnn_power_mw", Json::from(self.hihgnn_power_mw)),
+            ("gdr_area_mm2", Json::from(self.gdr_area_mm2)),
+            ("gdr_power_mw", Json::from(self.gdr_power_mw)),
+            ("gdr_area_pct", Json::from(self.gdr_area_pct)),
+            ("gdr_power_pct", Json::from(self.gdr_power_pct)),
+            ("gdr_area_breakdown", breakdown(self.gdr_area_breakdown)),
+            ("gdr_power_breakdown", breakdown(self.gdr_power_breakdown)),
+        ])
     }
 }
 
@@ -526,6 +633,32 @@ mod tests {
         let (_, buf_pct, _) = f.gdr_area_breakdown;
         assert!(buf_pct > 85.0, "buffers dominate GDR area");
         assert!(f.to_markdown().contains("GDR share"));
+    }
+
+    #[test]
+    fn figures_serialize_to_json() {
+        let g = grid();
+        let f7 = fig7(&g).to_json();
+        assert_eq!(f7.get("rows").unwrap().as_arr().unwrap().len(), 9);
+        assert!(
+            f7.get("geomean")
+                .unwrap()
+                .get("gdr")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        let f9 = fig9(&g).to_json();
+        assert!(f9.get("geomean").unwrap().get("t4").is_some());
+        let f2j = fig2(&g).to_json();
+        assert_eq!(f2j.get("per_dataset").unwrap().as_arr().unwrap().len(), 3);
+        let f10 = fig10().to_json();
+        assert!(f10.get("gdr_area_pct").unwrap().as_f64().unwrap() > 0.0);
+        // every rendering must be a valid, reparseable document
+        for v in [&f7, &f9, &f2j, &f10] {
+            assert_eq!(&crate::json::Json::parse(&v.to_pretty()).unwrap(), v);
+        }
     }
 
     #[test]

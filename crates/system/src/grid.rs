@@ -36,8 +36,11 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// A reduced-scale configuration for fast tests.
-    pub fn test_scale() -> Self {
+    /// A reduced-scale configuration for fast tests — also the single
+    /// source of truth for the CI perf gate's `--scale test` config
+    /// (`gdr-bench` derives its constants from this, and
+    /// `bench/baseline.json` is generated at it).
+    pub const fn test_scale() -> Self {
         Self {
             seed: 42,
             scale: 0.08,
@@ -85,9 +88,45 @@ pub fn paper_platforms() -> Vec<Box<dyn Platform>> {
     ]
 }
 
+/// Selects a subset of [`paper_platforms`] by name, preserving the
+/// requested order (the first name becomes the speedup baseline in
+/// reports). Names match [`Platform::name`]: `"T4"`, `"A100"`,
+/// `"HiHGNN"`, `"HiHGNN+GDR"`.
+///
+/// # Errors
+///
+/// Returns [`gdr_hetgraph::GdrError::InvalidConfig`] naming the first
+/// unknown platform and listing the valid names.
+pub fn select_platforms(names: &[&str]) -> GdrResult<Vec<Box<dyn Platform>>> {
+    names
+        .iter()
+        .map(|&name| {
+            paper_platforms()
+                .into_iter()
+                .find(|p| p.name() == name)
+                .ok_or_else(|| {
+                    let all = paper_platforms();
+                    let known: Vec<&str> = all.iter().map(|p| p.name()).collect();
+                    gdr_hetgraph::GdrError::invalid_config(
+                        "platforms",
+                        format!("unknown platform {name:?}; valid: {}", known.join(", ")),
+                    )
+                })
+        })
+        .collect()
+}
+
+/// Borrows a boxed platform list as the `&[&dyn Platform]` slice the
+/// drivers consume. Build the list once ([`paper_platforms`] or your
+/// own), then reuse one borrow across every grid cell.
+pub fn platform_refs(platforms: &[Box<dyn Platform>]) -> Vec<&dyn Platform> {
+    platforms.iter().map(Box::as_ref).collect()
+}
+
 /// Executes one workload on every platform, in order. This is the
-/// platform-generic core of the evaluation: every figure driver consumes
-/// reports produced here, regardless of which backends are in the list.
+/// platform-generic core of the evaluation: every figure driver and the
+/// `gdr-bench` report harness consume runs produced here, regardless of
+/// which backends are in the list.
 ///
 /// # Errors
 ///
@@ -103,16 +142,33 @@ pub fn run_platforms(
         .collect()
 }
 
-impl GridPoint {
-    /// Runs one cell of the grid over [`paper_platforms`].
-    pub fn run(model: ModelKind, dataset: Dataset, cfg: &ExperimentConfig) -> Self {
-        let het = dataset.build_scaled(cfg.seed, cfg.scale);
-        let workload = Workload::from_hetero(ModelConfig::paper(model), &het);
-        let graphs = het.all_semantic_graphs();
+/// Materializes one grid cell's inputs: the scaled dataset's workload
+/// and its semantic graphs, aligned for [`run_platforms`].
+pub fn cell_inputs(
+    model: ModelKind,
+    dataset: Dataset,
+    cfg: &ExperimentConfig,
+) -> (Workload, Vec<BipartiteGraph>) {
+    let het = dataset.build_scaled(cfg.seed, cfg.scale);
+    let workload = Workload::from_hetero(ModelConfig::paper(model), &het);
+    let graphs = het.all_semantic_graphs();
+    (workload, graphs)
+}
 
-        let platforms = paper_platforms();
-        let refs: Vec<&dyn Platform> = platforms.iter().map(Box::as_ref).collect();
-        let runs = run_platforms(&refs, &workload, &graphs)
+impl GridPoint {
+    /// Runs one cell of the grid over an already-constructed
+    /// [`paper_platforms`] list (borrowed — nothing is rebuilt or cloned
+    /// per point). The list must hold the paper's four platforms in
+    /// presentation order; [`GridPoint`] is the paper-shaped view over
+    /// that specific list.
+    pub fn run_on(
+        platforms: &[&dyn Platform],
+        model: ModelKind,
+        dataset: Dataset,
+        cfg: &ExperimentConfig,
+    ) -> Self {
+        let (workload, graphs) = cell_inputs(model, dataset, cfg);
+        let runs = run_platforms(platforms, &workload, &graphs)
             .expect("workload and graphs are aligned by construction");
         let [t4_run, a100_run, hihgnn_run, gdr_run]: [PlatformRun; 4] = runs
             .try_into()
@@ -131,6 +187,14 @@ impl GridPoint {
         }
     }
 
+    /// Runs one cell of the grid, constructing [`paper_platforms`] for
+    /// this point only. Prefer [`run_grid`] (or [`GridPoint::run_on`]
+    /// with a shared list) when running more than one cell.
+    pub fn run(model: ModelKind, dataset: Dataset, cfg: &ExperimentConfig) -> Self {
+        let platforms = paper_platforms();
+        Self::run_on(&platform_refs(&platforms), model, dataset, cfg)
+    }
+
     /// Cell label as used in the paper's figures (e.g. `"RGCN/ACM"`).
     pub fn label(&self) -> String {
         format!("{}/{}", self.model.name(), self.dataset.name())
@@ -139,11 +203,16 @@ impl GridPoint {
 
 /// Runs the full 3 × 3 grid in the paper's presentation order (models
 /// outer: RGCN, RGAT, Simple-HGN; datasets inner: ACM, IMDB, DBLP).
+/// The platform list is constructed once and shared by reference across
+/// all nine cells; `cfg` is borrowed straight through — no per-point
+/// platform construction or config clones.
 pub fn run_grid(cfg: &ExperimentConfig) -> Vec<GridPoint> {
+    let platforms = paper_platforms();
+    let refs = platform_refs(&platforms);
     let mut points = Vec::with_capacity(9);
     for model in ModelKind::ALL {
         for dataset in Dataset::ALL {
-            points.push(GridPoint::run(model, dataset, cfg));
+            points.push(GridPoint::run_on(&refs, model, dataset, cfg));
         }
     }
     points
@@ -180,9 +249,7 @@ mod tests {
             seed: 3,
             scale: 0.04,
         };
-        let het = Dataset::Acm.build_scaled(cfg.seed, cfg.scale);
-        let w = Workload::from_hetero(ModelConfig::paper(ModelKind::Rgcn), &het);
-        let graphs = het.all_semantic_graphs();
+        let (w, graphs) = cell_inputs(ModelKind::Rgcn, Dataset::Acm, &cfg);
         // any subset / ordering of platforms works — drivers only see the
         // trait
         let platforms = paper_platforms();
@@ -192,6 +259,35 @@ mod tests {
         assert_eq!(runs[0].report.platform, "HiHGNN");
         assert_eq!(runs[1].report.platform, "T4");
         assert!(runs.iter().all(|r| r.report.time_ns > 0.0));
+    }
+
+    #[test]
+    fn platform_selection_by_name() {
+        let sel = select_platforms(&["HiHGNN", "T4"]).unwrap();
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].name(), "HiHGNN");
+        assert_eq!(sel[1].name(), "T4");
+        let err = select_platforms(&["V100"]).err().expect("V100 is unknown");
+        assert!(err.to_string().contains("V100"));
+        assert!(err.to_string().contains("HiHGNN+GDR"));
+    }
+
+    #[test]
+    fn shared_platform_list_matches_per_point_construction() {
+        let cfg = ExperimentConfig {
+            seed: 5,
+            scale: 0.04,
+        };
+        let platforms = paper_platforms();
+        let refs = platform_refs(&platforms);
+        let shared = GridPoint::run_on(&refs, ModelKind::Rgat, Dataset::Imdb, &cfg);
+        let fresh = GridPoint::run(ModelKind::Rgat, Dataset::Imdb, &cfg);
+        assert_eq!(shared.t4, fresh.t4);
+        assert_eq!(shared.gdr, fresh.gdr);
+        assert_eq!(
+            shared.hihgnn_src_replacements,
+            fresh.hihgnn_src_replacements
+        );
     }
 
     #[test]

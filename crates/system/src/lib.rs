@@ -10,6 +10,12 @@
 //!   §3 motivation, Fig. 2, Fig. 7-10);
 //! * [`ablations`] — design-choice ablations (backbone strategy,
 //!   recursion depth, buffer capacity);
+//! * [`report`] — the platform-generic report subsystem: run any
+//!   [`Platform`](gdr_accel::platform::Platform) list over the grid,
+//!   render markdown, emit/parse the stable `gdr-bench/v1` JSON schema,
+//!   and [`report::compare`] two reports for the CI perf gate;
+//! * [`json`] — hand-rolled JSON value/writer/parser (crates.io is
+//!   unreachable in the build environment);
 //! * [`markdown`] — report formatting.
 //!
 //! # Examples
@@ -32,8 +38,14 @@ pub mod builder;
 pub mod combined;
 pub mod experiments;
 pub mod grid;
+pub mod json;
 pub mod markdown;
+pub mod report;
 
 pub use builder::{System, SystemBuilder};
 pub use combined::{CombinedRun, CombinedSystem};
-pub use grid::{paper_platforms, run_grid, run_platforms, ExperimentConfig, GridPoint};
+pub use grid::{
+    cell_inputs, paper_platforms, platform_refs, run_grid, run_platforms, select_platforms,
+    ExperimentConfig, GridPoint,
+};
+pub use report::{compare, BenchReport, Comparison, PaperReport};

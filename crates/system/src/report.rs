@@ -1,0 +1,842 @@
+//! The platform-generic report subsystem.
+//!
+//! [`BenchReport::collect`] runs **any** [`Platform`] list over the
+//! dataset × model grid and captures one machine-readable record per
+//! (cell, platform): simulated latency, DRAM traffic, bandwidth
+//! utilization, per-stage breakdown, buffer hit rate, platform-specific
+//! extras (accelerator cycles, frontend session stats), speedup against
+//! the list's first platform, and harness wall-clock. The same report
+//! renders as markdown ([`BenchReport::to_markdown`]) and as the stable
+//! `gdr-bench/v1` JSON schema ([`BenchReport::to_json`], documented in
+//! `bench/README.md`) that the `gdr-bench` binary writes and the CI
+//! perf gate compares with [`compare`].
+//!
+//! Everything but wall-clock is a deterministic function of
+//! `(seed, scale)` — the simulators are cycle-accurate models, not
+//! measurements — so two runs of the same commit produce byte-identical
+//! metric values on any machine, and a regression in the JSON diff is a
+//! real modeling change, never timer noise. [`compare`] therefore gates
+//! on simulated metrics only ([`GATED_METRICS`]) and ignores the
+//! wall-clock fields.
+
+use std::time::Instant;
+
+use gdr_accel::platform::Platform;
+use gdr_accel::report::geomean;
+use gdr_hetgraph::datasets::Dataset;
+use gdr_hetgraph::GdrResult;
+use gdr_hgnn::model::ModelKind;
+
+use crate::ablations::AblationReport;
+use crate::experiments::{
+    fig10, fig2, fig7, fig8, fig9, motivation_l2, table2, table3, Fig10, Fig2, Fig7, Fig8, Fig9,
+};
+use crate::grid::{cell_inputs, run_grid, run_platforms, ExperimentConfig};
+use crate::json::Json;
+use crate::markdown::{f2, table};
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "gdr-bench/v1";
+
+/// Metrics the CI perf gate exits nonzero on (both lower-is-better).
+/// The remaining fields are recorded for observability but not gated:
+/// they are either derived from these (accesses, utilization), direction-
+/// ambiguous (stage split), or nondeterministic (wall-clock).
+pub const GATED_METRICS: &[&str] = &["time_ns", "dram_bytes"];
+
+/// One platform's record for one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Platform label ([`Platform::name`]).
+    pub platform: String,
+    /// Stable-ordered numeric metrics: the [`gdr_accel::report::ExecReport`]
+    /// flat metrics followed by the platform's extras under an `extra.`
+    /// prefix.
+    pub metrics: Vec<(String, f64)>,
+    /// NA-stage buffer/cache hit rate, when the platform models one.
+    pub na_hit_rate: Option<f64>,
+    /// Speedup against the platform list's first entry on the same cell.
+    pub speedup_vs_baseline: f64,
+}
+
+impl RunRecord {
+    /// Looks up a metric by key (`"time_ns"`, `"extra.cycles"`, …).
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// One (model, dataset) cell: every platform's record plus harness
+/// wall-clock for the cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Model label (`"RGCN"`, …).
+    pub model: String,
+    /// Dataset label (`"ACM"`, …).
+    pub dataset: String,
+    /// Harness wall-clock spent running this cell, seconds.
+    pub wall_clock_s: f64,
+    /// One record per platform, in platform-list order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl PointRecord {
+    /// Cell label as used in the figures (`"RGCN/ACM"`).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.model, self.dataset)
+    }
+}
+
+/// A full evaluation pass of a platform list over the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Dataset generation seed.
+    pub seed: u64,
+    /// Dataset scale (1.0 = Table 2 sizes).
+    pub scale: f64,
+    /// Platform labels, in execution order (first = speedup baseline).
+    pub platforms: Vec<String>,
+    /// One record per grid cell, models outer, datasets inner.
+    pub points: Vec<PointRecord>,
+    /// Total harness wall-clock, seconds.
+    pub wall_clock_s: f64,
+}
+
+impl BenchReport {
+    /// Runs every (model, dataset) cell of the grid on `platforms` and
+    /// collects the report. The platform list is borrowed and reused
+    /// across all cells; its first entry is the speedup baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first platform error. The paper platforms cannot
+    /// fail on grid-generated inputs; user-supplied [`Platform`]
+    /// implementations may.
+    pub fn collect(platforms: &[&dyn Platform], cfg: &ExperimentConfig) -> GdrResult<Self> {
+        let t0 = Instant::now();
+        let mut points = Vec::with_capacity(ModelKind::ALL.len() * Dataset::ALL.len());
+        for model in ModelKind::ALL {
+            for dataset in Dataset::ALL {
+                let cell_t0 = Instant::now();
+                let (workload, graphs) = cell_inputs(model, dataset, cfg);
+                let runs = run_platforms(platforms, &workload, &graphs)?;
+                let baseline_ns = runs.first().map(|r| r.report.time_ns).unwrap_or(0.0);
+                let records = runs
+                    .iter()
+                    .map(|run| {
+                        let mut metrics: Vec<(String, f64)> = run
+                            .report
+                            .flat_metrics()
+                            .into_iter()
+                            .map(|(k, v)| (k.to_string(), v))
+                            .collect();
+                        metrics.extend(run.extra.iter().map(|(k, v)| (format!("extra.{k}"), *v)));
+                        RunRecord {
+                            platform: run.report.platform.clone(),
+                            metrics,
+                            na_hit_rate: run.report.na_hit_rate,
+                            speedup_vs_baseline: if run.report.time_ns > 0.0 {
+                                baseline_ns / run.report.time_ns
+                            } else {
+                                0.0
+                            },
+                        }
+                    })
+                    .collect();
+                points.push(PointRecord {
+                    model: model.name().to_string(),
+                    dataset: dataset.name().to_string(),
+                    wall_clock_s: cell_t0.elapsed().as_secs_f64(),
+                    runs: records,
+                });
+            }
+        }
+        Ok(BenchReport {
+            seed: cfg.seed,
+            scale: cfg.scale,
+            platforms: platforms.iter().map(|p| p.name().to_string()).collect(),
+            points,
+            wall_clock_s: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Per-platform geometric-mean speedup over the baseline platform,
+    /// in platform order.
+    pub fn geomean_speedups(&self) -> Vec<(String, f64)> {
+        self.platforms
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let ratios: Vec<f64> = self
+                    .points
+                    .iter()
+                    .filter_map(|p| p.runs.get(i))
+                    .map(|r| r.speedup_vs_baseline)
+                    .collect();
+                (name.clone(), geomean(&ratios))
+            })
+            .collect()
+    }
+
+    /// The `gdr-bench/v1` JSON document. Key order is fixed by
+    /// construction and covered by a golden-file test — treat any
+    /// ordering change as a schema version bump.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from(SCHEMA)),
+            (
+                "config",
+                Json::obj([
+                    ("seed", Json::from(self.seed)),
+                    ("scale", Json::from(self.scale)),
+                ]),
+            ),
+            (
+                "platforms",
+                Json::arr(self.platforms.iter().map(|p| Json::from(p.as_str()))),
+            ),
+            ("wall_clock_s", Json::from(self.wall_clock_s)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("model", Json::from(p.model.as_str())),
+                        ("dataset", Json::from(p.dataset.as_str())),
+                        ("wall_clock_s", Json::from(p.wall_clock_s)),
+                        (
+                            "runs",
+                            Json::arr(p.runs.iter().map(|r| {
+                                let mut fields =
+                                    vec![("platform".to_string(), Json::from(r.platform.as_str()))];
+                                let mut extra: Vec<(String, Json)> = Vec::new();
+                                for (k, v) in &r.metrics {
+                                    match k.strip_prefix("extra.") {
+                                        Some(name) => {
+                                            extra.push((name.to_string(), Json::from(*v)))
+                                        }
+                                        None => fields.push((k.clone(), Json::from(*v))),
+                                    }
+                                }
+                                fields.push(("na_hit_rate".into(), Json::from(r.na_hit_rate)));
+                                fields.push((
+                                    "speedup_vs_baseline".into(),
+                                    Json::from(r.speedup_vs_baseline),
+                                ));
+                                fields.push(("extra".into(), Json::Obj(extra)));
+                                Json::Obj(fields)
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    /// Unknown numeric fields are kept (forward compatibility within the
+    /// same schema id); an unknown `schema` value is rejected.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// [`BenchReport::parse`] over an already-parsed value.
+    ///
+    /// # Errors
+    ///
+    /// See [`BenchReport::parse`].
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let config = v.get("config").ok_or("missing config")?;
+        let num = |obj: &Json, key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let string = |obj: &Json, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let platforms = v
+            .get("platforms")
+            .and_then(Json::as_arr)
+            .ok_or("missing platforms")?
+            .iter()
+            .map(|p| p.as_str().map(str::to_string).ok_or("non-string platform"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut points = Vec::new();
+        for p in v
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("missing points")?
+        {
+            let mut runs = Vec::new();
+            for r in p.get("runs").and_then(Json::as_arr).ok_or("missing runs")? {
+                let mut metrics = Vec::new();
+                for (k, field) in r.as_obj().ok_or("run is not an object")? {
+                    match (k.as_str(), field) {
+                        ("platform" | "na_hit_rate" | "speedup_vs_baseline", _) => {}
+                        ("extra", Json::Obj(pairs)) => {
+                            for (ek, ev) in pairs {
+                                let x = ev.as_f64().ok_or("non-numeric extra metric")?;
+                                metrics.push((format!("extra.{ek}"), x));
+                            }
+                        }
+                        (_, Json::Num(x)) => metrics.push((k.clone(), *x)),
+                        _ => return Err(format!("unexpected run field {k:?}")),
+                    }
+                }
+                runs.push(RunRecord {
+                    platform: string(r, "platform")?,
+                    metrics,
+                    na_hit_rate: r.get("na_hit_rate").and_then(Json::as_f64),
+                    speedup_vs_baseline: num(r, "speedup_vs_baseline")?,
+                });
+            }
+            points.push(PointRecord {
+                model: string(p, "model")?,
+                dataset: string(p, "dataset")?,
+                wall_clock_s: num(p, "wall_clock_s")?,
+                runs,
+            });
+        }
+        Ok(BenchReport {
+            seed: num(config, "seed")? as u64,
+            scale: num(config, "scale")?,
+            platforms,
+            points,
+            wall_clock_s: num(v, "wall_clock_s")?,
+        })
+    }
+
+    /// Markdown rendering: per-cell latency and speedup table plus a
+    /// DRAM traffic table, with geomean rows.
+    pub fn to_markdown(&self) -> String {
+        let mut headers: Vec<String> = vec!["workload".into()];
+        for p in &self.platforms {
+            headers.push(format!("{p} ms"));
+            headers.push(format!("{p} ×"));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for point in &self.points {
+            let mut row = vec![point.label()];
+            for run in &point.runs {
+                row.push(f2(run.metric("time_ns").unwrap_or(0.0) / 1e6));
+                row.push(f2(run.speedup_vs_baseline));
+            }
+            rows.push(row);
+        }
+        let mut geo_row = vec!["GEOMEAN".to_string()];
+        for (_, g) in self.geomean_speedups() {
+            geo_row.push(String::new());
+            geo_row.push(f2(g));
+        }
+        rows.push(geo_row);
+        let mut out = format!(
+            "### Latency and speedup vs {} (seed {}, scale {})\n\n{}",
+            self.platforms.first().map(String::as_str).unwrap_or("?"),
+            self.seed,
+            self.scale,
+            table(&header_refs, &rows),
+        );
+
+        let mut dram_headers: Vec<String> = vec!["workload".into()];
+        for p in &self.platforms {
+            dram_headers.push(format!("{p} MiB"));
+        }
+        let dram_header_refs: Vec<&str> = dram_headers.iter().map(String::as_str).collect();
+        let dram_rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|point| {
+                let mut row = vec![point.label()];
+                for run in &point.runs {
+                    row.push(f2(
+                        run.metric("dram_bytes").unwrap_or(0.0) / (1 << 20) as f64
+                    ));
+                }
+                row
+            })
+            .collect();
+        out.push_str("\n### DRAM traffic\n\n");
+        out.push_str(&table(&dram_header_refs, &dram_rows));
+        out
+    }
+}
+
+/// Every table and figure of the paper's evaluation, regenerated from
+/// one grid pass over [`crate::grid::paper_platforms`] and rendered as
+/// one markdown document ([`PaperReport::to_markdown`], the source of
+/// `EXPERIMENTS.md`) or one JSON document ([`PaperReport::to_json`]).
+///
+/// This is the paper-shaped sibling of the platform-generic
+/// [`BenchReport`]: it exists because Figs. 2 and 7–10 are projections
+/// specific to the paper's four platforms, while [`BenchReport`] carries
+/// raw per-record metrics for any platform list.
+#[derive(Debug, Clone)]
+pub struct PaperReport {
+    /// Grid configuration the figures were generated at.
+    pub config: ExperimentConfig,
+    /// Table 2 (dataset statistics), markdown.
+    pub table2_md: String,
+    /// Table 3 (platform configurations), markdown.
+    pub table3_md: String,
+    /// §3 motivation: per-dataset T4 L2 hit % over RGCN NA gathers.
+    pub motivation: Vec<(Dataset, f64)>,
+    /// Fig. 2: replacement-times histograms.
+    pub fig2: Fig2,
+    /// Fig. 7: speedups over T4.
+    pub fig7: Fig7,
+    /// Fig. 8: DRAM access normalized to T4.
+    pub fig8: Fig8,
+    /// Fig. 9: bandwidth utilization.
+    pub fig9: Fig9,
+    /// Fig. 10: area and power.
+    pub fig10: Fig10,
+    /// Design-choice ablations A1–A3.
+    pub ablations: AblationReport,
+    /// Wall-clock spent running the grid, seconds.
+    pub grid_wall_clock_s: f64,
+}
+
+impl PaperReport {
+    /// Regenerates every figure and table at `cfg`, running the grid
+    /// once. The ablations run on DBLP's largest semantic graph with the
+    /// HiHGNN NA-window capacity, as `run_experiments` always has.
+    pub fn collect(cfg: &ExperimentConfig) -> Self {
+        let t0 = Instant::now();
+        let grid = run_grid(cfg);
+        let grid_wall_clock_s = t0.elapsed().as_secs_f64();
+        let cap = gdr_accel::hihgnn::HiHgnnConfig::default().na_window_features();
+        Self {
+            config: *cfg,
+            table2_md: table2(cfg),
+            table3_md: table3(),
+            motivation: motivation_l2(&grid),
+            fig2: fig2(&grid),
+            fig7: fig7(&grid),
+            fig8: fig8(&grid),
+            fig9: fig9(&grid),
+            fig10: fig10(),
+            ablations: AblationReport::collect(cfg, Dataset::Dblp, cap),
+            grid_wall_clock_s,
+        }
+    }
+
+    /// The full experiment document (the `run_experiments` output).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "# GDR-HGNN experiment results (scale {})\n\n",
+            self.config.scale
+        );
+        out.push_str("## Table 2: datasets\n\n");
+        out.push_str(&self.table2_md);
+        out.push_str("\n## Table 3: platforms\n\n");
+        out.push_str(&self.table3_md);
+        out.push_str("\n## Motivation (§3): T4 L2 hit ratio, RGCN NA stage\n\n");
+        out.push_str("paper: IMDB 30.1%, DBLP 17.5%\n\n");
+        for (d, pct) in &self.motivation {
+            out.push_str(&format!("- {d}: {pct:.1}%\n"));
+        }
+        out.push_str("\n## Fig. 2: feature replacement times on HiHGNN (RGCN)\n\n");
+        out.push_str(&self.fig2.to_markdown());
+        out.push_str("\n## Fig. 7: speedup over T4\n\n");
+        out.push_str(&self.fig7.to_markdown());
+        let (vs_t4, vs_a100, vs_hihgnn) = self.fig7.headline();
+        out.push_str(&format!(
+            "\nheadline: GDR+HiHGNN = {vs_t4:.1}x vs T4 (paper 68.8x), {vs_a100:.1}x vs A100 (paper 14.6x), {vs_hihgnn:.2}x vs HiHGNN (paper 1.78x)\n"
+        ));
+        out.push_str("\n## Fig. 8: DRAM access normalized to T4 (%)\n\n");
+        out.push_str(&self.fig8.to_markdown());
+        let (g_t4, g_a100, g_hihgnn) = self.fig8.headline();
+        out.push_str(&format!(
+            "\nheadline: GDR+HiHGNN accesses {g_t4:.1}% of T4 (paper 4.8%), {g_a100:.1}% of A100 (paper 8.7%), {g_hihgnn:.1}% of HiHGNN (paper 57.1%)\n"
+        ));
+        out.push_str("\n## Fig. 9: DRAM bandwidth utilization (%)\n\n");
+        out.push_str(&self.fig9.to_markdown());
+        let (u_t4, u_a100) = self.fig9.headline();
+        out.push_str(&format!(
+            "\nheadline: GDR+HiHGNN utilization {u_t4:.2}x of T4 (paper 2.58x), {u_a100:.2}x of A100 (paper 6.35x)\n"
+        ));
+        out.push_str("\n## Fig. 10: area and power\n\n");
+        out.push_str(&self.fig10.to_markdown());
+        out.push_str(&format!(
+            "\nGDR area share {:.2}% (paper 2.30%), power share {:.2}% (paper 0.46%)\n",
+            self.fig10.gdr_area_pct, self.fig10.gdr_power_pct
+        ));
+        let (af, ab, ao) = self.fig10.gdr_area_breakdown;
+        let (pf, pb, po) = self.fig10.gdr_power_breakdown;
+        out.push_str(&format!(
+            "GDR area breakdown: FIFOs {af:.2}% / buffers {ab:.2}% / others {ao:.2}% (paper 0.87/91.74/7.39)\n"
+        ));
+        out.push_str(&format!(
+            "GDR power breakdown: FIFOs {pf:.2}% / buffers {pb:.2}% / others {po:.2}% (paper 2.17/93.48/4.35)\n"
+        ));
+        out.push_str("\n## Ablations (ours)\n\n");
+        out.push_str(&self.ablations.to_markdown());
+        out
+    }
+
+    /// One JSON document bundling every figure/table rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from("gdr-paper-report/v1")),
+            (
+                "config",
+                Json::obj([
+                    ("seed", Json::from(self.config.seed)),
+                    ("scale", Json::from(self.config.scale)),
+                ]),
+            ),
+            ("grid_wall_clock_s", Json::from(self.grid_wall_clock_s)),
+            ("table2_markdown", Json::from(self.table2_md.as_str())),
+            ("table3_markdown", Json::from(self.table3_md.as_str())),
+            (
+                "motivation_t4_l2_hit_pct",
+                Json::obj(
+                    self.motivation
+                        .iter()
+                        .map(|(d, pct)| (d.name().to_string(), Json::from(*pct))),
+                ),
+            ),
+            ("fig2", self.fig2.to_json()),
+            ("fig7", self.fig7.to_json()),
+            ("fig8", self.fig8.to_json()),
+            ("fig9", self.fig9.to_json()),
+            ("fig10", self.fig10.to_json()),
+            ("ablations", self.ablations.to_json()),
+        ])
+    }
+}
+
+/// One metric's movement between two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Cell label (`"RGCN/ACM"`).
+    pub point: String,
+    /// Platform label.
+    pub platform: String,
+    /// Metric key.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+impl Delta {
+    /// Percent change, positive = metric grew (worse, for gated
+    /// lower-is-better metrics).
+    pub fn change_pct(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.current / self.baseline - 1.0) * 100.0
+        }
+    }
+}
+
+/// Outcome of comparing a current report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Regression threshold in percent (e.g. `10.0`).
+    pub threshold_pct: f64,
+    /// Gated metrics that grew past the threshold.
+    pub regressions: Vec<Delta>,
+    /// Gated metrics that shrank past the threshold (celebrate, and
+    /// refresh the committed baseline so the win is locked in).
+    pub improvements: Vec<Delta>,
+    /// `(cell, platform)` records present in the baseline but absent
+    /// from the current report — a shrunk grid also fails the gate.
+    pub missing: Vec<String>,
+    /// Set when the two reports were produced from different
+    /// `(seed, scale)` configurations and are not comparable.
+    pub config_mismatch: Option<String>,
+}
+
+impl Comparison {
+    /// Whether the gate passes: comparable configs, full coverage, no
+    /// gated regression.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty() && self.config_mismatch.is_none()
+    }
+
+    /// Human-readable verdict for CI logs.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(m) = &self.config_mismatch {
+            out.push_str(&format!("**config mismatch:** {m}\n"));
+        }
+        for m in &self.missing {
+            out.push_str(&format!("**missing from current report:** {m}\n"));
+        }
+        let describe = |out: &mut String, title: &str, deltas: &[Delta]| {
+            if deltas.is_empty() {
+                return;
+            }
+            out.push_str(&format!(
+                "\n**{title}** (threshold {}%):\n",
+                self.threshold_pct
+            ));
+            for d in deltas {
+                out.push_str(&format!(
+                    "- {} on {}: {} {} → {} ({:+.1}%)\n",
+                    d.metric,
+                    d.point,
+                    d.platform,
+                    d.baseline,
+                    d.current,
+                    d.change_pct()
+                ));
+            }
+        };
+        describe(&mut out, "regressions", &self.regressions);
+        describe(&mut out, "improvements", &self.improvements);
+        if self.passed() {
+            out.push_str(&format!(
+                "perf gate PASSED: no gated metric ({}) moved more than {}% up on {} records\n",
+                GATED_METRICS.join(", "),
+                self.threshold_pct,
+                "all compared"
+            ));
+        }
+        out
+    }
+}
+
+/// Compares `current` against `baseline` on [`GATED_METRICS`], flagging
+/// any gated metric that grew by more than `threshold_pct` percent.
+/// Wall-clock fields and non-gated metrics are never compared — they are
+/// either machine-dependent or direction-ambiguous.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
+    let mut cmp = Comparison {
+        threshold_pct,
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+        missing: Vec::new(),
+        config_mismatch: None,
+    };
+    if baseline.seed != current.seed || baseline.scale != current.scale {
+        cmp.config_mismatch = Some(format!(
+            "baseline (seed {}, scale {}) vs current (seed {}, scale {})",
+            baseline.seed, baseline.scale, current.seed, current.scale
+        ));
+        return cmp;
+    }
+    for b_point in &baseline.points {
+        let c_point = current
+            .points
+            .iter()
+            .find(|p| p.model == b_point.model && p.dataset == b_point.dataset);
+        for b_run in &b_point.runs {
+            let c_run = c_point.and_then(|p| p.runs.iter().find(|r| r.platform == b_run.platform));
+            let Some(c_run) = c_run else {
+                cmp.missing
+                    .push(format!("{} on {}", b_point.label(), b_run.platform));
+                continue;
+            };
+            for &metric in GATED_METRICS {
+                let (Some(b), Some(c)) = (b_run.metric(metric), c_run.metric(metric)) else {
+                    // A gated metric absent on either side must not pass
+                    // silently — a vacuous comparison is a broken gate.
+                    cmp.missing.push(format!(
+                        "{} for {} on {}",
+                        metric,
+                        b_point.label(),
+                        b_run.platform
+                    ));
+                    continue;
+                };
+                let delta = Delta {
+                    point: b_point.label(),
+                    platform: b_run.platform.clone(),
+                    metric: metric.to_string(),
+                    baseline: b,
+                    current: c,
+                };
+                if c > b * (1.0 + threshold_pct / 100.0) {
+                    cmp.regressions.push(delta);
+                } else if c < b * (1.0 - threshold_pct / 100.0) {
+                    cmp.improvements.push(delta);
+                }
+            }
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{paper_platforms, platform_refs};
+
+    fn tiny_report() -> BenchReport {
+        let platforms = paper_platforms();
+        let refs = platform_refs(&platforms);
+        BenchReport::collect(
+            &refs,
+            &ExperimentConfig {
+                seed: 11,
+                scale: 0.04,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Scales a gated metric on every record, simulating a regression or
+    /// improvement.
+    fn scaled(report: &BenchReport, metric: &str, factor: f64) -> BenchReport {
+        let mut out = report.clone();
+        for p in &mut out.points {
+            for r in &mut p.runs {
+                for (k, v) in &mut r.metrics {
+                    if k == metric {
+                        *v *= factor;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn collect_covers_grid_and_baselines_speedup() {
+        let r = tiny_report();
+        assert_eq!(r.points.len(), 9);
+        assert_eq!(r.platforms, ["T4", "A100", "HiHGNN", "HiHGNN+GDR"]);
+        for p in &r.points {
+            assert_eq!(p.runs.len(), 4);
+            // first platform is its own baseline
+            assert!((p.runs[0].speedup_vs_baseline - 1.0).abs() < 1e-12);
+            // combined system surfaces frontend session stats
+            assert!(p.runs[3].metric("extra.frontend_cycles").unwrap() > 0.0);
+            assert!(p.runs[3].metric("extra.cycles").unwrap() > 0.0);
+        }
+        let geo = r.geomean_speedups();
+        assert!((geo[0].1 - 1.0).abs() < 1e-12);
+        assert!(geo[2].1 > geo[1].1, "HiHGNN geomean beats A100");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_records() {
+        let r = tiny_report();
+        let parsed = BenchReport::parse(&r.to_json().to_pretty()).unwrap();
+        assert_eq!(parsed, r);
+        // compact form parses identically
+        assert_eq!(BenchReport::parse(&r.to_json().to_compact()).unwrap(), r);
+    }
+
+    #[test]
+    fn markdown_renders_tables() {
+        let r = tiny_report();
+        let md = r.to_markdown();
+        assert!(md.contains("GEOMEAN"));
+        assert!(md.contains("RGCN/ACM"));
+        assert!(md.contains("DRAM traffic"));
+    }
+
+    #[test]
+    fn paper_report_renders_every_section() {
+        let r = PaperReport::collect(&ExperimentConfig {
+            seed: 7,
+            scale: 0.05,
+        });
+        let md = r.to_markdown();
+        for section in [
+            "Table 2",
+            "Table 3",
+            "Motivation",
+            "Fig. 2",
+            "Fig. 7",
+            "Fig. 8",
+            "Fig. 9",
+            "Fig. 10",
+            "Ablations",
+            "headline",
+        ] {
+            assert!(md.contains(section), "missing section {section}");
+        }
+        let j = r.to_json();
+        assert!(j.get("fig7").is_some() && j.get("ablations").is_some());
+        assert_eq!(Json::parse(&j.to_pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn comparator_flags_20pct_slowdown_and_passes_5pct() {
+        let base = tiny_report();
+        let slow = scaled(&base, "time_ns", 1.20);
+        let cmp = compare(&base, &slow, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 36, "9 cells × 4 platforms");
+        assert!(cmp.regressions.iter().all(|d| d.metric == "time_ns"));
+        assert!((cmp.regressions[0].change_pct() - 20.0).abs() < 1e-6);
+
+        let ok = scaled(&base, "time_ns", 1.05);
+        assert!(compare(&base, &ok, 10.0).passed());
+    }
+
+    #[test]
+    fn comparator_reports_improvements_and_missing() {
+        let base = tiny_report();
+        let fast = scaled(&base, "dram_bytes", 0.5);
+        let cmp = compare(&base, &fast, 10.0);
+        assert!(cmp.passed(), "improvements alone must not fail the gate");
+        assert_eq!(cmp.improvements.len(), 36);
+
+        let mut shrunk = base.clone();
+        shrunk.points[0].runs.pop();
+        let cmp = compare(&base, &shrunk, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing, ["RGCN/ACM on HiHGNN+GDR"]);
+        assert!(cmp.to_markdown().contains("missing"));
+    }
+
+    #[test]
+    fn comparator_fails_when_a_gated_metric_is_absent() {
+        // Stripping time_ns from one run must fail the gate, not pass
+        // it vacuously.
+        let base = tiny_report();
+        let mut stripped = base.clone();
+        stripped.points[0].runs[0]
+            .metrics
+            .retain(|(k, _)| k != "time_ns");
+        let cmp = compare(&base, &stripped, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing, ["time_ns for RGCN/ACM on T4"]);
+        // ...in either direction
+        assert!(!compare(&stripped, &base, 10.0).passed());
+    }
+
+    #[test]
+    fn comparator_rejects_mismatched_configs() {
+        let base = tiny_report();
+        let mut other = base.clone();
+        other.scale = 1.0;
+        let cmp = compare(&base, &other, 10.0);
+        assert!(!cmp.passed());
+        assert!(cmp.config_mismatch.is_some());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let r = tiny_report();
+        let text = r.to_json().to_compact().replace(SCHEMA, "gdr-bench/v999");
+        assert!(BenchReport::parse(&text).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Golden-file guard for the `gdr-bench/v1` JSON schema.
+//!
+//! The CI perf gate diffs reports produced by different commits, so the
+//! schema's key set *and ordering* are a compatibility contract. This
+//! test serializes the [`ExperimentConfig::test_scale`] grid and checks
+//! every key path, in first-appearance order, against
+//! `tests/golden/bench_schema_keys.txt`. If a change here is
+//! intentional, update the golden file AND bump the schema id in
+//! `gdr_system::report::SCHEMA` (plus `bench/baseline.json`).
+
+use gdr_system::grid::{paper_platforms, platform_refs, ExperimentConfig};
+use gdr_system::json::Json;
+use gdr_system::report::{compare, BenchReport};
+
+const GOLDEN: &str = include_str!("golden/bench_schema_keys.txt");
+
+/// Collects unique key paths (`points[].runs[].time_ns` style) in
+/// first-appearance order — mirroring how a schema consumer discovers
+/// fields.
+fn key_paths(v: &Json, prefix: &str, seen: &mut Vec<String>) {
+    match v {
+        Json::Obj(pairs) => {
+            for (k, val) in pairs {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                if !seen.contains(&p) {
+                    seen.push(p.clone());
+                }
+                key_paths(val, &p, seen);
+            }
+        }
+        Json::Arr(items) => {
+            let p = format!("{prefix}[]");
+            if !seen.contains(&p) {
+                seen.push(p.clone());
+            }
+            for item in items {
+                key_paths(item, &p, seen);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn test_scale_report() -> BenchReport {
+    let platforms = paper_platforms();
+    BenchReport::collect(&platform_refs(&platforms), &ExperimentConfig::test_scale())
+        .expect("paper platforms accept grid inputs")
+}
+
+#[test]
+fn schema_key_paths_match_golden_file() {
+    let report = test_scale_report();
+    assert_eq!(report.points.len(), 9, "grid covers all nine cells");
+    let mut seen = Vec::new();
+    key_paths(&report.to_json(), "", &mut seen);
+    let golden: Vec<&str> = GOLDEN.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(
+        seen, golden,
+        "gdr-bench/v1 key paths drifted; if intentional, regenerate \
+         tests/golden/bench_schema_keys.txt and bump report::SCHEMA"
+    );
+}
+
+#[test]
+fn serialization_is_deterministic_and_round_trips() {
+    let report = test_scale_report();
+    let a = report.to_json().to_pretty();
+    let b = report.to_json().to_pretty();
+    assert_eq!(a, b, "same report must serialize byte-identically");
+    let parsed = BenchReport::parse(&a).expect("own output parses");
+    assert_eq!(
+        parsed.to_json().to_pretty(),
+        a,
+        "parse → serialize must be the identity"
+    );
+}
+
+#[test]
+fn gate_passes_against_own_serialization() {
+    // The end-to-end CI path in miniature: collect → write → read →
+    // compare. Identical metrics must pass at any threshold, including 0.
+    let report = test_scale_report();
+    let reread = BenchReport::parse(&report.to_json().to_pretty()).unwrap();
+    let cmp = compare(&reread, &report, 0.0);
+    assert!(cmp.passed(), "round-tripped report must gate clean");
+    assert!(cmp.regressions.is_empty() && cmp.missing.is_empty());
+}
+
+#[test]
+fn gate_catches_regression_injected_into_serialized_report() {
+    // Mirror of the CI self-test: textually perturb a serialized report
+    // (as `sed` does in the workflow) and require the gate to fail.
+    let report = test_scale_report();
+    let json = report.to_json();
+    let slowed = scale_metric(&json, "time_ns", 1.2);
+    let slow_report = BenchReport::from_json(&slowed).unwrap();
+    let cmp = compare(&report, &slow_report, 10.0);
+    assert!(!cmp.passed());
+    assert_eq!(cmp.regressions.len(), 36, "9 cells × 4 platforms");
+
+    let ok = BenchReport::from_json(&scale_metric(&json, "time_ns", 1.05)).unwrap();
+    assert!(compare(&report, &ok, 10.0).passed());
+}
+
+fn scale_metric(v: &Json, key: &str, factor: f64) -> Json {
+    match v {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, val)| {
+                    if k == key {
+                        if let Json::Num(x) = val {
+                            return (k.clone(), Json::Num(x * factor));
+                        }
+                    }
+                    (k.clone(), scale_metric(val, key, factor))
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(|i| scale_metric(i, key, factor)).collect()),
+        other => other.clone(),
+    }
+}

@@ -4,10 +4,14 @@
 //!
 //! Run with: `cargo run --release --example full_system [model] [dataset] [scale]`
 //! e.g. `cargo run --release --example full_system RGAT DBLP 1.0`
+//!
+//! For the machine-readable equivalent over the whole grid, use the
+//! `gdr-bench` runner (`bench/README.md`):
+//! `cargo run --release -p gdr-bench --bin gdr-bench -- --scale 1.0 --out bench.json`
 
 use gdr::hetgraph::datasets::Dataset;
 use gdr::hgnn::model::ModelKind;
-use gdr::system::grid::{ExperimentConfig, GridPoint};
+use gdr::system::grid::{paper_platforms, platform_refs, ExperimentConfig, GridPoint};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,7 +28,9 @@ fn main() {
     let scale: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
 
     println!("simulating {model} on {dataset} (scale {scale}) across all platforms...\n");
-    let p = GridPoint::run(model, dataset, &ExperimentConfig { seed: 42, scale });
+    let platforms = paper_platforms();
+    let refs = platform_refs(&platforms);
+    let p = GridPoint::run_on(&refs, model, dataset, &ExperimentConfig { seed: 42, scale });
 
     println!(
         "{:<12} {:>12} {:>10} {:>12} {:>10} {:>8}",

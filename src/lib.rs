@@ -46,6 +46,31 @@
 //! # Ok::<(), gdr::prelude::GdrError>(())
 //! ```
 //!
+//! # Evaluating platforms
+//!
+//! The report subsystem runs **any** [`prelude::Platform`] list over
+//! the dataset × model grid and emits markdown plus the stable
+//! `gdr-bench/v1` JSON schema (documented in `bench/README.md`). The
+//! same schema backs the `gdr-bench` CLI
+//! (`cargo run -p gdr-bench --bin gdr-bench -- --scale test --out bench.json`,
+//! with `--baseline old.json --threshold 10%` as the CI perf gate):
+//!
+//! ```
+//! use gdr::prelude::*;
+//!
+//! // Any subset, any order; the first platform is the speedup baseline.
+//! let platforms = select_platforms(&["HiHGNN", "HiHGNN+GDR"])?;
+//! let cfg = ExperimentConfig { seed: 42, scale: 0.04 };
+//! let report = BenchReport::collect(&platform_refs(&platforms), &cfg)?;
+//! assert_eq!(report.points.len(), 9);
+//!
+//! // Machine-readable out, regression gate back in.
+//! let json = report.to_json().to_pretty();
+//! let baseline = BenchReport::parse(&json).expect("own output parses");
+//! assert!(compare(&baseline, &report, 10.0).passed());
+//! # Ok::<(), gdr::prelude::GdrError>(())
+//! ```
+//!
 //! Lower-level pieces stay available through the per-crate re-exports —
 //! e.g. restructure one semantic graph by hand and measure the
 //! locality win:
@@ -79,11 +104,23 @@ pub use gdr_system as system;
 /// The single documented entry point: everything needed to build,
 /// execute, and compare simulated systems.
 ///
-/// * build: [`SystemBuilder`] → [`System`]
-/// * execute: [`Platform`] ([`HiHgnnSim`], [`GpuSim`], [`CombinedSystem`])
-/// * stream: [`Session`] → [`GraphResult`] / [`FrontendRun`]
-/// * evaluate: [`run_grid`] / [`run_platforms`] and [`ExecReport`]
-/// * errors: [`GdrError`] / [`GdrResult`] across all of the above
+/// * build: [`SystemBuilder`](prelude::SystemBuilder) →
+///   [`System`](prelude::System)
+/// * execute: [`Platform`](prelude::Platform)
+///   ([`HiHgnnSim`](prelude::HiHgnnSim), [`GpuSim`](prelude::GpuSim),
+///   [`CombinedSystem`](prelude::CombinedSystem))
+/// * stream: [`Session`](prelude::Session) →
+///   [`GraphResult`](prelude::GraphResult) /
+///   [`FrontendRun`](prelude::FrontendRun)
+/// * evaluate: [`run_grid`](prelude::run_grid) /
+///   [`run_platforms`](prelude::run_platforms) and
+///   [`ExecReport`](prelude::ExecReport)
+/// * report: [`BenchReport`](prelude::BenchReport) /
+///   [`PaperReport`](prelude::PaperReport) /
+///   [`compare`](prelude::compare) (markdown + `gdr-bench/v1` JSON,
+///   CI perf gate)
+/// * errors: [`GdrError`](prelude::GdrError) /
+///   [`GdrResult`](prelude::GdrResult) across all of the above
 pub mod prelude {
     pub use gdr_accel::calib::{A100, T4};
     pub use gdr_accel::gpu::{GpuRun, GpuSim};
@@ -102,6 +139,9 @@ pub mod prelude {
     pub use gdr_system::builder::{System, SystemBuilder};
     pub use gdr_system::combined::{CombinedRun, CombinedSystem};
     pub use gdr_system::grid::{
-        paper_platforms, run_grid, run_platforms, ExperimentConfig, GridPoint,
+        paper_platforms, platform_refs, run_grid, run_platforms, select_platforms,
+        ExperimentConfig, GridPoint,
     };
+    pub use gdr_system::json::Json;
+    pub use gdr_system::report::{compare, BenchReport, Comparison, PaperReport};
 }
