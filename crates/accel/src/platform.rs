@@ -101,6 +101,15 @@ pub trait Platform {
         false
     }
 
+    /// Whether consecutive executions over the *same dataset* can reuse
+    /// internally restructured edge schedules (a schedule cache). Online
+    /// serving schedulers use this capability flag to model locality:
+    /// dataset-affine dispatch saves the restructuring cost on a warm
+    /// replica. Platforms without an internal frontend return `false`.
+    fn reuses_schedules(&self) -> bool {
+        false
+    }
+
     /// Executes `workload` over `graphs`, optionally with one edge
     /// schedule per semantic graph (index-aligned with `graphs`).
     ///

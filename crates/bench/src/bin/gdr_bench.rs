@@ -1,26 +1,42 @@
 //! `gdr-bench` — the evaluation-harness runner behind the CI perf gate.
 //!
 //! Runs a configurable subset of the dataset × model × platform grid
-//! through `gdr-system`'s report subsystem and emits the stable
-//! `gdr-bench/v1` JSON schema (see `bench/README.md`), or compares two
-//! such reports and exits nonzero on a gated regression.
+//! through `gdr-system`'s report subsystem (plus the canonical serving
+//! suite) and emits the stable `gdr-bench/v1` JSON schema (see
+//! `bench/README.md`), or compares two such reports and exits nonzero on
+//! a gated regression. The `serve` subcommand simulates a single online
+//! serving scenario (or the whole suite) and writes a serve-only report
+//! whose bytes are a pure function of the flags — run it twice, `cmp`
+//! the outputs.
 //!
 //! ```text
-//! # run the grid and write a report
+//! # run the grid + serving suite and write a report
 //! gdr-bench --scale test --out bench.json
-//! gdr-bench --scale paper --platforms HiHGNN,HiHGNN+GDR --out paper.json
+//! gdr-bench --scale paper --platforms HiHGNN,HiHGNN+GDR --no-serve --out paper.json
 //!
 //! # run, then gate against a committed baseline (exit 1 on regression)
 //! gdr-bench --scale test --out bench.json --baseline bench/baseline.json --threshold 10%
 //!
 //! # pure file-vs-file gate (no simulation)
 //! gdr-bench --compare bench.json --baseline bench/baseline.json --threshold 10%
+//!
+//! # simulate one serving scenario; byte-identical for a fixed seed
+//! gdr-bench serve --scale test --seed 7 --rate 800000 --batch-policy deadline --out serve.json
 //! ```
 //!
 //! Exit codes: 0 = ok, 1 = perf gate failed, 2 = usage/IO error.
 
-use gdr_bench::{parse_scale, parse_threshold, BENCH_SEED};
-use gdr_system::grid::{paper_platforms, platform_refs, select_platforms, ExperimentConfig};
+use gdr_bench::{
+    parse_arrival, parse_batch_policy, parse_scale, parse_scheduler, parse_threshold, ArrivalArgs,
+    BENCH_SEED,
+};
+use gdr_serve::suite::{
+    default_suite, scaled_ns, scaled_rate, ScenarioSpec, ServeHarness, BASE_BURST_PERIOD_NS,
+    BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS, HIGH_RATE_RPS,
+};
+use gdr_system::grid::{
+    paper_platforms, platform_names, platform_refs, select_platforms, ExperimentConfig,
+};
 use gdr_system::report::{compare, BenchReport};
 
 const USAGE: &str = "\
@@ -28,18 +44,45 @@ gdr-bench: run the GDR-HGNN evaluation grid, emit gdr-bench/v1 JSON, gate regres
 
 USAGE:
   gdr-bench [--scale test|paper|<factor>] [--seed N] [--platforms A,B,..]
-            [--out FILE] [--baseline FILE] [--threshold PCT]
+            [--no-serve] [--out FILE] [--baseline FILE] [--threshold PCT]
   gdr-bench --compare NEW --baseline OLD [--threshold PCT]
+  gdr-bench --list-platforms
+  gdr-bench serve [--scale S] [--seed N] [--arrival poisson|bursty|closed-loop]
+                  [--rate RPS] [--burst-period NS] [--burst-duty F]
+                  [--clients N] [--think NS]
+                  [--batch-policy immediate|size-capped|deadline]
+                  [--batch-cap N] [--batch-timeout NS]
+                  [--scheduler round-robin|least-loaded|shard-affinity]
+                  [--replicas N] [--platforms A,B] [--requests N] [--suite]
+                  [--out FILE] [--baseline FILE] [--threshold PCT]
 
-OPTIONS:
+OPTIONS (grid mode):
   --scale       grid scale: \"test\" (CI gate), \"paper\" (Table 2 sizes), or a factor  [test]
   --seed        dataset generation seed                                             [42]
-  --platforms   comma-separated subset of: T4, A100, HiHGNN, HiHGNN+GDR             [all]
+  --platforms   comma-separated subset of the registered platforms                  [all]
+  --no-serve    skip the canonical serving suite (grid records only)
   --out         write the report as pretty JSON to FILE
   --baseline    compare against a previously written report; exit 1 on regression
   --threshold   regression threshold, e.g. \"10%\"                                    [10%]
   --compare     skip simulation; gate the given report file against --baseline
+  --list-platforms  print the registered platform names and exit
   --quiet       suppress the markdown summary on stdout
+
+OPTIONS (serve mode — all simulated in virtual time, byte-for-byte reproducible):
+  --arrival       arrival process                                                   [poisson]
+  --rate          offered load, requests/s (poisson, bursty)             [suite high rate / scale]
+  --burst-period  bursty on/off cycle length, ns                                    [100000·scale/test]
+  --burst-duty    fraction of each period receiving traffic                         [0.25]
+  --clients       closed-loop client population                                     [16]
+  --think         closed-loop think time, ns                                        [100000·scale/test]
+  --batch-policy  dynamic batching policy                                           [size-capped]
+  --batch-cap     max batch size (size-capped, deadline)                            [8]
+  --batch-timeout formation-delay bound, ns (deadline)                              [20000·scale/test]
+  --scheduler     replica dispatch policy                                           [least-loaded]
+  --replicas      replica pool size (cycles over --platforms)                       [2]
+  --platforms     replica backends                                                  [HiHGNN+GDR]
+  --requests      total requests to generate                                        [384]
+  --suite         run the committed canonical suite instead of one scenario
 ";
 
 struct Args {
@@ -51,6 +94,23 @@ struct Args {
     threshold: f64,
     compare_file: Option<String>,
     quiet: bool,
+    no_serve: bool,
+    list_platforms: bool,
+    // serve-mode flags
+    serve: bool,
+    suite: bool,
+    arrival: String,
+    rate: Option<f64>,
+    burst_period: Option<u64>,
+    burst_duty: f64,
+    clients: usize,
+    think: Option<u64>,
+    batch_policy: String,
+    batch_cap: usize,
+    batch_timeout: Option<u64>,
+    scheduler: String,
+    replicas: usize,
+    requests: usize,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -63,21 +123,43 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         threshold: 10.0,
         compare_file: None,
         quiet: false,
+        no_serve: false,
+        list_platforms: false,
+        serve: false,
+        suite: false,
+        arrival: "poisson".into(),
+        rate: None,
+        burst_period: None,
+        burst_duty: 0.25,
+        clients: 16,
+        think: None,
+        batch_policy: "size-capped".into(),
+        batch_cap: 8,
+        batch_timeout: None,
+        scheduler: "least-loaded".into(),
+        replicas: 2,
+        requests: 384,
     };
     let mut it = argv.iter();
+    let mut first = true;
     while let Some(flag) = it.next() {
+        if first && flag == "serve" {
+            args.serve = true;
+            first = false;
+            continue;
+        }
+        first = false;
         let mut value = || {
             it.next()
                 .map(String::as_str)
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
+        let parse_num = |what: &str, v: &str| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("invalid {what}: {e}"))
+        };
         match flag.as_str() {
             "--scale" => args.scale = parse_scale(value()?)?,
-            "--seed" => {
-                args.seed = value()?
-                    .parse()
-                    .map_err(|e| format!("invalid --seed: {e}"))?;
-            }
+            "--seed" => args.seed = parse_num("--seed", value()?)?,
             "--platforms" => {
                 args.platforms = Some(
                     value()?
@@ -92,6 +174,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threshold" => args.threshold = parse_threshold(value()?)?,
             "--compare" => args.compare_file = Some(value()?.to_string()),
             "--quiet" => args.quiet = true,
+            "--no-serve" => args.no_serve = true,
+            "--list-platforms" => args.list_platforms = true,
+            "--suite" => args.suite = true,
+            "--arrival" => args.arrival = value()?.to_string(),
+            "--rate" => {
+                args.rate = Some(
+                    value()?
+                        .parse()
+                        .ok()
+                        .filter(|x: &f64| *x > 0.0)
+                        .ok_or("invalid --rate: expected a positive requests/s figure")?,
+                );
+            }
+            "--burst-period" => args.burst_period = Some(parse_num("--burst-period", value()?)?),
+            "--burst-duty" => {
+                args.burst_duty = value()?
+                    .parse()
+                    .ok()
+                    .filter(|x: &f64| *x > 0.0 && *x <= 1.0)
+                    .ok_or("invalid --burst-duty: expected a fraction in (0, 1]")?;
+            }
+            "--clients" => args.clients = parse_num("--clients", value()?)?.max(1) as usize,
+            "--think" => args.think = Some(parse_num("--think", value()?)?),
+            "--batch-policy" => args.batch_policy = value()?.to_string(),
+            "--batch-cap" => args.batch_cap = parse_num("--batch-cap", value()?)?.max(1) as usize,
+            "--batch-timeout" => args.batch_timeout = Some(parse_num("--batch-timeout", value()?)?),
+            "--scheduler" => args.scheduler = value()?.to_string(),
+            "--replicas" => args.replicas = parse_num("--replicas", value()?)?.max(1) as usize,
+            "--requests" => args.requests = parse_num("--requests", value()?)?.max(1) as usize,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -111,8 +222,122 @@ fn gate(baseline_path: &str, current: &BenchReport, threshold: f64) -> Result<bo
     Ok(cmp.passed())
 }
 
+/// Emits the report (markdown, `--out`, `--baseline` gate) and returns
+/// the process exit code.
+fn finish(args: &Args, report: &BenchReport) -> Result<i32, String> {
+    if !args.quiet {
+        println!("{}", report.to_markdown());
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, report.to_json().to_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("gdr-bench: wrote {path}");
+    }
+    if let Some(baseline_path) = &args.baseline {
+        return Ok(if gate(baseline_path, report, args.threshold)? {
+            0
+        } else {
+            1
+        });
+    }
+    Ok(0)
+}
+
+/// `gdr-bench serve`: simulate one scenario (or the canonical suite) and
+/// emit a serve-only report. No wall clock enters the records, so the
+/// output is byte-for-byte identical across runs of the same flags.
+fn run_serve(args: &Args) -> Result<i32, String> {
+    let cfg = ExperimentConfig {
+        seed: args.seed,
+        scale: args.scale,
+    };
+    let records = if args.suite {
+        eprintln!(
+            "gdr-bench serve: running the canonical suite (seed {})",
+            cfg.seed
+        );
+        default_suite(&cfg).map_err(|e| e.to_string())?
+    } else {
+        // Defaults are expressed at test scale and rescaled by the same
+        // rule the canonical suite uses, so the CLI cannot drift from it.
+        let arrival = parse_arrival(
+            &args.arrival,
+            &ArrivalArgs {
+                rate_rps: args
+                    .rate
+                    .unwrap_or_else(|| scaled_rate(&cfg, HIGH_RATE_RPS)),
+                burst_period_ns: args
+                    .burst_period
+                    .unwrap_or_else(|| scaled_ns(&cfg, BASE_BURST_PERIOD_NS)),
+                burst_duty: args.burst_duty,
+                clients: args.clients,
+                think_ns: args.think.unwrap_or_else(|| scaled_ns(&cfg, BASE_THINK_NS)),
+            },
+        )?;
+        let batch = parse_batch_policy(
+            &args.batch_policy,
+            args.batch_cap,
+            args.batch_timeout
+                .unwrap_or_else(|| scaled_ns(&cfg, BASE_DEADLINE_TIMEOUT_NS)),
+        )?;
+        let sched = parse_scheduler(&args.scheduler)?;
+        let backends = args
+            .platforms
+            .clone()
+            .unwrap_or_else(|| vec!["HiHGNN+GDR".to_string()]);
+        let pool: Vec<String> = (0..args.replicas)
+            .map(|i| backends[i % backends.len()].clone())
+            .collect();
+        let spec = ScenarioSpec {
+            name: format!("{}/{}/{}", arrival.name(), batch.label(), sched.name()),
+            process: arrival,
+            requests: args.requests,
+            batch,
+            sched,
+            pool,
+        };
+        let names: Vec<&str> = backends.iter().map(String::as_str).collect();
+        eprintln!(
+            "gdr-bench serve: {} — {} requests over {} replicas (seed {})",
+            spec.name, spec.requests, args.replicas, cfg.seed
+        );
+        let harness = ServeHarness::new(&cfg, &names).map_err(|e| e.to_string())?;
+        vec![harness.run(&spec, args.seed).map_err(|e| e.to_string())?]
+    };
+
+    let mut platforms: Vec<String> = Vec::new();
+    for rec in &records {
+        for run in &rec.runs {
+            if run.platform != "ALL" && !platforms.contains(&run.platform) {
+                platforms.push(run.platform.clone());
+            }
+        }
+    }
+    let report = BenchReport {
+        seed: cfg.seed,
+        scale: cfg.scale,
+        platforms,
+        points: Vec::new(),
+        // Serve-only reports carry no wall clock: determinism is part of
+        // the contract (CI diffs two runs byte-for-byte).
+        wall_clock_s: 0.0,
+        serve: records,
+    };
+    finish(args, &report)
+}
+
 fn run(argv: &[String]) -> Result<i32, String> {
     let args = parse_args(argv)?;
+
+    if args.list_platforms {
+        for name in platform_names() {
+            println!("{name}");
+        }
+        return Ok(0);
+    }
+    if args.serve {
+        return run_serve(&args);
+    }
 
     // Pure file-vs-file gate: no simulation.
     if let Some(current_path) = &args.compare_file {
@@ -146,30 +371,22 @@ fn run(argv: &[String]) -> Result<i32, String> {
         cfg.seed,
         cfg.scale
     );
-    let report =
+    let mut report =
         BenchReport::collect(&platform_refs(&platforms), &cfg).map_err(|e| e.to_string())?;
     eprintln!(
         "gdr-bench: grid done in {:.1}s ({} records)",
         report.wall_clock_s,
         report.points.iter().map(|p| p.runs.len()).sum::<usize>()
     );
+    if !args.no_serve {
+        report.serve = default_suite(&cfg).map_err(|e| e.to_string())?;
+        eprintln!(
+            "gdr-bench: serving suite done ({} scenarios)",
+            report.serve.len()
+        );
+    }
 
-    if !args.quiet {
-        println!("{}", report.to_markdown());
-    }
-    if let Some(path) = &args.out {
-        std::fs::write(path, report.to_json().to_pretty())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("gdr-bench: wrote {path}");
-    }
-    if let Some(baseline_path) = &args.baseline {
-        return Ok(if gate(baseline_path, &report, args.threshold)? {
-            0
-        } else {
-            1
-        });
-    }
-    Ok(0)
+    finish(&args, &report)
 }
 
 fn main() {

@@ -1,6 +1,7 @@
 //! Shared setup for the `gdr-bench` runner binary and the criterion
 //! figure benches, so neither duplicates grid configuration or dataset
-//! wiring that `gdr-system` already owns.
+//! wiring that `gdr-system` already owns — plus the flag parsers of the
+//! `gdr-bench serve` subcommand (kept here so they are unit-testable).
 
 #![warn(missing_docs)]
 
@@ -8,6 +9,9 @@ use gdr_hetgraph::datasets::Dataset;
 use gdr_hetgraph::BipartiteGraph;
 use gdr_hgnn::model::ModelKind;
 use gdr_hgnn::workload::Workload;
+use gdr_serve::batcher::BatchPolicy;
+use gdr_serve::scheduler::SchedPolicy;
+use gdr_serve::workload::ArrivalProcess;
 use gdr_system::grid::{cell_inputs, ExperimentConfig};
 
 /// The seed every bench and committed baseline uses, taken from
@@ -81,6 +85,123 @@ pub fn parse_threshold(arg: &str) -> Result<f64, String> {
     }
 }
 
+/// Parameters of a `gdr-bench serve` scenario parsed from the CLI:
+/// everything the arrival flags control, resolved into an
+/// [`ArrivalProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalArgs {
+    /// Offered load, requests per second.
+    pub rate_rps: f64,
+    /// `--burst-period` (bursty only), virtual ns.
+    pub burst_period_ns: u64,
+    /// `--burst-duty` (bursty only), fraction in `(0, 1]`.
+    pub burst_duty: f64,
+    /// `--clients` (closed-loop only).
+    pub clients: usize,
+    /// `--think` (closed-loop only), virtual ns.
+    pub think_ns: u64,
+}
+
+/// Parses the `--arrival` kind against its shape parameters.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown kind.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::{parse_arrival, ArrivalArgs};
+/// use gdr_serve::workload::ArrivalProcess;
+///
+/// let args = ArrivalArgs {
+///     rate_rps: 1000.0,
+///     burst_period_ns: 100_000,
+///     burst_duty: 0.25,
+///     clients: 16,
+///     think_ns: 100_000,
+/// };
+/// assert_eq!(
+///     parse_arrival("poisson", &args),
+///     Ok(ArrivalProcess::Poisson { rate_rps: 1000.0 })
+/// );
+/// assert!(parse_arrival("tsunami", &args).is_err());
+/// ```
+pub fn parse_arrival(kind: &str, args: &ArrivalArgs) -> Result<ArrivalProcess, String> {
+    match kind {
+        "poisson" => Ok(ArrivalProcess::Poisson {
+            rate_rps: args.rate_rps,
+        }),
+        "bursty" => Ok(ArrivalProcess::Bursty {
+            rate_rps: args.rate_rps,
+            period_ns: args.burst_period_ns,
+            duty: args.burst_duty,
+        }),
+        "closed-loop" => Ok(ArrivalProcess::ClosedLoop {
+            clients: args.clients,
+            think_ns: args.think_ns,
+        }),
+        other => Err(format!(
+            "invalid --arrival {other:?}: expected \"poisson\", \"bursty\", or \"closed-loop\""
+        )),
+    }
+}
+
+/// Parses a `--batch-policy` name against its cap/timeout parameters.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown policy.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_batch_policy;
+/// use gdr_serve::batcher::BatchPolicy;
+///
+/// assert_eq!(
+///     parse_batch_policy("size-capped", 8, 0),
+///     Ok(BatchPolicy::SizeCapped { cap: 8 })
+/// );
+/// assert!(parse_batch_policy("psychic", 8, 0).is_err());
+/// ```
+pub fn parse_batch_policy(name: &str, cap: usize, timeout_ns: u64) -> Result<BatchPolicy, String> {
+    match name {
+        "immediate" => Ok(BatchPolicy::Immediate),
+        "size-capped" => Ok(BatchPolicy::SizeCapped { cap }),
+        "deadline" => Ok(BatchPolicy::Deadline { cap, timeout_ns }),
+        other => Err(format!(
+            "invalid --batch-policy {other:?}: expected \"immediate\", \"size-capped\", or \"deadline\""
+        )),
+    }
+}
+
+/// Parses a `--scheduler` name.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown policy.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_scheduler;
+/// use gdr_serve::scheduler::SchedPolicy;
+///
+/// assert_eq!(parse_scheduler("least-loaded"), Ok(SchedPolicy::LeastLoaded));
+/// assert!(parse_scheduler("chaotic").is_err());
+/// ```
+pub fn parse_scheduler(name: &str) -> Result<SchedPolicy, String> {
+    match name {
+        "round-robin" => Ok(SchedPolicy::RoundRobin),
+        "least-loaded" => Ok(SchedPolicy::LeastLoaded),
+        "shard-affinity" => Ok(SchedPolicy::ShardAffinity),
+        other => Err(format!(
+            "invalid --scheduler {other:?}: expected \"round-robin\", \"least-loaded\", or \"shard-affinity\""
+        )),
+    }
+}
+
 /// The thrashing-dominant single-cell inputs (RGCN on DBLP) the
 /// accelerator microbenches iterate on.
 pub fn thrash_cell(scale: f64) -> (Workload, Vec<BipartiteGraph>) {
@@ -120,5 +241,50 @@ mod tests {
         let (w, graphs) = thrash_cell(0.05);
         assert_eq!(w.graphs().len(), graphs.len());
         assert!(!graphs.is_empty());
+    }
+
+    #[test]
+    fn serve_flag_parsers_cover_every_policy() {
+        let args = ArrivalArgs {
+            rate_rps: 500.0,
+            burst_period_ns: 1000,
+            burst_duty: 0.5,
+            clients: 4,
+            think_ns: 2000,
+        };
+        assert_eq!(
+            parse_arrival("bursty", &args),
+            Ok(ArrivalProcess::Bursty {
+                rate_rps: 500.0,
+                period_ns: 1000,
+                duty: 0.5
+            })
+        );
+        assert_eq!(
+            parse_arrival("closed-loop", &args),
+            Ok(ArrivalProcess::ClosedLoop {
+                clients: 4,
+                think_ns: 2000
+            })
+        );
+        assert!(parse_arrival("", &args).is_err());
+        assert_eq!(
+            parse_batch_policy("immediate", 8, 0),
+            Ok(BatchPolicy::Immediate)
+        );
+        assert_eq!(
+            parse_batch_policy("deadline", 4, 99),
+            Ok(BatchPolicy::Deadline {
+                cap: 4,
+                timeout_ns: 99
+            })
+        );
+        assert!(parse_batch_policy("none", 1, 0).is_err());
+        assert_eq!(parse_scheduler("round-robin"), Ok(SchedPolicy::RoundRobin));
+        assert_eq!(
+            parse_scheduler("shard-affinity"),
+            Ok(SchedPolicy::ShardAffinity)
+        );
+        assert!(parse_scheduler("").is_err());
     }
 }

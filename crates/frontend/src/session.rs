@@ -74,6 +74,19 @@ impl<'g> Session<'g> {
         Self { pipeline, graphs }
     }
 
+    /// Re-binds the session's configured pipeline to a different set of
+    /// semantic graphs. This is the serving hook: an online server keeps
+    /// one warm pipeline per replica and points it at each incoming
+    /// request batch instead of rebuilding Decoupler/Recoupler state —
+    /// results are identical to a fresh [`Session::new`] with the same
+    /// configuration.
+    pub fn rebind<'h>(&self, graphs: &'h [BipartiteGraph]) -> Session<'h> {
+        Session {
+            pipeline: self.pipeline.clone(),
+            graphs,
+        }
+    }
+
     /// The semantic graphs this session is bound to.
     pub fn graphs(&self) -> &'g [BipartiteGraph] {
         self.graphs
@@ -117,8 +130,10 @@ impl<'g> Session<'g> {
         self.par_process_with(available_workers())
     }
 
-    /// [`Session::par_process`] with an explicit worker count
-    /// (`workers == 1` degrades to the sequential path).
+    /// [`Session::par_process`] with an explicit worker count. The count
+    /// is clamped to `1..=len()`: `workers == 0` (and `workers == 1`)
+    /// degrade to the sequential path, and oversubscription beyond one
+    /// worker per graph is pointless, so no caller discipline is needed.
     pub fn par_process_with(&self, workers: usize) -> FrontendRun {
         let n = self.graphs.len();
         let workers = workers.clamp(1, n.max(1));
@@ -190,7 +205,9 @@ mod tests {
         let graphs = graphs();
         let session = Session::new(FrontendConfig::default(), &graphs);
         let seq = session.process();
-        for workers in [1, 2, 7, 64] {
+        // 0 must clamp up to sequential, 64 and usize::MAX clamp down to
+        // one worker per graph — no caller discipline required.
+        for workers in [0, 1, 2, 7, 64, usize::MAX] {
             let par = session.par_process_with(workers);
             assert_eq!(seq.per_graph().len(), par.per_graph().len());
             for (a, b) in seq.per_graph().iter().zip(par.per_graph()) {
@@ -219,5 +236,24 @@ mod tests {
         assert!(session.is_empty());
         assert_eq!(session.par_process().per_graph().len(), 0);
         assert_eq!(session.process().total_cycles(), 0);
+        // the worker clamp must also hold with no graphs at all
+        assert_eq!(session.par_process_with(0).per_graph().len(), 0);
+        assert_eq!(session.par_process_with(8).per_graph().len(), 0);
+    }
+
+    #[test]
+    fn rebind_reuses_pipeline_and_matches_fresh_session() {
+        let graphs = graphs();
+        let other = Dataset::Acm.build_scaled(2, 0.05).all_semantic_graphs();
+        let session = Session::new(FrontendConfig::default(), &graphs);
+        let rebound = session.rebind(&other);
+        assert_eq!(rebound.len(), other.len());
+        let fresh = Session::new(FrontendConfig::default(), &other);
+        for (a, b) in rebound.iter().zip(fresh.iter()) {
+            assert_eq!(a.schedule, b.schedule);
+            assert_eq!(a.cycles, b.cycles);
+        }
+        // the original session is untouched
+        assert_eq!(session.len(), graphs.len());
     }
 }

@@ -1,0 +1,85 @@
+//! # gdr-serve — deterministic online-serving simulation
+//!
+//! The paper frames GDR-HGNN as a *frontend that feeds an accelerator on
+//! demand*; this crate puts that frontend behind a request queue. It
+//! simulates an **online serving system** over the existing
+//! [`Platform`](gdr_accel::platform::Platform) and
+//! [`Session`](gdr_frontend::session::Session) APIs:
+//!
+//! * [`workload`] — seeded arrival processes (Poisson, bursty,
+//!   closed-loop) generating inference requests over the dataset × model
+//!   grid;
+//! * [`batcher`] — dynamic batching policies (immediate, size-capped,
+//!   deadline) amortizing each backend's per-execution fixed cost;
+//! * [`scheduler`] — a virtual-time discrete-event simulator dispatching
+//!   batches across a replica pool (round-robin, least-loaded,
+//!   shard-affinity);
+//! * [`cost`] — the per-(platform, cell) service-time model, measured
+//!   once from the platforms' own cycle models (with a reused frontend
+//!   [`Session`](gdr_frontend::session::Session) pricing the
+//!   dataset-warm schedule cache);
+//! * [`metrics`] — p50/p95/p99 latency, throughput, and queue-depth
+//!   aggregation into the `gdr-bench/v1` `serve` record family;
+//! * [`suite`] — the [`ServeHarness`] runner and the committed,
+//!   CI-gated scenario suite.
+//!
+//! Time is **virtual**: the simulation never reads a wall clock, so a
+//! fixed seed produces byte-for-byte identical reports on any machine —
+//! which is what lets CI gate tail latency and throughput like any other
+//! simulated metric.
+//!
+//! # Examples
+//!
+//! Serve Poisson traffic on two HiHGNN replicas and read the tail:
+//!
+//! ```
+//! use gdr_serve::prelude::*;
+//!
+//! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN"])?;
+//! let record = harness.run(
+//!     &ScenarioSpec {
+//!         name: "two-replicas".into(),
+//!         process: ArrivalProcess::Poisson { rate_rps: 4_000.0 },
+//!         requests: 96,
+//!         batch: BatchPolicy::SizeCapped { cap: 4 },
+//!         sched: SchedPolicy::LeastLoaded,
+//!         pool: vec!["HiHGNN".into(), "HiHGNN".into()],
+//!     },
+//!     7,
+//! )?;
+//! let all = record.aggregate().unwrap();
+//! assert_eq!(all.metric("completed"), Some(96.0));
+//! assert!(all.metric("p99_ns") >= all.metric("p50_ns"));
+//! # Ok::<(), gdr_hetgraph::GdrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batcher;
+pub mod cost;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod suite;
+pub mod workload;
+
+pub use batcher::{Batch, BatchPolicy, Batcher};
+pub use cost::{CostModel, ServiceCost, MINI_BATCH_DIVISOR};
+pub use request::{Cell, Request};
+pub use scheduler::{SchedPolicy, SimResult, Simulator};
+pub use suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
+pub use workload::{ArrivalProcess, Traffic, TrafficStream};
+
+/// Everything needed to define and run a serving scenario.
+pub mod prelude {
+    pub use crate::batcher::{Batch, BatchPolicy, Batcher};
+    pub use crate::cost::{CostModel, ServiceCost};
+    pub use crate::request::{Cell, Request};
+    pub use crate::scheduler::{SchedPolicy, SimResult, Simulator};
+    pub use crate::suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
+    pub use crate::workload::{ArrivalProcess, Traffic, TrafficStream};
+    pub use gdr_system::grid::ExperimentConfig;
+    pub use gdr_system::report::{ServeRunRecord, ServeScenarioRecord};
+}

@@ -1,0 +1,236 @@
+//! Latency/throughput/queue metrics and the serve record assembly.
+//!
+//! Converts a raw [`SimResult`] into the `serve` record family of the
+//! `gdr-bench/v1` schema: p50/p95/p99/mean/max latency, throughput,
+//! batch shape, and time-weighted queue depths — pool-wide (`"ALL"`)
+//! and per distinct platform. Every value is a pure function of the
+//! scenario configuration, so records diff byte-for-byte across runs.
+
+use gdr_system::report::{ServeRunRecord, ServeScenarioRecord, SERVE_METRIC_KEYS};
+
+use crate::batcher::BatchPolicy;
+use crate::scheduler::{SchedPolicy, SimResult};
+use crate::workload::{Traffic, NS_PER_S};
+
+/// Nearest-rank percentile of an ascending-sorted sample, `pct` in
+/// `(0, 100]`. Empty samples yield 0.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_serve::metrics::percentile;
+/// let xs = [10, 20, 30, 40];
+/// assert_eq!(percentile(&xs, 50.0), 20);
+/// assert_eq!(percentile(&xs, 99.0), 40);
+/// assert_eq!(percentile(&[], 50.0), 0);
+/// ```
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Builds the scenario record for one simulated scenario.
+///
+/// `platform_names` maps cost-model platform indices (as referenced by
+/// `result.replica_platforms`) to labels. The record carries an `"ALL"`
+/// aggregate row first, then one row per distinct platform in
+/// first-replica order.
+pub fn scenario_record(
+    scenario: &str,
+    traffic: &Traffic,
+    batch: BatchPolicy,
+    sched: SchedPolicy,
+    result: &SimResult,
+    platform_names: &[String],
+) -> ServeScenarioRecord {
+    let mut runs = vec![run_record("ALL", result, None)];
+    let mut seen: Vec<usize> = Vec::new();
+    for &p in &result.replica_platforms {
+        if !seen.contains(&p) {
+            seen.push(p);
+            runs.push(run_record(&platform_names[p], result, Some(p)));
+        }
+    }
+    ServeScenarioRecord {
+        scenario: scenario.to_string(),
+        arrival: traffic.process.name().to_string(),
+        rate_rps: traffic.process.rate_rps(),
+        batch: batch.label(),
+        scheduler: sched.name().to_string(),
+        replicas: result.replica_platforms.len() as u64,
+        seed: traffic.seed,
+        requests: traffic.requests as u64,
+        runs,
+    }
+}
+
+/// One aggregate row: over the whole pool (`platform == None`) or over
+/// the replicas of one platform index.
+fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> ServeRunRecord {
+    let on_platform =
+        |replica: usize| platform.is_none_or(|p| result.replica_platforms[replica] == p);
+
+    let mut latencies: Vec<u64> = result
+        .completed
+        .iter()
+        .filter(|c| on_platform(c.replica))
+        .map(|c| c.latency_ns())
+        .collect();
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    let mean_ns = if completed == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / completed as f64
+    };
+
+    let batches: Vec<_> = result
+        .batches
+        .iter()
+        .filter(|b| on_platform(b.replica))
+        .collect();
+    let batched_requests: usize = batches.iter().map(|b| b.size).sum();
+    let mean_batch_size = if batches.is_empty() {
+        0.0
+    } else {
+        batched_requests as f64 / batches.len() as f64
+    };
+
+    // Time-weighted queue depth over the event samples. Pool-wide depth
+    // includes requests still gathering in the batcher; per-platform
+    // depth covers that platform's replica queues.
+    let depth = |s: &crate::scheduler::QueueSample| -> usize {
+        let replicas: usize = s
+            .per_replica
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| on_platform(r))
+            .map(|(_, &q)| q)
+            .sum();
+        match platform {
+            None => s.batcher_pending + replicas,
+            Some(_) => replicas,
+        }
+    };
+    let mut weighted = 0.0f64;
+    let mut max_depth = 0usize;
+    let mut span = 0u64;
+    for pair in result.samples.windows(2) {
+        let dt = pair[1].time_ns - pair[0].time_ns;
+        weighted += depth(&pair[0]) as f64 * dt as f64;
+        span += dt;
+    }
+    for s in &result.samples {
+        max_depth = max_depth.max(depth(s));
+    }
+    let mean_queue_depth = if span == 0 {
+        0.0
+    } else {
+        weighted / span as f64
+    };
+
+    let throughput_rps = if result.makespan_ns == 0 {
+        0.0
+    } else {
+        completed as f64 * NS_PER_S as f64 / result.makespan_ns as f64
+    };
+
+    let value = |key: &str| -> f64 {
+        match key {
+            "completed" => completed as f64,
+            "p50_ns" => percentile(&latencies, 50.0) as f64,
+            "p95_ns" => percentile(&latencies, 95.0) as f64,
+            "p99_ns" => percentile(&latencies, 99.0) as f64,
+            "mean_ns" => mean_ns,
+            "max_ns" => latencies.last().copied().unwrap_or(0) as f64,
+            "throughput_rps" => throughput_rps,
+            "batches" => batches.len() as f64,
+            "mean_batch_size" => mean_batch_size,
+            "mean_queue_depth" => mean_queue_depth,
+            "max_queue_depth" => max_depth as f64,
+            "makespan_ns" => result.makespan_ns as f64,
+            other => unreachable!("unknown serve metric key {other}"),
+        }
+    };
+    ServeRunRecord {
+        platform: label.to_string(),
+        metrics: SERVE_METRIC_KEYS
+            .iter()
+            .map(|&k| (k.to_string(), value(k)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::Batcher;
+    use crate::cost::{CostModel, ServiceCost};
+    use crate::request::CELL_COUNT;
+    use crate::scheduler::Simulator;
+    use crate::workload::{ArrivalProcess, TrafficStream};
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50.0), 50);
+        assert_eq!(percentile(&xs, 95.0), 95);
+        assert_eq!(percentile(&xs, 99.0), 99);
+        assert_eq!(percentile(&xs, 100.0), 100);
+        assert_eq!(percentile(&[42], 99.0), 42);
+    }
+
+    #[test]
+    fn record_carries_all_and_per_platform_rows() {
+        let cost = CostModel::synthetic(
+            vec!["A".into(), "B".into()],
+            vec![
+                [ServiceCost {
+                    fixed_ns: 10_000,
+                    per_request_ns: 500,
+                    warm_save_ns: 0,
+                }; CELL_COUNT],
+                [ServiceCost {
+                    fixed_ns: 40_000,
+                    per_request_ns: 2_000,
+                    warm_save_ns: 0,
+                }; CELL_COUNT],
+            ],
+        );
+        let traffic = Traffic {
+            process: ArrivalProcess::Poisson { rate_rps: 2_000.0 },
+            requests: 120,
+            seed: 5,
+        };
+        let batch = BatchPolicy::SizeCapped { cap: 4 };
+        let result = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0, 1])
+            .run(TrafficStream::new(traffic), Batcher::new(batch));
+        let rec = scenario_record(
+            "test/scn",
+            &traffic,
+            batch,
+            SchedPolicy::LeastLoaded,
+            &result,
+            cost.platforms(),
+        );
+        assert_eq!(rec.scenario, "test/scn");
+        assert_eq!(rec.replicas, 2);
+        assert_eq!(rec.requests, 120);
+        let platforms: Vec<&str> = rec.runs.iter().map(|r| r.platform.as_str()).collect();
+        assert_eq!(platforms, ["ALL", "A", "B"]);
+        let all = rec.aggregate().unwrap();
+        assert_eq!(all.metric("completed"), Some(120.0));
+        assert!(all.metric("p99_ns").unwrap() >= all.metric("p50_ns").unwrap());
+        assert!(all.metric("throughput_rps").unwrap() > 0.0);
+        // per-platform completions partition the total
+        let a = rec.runs[1].metric("completed").unwrap();
+        let b = rec.runs[2].metric("completed").unwrap();
+        assert_eq!(a + b, 120.0);
+        // every canonical key is present, in order
+        let keys: Vec<&str> = all.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, SERVE_METRIC_KEYS);
+    }
+}

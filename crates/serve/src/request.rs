@@ -1,0 +1,112 @@
+//! Inference requests and the (model, dataset) cells they target.
+
+use gdr_hetgraph::datasets::Dataset;
+use gdr_hgnn::model::ModelKind;
+
+/// One point of the dataset × model grid an inference request targets.
+///
+/// Serving traffic is drawn over the same nine cells the offline
+/// evaluation grid covers, so every serve metric is directly comparable
+/// to the batch numbers for the same workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// HGNN model the request runs.
+    pub model: ModelKind,
+    /// Dataset the request queries.
+    pub dataset: Dataset,
+}
+
+/// Number of grid cells ([`ModelKind::ALL`] × [`Dataset::ALL`]).
+pub const CELL_COUNT: usize = ModelKind::ALL.len() * Dataset::ALL.len();
+
+impl Cell {
+    /// All cells in grid order: models outer, datasets inner.
+    pub fn all() -> [Cell; CELL_COUNT] {
+        let mut out = [Cell {
+            model: ModelKind::ALL[0],
+            dataset: Dataset::ALL[0],
+        }; CELL_COUNT];
+        let mut i = 0;
+        for model in ModelKind::ALL {
+            for dataset in Dataset::ALL {
+                out[i] = Cell { model, dataset };
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Dense index of the cell in [`Cell::all`] order.
+    pub fn index(self) -> usize {
+        let m = ModelKind::ALL
+            .iter()
+            .position(|&k| k == self.model)
+            .expect("ModelKind::ALL is exhaustive");
+        let d = Dataset::ALL
+            .iter()
+            .position(|&k| k == self.dataset)
+            .expect("Dataset::ALL is exhaustive");
+        m * Dataset::ALL.len() + d
+    }
+
+    /// Inverse of [`Cell::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= CELL_COUNT`.
+    pub fn from_index(i: usize) -> Cell {
+        assert!(i < CELL_COUNT, "cell index {i} out of range");
+        Cell {
+            model: ModelKind::ALL[i / Dataset::ALL.len()],
+            dataset: Dataset::ALL[i % Dataset::ALL.len()],
+        }
+    }
+
+    /// The cell label used in reports (`"RGCN/ACM"`).
+    pub fn label(self) -> String {
+        format!("{}/{}", self.model.name(), self.dataset.name())
+    }
+}
+
+/// One inference request: a client asks for one mini-batch inference of
+/// `cell`'s model over `cell`'s dataset at virtual time `arrival_ns`.
+///
+/// All serving time is **virtual** — nanoseconds on a discrete-event
+/// clock that starts at 0 when the scenario starts. No wall clock ever
+/// enters the simulation, which is what makes serve reports byte-for-byte
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Sequential request id (also the arrival tie-breaker).
+    pub id: u64,
+    /// Issuing client, for closed-loop traffic (open-loop traffic sets
+    /// `client == id`).
+    pub client: usize,
+    /// Virtual arrival time in nanoseconds.
+    pub arrival_ns: u64,
+    /// Targeted grid cell.
+    pub cell: Cell,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_index_round_trips() {
+        let all = Cell::all();
+        assert_eq!(all.len(), 9);
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Cell::from_index(i), *c);
+        }
+        assert_eq!(all[0].label(), "RGCN/ACM");
+        assert_eq!(all[8].label(), "Simple-HGN/DBLP");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_index_out_of_range_panics() {
+        let _ = Cell::from_index(CELL_COUNT);
+    }
+}

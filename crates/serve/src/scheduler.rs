@@ -1,0 +1,587 @@
+//! Multi-replica dispatch and the virtual-time discrete-event loop.
+//!
+//! A scenario runs a pool of backend **replicas** (each backed by one
+//! measured platform of the [`CostModel`]) behind
+//! a [`Batcher`]. The simulator advances a
+//! virtual clock event by event — arrivals, batch-formation deadlines,
+//! replica completions — with deterministic `(time, sequence)` ordering,
+//! so the same inputs produce bit-identical results on any machine and
+//! `std::time::Instant` never appears.
+//!
+//! Dispatch policies:
+//!
+//! * [`SchedPolicy::RoundRobin`] — rotate across replicas;
+//! * [`SchedPolicy::LeastLoaded`] — send each batch to the replica with
+//!   the least outstanding work (in-flight remainder plus queued
+//!   estimate), ties to the lowest id;
+//! * [`SchedPolicy::ShardAffinity`] — pin each dataset to
+//!   `dataset mod replicas`, maximizing dataset-warm hits on platforms
+//!   whose frontend can reuse restructured schedules
+//!   ([`Platform::reuses_schedules`](gdr_accel::platform::Platform::reuses_schedules)).
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use gdr_hetgraph::datasets::Dataset;
+
+use crate::batcher::{Batch, Batcher};
+use crate::cost::CostModel;
+use crate::request::Request;
+use crate::workload::TrafficStream;
+
+/// The batch-to-replica dispatch policy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Rotate across replicas in pool order.
+    RoundRobin,
+    /// Least outstanding estimated work, ties to the lowest replica id.
+    LeastLoaded,
+    /// Pin each dataset to `dataset_index mod replicas`.
+    ShardAffinity,
+}
+
+impl SchedPolicy {
+    /// Stable policy label serialized into serve records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::RoundRobin => "round-robin",
+            SchedPolicy::LeastLoaded => "least-loaded",
+            SchedPolicy::ShardAffinity => "shard-affinity",
+        }
+    }
+}
+
+/// One served request: when it finished and which replica ran it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedRequest {
+    /// The original request.
+    pub request: Request,
+    /// Virtual completion time, ns.
+    pub completed_ns: u64,
+    /// Replica that executed the request's batch.
+    pub replica: usize,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency: batch-formation wait + queueing + service.
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_ns - self.request.arrival_ns
+    }
+}
+
+/// One executed batch, for batch-shape metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Executing replica.
+    pub replica: usize,
+    /// Requests in the batch.
+    pub size: usize,
+    /// Whether the replica was dataset-warm (schedule-cache hit).
+    pub warm: bool,
+}
+
+/// Queue depths observed at one event time (for time-weighted stats).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Virtual time of the sample, ns.
+    pub time_ns: u64,
+    /// Requests waiting in the batcher (batch not yet formed).
+    pub batcher_pending: usize,
+    /// Requests queued at each replica (formed, waiting for service).
+    pub per_replica: Vec<usize>,
+}
+
+impl QueueSample {
+    /// Total waiting requests across batcher and replica queues.
+    pub fn total(&self) -> usize {
+        self.batcher_pending + self.per_replica.iter().sum::<usize>()
+    }
+}
+
+/// The raw outcome of one scenario simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Every completed request (all generated requests complete).
+    pub completed: Vec<CompletedRequest>,
+    /// Every executed batch, in execution-start order.
+    pub batches: Vec<BatchRecord>,
+    /// Queue depths sampled at every event.
+    pub samples: Vec<QueueSample>,
+    /// Virtual time of the last completion, ns.
+    pub makespan_ns: u64,
+    /// Platform index (into the cost model) of each replica.
+    pub replica_platforms: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(Request),
+    Flush,
+    Done(usize),
+}
+
+#[derive(Debug)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Min-heap order on (time, seq): BinaryHeap is a max-heap, so invert.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Replica {
+    platform: usize,
+    queue: VecDeque<Batch>,
+    in_flight: Option<Batch>,
+    busy_until: u64,
+    last_dataset: Option<Dataset>,
+    /// Cold-estimate ns of the queued (not yet started) batches.
+    queued_est_ns: u64,
+}
+
+impl Replica {
+    fn queued_requests(&self) -> usize {
+        self.queue.iter().map(Batch::len).sum()
+    }
+
+    fn outstanding_ns(&self, now: u64) -> u64 {
+        let in_flight = if self.in_flight.is_some() {
+            self.busy_until.saturating_sub(now)
+        } else {
+            0
+        };
+        in_flight + self.queued_est_ns
+    }
+}
+
+/// The discrete-event simulator for one scenario.
+#[derive(Debug)]
+pub struct Simulator<'c> {
+    cost: &'c CostModel,
+    sched: SchedPolicy,
+    replicas: Vec<Replica>,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    rr_next: usize,
+    flush_at: Option<u64>,
+    result: SimResult,
+}
+
+impl<'c> Simulator<'c> {
+    /// Builds a simulator over `replica_platforms` (one cost-model
+    /// platform index per replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica_platforms` is empty or names a platform index
+    /// outside the cost model.
+    pub fn new(cost: &'c CostModel, sched: SchedPolicy, replica_platforms: &[usize]) -> Self {
+        assert!(!replica_platforms.is_empty(), "need at least one replica");
+        assert!(
+            replica_platforms
+                .iter()
+                .all(|&p| p < cost.platforms().len()),
+            "replica platform index out of range"
+        );
+        Self {
+            cost,
+            sched,
+            replicas: replica_platforms
+                .iter()
+                .map(|&platform| Replica {
+                    platform,
+                    queue: VecDeque::new(),
+                    in_flight: None,
+                    busy_until: 0,
+                    last_dataset: None,
+                    queued_est_ns: 0,
+                })
+                .collect(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            rr_next: 0,
+            flush_at: None,
+            result: SimResult {
+                completed: Vec::new(),
+                batches: Vec::new(),
+                samples: Vec::new(),
+                makespan_ns: 0,
+                replica_platforms: replica_platforms.to_vec(),
+            },
+        }
+    }
+
+    /// Runs `stream` through `batcher` to completion and returns the raw
+    /// results. Every generated request completes: when the event queue
+    /// drains with requests still gathering in the batcher (stream over,
+    /// cap not reached), the leftovers are flushed as partial batches.
+    pub fn run(mut self, mut stream: TrafficStream, mut batcher: Batcher) -> SimResult {
+        for req in stream.initial_arrivals() {
+            self.push(req.arrival_ns, EventKind::Arrival(req));
+        }
+        let mut now = 0u64;
+        loop {
+            let Some(ev) = self.events.pop() else {
+                if batcher.pending_len() > 0 {
+                    // End of stream: flush the partial batches.
+                    for batch in batcher.flush_all(now) {
+                        self.dispatch(batch, now);
+                    }
+                    self.sample(now, &batcher);
+                    continue;
+                }
+                break;
+            };
+            now = ev.time;
+            match ev.kind {
+                EventKind::Arrival(req) => {
+                    if let Some(batch) = batcher.push(req, now) {
+                        self.dispatch(batch, now);
+                    }
+                    self.schedule_flush(&batcher);
+                }
+                EventKind::Flush => {
+                    if self.flush_at == Some(now) {
+                        self.flush_at = None;
+                    }
+                    for batch in batcher.flush_due(now) {
+                        self.dispatch(batch, now);
+                    }
+                    self.schedule_flush(&batcher);
+                }
+                EventKind::Done(r) => {
+                    let batch = self.replicas[r]
+                        .in_flight
+                        .take()
+                        .expect("Done fires only while a batch is in flight");
+                    for req in &batch.requests {
+                        self.result.completed.push(CompletedRequest {
+                            request: *req,
+                            completed_ns: now,
+                            replica: r,
+                        });
+                        if let Some(next) = stream.next_closed_loop(req.client, now) {
+                            self.push(next.arrival_ns, EventKind::Arrival(next));
+                        }
+                    }
+                    self.result.makespan_ns = self.result.makespan_ns.max(now);
+                    if let Some(next) = self.replicas[r].queue.pop_front() {
+                        let est = self.cold_estimate(r, &next);
+                        self.replicas[r].queued_est_ns -= est;
+                        self.start(r, next, now);
+                    }
+                }
+            }
+            self.sample(now, &batcher);
+        }
+        self.result
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event { time, seq, kind });
+    }
+
+    /// Keeps exactly one pending flush event at the batcher's earliest
+    /// deadline (deadline policy only).
+    fn schedule_flush(&mut self, batcher: &Batcher) {
+        if let Some(deadline) = batcher.next_deadline() {
+            if self.flush_at.is_none_or(|t| deadline < t) {
+                self.flush_at = Some(deadline);
+                self.push(deadline, EventKind::Flush);
+            }
+        }
+    }
+
+    fn cold_estimate(&self, replica: usize, batch: &Batch) -> u64 {
+        self.cost
+            .cost(self.replicas[replica].platform, batch.cell)
+            .batch_ns(batch.len(), false)
+    }
+
+    fn dispatch(&mut self, batch: Batch, now: u64) {
+        let n = self.replicas.len();
+        let r = match self.sched {
+            SchedPolicy::RoundRobin => {
+                let r = self.rr_next % n;
+                self.rr_next = (self.rr_next + 1) % n;
+                r
+            }
+            SchedPolicy::LeastLoaded => (0..n)
+                .min_by_key(|&r| (self.replicas[r].outstanding_ns(now), r))
+                .expect("pool is non-empty"),
+            SchedPolicy::ShardAffinity => {
+                let d = Dataset::ALL
+                    .iter()
+                    .position(|&d| d == batch.cell.dataset)
+                    .expect("Dataset::ALL is exhaustive");
+                d % n
+            }
+        };
+        if self.replicas[r].in_flight.is_none() {
+            self.start(r, batch, now);
+        } else {
+            let est = self.cold_estimate(r, &batch);
+            self.replicas[r].queued_est_ns += est;
+            self.replicas[r].queue.push_back(batch);
+        }
+    }
+
+    fn start(&mut self, r: usize, batch: Batch, now: u64) {
+        let replica = &mut self.replicas[r];
+        let warm = replica.last_dataset == Some(batch.cell.dataset);
+        let service = self
+            .cost
+            .cost(replica.platform, batch.cell)
+            .batch_ns(batch.len(), warm);
+        replica.last_dataset = Some(batch.cell.dataset);
+        replica.busy_until = now + service;
+        self.result.batches.push(BatchRecord {
+            replica: r,
+            size: batch.len(),
+            warm,
+        });
+        replica.in_flight = Some(batch);
+        self.push(now + service, EventKind::Done(r));
+    }
+
+    fn sample(&mut self, now: u64, batcher: &Batcher) {
+        self.result.samples.push(QueueSample {
+            time_ns: now,
+            batcher_pending: batcher.pending_len(),
+            per_replica: self.replicas.iter().map(Replica::queued_requests).collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchPolicy;
+    use crate::cost::{CostModel, ServiceCost};
+    use crate::request::CELL_COUNT;
+    use crate::workload::{ArrivalProcess, Traffic, TrafficStream};
+
+    /// A synthetic single-platform cost model (no simulation needed).
+    fn flat_cost(fixed_ns: u64, per_request_ns: u64, warm_save_ns: u64) -> CostModel {
+        CostModel::synthetic(
+            vec!["X".into()],
+            vec![
+                [ServiceCost {
+                    fixed_ns,
+                    per_request_ns,
+                    warm_save_ns,
+                }; CELL_COUNT],
+            ],
+        )
+    }
+
+    fn poisson(rate_rps: f64, requests: usize, seed: u64) -> TrafficStream {
+        TrafficStream::new(Traffic {
+            process: ArrivalProcess::Poisson { rate_rps },
+            requests,
+            seed,
+        })
+    }
+
+    fn run(
+        cost: &CostModel,
+        sched: SchedPolicy,
+        replicas: &[usize],
+        policy: BatchPolicy,
+        stream: TrafficStream,
+    ) -> SimResult {
+        Simulator::new(cost, sched, replicas).run(stream, Batcher::new(policy))
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let cost = flat_cost(10_000, 1_000, 0);
+        for policy in [
+            BatchPolicy::Immediate,
+            BatchPolicy::SizeCapped { cap: 8 },
+            BatchPolicy::Deadline {
+                cap: 8,
+                timeout_ns: 50_000,
+            },
+        ] {
+            let r = run(
+                &cost,
+                SchedPolicy::RoundRobin,
+                &[0, 0],
+                policy,
+                poisson(5_000.0, 200, 7),
+            );
+            assert_eq!(r.completed.len(), 200, "{policy:?}");
+            let mut ids: Vec<u64> = r.completed.iter().map(|c| c.request.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..200).collect::<Vec<_>>(), "{policy:?}");
+            assert!(r
+                .completed
+                .iter()
+                .all(|c| c.completed_ns > c.request.arrival_ns));
+            assert_eq!(
+                r.batches.iter().map(|b| b.size).sum::<usize>(),
+                200,
+                "{policy:?}"
+            );
+            assert!(r.makespan_ns > 0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cost = flat_cost(20_000, 2_000, 0);
+        let a = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0, 0],
+            BatchPolicy::SizeCapped { cap: 4 },
+            poisson(20_000.0, 300, 42),
+        );
+        let b = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0, 0],
+            BatchPolicy::SizeCapped { cap: 4 },
+            poisson(20_000.0, 300, 42),
+        );
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn round_robin_rotates_and_least_loaded_balances() {
+        let cost = flat_cost(10_000, 1_000, 0);
+        let rr = run(
+            &cost,
+            SchedPolicy::RoundRobin,
+            &[0, 0],
+            BatchPolicy::Immediate,
+            poisson(1_000.0, 50, 1),
+        );
+        let hits =
+            |r: &SimResult, replica| r.batches.iter().filter(|b| b.replica == replica).count();
+        assert_eq!(hits(&rr, 0), 25);
+        assert_eq!(hits(&rr, 1), 25);
+        let ll = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0],
+            BatchPolicy::Immediate,
+            poisson(200_000.0, 50, 1),
+        );
+        assert!(hits(&ll, 0) > 0 && hits(&ll, 1) > 0, "overload spills over");
+    }
+
+    #[test]
+    fn shard_affinity_pins_datasets_and_reaps_warm_hits() {
+        let cost = flat_cost(50_000, 1_000, 40_000);
+        let r = run(
+            &cost,
+            SchedPolicy::ShardAffinity,
+            &[0, 0, 0],
+            BatchPolicy::Immediate,
+            poisson(4_000.0, 120, 9),
+        );
+        // each dataset lands on exactly one replica
+        for c in &r.completed {
+            let d = c.request.cell.index() % 3;
+            assert_eq!(c.replica, d % 3);
+        }
+        // pinned replicas are dataset-warm after their first batch
+        let warm = r.batches.iter().filter(|b| b.warm).count();
+        assert!(
+            warm > r.batches.len() / 2,
+            "{warm}/{} warm batches",
+            r.batches.len()
+        );
+        // round-robin over the same traffic is mostly cold
+        let rr = run(
+            &cost,
+            SchedPolicy::RoundRobin,
+            &[0, 0, 0],
+            BatchPolicy::Immediate,
+            poisson(4_000.0, 120, 9),
+        );
+        let rr_warm = rr.batches.iter().filter(|b| b.warm).count();
+        assert!(rr_warm < warm, "affinity beats round-robin on warm hits");
+    }
+
+    #[test]
+    fn batching_beats_immediate_on_overhead_dominated_service() {
+        let cost = flat_cost(100_000, 1_000, 0);
+        // offered load beyond the immediate-mode capacity of 2 replicas
+        // (~2 / 101µs ≈ 19.8k rps), well within batched capacity
+        let stream = || poisson(40_000.0, 400, 11);
+        let imm = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0],
+            BatchPolicy::Immediate,
+            stream(),
+        );
+        let cap = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0],
+            BatchPolicy::SizeCapped { cap: 8 },
+            stream(),
+        );
+        assert!(
+            cap.makespan_ns < imm.makespan_ns,
+            "batched {} vs immediate {} ns makespan",
+            cap.makespan_ns,
+            imm.makespan_ns
+        );
+        let p99 = |r: &SimResult| {
+            let mut l: Vec<u64> = r.completed.iter().map(|c| c.latency_ns()).collect();
+            l.sort_unstable();
+            l[(l.len() * 99).div_ceil(100) - 1]
+        };
+        assert!(p99(&cap) < p99(&imm), "batching also tames the tail");
+    }
+
+    #[test]
+    fn closed_loop_self_limits() {
+        let cost = flat_cost(10_000, 5_000, 0);
+        let stream = TrafficStream::new(Traffic {
+            process: ArrivalProcess::ClosedLoop {
+                clients: 4,
+                think_ns: 100_000,
+            },
+            requests: 100,
+            seed: 3,
+        });
+        let r = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0],
+            BatchPolicy::Immediate,
+            stream,
+        );
+        assert_eq!(r.completed.len(), 100);
+        // at most `clients` requests are ever outstanding
+        for s in &r.samples {
+            assert!(s.total() <= 4, "closed loop bounds the queue");
+        }
+    }
+}

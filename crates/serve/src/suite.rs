@@ -1,0 +1,320 @@
+//! The serving harness and the canonical scenario suite.
+//!
+//! [`ServeHarness`] measures a platform pool once ([`CostModel`]) and
+//! then runs any number of [`ScenarioSpec`]s against it, producing
+//! `gdr-bench/v1` serve records. [`default_suite`] is the committed,
+//! CI-gated set: it contrasts batching policies under identical
+//! high-rate traffic (the size-capped vs immediate throughput headline),
+//! stresses tails with bursty arrivals, and exercises dataset-affine
+//! scheduling over a heterogeneous replica pool.
+
+use gdr_hetgraph::{GdrError, GdrResult};
+use gdr_system::grid::{platform_refs, select_platforms, ExperimentConfig};
+use gdr_system::report::ServeScenarioRecord;
+
+use crate::batcher::{BatchPolicy, Batcher};
+use crate::cost::CostModel;
+use crate::metrics::scenario_record;
+use crate::scheduler::{SchedPolicy, Simulator};
+use crate::workload::{ArrivalProcess, Traffic, TrafficStream};
+
+/// One serving scenario: traffic shape, batching, scheduling, and the
+/// replica pool (platform names; repeat a name for several replicas of
+/// the same backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Stable scenario label (the regression gate matches on it).
+    pub name: String,
+    /// Arrival process.
+    pub process: ArrivalProcess,
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Batching policy.
+    pub batch: BatchPolicy,
+    /// Dispatch policy.
+    pub sched: SchedPolicy,
+    /// Replica pool as platform names ([`gdr_system::grid::select_platforms`]
+    /// names).
+    pub pool: Vec<String>,
+}
+
+/// A measured platform pool ready to serve scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_serve::suite::{ServeHarness, ScenarioSpec};
+/// use gdr_serve::workload::ArrivalProcess;
+/// use gdr_serve::batcher::BatchPolicy;
+/// use gdr_serve::scheduler::SchedPolicy;
+/// use gdr_system::grid::ExperimentConfig;
+///
+/// let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+/// let harness = ServeHarness::new(&cfg, &["HiHGNN"]).unwrap();
+/// let record = harness
+///     .run(
+///         &ScenarioSpec {
+///             name: "demo".into(),
+///             process: ArrivalProcess::Poisson { rate_rps: 5_000.0 },
+///             requests: 64,
+///             batch: BatchPolicy::SizeCapped { cap: 4 },
+///             sched: SchedPolicy::RoundRobin,
+///             pool: vec!["HiHGNN".into(), "HiHGNN".into()],
+///         },
+///         7,
+///     )
+///     .unwrap();
+/// assert_eq!(record.aggregate().unwrap().metric("completed"), Some(64.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeHarness {
+    cfg: ExperimentConfig,
+    cost: CostModel,
+}
+
+impl ServeHarness {
+    /// Builds the harness: constructs the named platforms and measures
+    /// their service costs at `cfg` (the expensive, one-off step —
+    /// scenarios then run in microseconds of wall time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::InvalidConfig`] for unknown platform names.
+    pub fn new(cfg: &ExperimentConfig, platform_names: &[&str]) -> GdrResult<Self> {
+        let mut unique: Vec<&str> = Vec::new();
+        for &n in platform_names {
+            if !unique.contains(&n) {
+                unique.push(n);
+            }
+        }
+        let platforms = select_platforms(&unique)?;
+        let cost = CostModel::measure(&platform_refs(&platforms), cfg)?;
+        Ok(Self { cfg: *cfg, cost })
+    }
+
+    /// The grid configuration the costs were measured at.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The measured cost table.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs one scenario with the given request-stream seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::InvalidConfig`] when the spec's pool names a
+    /// platform the harness did not measure, or the pool is empty.
+    pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> GdrResult<ServeScenarioRecord> {
+        if spec.pool.is_empty() {
+            return Err(GdrError::invalid_config(
+                "pool",
+                "a scenario needs at least one replica",
+            ));
+        }
+        let replicas: Vec<usize> = spec
+            .pool
+            .iter()
+            .map(|name| {
+                self.cost.platform_index(name).ok_or_else(|| {
+                    GdrError::invalid_config(
+                        "pool",
+                        format!(
+                            "platform {name:?} not measured by this harness (have: {})",
+                            self.cost.platforms().join(", ")
+                        ),
+                    )
+                })
+            })
+            .collect::<GdrResult<_>>()?;
+        let traffic = Traffic {
+            process: spec.process,
+            requests: spec.requests,
+            seed,
+        };
+        let result = Simulator::new(&self.cost, spec.sched, &replicas)
+            .run(TrafficStream::new(traffic), Batcher::new(spec.batch));
+        Ok(scenario_record(
+            &spec.name,
+            &traffic,
+            spec.batch,
+            spec.sched,
+            &result,
+            self.cost.platforms(),
+        ))
+    }
+}
+
+/// Offered load of the high-rate scenarios **at test scale**, requests
+/// per second. Chosen above the immediate-mode (one execution per
+/// request) capacity of the two-replica HiHGNN+GDR pool but well inside
+/// its size-capped capacity, so the suite demonstrates the batching
+/// headline. [`default_specs`] rescales it (and the time constants)
+/// with the dataset scale, since service times grow with the datasets.
+pub const HIGH_RATE_RPS: f64 = 1_200_000.0;
+
+/// Requests per canonical scenario: enough for stable p99 estimates,
+/// small enough that the whole suite simulates in milliseconds.
+pub const SUITE_REQUESTS: usize = 384;
+
+/// Bursty on/off cycle length at test scale, ns — shared by the
+/// canonical suite and the `gdr-bench serve --burst-period` default.
+pub const BASE_BURST_PERIOD_NS: f64 = 100_000.0;
+
+/// Closed-loop think time at test scale, ns — shared by the canonical
+/// suite and the `gdr-bench serve --think` default.
+pub const BASE_THINK_NS: f64 = 100_000.0;
+
+/// Deadline-policy formation bound at test scale, ns — shared by the
+/// canonical suite and the `gdr-bench serve --batch-timeout` default.
+pub const BASE_DEADLINE_TIMEOUT_NS: f64 = 20_000.0;
+
+/// Rescales a test-scale offered load to `cfg`'s dataset scale: service
+/// times grow roughly linearly with the datasets, so rates shrink by
+/// the same factor. The single rescaling rule for suite and CLI.
+pub fn scaled_rate(cfg: &ExperimentConfig, base_rps: f64) -> f64 {
+    base_rps * ExperimentConfig::test_scale().scale / cfg.scale
+}
+
+/// Rescales a test-scale time constant to `cfg`'s dataset scale, in
+/// whole ns (at least 1). The counterpart of [`scaled_rate`].
+pub fn scaled_ns(cfg: &ExperimentConfig, base_ns: f64) -> u64 {
+    (base_ns * cfg.scale / ExperimentConfig::test_scale().scale)
+        .round()
+        .max(1.0) as u64
+}
+
+/// The committed scenario suite (see module docs). Labels are stable —
+/// the CI gate matches on them. Rates and time constants are expressed
+/// at [`ExperimentConfig::test_scale`] and rescaled via [`scaled_rate`]
+/// / [`scaled_ns`] so every scenario stays in its intended load regime
+/// at any dataset scale.
+pub fn default_specs(cfg: &ExperimentConfig) -> Vec<ScenarioSpec> {
+    let rate = |r: f64| scaled_rate(cfg, r);
+    let ns = |t: f64| scaled_ns(cfg, t);
+
+    let gdr = "HiHGNN+GDR".to_string();
+    let pool2 = vec![gdr.clone(), gdr.clone()];
+    vec![
+        ScenarioSpec {
+            name: "poisson-hi/immediate/round-robin".into(),
+            process: ArrivalProcess::Poisson {
+                rate_rps: rate(HIGH_RATE_RPS),
+            },
+            requests: SUITE_REQUESTS,
+            batch: BatchPolicy::Immediate,
+            sched: SchedPolicy::RoundRobin,
+            pool: pool2.clone(),
+        },
+        ScenarioSpec {
+            name: "poisson-hi/size-capped/round-robin".into(),
+            process: ArrivalProcess::Poisson {
+                rate_rps: rate(HIGH_RATE_RPS),
+            },
+            requests: SUITE_REQUESTS,
+            batch: BatchPolicy::SizeCapped { cap: 8 },
+            sched: SchedPolicy::RoundRobin,
+            pool: pool2.clone(),
+        },
+        ScenarioSpec {
+            name: "poisson-hi/deadline/least-loaded".into(),
+            process: ArrivalProcess::Poisson {
+                rate_rps: rate(HIGH_RATE_RPS),
+            },
+            requests: SUITE_REQUESTS,
+            batch: BatchPolicy::Deadline {
+                cap: 8,
+                timeout_ns: ns(BASE_DEADLINE_TIMEOUT_NS),
+            },
+            sched: SchedPolicy::LeastLoaded,
+            pool: pool2.clone(),
+        },
+        ScenarioSpec {
+            name: "bursty/size-capped/least-loaded".into(),
+            process: ArrivalProcess::Bursty {
+                rate_rps: rate(HIGH_RATE_RPS / 2.0),
+                period_ns: ns(BASE_BURST_PERIOD_NS),
+                duty: 0.25,
+            },
+            requests: SUITE_REQUESTS,
+            batch: BatchPolicy::SizeCapped { cap: 8 },
+            sched: SchedPolicy::LeastLoaded,
+            pool: pool2,
+        },
+        ScenarioSpec {
+            name: "closed-loop/size-capped/shard-affinity".into(),
+            process: ArrivalProcess::ClosedLoop {
+                clients: 16,
+                think_ns: ns(BASE_THINK_NS),
+            },
+            requests: SUITE_REQUESTS,
+            batch: BatchPolicy::SizeCapped { cap: 4 },
+            sched: SchedPolicy::ShardAffinity,
+            pool: vec![gdr.clone(), gdr, "HiHGNN".into()],
+        },
+    ]
+}
+
+/// Runs [`default_specs`] at `cfg` (request streams seeded from
+/// `cfg.seed`) and returns the records in suite order — what `gdr-bench`
+/// embeds into grid reports and the committed baseline.
+///
+/// # Errors
+///
+/// Propagates harness construction errors; the canonical specs
+/// themselves cannot fail on a measured harness.
+pub fn default_suite(cfg: &ExperimentConfig) -> GdrResult<Vec<ServeScenarioRecord>> {
+    let specs = default_specs(cfg);
+    let mut names: Vec<&str> = Vec::new();
+    for spec in &specs {
+        for name in &spec.pool {
+            if !names.contains(&name.as_str()) {
+                names.push(name);
+            }
+        }
+    }
+    let harness = ServeHarness::new(cfg, &names)?;
+    specs.iter().map(|s| harness.run(s, cfg.seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 11,
+            scale: 0.04,
+        }
+    }
+
+    #[test]
+    fn harness_rejects_unknown_pool_entries() {
+        assert!(ServeHarness::new(&tiny_cfg(), &["V100"]).is_err());
+        let harness = ServeHarness::new(&tiny_cfg(), &["HiHGNN"]).unwrap();
+        let mut spec = default_specs(&tiny_cfg()).remove(0);
+        spec.pool = vec!["T4".into()];
+        let err = harness.run(&spec, 1).unwrap_err();
+        assert!(err.to_string().contains("T4"));
+        spec.pool.clear();
+        assert!(harness.run(&spec, 1).is_err(), "empty pool is rejected");
+    }
+
+    #[test]
+    fn suite_labels_are_unique_and_stable() {
+        let specs = default_specs(&tiny_cfg());
+        assert_eq!(specs.len(), 5);
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "scenario labels must be unique");
+        assert!(
+            specs.iter().any(|s| s.pool.iter().any(|p| p == "HiHGNN")
+                && s.pool.iter().any(|p| p == "HiHGNN+GDR")),
+            "the suite exercises a heterogeneous pool"
+        );
+    }
+}

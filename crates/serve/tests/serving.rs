@@ -1,0 +1,98 @@
+//! End-to-end serving tests: the canonical suite's headline claims and
+//! the byte-for-byte determinism the CI smoke step relies on.
+
+use gdr_serve::default_suite;
+use gdr_system::grid::ExperimentConfig;
+use gdr_system::report::{BenchReport, ServeScenarioRecord, SERVE_METRIC_KEYS};
+
+fn suite() -> Vec<ServeScenarioRecord> {
+    default_suite(&ExperimentConfig::test_scale()).expect("canonical suite runs")
+}
+
+fn metric(records: &[ServeScenarioRecord], scenario: &str, key: &str) -> f64 {
+    records
+        .iter()
+        .find(|s| s.scenario == scenario)
+        .unwrap_or_else(|| panic!("scenario {scenario} missing"))
+        .aggregate()
+        .expect("ALL row present")
+        .metric(key)
+        .unwrap_or_else(|| panic!("metric {key} missing"))
+}
+
+#[test]
+fn size_capped_beats_immediate_on_throughput_at_high_rate() {
+    let records = suite();
+    let imm = metric(
+        &records,
+        "poisson-hi/immediate/round-robin",
+        "throughput_rps",
+    );
+    let cap = metric(
+        &records,
+        "poisson-hi/size-capped/round-robin",
+        "throughput_rps",
+    );
+    assert!(
+        cap > imm,
+        "size-capped ({cap:.0} rps) must beat immediate ({imm:.0} rps) at high rate"
+    );
+    // …and batching keeps the tail in check under a load that saturates
+    // the immediate pool.
+    let imm_p99 = metric(&records, "poisson-hi/immediate/round-robin", "p99_ns");
+    let cap_p99 = metric(&records, "poisson-hi/size-capped/round-robin", "p99_ns");
+    assert!(
+        cap_p99 < imm_p99,
+        "size-capped p99 {cap_p99} vs immediate p99 {imm_p99}"
+    );
+}
+
+#[test]
+fn suite_covers_policies_pools_and_metric_keys() {
+    let records = suite();
+    assert_eq!(records.len(), 5);
+    for rec in &records {
+        assert!(rec.aggregate().is_some(), "{}", rec.scenario);
+        assert_eq!(
+            rec.aggregate().unwrap().metric("completed"),
+            Some(rec.requests as f64),
+            "{}: every request completes",
+            rec.scenario
+        );
+        for run in &rec.runs {
+            let keys: Vec<&str> = run.metrics.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, SERVE_METRIC_KEYS, "{}", rec.scenario);
+            let p50 = run.metric("p50_ns").unwrap();
+            let p95 = run.metric("p95_ns").unwrap();
+            let p99 = run.metric("p99_ns").unwrap();
+            assert!(p50 <= p95 && p95 <= p99, "{}", rec.scenario);
+        }
+    }
+    // the heterogeneous closed-loop scenario reports both backends
+    let hetero = records
+        .iter()
+        .find(|s| s.scenario == "closed-loop/size-capped/shard-affinity")
+        .unwrap();
+    let platforms: Vec<&str> = hetero.runs.iter().map(|r| r.platform.as_str()).collect();
+    assert_eq!(platforms, ["ALL", "HiHGNN+GDR", "HiHGNN"]);
+}
+
+#[test]
+fn suite_is_byte_for_byte_deterministic() {
+    let (a, b) = (suite(), suite());
+    assert_eq!(a, b, "identical configs must produce identical records");
+    // …all the way down to the serialized report the CI smoke step diffs
+    let report = |serve: Vec<ServeScenarioRecord>| BenchReport {
+        seed: 42,
+        scale: ExperimentConfig::test_scale().scale,
+        platforms: vec!["HiHGNN+GDR".into(), "HiHGNN".into()],
+        points: Vec::new(),
+        wall_clock_s: 0.0,
+        serve,
+    };
+    let (ja, jb) = (suite(), suite());
+    assert_eq!(
+        report(ja).to_json().to_pretty(),
+        report(jb).to_json().to_pretty()
+    );
+}

@@ -159,6 +159,14 @@ impl Platform for CombinedSystem {
         "HiHGNN+GDR"
     }
 
+    fn reuses_schedules(&self) -> bool {
+        // The GDR frontend's output depends only on the dataset's semantic
+        // graphs, so back-to-back batches over the same dataset can skip
+        // restructuring entirely — the locality lever `gdr-serve`'s
+        // shard-affinity scheduler pulls.
+        true
+    }
+
     fn execute(
         &self,
         workload: &Workload,

@@ -88,6 +88,15 @@ pub fn paper_platforms() -> Vec<Box<dyn Platform>> {
     ]
 }
 
+/// The registered platform names, in [`paper_platforms`] order — what
+/// `gdr-bench --list-platforms` prints and [`select_platforms`] accepts.
+pub fn platform_names() -> Vec<String> {
+    paper_platforms()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect()
+}
+
 /// Selects a subset of [`paper_platforms`] by name, preserving the
 /// requested order (the first name becomes the speedup baseline in
 /// reports). Names match [`Platform::name`]: `"T4"`, `"A100"`,
@@ -259,6 +268,14 @@ mod tests {
         assert_eq!(runs[0].report.platform, "HiHGNN");
         assert_eq!(runs[1].report.platform, "T4");
         assert!(runs.iter().all(|r| r.report.time_ns > 0.0));
+    }
+
+    #[test]
+    fn platform_names_match_the_registry() {
+        let names = platform_names();
+        assert_eq!(names, ["T4", "A100", "HiHGNN", "HiHGNN+GDR"]);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        assert!(select_platforms(&refs).is_ok(), "every listed name selects");
     }
 
     #[test]

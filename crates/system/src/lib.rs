@@ -45,7 +45,9 @@ pub mod report;
 pub use builder::{System, SystemBuilder};
 pub use combined::{CombinedRun, CombinedSystem};
 pub use grid::{
-    cell_inputs, paper_platforms, platform_refs, run_grid, run_platforms, select_platforms,
-    ExperimentConfig, GridPoint,
+    cell_inputs, paper_platforms, platform_names, platform_refs, run_grid, run_platforms,
+    select_platforms, ExperimentConfig, GridPoint,
 };
-pub use report::{compare, BenchReport, Comparison, PaperReport};
+pub use report::{
+    compare, BenchReport, Comparison, PaperReport, ServeRunRecord, ServeScenarioRecord,
+};

@@ -44,6 +44,159 @@ pub const SCHEMA: &str = "gdr-bench/v1";
 /// ambiguous (stage split), or nondeterministic (wall-clock).
 pub const GATED_METRICS: &[&str] = &["time_ns", "dram_bytes"];
 
+/// Serve-family metrics the gate compares, as `(key, higher_is_better)`:
+/// tail latency must not grow, throughput must not shrink. The remaining
+/// serve metrics (mean/max latency, queue depths, batch shape) are
+/// observability-only.
+pub const SERVE_GATED_METRICS: &[(&str, bool)] = &[("p99_ns", false), ("throughput_rps", true)];
+
+/// The canonical metric keys of a [`ServeRunRecord`], in serialization
+/// order. `gdr-serve` emits exactly this set; the golden-file schema test
+/// pins it.
+pub const SERVE_METRIC_KEYS: &[&str] = &[
+    "completed",
+    "p50_ns",
+    "p95_ns",
+    "p99_ns",
+    "mean_ns",
+    "max_ns",
+    "throughput_rps",
+    "batches",
+    "mean_batch_size",
+    "mean_queue_depth",
+    "max_queue_depth",
+    "makespan_ns",
+];
+
+/// One platform's aggregate over a serving scenario: the latency
+/// histogram summary, throughput, and queue/batch shape for every
+/// request the scenario's replicas of that platform served. The
+/// `"ALL"` platform row aggregates the whole replica pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRunRecord {
+    /// Platform label, or `"ALL"` for the pool-wide aggregate.
+    pub platform: String,
+    /// Stable-ordered numeric metrics, keyed by [`SERVE_METRIC_KEYS`].
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl ServeRunRecord {
+    /// Looks up a metric by key (`"p99_ns"`, `"throughput_rps"`, …).
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// One serving scenario's record: the full configuration that produced
+/// it (so reports are self-describing and the gate can match scenarios
+/// across commits) plus one [`ServeRunRecord`] per platform and the
+/// `"ALL"` aggregate. Every value is a deterministic function of the
+/// configuration — serve records carry **no wall-clock**, which is what
+/// makes `gdr-bench serve` output byte-for-byte reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeScenarioRecord {
+    /// Stable scenario label the gate matches on
+    /// (e.g. `"poisson-hi/size-capped/round-robin"`).
+    pub scenario: String,
+    /// Arrival process name (`"poisson"`, `"bursty"`, `"closed-loop"`).
+    pub arrival: String,
+    /// Nominal offered load in requests per second.
+    pub rate_rps: f64,
+    /// Batching policy label (`"immediate"`, `"size-capped:8"`, …).
+    pub batch: String,
+    /// Scheduler policy label (`"round-robin"`, `"least-loaded"`,
+    /// `"shard-affinity"`).
+    pub scheduler: String,
+    /// Replica pool size.
+    pub replicas: u64,
+    /// Request-stream seed.
+    pub seed: u64,
+    /// Total requests generated.
+    pub requests: u64,
+    /// `"ALL"` first, then one record per distinct platform, pool order.
+    pub runs: Vec<ServeRunRecord>,
+}
+
+impl ServeScenarioRecord {
+    /// The scenario's pool-wide aggregate record, when present.
+    pub fn aggregate(&self) -> Option<&ServeRunRecord> {
+        self.runs.iter().find(|r| r.platform == "ALL")
+    }
+
+    /// The scenario object of the `serve` array in `gdr-bench/v1`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::from(self.scenario.as_str())),
+            ("arrival", Json::from(self.arrival.as_str())),
+            ("rate_rps", Json::from(self.rate_rps)),
+            ("batch", Json::from(self.batch.as_str())),
+            ("scheduler", Json::from(self.scheduler.as_str())),
+            ("replicas", Json::from(self.replicas)),
+            ("seed", Json::from(self.seed)),
+            ("requests", Json::from(self.requests)),
+            (
+                "runs",
+                Json::arr(self.runs.iter().map(|r| {
+                    let mut fields =
+                        vec![("platform".to_string(), Json::from(r.platform.as_str()))];
+                    fields.extend(r.metrics.iter().map(|(k, v)| (k.clone(), Json::from(*v))));
+                    Json::Obj(fields)
+                })),
+            ),
+        ])
+    }
+
+    /// Parses one scenario object of the `serve` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let string = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("serve scenario: missing string field {key:?}"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("serve scenario: missing numeric field {key:?}"))
+        };
+        let mut runs = Vec::new();
+        for r in v
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or("serve scenario: missing runs")?
+        {
+            let mut platform = None;
+            let mut metrics = Vec::new();
+            for (k, field) in r.as_obj().ok_or("serve run is not an object")? {
+                match (k.as_str(), field) {
+                    ("platform", Json::Str(p)) => platform = Some(p.clone()),
+                    (_, Json::Num(x)) => metrics.push((k.clone(), *x)),
+                    _ => return Err(format!("unexpected serve run field {k:?}")),
+                }
+            }
+            runs.push(ServeRunRecord {
+                platform: platform.ok_or("serve run: missing platform")?,
+                metrics,
+            });
+        }
+        Ok(ServeScenarioRecord {
+            scenario: string("scenario")?,
+            arrival: string("arrival")?,
+            rate_rps: num("rate_rps")?,
+            batch: string("batch")?,
+            scheduler: string("scheduler")?,
+            replicas: num("replicas")? as u64,
+            seed: num("seed")? as u64,
+            requests: num("requests")? as u64,
+            runs,
+        })
+    }
+}
+
 /// One platform's record for one grid cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -98,8 +251,11 @@ pub struct BenchReport {
     pub platforms: Vec<String>,
     /// One record per grid cell, models outer, datasets inner.
     pub points: Vec<PointRecord>,
-    /// Total harness wall-clock, seconds.
+    /// Total harness wall-clock, seconds. Zero for serve-only reports,
+    /// which must be byte-for-byte reproducible.
     pub wall_clock_s: f64,
+    /// Serving-scenario records (`gdr-serve`), empty for grid-only runs.
+    pub serve: Vec<ServeScenarioRecord>,
 }
 
 impl BenchReport {
@@ -157,6 +313,7 @@ impl BenchReport {
             platforms: platforms.iter().map(|p| p.name().to_string()).collect(),
             points,
             wall_clock_s: t0.elapsed().as_secs_f64(),
+            serve: Vec::new(),
         })
     }
 
@@ -228,6 +385,10 @@ impl BenchReport {
                         ),
                     ])
                 })),
+            ),
+            (
+                "serve",
+                Json::arr(self.serve.iter().map(ServeScenarioRecord::to_json)),
             ),
         ])
     }
@@ -311,18 +472,45 @@ impl BenchReport {
                 runs,
             });
         }
+        // `serve` was added within the same schema id: reports written
+        // before it exists parse with an empty record family.
+        let serve = match v.get("serve") {
+            None => Vec::new(),
+            Some(s) => s
+                .as_arr()
+                .ok_or("serve is not an array")?
+                .iter()
+                .map(ServeScenarioRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(BenchReport {
             seed: num(config, "seed")? as u64,
             scale: num(config, "scale")?,
             platforms,
             points,
             wall_clock_s: num(v, "wall_clock_s")?,
+            serve,
         })
     }
 
     /// Markdown rendering: per-cell latency and speedup table plus a
-    /// DRAM traffic table, with geomean rows.
+    /// DRAM traffic table with geomean rows (when the grid ran), and a
+    /// serving table (when serve scenarios ran).
     pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.points.is_empty() {
+            out.push_str(&self.grid_markdown());
+        }
+        if !self.serve.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&self.serve_markdown());
+        }
+        out
+    }
+
+    fn grid_markdown(&self) -> String {
         let mut headers: Vec<String> = vec!["workload".into()];
         for p in &self.platforms {
             headers.push(format!("{p} ms"));
@@ -373,6 +561,37 @@ impl BenchReport {
         out.push_str("\n### DRAM traffic\n\n");
         out.push_str(&table(&dram_header_refs, &dram_rows));
         out
+    }
+
+    fn serve_markdown(&self) -> String {
+        let headers = [
+            "scenario", "platform", "req/s", "p50 ms", "p95 ms", "p99 ms", "batch ×", "queue",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .serve
+            .iter()
+            .flat_map(|s| {
+                s.runs.iter().map(|r| {
+                    let ms = |key: &str| f2(r.metric(key).unwrap_or(0.0) / 1e6);
+                    vec![
+                        s.scenario.clone(),
+                        r.platform.clone(),
+                        f2(r.metric("throughput_rps").unwrap_or(0.0)),
+                        ms("p50_ns"),
+                        ms("p95_ns"),
+                        ms("p99_ns"),
+                        f2(r.metric("mean_batch_size").unwrap_or(0.0)),
+                        f2(r.metric("mean_queue_depth").unwrap_or(0.0)),
+                    ]
+                })
+            })
+            .collect();
+        format!(
+            "### Serving (seed {}, scale {})\n\n{}",
+            self.seed,
+            self.scale,
+            table(&headers, &rows)
+        )
     }
 }
 
@@ -609,21 +828,30 @@ impl Comparison {
         describe(&mut out, "regressions", &self.regressions);
         describe(&mut out, "improvements", &self.improvements);
         if self.passed() {
+            let serve_gated: Vec<String> = SERVE_GATED_METRICS
+                .iter()
+                .map(|&(k, higher)| {
+                    format!("{k} ({} better)", if higher { "higher" } else { "lower" })
+                })
+                .collect();
             out.push_str(&format!(
-                "perf gate PASSED: no gated metric ({}) moved more than {}% up on {} records\n",
+                "perf gate PASSED: no gated metric (grid: {}; serve: {}) moved more than {}% \
+                 in the bad direction on all compared records\n",
                 GATED_METRICS.join(", "),
+                serve_gated.join(", "),
                 self.threshold_pct,
-                "all compared"
             ));
         }
         out
     }
 }
 
-/// Compares `current` against `baseline` on [`GATED_METRICS`], flagging
-/// any gated metric that grew by more than `threshold_pct` percent.
-/// Wall-clock fields and non-gated metrics are never compared — they are
-/// either machine-dependent or direction-ambiguous.
+/// Compares `current` against `baseline` on [`GATED_METRICS`] (grid
+/// records, lower-is-better) and [`SERVE_GATED_METRICS`] (serve records,
+/// direction per metric), flagging any gated metric that moved in the
+/// bad direction by more than `threshold_pct` percent. Wall-clock fields
+/// and non-gated metrics are never compared — they are either
+/// machine-dependent or direction-ambiguous.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
     let mut cmp = Comparison {
         threshold_pct,
@@ -673,6 +901,49 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64
                 if c > b * (1.0 + threshold_pct / 100.0) {
                     cmp.regressions.push(delta);
                 } else if c < b * (1.0 - threshold_pct / 100.0) {
+                    cmp.improvements.push(delta);
+                }
+            }
+        }
+    }
+    for b_scn in &baseline.serve {
+        let c_scn = current.serve.iter().find(|s| s.scenario == b_scn.scenario);
+        for b_run in &b_scn.runs {
+            let c_run = c_scn.and_then(|s| s.runs.iter().find(|r| r.platform == b_run.platform));
+            let Some(c_run) = c_run else {
+                cmp.missing
+                    .push(format!("serve {} on {}", b_scn.scenario, b_run.platform));
+                continue;
+            };
+            for &(metric, higher_is_better) in SERVE_GATED_METRICS {
+                let (Some(b), Some(c)) = (b_run.metric(metric), c_run.metric(metric)) else {
+                    cmp.missing.push(format!(
+                        "{} for serve {} on {}",
+                        metric, b_scn.scenario, b_run.platform
+                    ));
+                    continue;
+                };
+                let delta = Delta {
+                    point: format!("serve {}", b_scn.scenario),
+                    platform: b_run.platform.clone(),
+                    metric: metric.to_string(),
+                    baseline: b,
+                    current: c,
+                };
+                let (worse, better) = if higher_is_better {
+                    (
+                        c < b * (1.0 - threshold_pct / 100.0),
+                        c > b * (1.0 + threshold_pct / 100.0),
+                    )
+                } else {
+                    (
+                        c > b * (1.0 + threshold_pct / 100.0),
+                        c < b * (1.0 - threshold_pct / 100.0),
+                    )
+                };
+                if worse {
+                    cmp.regressions.push(delta);
+                } else if better {
                     cmp.improvements.push(delta);
                 }
             }
@@ -838,5 +1109,86 @@ mod tests {
         let r = tiny_report();
         let text = r.to_json().to_compact().replace(SCHEMA, "gdr-bench/v999");
         assert!(BenchReport::parse(&text).is_err());
+    }
+
+    /// A synthetic serve scenario with the canonical metric keys.
+    fn serve_scenario(name: &str, p99_ns: f64, throughput_rps: f64) -> ServeScenarioRecord {
+        let metrics = SERVE_METRIC_KEYS
+            .iter()
+            .map(|&k| {
+                let v = match k {
+                    "p99_ns" => p99_ns,
+                    "throughput_rps" => throughput_rps,
+                    _ => 64.0,
+                };
+                (k.to_string(), v)
+            })
+            .collect();
+        ServeScenarioRecord {
+            scenario: name.into(),
+            arrival: "poisson".into(),
+            rate_rps: 1000.0,
+            batch: "size-capped:8".into(),
+            scheduler: "round-robin".into(),
+            replicas: 2,
+            seed: 7,
+            requests: 64,
+            runs: vec![ServeRunRecord {
+                platform: "ALL".into(),
+                metrics,
+            }],
+        }
+    }
+
+    #[test]
+    fn serve_records_round_trip_and_render() {
+        let mut r = tiny_report();
+        r.serve = vec![serve_scenario("poisson-hi/immediate", 5.0e6, 900.0)];
+        let parsed = BenchReport::parse(&r.to_json().to_pretty()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(
+            parsed.serve[0].aggregate().unwrap().metric("p99_ns"),
+            Some(5.0e6)
+        );
+        let md = r.to_markdown();
+        assert!(md.contains("Serving") && md.contains("poisson-hi/immediate"));
+        // a serve-only report renders only the serving table
+        let only = BenchReport {
+            points: Vec::new(),
+            wall_clock_s: 0.0,
+            ..r
+        };
+        let md = only.to_markdown();
+        assert!(md.contains("Serving") && !md.contains("GEOMEAN"));
+    }
+
+    #[test]
+    fn comparator_gates_serve_tail_latency_and_throughput() {
+        let mut base = tiny_report();
+        base.serve = vec![serve_scenario("s", 1.0e6, 1000.0)];
+
+        // 20% p99 growth fails, 20% throughput loss fails …
+        let mut slow = base.clone();
+        slow.serve = vec![serve_scenario("s", 1.2e6, 1000.0)];
+        assert!(!compare(&base, &slow, 10.0).passed());
+        let mut starved = base.clone();
+        starved.serve = vec![serve_scenario("s", 1.0e6, 800.0)];
+        let cmp = compare(&base, &starved, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].metric, "throughput_rps");
+
+        // … while gains in either direction only count as improvements.
+        let mut faster = base.clone();
+        faster.serve = vec![serve_scenario("s", 0.5e6, 2000.0)];
+        let cmp = compare(&base, &faster, 10.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.improvements.len(), 2);
+
+        // a vanished scenario fails the gate
+        let mut gone = base.clone();
+        gone.serve.clear();
+        let cmp = compare(&base, &gone, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing, ["serve s on ALL"]);
     }
 }

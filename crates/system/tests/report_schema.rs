@@ -10,7 +10,9 @@
 
 use gdr_system::grid::{paper_platforms, platform_refs, ExperimentConfig};
 use gdr_system::json::Json;
-use gdr_system::report::{compare, BenchReport};
+use gdr_system::report::{
+    compare, BenchReport, ServeRunRecord, ServeScenarioRecord, SERVE_METRIC_KEYS,
+};
 
 const GOLDEN: &str = include_str!("golden/bench_schema_keys.txt");
 
@@ -47,8 +49,35 @@ fn key_paths(v: &Json, prefix: &str, seen: &mut Vec<String>) {
 
 fn test_scale_report() -> BenchReport {
     let platforms = paper_platforms();
-    BenchReport::collect(&platform_refs(&platforms), &ExperimentConfig::test_scale())
-        .expect("paper platforms accept grid inputs")
+    let mut report =
+        BenchReport::collect(&platform_refs(&platforms), &ExperimentConfig::test_scale())
+            .expect("paper platforms accept grid inputs");
+    // A representative serve record so the serve family's key paths are
+    // pinned alongside the grid's. `gdr-serve` emits exactly
+    // SERVE_METRIC_KEYS (its own tests assert that), so a hand-built
+    // record covers the schema without a cross-crate dev-dependency.
+    report.serve = vec![ServeScenarioRecord {
+        scenario: "poisson-hi/size-capped/round-robin".into(),
+        arrival: "poisson".into(),
+        rate_rps: 1_200_000.0,
+        batch: "size-capped:8".into(),
+        scheduler: "round-robin".into(),
+        replicas: 2,
+        seed: 42,
+        requests: 384,
+        runs: ["ALL", "HiHGNN+GDR"]
+            .into_iter()
+            .map(|platform| ServeRunRecord {
+                platform: platform.into(),
+                metrics: SERVE_METRIC_KEYS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| (k.to_string(), (i + 1) as f64))
+                    .collect(),
+            })
+            .collect(),
+    }];
+    report
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! Serving: put the simulated platforms behind a request queue and
+//! watch dynamic batching buy throughput and tail latency.
+//!
+//! Measures the HiHGNN+GDR backend once, then drives the same
+//! high-rate Poisson request stream through three batching policies on
+//! a two-replica pool, and finishes with the committed canonical suite.
+//! Everything runs in virtual time: re-running this example reproduces
+//! every number exactly.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use gdr::prelude::*;
+
+fn main() -> GdrResult<()> {
+    let cfg = ExperimentConfig::test_scale();
+
+    // 1. One-off warmup: execute each grid cell once per backend to
+    //    derive the service-cost table (fixed per-batch overhead +
+    //    per-request mini-batch work).
+    let harness = ServeHarness::new(&cfg, &["HiHGNN+GDR"])?;
+
+    // 2. The same seeded traffic under three batching policies.
+    let policies = [
+        ("immediate", BatchPolicy::Immediate),
+        ("size-capped(8)", BatchPolicy::SizeCapped { cap: 8 }),
+        (
+            "deadline(8, 20µs)",
+            BatchPolicy::Deadline {
+                cap: 8,
+                timeout_ns: 20_000,
+            },
+        ),
+    ];
+    println!(
+        "{:<18} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "batch policy", "req/s", "p50 µs", "p95 µs", "p99 µs", "batch ×"
+    );
+    for (label, batch) in policies {
+        let record = harness.run(
+            &ScenarioSpec {
+                name: label.into(),
+                process: ArrivalProcess::Poisson {
+                    rate_rps: 1_200_000.0,
+                },
+                requests: 384,
+                batch,
+                sched: SchedPolicy::LeastLoaded,
+                pool: vec!["HiHGNN+GDR".into(), "HiHGNN+GDR".into()],
+            },
+            cfg.seed,
+        )?;
+        let all = record.aggregate().expect("ALL row");
+        let us = |key: &str| all.metric(key).unwrap_or(0.0) / 1e3;
+        println!(
+            "{:<18} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>8.2}",
+            label,
+            all.metric("throughput_rps").unwrap_or(0.0),
+            us("p50_ns"),
+            us("p95_ns"),
+            us("p99_ns"),
+            all.metric("mean_batch_size").unwrap_or(0.0),
+        );
+    }
+
+    // 3. The committed canonical suite — what `gdr-bench` embeds into
+    //    grid reports and CI gates against bench/baseline.json.
+    println!("\ncanonical suite:");
+    for record in default_suite(&cfg)? {
+        let all = record.aggregate().expect("ALL row");
+        println!(
+            "  {:<42} {:>10.0} req/s, p99 {:>8.1} µs",
+            record.scenario,
+            all.metric("throughput_rps").unwrap_or(0.0),
+            all.metric("p99_ns").unwrap_or(0.0) / 1e3,
+        );
+    }
+    Ok(())
+}

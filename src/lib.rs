@@ -13,6 +13,7 @@
 //! | [`accel`] | [`prelude::Platform`] trait, HiHGNN cycle model, T4/A100 baselines |
 //! | [`frontend`] | the GDR-HGNN hardware frontend + streaming [`prelude::Session`] |
 //! | [`system`] | [`prelude::SystemBuilder`], combined system, experiment drivers |
+//! | [`serve`] | online-serving simulation: arrivals, batching, replica scheduling |
 //!
 //! # Getting started
 //!
@@ -71,6 +72,40 @@
 //! # Ok::<(), gdr::prelude::GdrError>(())
 //! ```
 //!
+//! # Serving
+//!
+//! The serving subsystem ([`serve`]) puts the same platforms behind a
+//! request queue: seeded arrival processes over the dataset × model
+//! grid, dynamic batching, and multi-replica scheduling, simulated in
+//! **virtual time** — a fixed seed reproduces every latency percentile
+//! byte for byte. The `gdr-bench serve` CLI exposes it
+//! (`cargo run -p gdr-bench --bin gdr-bench -- serve --scale test --seed 7`),
+//! and the canonical suite rides along in grid reports and the CI gate:
+//!
+//! ```
+//! use gdr::prelude::*;
+//!
+//! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+//! // Measure the backend once, then serve Poisson traffic on two
+//! // replicas with size-capped batching.
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN"])?;
+//! let record = harness.run(
+//!     &ScenarioSpec {
+//!         name: "quickstart".into(),
+//!         process: ArrivalProcess::Poisson { rate_rps: 5_000.0 },
+//!         requests: 64,
+//!         batch: BatchPolicy::SizeCapped { cap: 4 },
+//!         sched: SchedPolicy::LeastLoaded,
+//!         pool: vec!["HiHGNN".into(), "HiHGNN".into()],
+//!     },
+//!     7,
+//! )?;
+//! let all = record.aggregate().unwrap();
+//! assert_eq!(all.metric("completed"), Some(64.0));
+//! assert!(all.metric("p99_ns").unwrap() >= all.metric("p50_ns").unwrap());
+//! # Ok::<(), gdr::prelude::GdrError>(())
+//! ```
+//!
 //! Lower-level pieces stay available through the per-crate re-exports —
 //! e.g. restructure one semantic graph by hand and measure the
 //! locality win:
@@ -99,6 +134,7 @@ pub use gdr_frontend as frontend;
 pub use gdr_hetgraph as hetgraph;
 pub use gdr_hgnn as hgnn;
 pub use gdr_memsim as memsim;
+pub use gdr_serve as serve;
 pub use gdr_system as system;
 
 /// The single documented entry point: everything needed to build,
@@ -119,6 +155,11 @@ pub use gdr_system as system;
 ///   [`PaperReport`](prelude::PaperReport) /
 ///   [`compare`](prelude::compare) (markdown + `gdr-bench/v1` JSON,
 ///   CI perf gate)
+/// * serve: [`ServeHarness`](prelude::ServeHarness) /
+///   [`ScenarioSpec`](prelude::ScenarioSpec) /
+///   [`ArrivalProcess`](prelude::ArrivalProcess) /
+///   [`BatchPolicy`](prelude::BatchPolicy) /
+///   [`SchedPolicy`](prelude::SchedPolicy) (online-serving simulation)
 /// * errors: [`GdrError`](prelude::GdrError) /
 ///   [`GdrResult`](prelude::GdrResult) across all of the above
 pub mod prelude {
@@ -136,12 +177,18 @@ pub mod prelude {
     pub use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult, HeteroGraph};
     pub use gdr_hgnn::model::{ModelConfig, ModelKind};
     pub use gdr_hgnn::workload::Workload;
+    pub use gdr_serve::{
+        default_specs, default_suite, ArrivalProcess, BatchPolicy, Batcher, CostModel,
+        ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, Simulator, Traffic, TrafficStream,
+    };
     pub use gdr_system::builder::{System, SystemBuilder};
     pub use gdr_system::combined::{CombinedRun, CombinedSystem};
     pub use gdr_system::grid::{
-        paper_platforms, platform_refs, run_grid, run_platforms, select_platforms,
+        paper_platforms, platform_names, platform_refs, run_grid, run_platforms, select_platforms,
         ExperimentConfig, GridPoint,
     };
     pub use gdr_system::json::Json;
-    pub use gdr_system::report::{compare, BenchReport, Comparison, PaperReport};
+    pub use gdr_system::report::{
+        compare, BenchReport, Comparison, PaperReport, ServeRunRecord, ServeScenarioRecord,
+    };
 }
