@@ -27,9 +27,10 @@
 //! Exit codes: 0 = ok, 1 = perf gate failed, 2 = usage/IO error.
 
 use gdr_bench::{
-    parse_arrival, parse_batch_policy, parse_scale, parse_scheduler, parse_threshold, ArrivalArgs,
-    BENCH_SEED,
+    parse_arrival, parse_autoscale, parse_batch_policy, parse_scale, parse_scheduler,
+    parse_threshold, ArrivalArgs, BENCH_SEED,
 };
+use gdr_serve::scheduler::AutoscaleSpec;
 use gdr_serve::suite::{
     default_suite, scaled_ns, scaled_rate, ScenarioSpec, ServeHarness, BASE_BURST_PERIOD_NS,
     BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS, HIGH_RATE_RPS,
@@ -52,8 +53,9 @@ USAGE:
                   [--clients N] [--think NS]
                   [--batch-policy immediate|size-capped|deadline]
                   [--batch-cap N] [--batch-timeout NS]
-                  [--scheduler round-robin|least-loaded|shard-affinity]
+                  [--scheduler round-robin|least-loaded|shard-affinity|shard-affinity-partial]
                   [--replicas N] [--platforms A,B] [--requests N] [--suite]
+                  [--shards N] [--cache-bytes N] [--autoscale MAX:UP:DOWN]
                   [--out FILE] [--baseline FILE] [--threshold PCT]
 
 OPTIONS (grid mode):
@@ -82,6 +84,9 @@ OPTIONS (serve mode — all simulated in virtual time, byte-for-byte reproducibl
   --replicas      replica pool size (cycles over --platforms)                       [2]
   --platforms     replica backends                                                  [HiHGNN+GDR]
   --requests      total requests to generate                                        [384]
+  --shards        dataset shards per replica (partial replicas; 0 = full)           [0]
+  --cache-bytes   per-replica cross-batch feature cache capacity (0 = off)          [0]
+  --autoscale     queue-driven autoscaler: MAX:UP:DOWN (e.g. 4:32:2)                [off]
   --suite         run the committed canonical suite instead of one scenario
 ";
 
@@ -111,6 +116,9 @@ struct Args {
     scheduler: String,
     replicas: usize,
     requests: usize,
+    shards: usize,
+    cache_bytes: u64,
+    autoscale: Option<AutoscaleSpec>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -139,6 +147,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         scheduler: "least-loaded".into(),
         replicas: 2,
         requests: 384,
+        shards: 0,
+        cache_bytes: 0,
+        autoscale: None,
     };
     let mut it = argv.iter();
     let mut first = true;
@@ -203,6 +214,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--scheduler" => args.scheduler = value()?.to_string(),
             "--replicas" => args.replicas = parse_num("--replicas", value()?)?.max(1) as usize,
             "--requests" => args.requests = parse_num("--requests", value()?)?.max(1) as usize,
+            "--shards" => args.shards = parse_num("--shards", value()?)? as usize,
+            "--cache-bytes" => args.cache_bytes = parse_num("--cache-bytes", value()?)?,
+            "--autoscale" => args.autoscale = Some(parse_autoscale(value()?)?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -288,18 +302,39 @@ fn run_serve(args: &Args) -> Result<i32, String> {
         let pool: Vec<String> = (0..args.replicas)
             .map(|i| backends[i % backends.len()].clone())
             .collect();
+        if let Some(a) = &args.autoscale {
+            if a.max_replicas < pool.len() {
+                return Err(format!(
+                    "--autoscale MAX ({}) below --replicas ({})",
+                    a.max_replicas,
+                    pool.len()
+                ));
+            }
+        }
         let spec = ScenarioSpec {
-            name: format!("{}/{}/{}", arrival.name(), batch.label(), sched.name()),
-            process: arrival,
-            requests: args.requests,
-            batch,
-            sched,
-            pool,
+            shards: args.shards,
+            cache_bytes: args.cache_bytes,
+            autoscale: args.autoscale,
+            ..ScenarioSpec::new(
+                format!("{}/{}/{}", arrival.name(), batch.label(), sched.name()),
+                arrival,
+                args.requests,
+                batch,
+                sched,
+                pool,
+            )
         };
         let names: Vec<&str> = backends.iter().map(String::as_str).collect();
         eprintln!(
-            "gdr-bench serve: {} — {} requests over {} replicas (seed {})",
-            spec.name, spec.requests, args.replicas, cfg.seed
+            "gdr-bench serve: {} — {} requests over {} replicas{} (seed {})",
+            spec.name,
+            spec.requests,
+            args.replicas,
+            match &spec.autoscale {
+                Some(a) => format!(" (autoscaled up to {})", a.max_replicas),
+                None => String::new(),
+            },
+            cfg.seed
         );
         let harness = ServeHarness::new(&cfg, &names).map_err(|e| e.to_string())?;
         vec![harness.run(&spec, args.seed).map_err(|e| e.to_string())?]

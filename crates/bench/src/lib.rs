@@ -10,7 +10,7 @@ use gdr_hetgraph::BipartiteGraph;
 use gdr_hgnn::model::ModelKind;
 use gdr_hgnn::workload::Workload;
 use gdr_serve::batcher::BatchPolicy;
-use gdr_serve::scheduler::SchedPolicy;
+use gdr_serve::scheduler::{AutoscaleSpec, SchedPolicy};
 use gdr_serve::workload::ArrivalProcess;
 use gdr_system::grid::{cell_inputs, ExperimentConfig};
 
@@ -189,6 +189,10 @@ pub fn parse_batch_policy(name: &str, cap: usize, timeout_ns: u64) -> Result<Bat
 /// use gdr_serve::scheduler::SchedPolicy;
 ///
 /// assert_eq!(parse_scheduler("least-loaded"), Ok(SchedPolicy::LeastLoaded));
+/// assert_eq!(
+///     parse_scheduler("shard-affinity-partial"),
+///     Ok(SchedPolicy::ShardAffinityPartial)
+/// );
 /// assert!(parse_scheduler("chaotic").is_err());
 /// ```
 pub fn parse_scheduler(name: &str) -> Result<SchedPolicy, String> {
@@ -196,10 +200,76 @@ pub fn parse_scheduler(name: &str) -> Result<SchedPolicy, String> {
         "round-robin" => Ok(SchedPolicy::RoundRobin),
         "least-loaded" => Ok(SchedPolicy::LeastLoaded),
         "shard-affinity" => Ok(SchedPolicy::ShardAffinity),
+        "shard-affinity-partial" => Ok(SchedPolicy::ShardAffinityPartial),
         other => Err(format!(
-            "invalid --scheduler {other:?}: expected \"round-robin\", \"least-loaded\", or \"shard-affinity\""
+            "invalid --scheduler {other:?}: expected \"round-robin\", \"least-loaded\", \
+             \"shard-affinity\", or \"shard-affinity-partial\""
         )),
     }
+}
+
+/// Parses an `--autoscale` argument of the form `MAX:UP:DOWN` — at most
+/// `MAX` replicas, scale up past a total queue depth of `UP`, drain
+/// below `DOWN` (the pool size given by `--replicas` is the minimum).
+/// `DOWN` must be at least 1: `DOWN:1` drains on an empty queue, while
+/// a zero threshold could never be undercut and would silently disable
+/// draining.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed field, a zero `DOWN`, or
+/// an inverted `UP`/`DOWN` pair.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_autoscale;
+/// use gdr_serve::scheduler::AutoscaleSpec;
+///
+/// assert_eq!(
+///     parse_autoscale("4:32:2"),
+///     Ok(AutoscaleSpec { max_replicas: 4, up_depth: 32, down_depth: 2 })
+/// );
+/// assert!(parse_autoscale("4:2:32").is_err(), "inverted thresholds");
+/// assert!(parse_autoscale("4:32:0").is_err(), "DOWN 0 never drains");
+/// assert!(parse_autoscale("4").is_err(), "missing fields");
+/// ```
+pub fn parse_autoscale(arg: &str) -> Result<AutoscaleSpec, String> {
+    let bad = || {
+        format!(
+            "invalid --autoscale {arg:?}: expected MAX:UP:DOWN \
+             (e.g. \"4:32:2\" = at most 4 replicas, scale up past queue \
+             depth 32, drain below 2)"
+        )
+    };
+    let mut fields = arg.split(':');
+    let mut field =
+        || -> Result<usize, String> { fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad) };
+    let spec = AutoscaleSpec {
+        max_replicas: field()?,
+        up_depth: field()?,
+        down_depth: field()?,
+    };
+    if fields.next().is_some() || spec.max_replicas == 0 {
+        return Err(bad());
+    }
+    if spec.down_depth == 0 {
+        // `depth < 0` can never be undercut on an unsigned queue depth,
+        // so DOWN 0 would silently disable draining. Library users who
+        // really want a never-draining pool can build an AutoscaleSpec
+        // with down_depth 0 directly.
+        return Err(format!(
+            "invalid --autoscale {arg:?}: DOWN must be at least 1 \
+             (queue depth never goes below 0, so DOWN 0 would never drain)"
+        ));
+    }
+    if spec.down_depth >= spec.up_depth {
+        return Err(format!(
+            "invalid --autoscale {arg:?}: DOWN ({}) must be below UP ({})",
+            spec.down_depth, spec.up_depth
+        ));
+    }
+    Ok(spec)
 }
 
 /// The thrashing-dominant single-cell inputs (RGCN on DBLP) the
@@ -285,6 +355,35 @@ mod tests {
             parse_scheduler("shard-affinity"),
             Ok(SchedPolicy::ShardAffinity)
         );
+        assert_eq!(
+            parse_scheduler("shard-affinity-partial"),
+            Ok(SchedPolicy::ShardAffinityPartial)
+        );
         assert!(parse_scheduler("").is_err());
+    }
+
+    #[test]
+    fn autoscale_parser_validates_shape_and_thresholds() {
+        assert_eq!(
+            parse_autoscale("8:64:4"),
+            Ok(AutoscaleSpec {
+                max_replicas: 8,
+                up_depth: 64,
+                down_depth: 4
+            })
+        );
+        for bad in [
+            "",
+            "8",
+            "8:64",
+            "8:64:4:1",
+            "zero:64:4",
+            "0:64:4",
+            "8:4:64",
+            "8:4:4",
+            "8:64:0",
+        ] {
+            assert!(parse_autoscale(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 }

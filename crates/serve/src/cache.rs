@@ -1,0 +1,208 @@
+//! The per-replica cross-batch feature cache.
+//!
+//! GDR-HGNN's frontend wins come from reusing structure across
+//! mini-batches; the serving-side counterpart is reusing **features**: a
+//! replica that just gathered a cell's feature working set for one batch
+//! holds it for the next. [`FeatureCache`] models that as an
+//! LRU-by-bytes cache keyed by grid cell — one entry per cell, sized at
+//! the cell's measured resident footprint
+//! ([`ServiceCost::footprint_bytes`](crate::cost::ServiceCost)).
+//!
+//! State evolves only from the sequence of batches served (no clock, no
+//! randomness), so cache behaviour — and every metric derived from it —
+//! is a pure function of the scenario and diff-stable byte for byte.
+
+use crate::request::CELL_COUNT;
+
+/// An LRU-by-bytes feature cache keyed by grid cell (see module docs).
+///
+/// A capacity of 0 disables the cache: every access misses and nothing
+/// is ever inserted. Entries larger than the whole capacity are never
+/// admitted (they would evict everything for a working set that cannot
+/// fit anyway).
+///
+/// # Examples
+///
+/// ```
+/// use gdr_serve::cache::FeatureCache;
+///
+/// let mut cache = FeatureCache::new(100);
+/// assert!(!cache.access(0, 60), "first touch is a miss");
+/// assert!(cache.access(0, 60), "second touch hits");
+/// assert!(!cache.access(1, 60), "cell 1 misses and evicts cell 0");
+/// assert!(!cache.access(0, 60), "cell 0 was evicted");
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 3);
+/// assert_eq!(cache.hit_rate(), 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureCache {
+    capacity_bytes: u64,
+    /// Resident entries as `(cell index, bytes)`, least recently used
+    /// first. At most [`CELL_COUNT`] entries, so linear scans are cheap.
+    entries: Vec<(usize, u64)>,
+    used_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl FeatureCache {
+    /// An empty cache of `capacity_bytes` capacity (0 disables it).
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            entries: Vec::new(),
+            used_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether the cache can ever hold anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Serves one batch for `cell` whose feature working set is `bytes`:
+    /// returns whether the features were resident, and updates recency /
+    /// residency deterministically (hit → touch; miss → insert after
+    /// evicting least-recently-used entries until it fits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= CELL_COUNT`.
+    pub fn access(&mut self, cell: usize, bytes: u64) -> bool {
+        assert!(cell < CELL_COUNT, "cell index {cell} out of range");
+        if let Some(pos) = self.entries.iter().position(|&(c, _)| c == cell) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // `enabled()` guards the degenerate 0-byte entry: a disabled
+        // cache must never admit anything, not even a free working set.
+        if self.enabled() && bytes <= self.capacity_bytes {
+            while self.used_bytes + bytes > self.capacity_bytes {
+                let (_, evicted) = self.entries.remove(0);
+                self.used_bytes -= evicted;
+            }
+            self.entries.push((cell, bytes));
+            self.used_bytes += bytes;
+        }
+        false
+    }
+
+    /// Drops every resident entry but keeps the hit/miss counters — what
+    /// a drained replica does on deactivation (its next activation is
+    /// cold).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Accesses that found the features resident.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Accesses that had to gather from DRAM.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`, in `[0, 1]`; 0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of resident cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut cache = FeatureCache::new(100);
+        assert!(!cache.access(0, 40));
+        assert!(!cache.access(1, 40));
+        // touch 0 so 1 becomes the LRU entry
+        assert!(cache.access(0, 40));
+        // inserting cell 2 must evict 1, not 0
+        assert!(!cache.access(2, 40));
+        assert!(cache.access(0, 40), "cell 0 survived");
+        assert!(cache.access(2, 40), "cell 2 resident");
+        assert!(!cache.access(1, 40), "cell 1 was evicted");
+        assert_eq!(cache.used_bytes(), 80);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn oversized_entries_are_never_admitted() {
+        let mut cache = FeatureCache::new(100);
+        assert!(!cache.access(0, 40));
+        assert!(!cache.access(1, 1000), "does not fit");
+        assert!(!cache.access(1, 1000), "still a miss — never inserted");
+        assert!(cache.access(0, 40), "resident entries survive the giant");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let mut cache = FeatureCache::new(0);
+        assert!(!cache.enabled());
+        for _ in 0..3 {
+            assert!(!cache.access(4, 1));
+        }
+        // …even for a zero-byte working set, which would otherwise slip
+        // past the capacity check and report hits from a disabled cache
+        for _ in 0..3 {
+            assert!(!cache.access(2, 0));
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert_eq!(cache.misses(), 6);
+    }
+
+    #[test]
+    fn hit_rate_is_bounded_and_clear_keeps_counters() {
+        let mut cache = FeatureCache::new(50);
+        assert_eq!(cache.hit_rate(), 0.0, "no accesses yet");
+        cache.access(3, 10);
+        cache.access(3, 10);
+        cache.access(3, 10);
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        assert_eq!(cache.hits(), 2, "counters survive a clear");
+        assert!(!cache.access(3, 10), "cold after clear");
+        assert!((0.0..=1.0).contains(&cache.hit_rate()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cell_panics() {
+        FeatureCache::new(10).access(CELL_COUNT, 1);
+    }
+}

@@ -23,6 +23,22 @@
 //!   [`Session`] — [`Session::rebind`]
 //!   keeps a single warm pipeline across all nine cells, exactly as a
 //!   serving replica would.
+//! * `hit_per_request_ns` — the marginal cost when the cell's features
+//!   are already resident in the replica's cross-batch feature cache:
+//!   the NA gather stage (the memory-bound share of the work) is served
+//!   from the cache instead of DRAM, so only the compute-bound stages
+//!   remain.
+//! * `dram_bytes_per_request` / `footprint_bytes` — the per-request DRAM
+//!   traffic of a cold mini-batch and the cell's resident feature
+//!   working set (the feature-cache entry size). A cache hit discounts
+//!   the traffic by the same ratio it discounts the marginal time.
+//! * `bind_ns` — the full cold session-bind cost: what a replica pays to
+//!   serve a dataset it does not hold (a partial-replica **shard miss**)
+//!   or that a freshly autoscaled replica pays before its first batch.
+//!   For platforms with an internal frontend this is the complete
+//!   restructuring pass over the cell (the un-overlapped
+//!   [`Session::rebind`] replay); for the GPU baselines it is one full
+//!   streaming pass over the working set (≈ the measured cell time).
 //!
 //! Everything is rounded to whole virtual nanoseconds, so downstream
 //! arithmetic is integer-exact and reports are byte-for-byte
@@ -44,8 +60,13 @@ use crate::request::{Cell, CELL_COUNT};
 /// measured work-proportional time.
 pub const MINI_BATCH_DIVISOR: u64 = 32;
 
+/// DRAM traffic left over on a feature-cache hit: feature gathers are
+/// served from the replica's cache, leaving `1/8` of the cold traffic
+/// (result write-back and structure reads, which are never cached).
+pub const CACHE_RESIDUAL_DIVISOR: u64 = 8;
+
 /// Service-time parameters of one (platform, cell) pair, whole ns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceCost {
     /// Per-batch fixed cost (overhead stage of the platform report).
     pub fixed_ns: u64,
@@ -55,20 +76,61 @@ pub struct ServiceCost {
     /// Fixed-cost saving when the replica is dataset-warm (0 for
     /// platforms without an internal frontend).
     pub warm_save_ns: u64,
+    /// Per-request marginal cost on a feature-cache hit (the NA gather
+    /// share is served from the cache). Always `<= per_request_ns`.
+    pub hit_per_request_ns: u64,
+    /// Cold per-request DRAM traffic, bytes.
+    pub dram_bytes_per_request: u64,
+    /// Resident feature working set of the cell — the feature-cache
+    /// entry size, bytes.
+    pub footprint_bytes: u64,
+    /// Full cold session-bind cost: the shard-miss penalty and the
+    /// autoscale cold-start price (see module docs).
+    pub bind_ns: u64,
 }
 
 impl ServiceCost {
     /// Service time of a batch of `size` requests; `warm` replicas skip
-    /// the restructuring share of the fixed cost. A `warm_save_ns`
-    /// larger than `fixed_ns` (constructible through the public fields)
-    /// saturates to a free fixed stage rather than wrapping.
-    pub fn batch_ns(&self, size: usize, warm: bool) -> u64 {
+    /// the restructuring share of the fixed cost, and a feature-cache
+    /// `hit` pays the cached marginal cost instead of the cold one. A
+    /// `warm_save_ns` larger than `fixed_ns` (constructible through the
+    /// public fields) saturates to a free fixed stage rather than
+    /// wrapping, and a `hit_per_request_ns` larger than `per_request_ns`
+    /// clamps down to it.
+    pub fn batch_ns(&self, size: usize, warm: bool, hit: bool) -> u64 {
         let fixed = if warm {
             self.fixed_ns.saturating_sub(self.warm_save_ns)
         } else {
             self.fixed_ns
         };
-        (fixed + self.per_request_ns * size as u64).max(1)
+        (fixed + self.marginal_ns(hit) * size as u64).max(1)
+    }
+
+    /// The per-request marginal cost in force: cached or cold.
+    pub fn marginal_ns(&self, hit: bool) -> u64 {
+        if hit {
+            self.hit_per_request_ns.min(self.per_request_ns)
+        } else {
+            self.per_request_ns
+        }
+    }
+
+    /// DRAM traffic of a batch of `size` requests. A feature-cache hit
+    /// serves the feature gathers from the replica's cache, leaving only
+    /// the `1 /` [`CACHE_RESIDUAL_DIVISOR`] residual (write-back and
+    /// structure reads) in DRAM.
+    pub fn batch_dram_bytes(&self, size: usize, hit: bool) -> u64 {
+        self.request_dram_bytes(hit) * size as u64
+    }
+
+    /// Per-request DRAM traffic: cold, or the uncached residual on a
+    /// feature-cache hit.
+    pub fn request_dram_bytes(&self, hit: bool) -> u64 {
+        if hit {
+            self.dram_bytes_per_request / CACHE_RESIDUAL_DIVISOR
+        } else {
+            self.dram_bytes_per_request
+        }
     }
 }
 
@@ -96,14 +158,8 @@ impl CostModel {
         let warm_session = Session::new(FrontendConfig::default(), &[]);
         let clock = FrontendConfig::default().clock_ghz;
 
-        let mut costs: Vec<[ServiceCost; CELL_COUNT]> = vec![
-            [ServiceCost {
-                fixed_ns: 0,
-                per_request_ns: 0,
-                warm_save_ns: 0
-            }; CELL_COUNT];
-            platforms.len()
-        ];
+        let mut costs: Vec<[ServiceCost; CELL_COUNT]> =
+            vec![[ServiceCost::default(); CELL_COUNT]; platforms.len()];
         for cell in Cell::all() {
             let (workload, graphs) = cell_inputs(cell.model, cell.dataset, cfg);
             let frontend = needs_frontend.then(|| warm_session.rebind(&graphs).process());
@@ -112,16 +168,35 @@ impl CostModel {
                 let fixed_ns = run.report.stages.overhead_ns.max(0.0).round() as u64;
                 let work_ns = (run.report.time_ns - run.report.stages.overhead_ns).max(1.0);
                 let per_request_ns = ((work_ns / MINI_BATCH_DIVISOR as f64).round() as u64).max(1);
+                // On a feature-cache hit the NA gathers are served from
+                // the cache; only the compute-bound stages remain.
+                let hit_work_ns = (work_ns - run.report.stages.na_ns).max(1.0);
+                let hit_per_request_ns = ((hit_work_ns / MINI_BATCH_DIVISOR as f64).round() as u64)
+                    .clamp(1, per_request_ns);
+                let dram_bytes_per_request = (run.report.dram_bytes / MINI_BATCH_DIVISOR).max(1);
                 let warm_save_ns = match &frontend {
                     Some(fr) if p.reuses_schedules() => {
                         exposure_ns(fr, &workload, run.report.time_ns, clock)?.min(fixed_ns)
                     }
                     _ => 0,
                 };
+                // Cold bind: a full un-overlapped restructuring pass for
+                // frontend platforms, one full streaming pass over the
+                // working set (≈ the measured cell time) for the rest.
+                let bind_ns = match &frontend {
+                    Some(fr) if p.reuses_schedules() => {
+                        ((fr.total_cycles() as f64 / clock).round() as u64).max(1)
+                    }
+                    _ => (run.report.time_ns.max(0.0).round() as u64).max(1),
+                };
                 row[cell.index()] = ServiceCost {
                     fixed_ns,
                     per_request_ns,
                     warm_save_ns,
+                    hit_per_request_ns,
+                    dram_bytes_per_request,
+                    footprint_bytes: run.report.dram_bytes,
+                    bind_ns,
                 };
             }
         }
@@ -165,6 +240,22 @@ impl CostModel {
     pub fn cost(&self, platform: usize, cell: Cell) -> ServiceCost {
         self.costs[platform][cell.index()]
     }
+
+    /// The autoscale cold-start price of one platform: a freshly added
+    /// replica must stand up a session before its first batch, and it
+    /// cannot know which dataset arrives first — so the price is the
+    /// worst-case full bind across the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `platform` is out of range.
+    pub fn cold_start_ns(&self, platform: usize) -> u64 {
+        self.costs[platform]
+            .iter()
+            .map(|c| c.bind_ns)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// The frontend time left exposed when restructuring overlaps the
@@ -207,20 +298,55 @@ mod tests {
             fixed_ns: 1000,
             per_request_ns: 10,
             warm_save_ns: 600,
+            hit_per_request_ns: 4,
+            dram_bytes_per_request: 100,
+            ..ServiceCost::default()
         };
-        assert_eq!(c.batch_ns(1, false), 1010);
-        assert_eq!(c.batch_ns(8, false), 1080);
+        assert_eq!(c.batch_ns(1, false, false), 1010);
+        assert_eq!(c.batch_ns(8, false, false), 1080);
         // 8 singletons pay the fixed cost 8 times
-        assert!(8 * c.batch_ns(1, false) > c.batch_ns(8, false) * 7);
+        assert!(8 * c.batch_ns(1, false, false) > c.batch_ns(8, false, false) * 7);
         // warmth skips the restructuring share only
-        assert_eq!(c.batch_ns(1, true), 410);
+        assert_eq!(c.batch_ns(1, true, false), 410);
         // an over-large saving saturates instead of wrapping
         let over = ServiceCost {
             fixed_ns: 100,
             per_request_ns: 10,
             warm_save_ns: 200,
+            ..ServiceCost::default()
         };
-        assert_eq!(over.batch_ns(1, true), 10);
+        assert_eq!(over.batch_ns(1, true, false), 10);
+    }
+
+    #[test]
+    fn cache_hit_discounts_marginal_cost_and_dram_in_the_same_ratio() {
+        let c = ServiceCost {
+            fixed_ns: 1000,
+            per_request_ns: 10,
+            warm_save_ns: 600,
+            hit_per_request_ns: 4,
+            dram_bytes_per_request: 100,
+            footprint_bytes: 4096,
+            bind_ns: 5000,
+        };
+        // hit replaces the cold marginal cost with the cached one
+        assert_eq!(c.batch_ns(8, false, true), 1000 + 4 * 8);
+        assert_eq!(c.marginal_ns(true), 4);
+        assert_eq!(c.marginal_ns(false), 10);
+        // …and drops DRAM traffic to the uncached residual
+        assert_eq!(c.request_dram_bytes(false), 100);
+        assert_eq!(c.request_dram_bytes(true), 100 / CACHE_RESIDUAL_DIVISOR);
+        assert_eq!(
+            c.batch_dram_bytes(8, true),
+            8 * (100 / CACHE_RESIDUAL_DIVISOR)
+        );
+        assert_eq!(c.batch_dram_bytes(8, false), 800);
+        // an over-large hit cost clamps down to the cold cost
+        let odd = ServiceCost {
+            hit_per_request_ns: 20,
+            ..c
+        };
+        assert_eq!(odd.marginal_ns(true), 10);
     }
 
     #[test]
@@ -249,9 +375,34 @@ mod tests {
             // batching has something to amortize: the per-batch fixed
             // cost dominates one mini-batch request's marginal work
             assert!(c.fixed_ns > c.per_request_ns, "{}", cell.label());
-            // platforms without an internal frontend never warm
+            // a feature-cache hit is a real (but not free) discount
+            assert!(
+                c.hit_per_request_ns >= 1 && c.hit_per_request_ns <= c.per_request_ns,
+                "{}",
+                cell.label()
+            );
+            assert!(c.dram_bytes_per_request >= 1, "{}", cell.label());
+            assert!(
+                c.footprint_bytes >= c.dram_bytes_per_request,
+                "{}",
+                cell.label()
+            );
+            // the cold bind dwarfs a warm batch's fixed cost
+            assert!(c.bind_ns >= 1, "{}", cell.label());
+            // platforms without an internal frontend never warm, but
+            // still pay a cold bind (one full streaming pass)
             assert_eq!(m.cost(t4, cell).warm_save_ns, 0);
+            assert!(m.cost(t4, cell).bind_ns > 0, "{}", cell.label());
         }
+        assert!(m.cold_start_ns(gdr) > 0);
+        assert_eq!(
+            m.cold_start_ns(gdr),
+            Cell::all()
+                .iter()
+                .map(|&c| m.cost(gdr, c).bind_ns)
+                .max()
+                .unwrap()
+        );
         // determinism: measuring again gives the identical table
         let again = CostModel::measure(&refs, &cfg).unwrap();
         for cell in Cell::all() {

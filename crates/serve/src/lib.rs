@@ -13,13 +13,20 @@
 //!   deadline) amortizing each backend's per-execution fixed cost;
 //! * [`scheduler`] — a virtual-time discrete-event simulator dispatching
 //!   batches across a replica pool (round-robin, least-loaded,
-//!   shard-affinity);
+//!   shard-affinity, shard-affinity-partial), shaped by a
+//!   [`PoolConfig`]: **partial-replica dataset sharding** with
+//!   miss-penalty routing, and a queue-driven **autoscaler** whose
+//!   scale-ups are priced as full cold session binds;
+//! * [`cache`] — the per-replica cross-batch **feature cache**
+//!   (LRU-by-bytes over cell working sets) whose hits discount marginal
+//!   service time and DRAM traffic;
 //! * [`cost`] — the per-(platform, cell) service-time model, measured
 //!   once from the platforms' own cycle models (with a reused frontend
 //!   [`Session`](gdr_frontend::session::Session) pricing the
-//!   dataset-warm schedule cache);
-//! * [`metrics`] — p50/p95/p99 latency, throughput, and queue-depth
-//!   aggregation into the `gdr-bench/v1` `serve` record family;
+//!   dataset-warm schedule cache and the cold-bind penalty);
+//! * [`metrics`] — p50/p95/p99 latency, throughput, queue-depth, DRAM,
+//!   cache, shard, and autoscale aggregation into the `gdr-bench/v1`
+//!   `serve` record family;
 //! * [`suite`] — the [`ServeHarness`] runner and the committed,
 //!   CI-gated scenario suite.
 //!
@@ -38,14 +45,14 @@
 //! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
 //! let harness = ServeHarness::new(&cfg, &["HiHGNN"])?;
 //! let record = harness.run(
-//!     &ScenarioSpec {
-//!         name: "two-replicas".into(),
-//!         process: ArrivalProcess::Poisson { rate_rps: 4_000.0 },
-//!         requests: 96,
-//!         batch: BatchPolicy::SizeCapped { cap: 4 },
-//!         sched: SchedPolicy::LeastLoaded,
-//!         pool: vec!["HiHGNN".into(), "HiHGNN".into()],
-//!     },
+//!     &ScenarioSpec::new(
+//!         "two-replicas",
+//!         ArrivalProcess::Poisson { rate_rps: 4_000.0 },
+//!         96,
+//!         BatchPolicy::SizeCapped { cap: 4 },
+//!         SchedPolicy::LeastLoaded,
+//!         vec!["HiHGNN".into(), "HiHGNN".into()],
+//!     ),
 //!     7,
 //! )?;
 //! let all = record.aggregate().unwrap();
@@ -53,11 +60,48 @@
 //! assert!(all.metric("p99_ns") >= all.metric("p50_ns"));
 //! # Ok::<(), gdr_hetgraph::GdrError>(())
 //! ```
+//!
+//! Shard the dataset grid across partial replicas, cache features
+//! across batches, and let the queue drive the pool size:
+//!
+//! ```
+//! use gdr_serve::prelude::*;
+//!
+//! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN+GDR"])?;
+//! let record = harness.run(
+//!     &ScenarioSpec {
+//!         shards: 3,                     // each replica holds one dataset
+//!         cache_bytes: 64 << 20,         // per-replica feature cache
+//!         autoscale: Some(AutoscaleSpec {
+//!             max_replicas: 4,
+//!             up_depth: 16,
+//!             down_depth: 2,
+//!         }),
+//!         ..ScenarioSpec::new(
+//!             "sharded",
+//!             ArrivalProcess::Poisson { rate_rps: 100_000.0 },
+//!             96,
+//!             BatchPolicy::SizeCapped { cap: 4 },
+//!             SchedPolicy::ShardAffinityPartial,
+//!             vec!["HiHGNN+GDR".into(); 3],
+//!         )
+//!     },
+//!     7,
+//! )?;
+//! let all = record.aggregate().unwrap();
+//! let hit_rate = all.metric("cache_hit_rate").unwrap();
+//! assert!((0.0..=1.0).contains(&hit_rate));
+//! assert_eq!(all.metric("shard_miss_count"), Some(0.0));
+//! assert!(all.metric("replicas_max").unwrap() <= 4.0);
+//! # Ok::<(), gdr_hetgraph::GdrError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batcher;
+pub mod cache;
 pub mod cost;
 pub mod metrics;
 pub mod request;
@@ -66,18 +110,22 @@ pub mod suite;
 pub mod workload;
 
 pub use batcher::{Batch, BatchPolicy, Batcher};
+pub use cache::FeatureCache;
 pub use cost::{CostModel, ServiceCost, MINI_BATCH_DIVISOR};
 pub use request::{Cell, Request};
-pub use scheduler::{SchedPolicy, SimResult, Simulator};
+pub use scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator};
 pub use suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
 pub use workload::{ArrivalProcess, Traffic, TrafficStream};
 
 /// Everything needed to define and run a serving scenario.
 pub mod prelude {
     pub use crate::batcher::{Batch, BatchPolicy, Batcher};
+    pub use crate::cache::FeatureCache;
     pub use crate::cost::{CostModel, ServiceCost};
     pub use crate::request::{Cell, Request};
-    pub use crate::scheduler::{SchedPolicy, SimResult, Simulator};
+    pub use crate::scheduler::{
+        AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator,
+    };
     pub use crate::suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
     pub use crate::workload::{ArrivalProcess, Traffic, TrafficStream};
     pub use gdr_system::grid::ExperimentConfig;

@@ -2,14 +2,16 @@
 //!
 //! Converts a raw [`SimResult`] into the `serve` record family of the
 //! `gdr-bench/v1` schema: p50/p95/p99/mean/max latency, throughput,
-//! batch shape, and time-weighted queue depths — pool-wide (`"ALL"`)
-//! and per distinct platform. Every value is a pure function of the
-//! scenario configuration, so records diff byte-for-byte across runs.
+//! batch shape, time-weighted queue depths, DRAM traffic, feature-cache
+//! hit rate, shard-miss count, and autoscale shape (peak replicas and
+//! total cold-start latency) — pool-wide (`"ALL"`) and per distinct
+//! platform. Every value is a pure function of the scenario
+//! configuration, so records diff byte-for-byte across runs.
 
 use gdr_system::report::{ServeRunRecord, ServeScenarioRecord, SERVE_METRIC_KEYS};
 
 use crate::batcher::BatchPolicy;
-use crate::scheduler::{SchedPolicy, SimResult};
+use crate::scheduler::{PoolConfig, SchedPolicy, SimResult};
 use crate::workload::{Traffic, NS_PER_S};
 
 /// Nearest-rank percentile of an ascending-sorted sample, `pct` in
@@ -43,6 +45,7 @@ pub fn scenario_record(
     traffic: &Traffic,
     batch: BatchPolicy,
     sched: SchedPolicy,
+    pool: &PoolConfig,
     result: &SimResult,
     platform_names: &[String],
 ) -> ServeScenarioRecord {
@@ -60,7 +63,16 @@ pub fn scenario_record(
         rate_rps: traffic.process.rate_rps(),
         batch: batch.label(),
         scheduler: sched.name().to_string(),
-        replicas: result.replica_platforms.len() as u64,
+        replicas: result.initial_replicas as u64,
+        shards: if pool.shards > 1 {
+            pool.shards as u64
+        } else {
+            0
+        },
+        cache_bytes: pool.cache_bytes,
+        autoscale: pool
+            .autoscale
+            .map_or_else(|| "off".to_string(), |a| a.label()),
         seed: traffic.seed,
         requests: traffic.requests as u64,
         runs,
@@ -138,6 +150,37 @@ fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> Serve
         completed as f64 * NS_PER_S as f64 / result.makespan_ns as f64
     };
 
+    // Scale-out metrics: DRAM traffic, feature-cache hit rate over the
+    // cache-eligible batches (shard misses bind transiently and never
+    // touch the cache), shard misses, peak replicas, and the total
+    // autoscale cold-start latency.
+    let dram_bytes: u64 = batches.iter().map(|b| b.dram_bytes).sum();
+    let cache_hits = batches.iter().filter(|b| b.cache_hit).count();
+    let cache_eligible = batches.iter().filter(|b| !b.shard_miss).count();
+    let cache_hit_rate = if cache_eligible == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / cache_eligible as f64
+    };
+    let shard_miss_count = batches.iter().filter(|b| b.shard_miss).count();
+    let replicas_max = match platform {
+        None => result.replicas_max,
+        // Per-platform peak concurrency is not sampled; report the
+        // number of this platform's slots that ever served a batch.
+        Some(_) => {
+            let mut served: Vec<usize> = batches.iter().map(|b| b.replica).collect();
+            served.sort_unstable();
+            served.dedup();
+            served.len()
+        }
+    };
+    let cold_start_ns: u64 = result
+        .cold_starts
+        .iter()
+        .filter(|cs| on_platform(cs.replica))
+        .map(|cs| cs.delay_ns)
+        .sum();
+
     let value = |key: &str| -> f64 {
         match key {
             "completed" => completed as f64,
@@ -152,6 +195,11 @@ fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> Serve
             "mean_queue_depth" => mean_queue_depth,
             "max_queue_depth" => max_depth as f64,
             "makespan_ns" => result.makespan_ns as f64,
+            "dram_bytes" => dram_bytes as f64,
+            "cache_hit_rate" => cache_hit_rate,
+            "shard_miss_count" => shard_miss_count as f64,
+            "replicas_max" => replicas_max as f64,
+            "cold_start_ns" => cold_start_ns as f64,
             other => unreachable!("unknown serve metric key {other}"),
         }
     };
@@ -185,18 +233,23 @@ mod tests {
 
     #[test]
     fn record_carries_all_and_per_platform_rows() {
+        let base = ServiceCost {
+            fixed_ns: 10_000,
+            per_request_ns: 500,
+            warm_save_ns: 0,
+            hit_per_request_ns: 100,
+            dram_bytes_per_request: 256,
+            footprint_bytes: 8_192,
+            bind_ns: 100_000,
+        };
         let cost = CostModel::synthetic(
             vec!["A".into(), "B".into()],
             vec![
-                [ServiceCost {
-                    fixed_ns: 10_000,
-                    per_request_ns: 500,
-                    warm_save_ns: 0,
-                }; CELL_COUNT],
+                [base; CELL_COUNT],
                 [ServiceCost {
                     fixed_ns: 40_000,
                     per_request_ns: 2_000,
-                    warm_save_ns: 0,
+                    ..base
                 }; CELL_COUNT],
             ],
         );
@@ -206,19 +259,27 @@ mod tests {
             seed: 5,
         };
         let batch = BatchPolicy::SizeCapped { cap: 4 };
-        let result = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0, 1])
+        let pool = PoolConfig {
+            cache_bytes: 1 << 20,
+            ..PoolConfig::default()
+        };
+        let result = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0, 1], &pool)
             .run(TrafficStream::new(traffic), Batcher::new(batch));
         let rec = scenario_record(
             "test/scn",
             &traffic,
             batch,
             SchedPolicy::LeastLoaded,
+            &pool,
             &result,
             cost.platforms(),
         );
         assert_eq!(rec.scenario, "test/scn");
         assert_eq!(rec.replicas, 2);
         assert_eq!(rec.requests, 120);
+        assert_eq!(rec.shards, 0, "unsharded pools record 0");
+        assert_eq!(rec.cache_bytes, 1 << 20);
+        assert_eq!(rec.autoscale, "off");
         let platforms: Vec<&str> = rec.runs.iter().map(|r| r.platform.as_str()).collect();
         assert_eq!(platforms, ["ALL", "A", "B"]);
         let all = rec.aggregate().unwrap();
@@ -232,5 +293,15 @@ mod tests {
         // every canonical key is present, in order
         let keys: Vec<&str> = all.metrics.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, SERVE_METRIC_KEYS);
+        // the scale-out metrics are well-formed
+        let rate = all.metric("cache_hit_rate").unwrap();
+        assert!((0.0..=1.0).contains(&rate) && rate > 0.0, "cache warms");
+        assert_eq!(all.metric("shard_miss_count"), Some(0.0));
+        assert_eq!(all.metric("replicas_max"), Some(2.0));
+        assert_eq!(all.metric("cold_start_ns"), Some(0.0));
+        assert!(all.metric("dram_bytes").unwrap() > 0.0);
+        // per-platform DRAM partitions the pool-wide total
+        let dram = |i: usize| rec.runs[i].metric("dram_bytes").unwrap();
+        assert_eq!(dram(1) + dram(2), dram(0));
     }
 }

@@ -4,26 +4,39 @@
 //! measured platform of the [`CostModel`]) behind
 //! a [`Batcher`]. The simulator advances a
 //! virtual clock event by event — arrivals, batch-formation deadlines,
-//! replica completions — with deterministic `(time, sequence)` ordering,
-//! so the same inputs produce bit-identical results on any machine and
-//! `std::time::Instant` never appears.
+//! replica completions, autoscale activations — with deterministic
+//! `(time, sequence)` ordering, so the same inputs produce bit-identical
+//! results on any machine and `std::time::Instant` never appears.
 //!
 //! Dispatch policies:
 //!
-//! * [`SchedPolicy::RoundRobin`] — rotate across replicas;
+//! * [`SchedPolicy::RoundRobin`] — rotate across available replicas;
 //! * [`SchedPolicy::LeastLoaded`] — send each batch to the replica with
 //!   the least outstanding work (in-flight remainder plus queued
 //!   estimate), ties to the lowest id;
 //! * [`SchedPolicy::ShardAffinity`] — pin each dataset to
 //!   `dataset mod replicas`, maximizing dataset-warm hits on platforms
 //!   whose frontend can reuse restructured schedules
-//!   ([`Platform::reuses_schedules`](gdr_accel::platform::Platform::reuses_schedules)).
+//!   ([`Platform::reuses_schedules`](gdr_accel::platform::Platform::reuses_schedules));
+//! * [`SchedPolicy::ShardAffinityPartial`] — route each batch to the
+//!   least-loaded replica **holding** its dataset under the scenario's
+//!   [`ShardMap`]; when no available replica holds it, fall back to the
+//!   least-loaded replica, which pays the cold-bind **shard-miss
+//!   penalty** ([`ServiceCost::bind_ns`](crate::cost::ServiceCost)).
+//!
+//! The pool itself is shaped by a [`PoolConfig`]: **partial replicas**
+//! (each replica holds a dataset shard, misses priced as cold rebinds),
+//! a per-replica cross-batch **feature cache**
+//! ([`FeatureCache`]), and a queue-driven **autoscaler**
+//! ([`AutoscaleSpec`]) that adds replicas (cold-start priced as a full
+//! session bind) and drains them back to the initial pool size.
 
 use std::collections::{BinaryHeap, VecDeque};
 
 use gdr_hetgraph::datasets::Dataset;
 
 use crate::batcher::{Batch, Batcher};
+use crate::cache::FeatureCache;
 use crate::cost::CostModel;
 use crate::request::Request;
 use crate::workload::TrafficStream;
@@ -31,12 +44,15 @@ use crate::workload::TrafficStream;
 /// The batch-to-replica dispatch policy (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedPolicy {
-    /// Rotate across replicas in pool order.
+    /// Rotate across available replicas in pool order.
     RoundRobin,
     /// Least outstanding estimated work, ties to the lowest replica id.
     LeastLoaded,
     /// Pin each dataset to `dataset_index mod replicas`.
     ShardAffinity,
+    /// Least-loaded replica holding the batch's dataset shard; falls
+    /// back to miss-penalty routing when no holder is available.
+    ShardAffinityPartial,
 }
 
 impl SchedPolicy {
@@ -46,8 +62,116 @@ impl SchedPolicy {
             SchedPolicy::RoundRobin => "round-robin",
             SchedPolicy::LeastLoaded => "least-loaded",
             SchedPolicy::ShardAffinity => "shard-affinity",
+            SchedPolicy::ShardAffinityPartial => "shard-affinity-partial",
         }
     }
+}
+
+/// Which datasets each replica of a pool holds locally.
+///
+/// A **full** map (every replica holds every dataset) reproduces the
+/// classic replicated pool. A **strided** map models partial replicas:
+/// with `shards` dataset shards, replica `r` holds dataset `d` iff
+/// `d % shards == r % shards`, so every dataset is covered as long as
+/// the pool has at least `shards` replicas. Serving a dataset a replica
+/// does not hold is a *shard miss*: the replica pays the full cold
+/// session bind ([`ServiceCost::bind_ns`](crate::cost::ServiceCost))
+/// and neither its schedule cache nor its feature cache retain the
+/// transient dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `holds[replica][dataset]`.
+    holds: Vec<Vec<bool>>,
+}
+
+impl ShardMap {
+    /// Every replica holds every dataset (no sharding).
+    pub fn full(replicas: usize) -> Self {
+        Self {
+            holds: vec![vec![true; Dataset::ALL.len()]; replicas],
+        }
+    }
+
+    /// The strided partial-replica map described in the type docs.
+    /// `shards` is clamped to at least 1; `shards <= 1` degenerates to
+    /// [`ShardMap::full`].
+    pub fn strided(replicas: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            holds: (0..replicas)
+                .map(|r| {
+                    (0..Dataset::ALL.len())
+                        .map(|d| d % shards == r % shards)
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether `replica` holds `dataset` (by [`Dataset::ALL`] index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn holds(&self, replica: usize, dataset: usize) -> bool {
+        self.holds[replica][dataset]
+    }
+
+    /// Replica count the map was built for.
+    pub fn replicas(&self) -> usize {
+        self.holds.len()
+    }
+
+    /// Whether every dataset has at least one holder.
+    pub fn covers_all_datasets(&self) -> bool {
+        (0..Dataset::ALL.len()).all(|d| self.holds.iter().any(|row| row[d]))
+    }
+}
+
+/// The queue-driven autoscaling policy: a virtual-time control loop
+/// evaluated at every event. When the total queue depth (batcher plus
+/// replica queues) exceeds `up_depth`, one inactive replica slot is
+/// activated after a cold-start delay priced as the platform's
+/// worst-case full session bind
+/// ([`CostModel::cold_start_ns`]); when the depth falls below
+/// `down_depth`, the highest-indexed surplus replica drains (finishes
+/// its queue, then deactivates cold). The active count never leaves
+/// `[initial pool size, max_replicas]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscaleSpec {
+    /// Upper bound on concurrently active replicas.
+    pub max_replicas: usize,
+    /// Scale up when total queued requests exceed this depth.
+    pub up_depth: usize,
+    /// Drain a surplus replica when total queued requests fall below
+    /// this depth. Must be below `up_depth`. A value of 0 can never be
+    /// undercut (queue depth is unsigned), so the pool scales up but
+    /// never drains — use 1 to drain on an empty queue.
+    pub down_depth: usize,
+}
+
+impl AutoscaleSpec {
+    /// Stable label serialized into serve records
+    /// (`"queue:32:2:max4"` = up at 32, down at 2, at most 4 replicas).
+    pub fn label(&self) -> String {
+        format!(
+            "queue:{}:{}:max{}",
+            self.up_depth, self.down_depth, self.max_replicas
+        )
+    }
+}
+
+/// Pool shaping beyond the replica list: dataset sharding, the
+/// per-replica feature cache, and autoscaling. [`PoolConfig::default`]
+/// reproduces the classic fixed pool of full replicas with no cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolConfig {
+    /// Dataset shards per replica (`0` or `1` = full replicas).
+    pub shards: usize,
+    /// Per-replica feature-cache capacity in bytes (`0` = disabled).
+    pub cache_bytes: u64,
+    /// Autoscaling policy (`None` = fixed pool).
+    pub autoscale: Option<AutoscaleSpec>,
 }
 
 /// One served request: when it finished and which replica ran it.
@@ -59,6 +183,9 @@ pub struct CompletedRequest {
     pub completed_ns: u64,
     /// Replica that executed the request's batch.
     pub replica: usize,
+    /// Service time of the batch that carried the request, ns (the
+    /// floor of the request's end-to-end latency).
+    pub service_ns: u64,
 }
 
 impl CompletedRequest {
@@ -77,6 +204,25 @@ pub struct BatchRecord {
     pub size: usize,
     /// Whether the replica was dataset-warm (schedule-cache hit).
     pub warm: bool,
+    /// Whether the cell's features were resident in the replica's
+    /// feature cache.
+    pub cache_hit: bool,
+    /// Whether the replica had to cold-bind a dataset outside its shard.
+    pub shard_miss: bool,
+    /// DRAM traffic charged to the batch, bytes.
+    pub dram_bytes: u64,
+    /// Service time of the batch, ns.
+    pub service_ns: u64,
+}
+
+/// One autoscale activation: which replica came up and what its
+/// cold start cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdStart {
+    /// Activated replica slot.
+    pub replica: usize,
+    /// Cold-start delay paid before the replica could serve, ns.
+    pub delay_ns: u64,
 }
 
 /// Queue depths observed at one event time (for time-weighted stats).
@@ -88,6 +234,8 @@ pub struct QueueSample {
     pub batcher_pending: usize,
     /// Requests queued at each replica (formed, waiting for service).
     pub per_replica: Vec<usize>,
+    /// Replicas active (serving or draining) at the sample time.
+    pub active_replicas: usize,
 }
 
 impl QueueSample {
@@ -108,8 +256,15 @@ pub struct SimResult {
     pub samples: Vec<QueueSample>,
     /// Virtual time of the last completion, ns.
     pub makespan_ns: u64,
-    /// Platform index (into the cost model) of each replica.
+    /// Platform index (into the cost model) of each replica **slot**,
+    /// including autoscale slots that may never have activated.
     pub replica_platforms: Vec<usize>,
+    /// Size of the initial (minimum) pool.
+    pub initial_replicas: usize,
+    /// Peak number of concurrently active replicas.
+    pub replicas_max: usize,
+    /// Every autoscale activation, in activation-decision order.
+    pub cold_starts: Vec<ColdStart>,
 }
 
 #[derive(Debug)]
@@ -117,6 +272,7 @@ enum EventKind {
     Arrival(Request),
     Flush,
     Done(usize),
+    ScaleUp(usize),
 }
 
 #[derive(Debug)]
@@ -148,11 +304,19 @@ impl Ord for Event {
 struct Replica {
     platform: usize,
     queue: VecDeque<Batch>,
-    in_flight: Option<Batch>,
+    /// The executing batch and its service time.
+    in_flight: Option<(Batch, u64)>,
     busy_until: u64,
     last_dataset: Option<Dataset>,
     /// Cold-estimate ns of the queued (not yet started) batches.
     queued_est_ns: u64,
+    cache: FeatureCache,
+    /// Whether the replica currently serves traffic (or is draining).
+    active: bool,
+    /// Active but excluded from dispatch; deactivates once empty.
+    draining: bool,
+    /// A scale-up event is in flight for this slot.
+    pending_up: bool,
 }
 
 impl Replica {
@@ -168,6 +332,10 @@ impl Replica {
         };
         in_flight + self.queued_est_ns
     }
+
+    fn idle(&self) -> bool {
+        self.in_flight.is_none() && self.queue.is_empty()
+    }
 }
 
 /// The discrete-event simulator for one scenario.
@@ -175,23 +343,37 @@ impl Replica {
 pub struct Simulator<'c> {
     cost: &'c CostModel,
     sched: SchedPolicy,
+    shards: ShardMap,
+    autoscale: Option<AutoscaleSpec>,
     replicas: Vec<Replica>,
     events: BinaryHeap<Event>,
     seq: u64,
     rr_next: usize,
     flush_at: Option<u64>,
+    /// Scale-up events scheduled but not yet fired.
+    pending_ups: usize,
     result: SimResult,
 }
 
 impl<'c> Simulator<'c> {
     /// Builds a simulator over `replica_platforms` (one cost-model
-    /// platform index per replica).
+    /// platform index per initial replica), shaped by `pool`: dataset
+    /// shards, per-replica feature cache, and the autoscaler. Autoscale
+    /// slots beyond the initial pool cycle over the initial platform
+    /// list and extend the shard stride.
     ///
     /// # Panics
     ///
-    /// Panics if `replica_platforms` is empty or names a platform index
-    /// outside the cost model.
-    pub fn new(cost: &'c CostModel, sched: SchedPolicy, replica_platforms: &[usize]) -> Self {
+    /// Panics if `replica_platforms` is empty, names a platform index
+    /// outside the cost model, or `pool.autoscale` is inconsistent
+    /// (`max_replicas` below the pool size, or
+    /// `down_depth >= up_depth`).
+    pub fn new(
+        cost: &'c CostModel,
+        sched: SchedPolicy,
+        replica_platforms: &[usize],
+        pool: &PoolConfig,
+    ) -> Self {
         assert!(!replica_platforms.is_empty(), "need at least one replica");
         assert!(
             replica_platforms
@@ -199,32 +381,66 @@ impl<'c> Simulator<'c> {
                 .all(|&p| p < cost.platforms().len()),
             "replica platform index out of range"
         );
+        let initial = replica_platforms.len();
+        let slots = match &pool.autoscale {
+            Some(spec) => {
+                assert!(
+                    spec.max_replicas >= initial,
+                    "autoscale max_replicas below the initial pool size"
+                );
+                assert!(
+                    spec.down_depth < spec.up_depth,
+                    "autoscale down_depth must be below up_depth"
+                );
+                spec.max_replicas
+            }
+            None => initial,
+        };
+        let shards = if pool.shards > 1 {
+            ShardMap::strided(slots, pool.shards)
+        } else {
+            ShardMap::full(slots)
+        };
         Self {
             cost,
             sched,
-            replicas: replica_platforms
-                .iter()
-                .map(|&platform| Replica {
-                    platform,
+            shards,
+            autoscale: pool.autoscale,
+            replicas: (0..slots)
+                .map(|i| Replica {
+                    platform: replica_platforms[i % initial],
                     queue: VecDeque::new(),
                     in_flight: None,
                     busy_until: 0,
                     last_dataset: None,
                     queued_est_ns: 0,
+                    cache: FeatureCache::new(pool.cache_bytes),
+                    active: i < initial,
+                    draining: false,
+                    pending_up: false,
                 })
                 .collect(),
             events: BinaryHeap::new(),
             seq: 0,
             rr_next: 0,
             flush_at: None,
+            pending_ups: 0,
             result: SimResult {
                 completed: Vec::new(),
                 batches: Vec::new(),
                 samples: Vec::new(),
                 makespan_ns: 0,
-                replica_platforms: replica_platforms.to_vec(),
+                replica_platforms: (0..slots).map(|i| replica_platforms[i % initial]).collect(),
+                initial_replicas: initial,
+                replicas_max: initial,
+                cold_starts: Vec::new(),
             },
         }
+    }
+
+    /// The shard map in force (full when the pool is unsharded).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
     }
 
     /// Runs `stream` through `batcher` to completion and returns the raw
@@ -266,7 +482,7 @@ impl<'c> Simulator<'c> {
                     self.schedule_flush(&batcher);
                 }
                 EventKind::Done(r) => {
-                    let batch = self.replicas[r]
+                    let (batch, service_ns) = self.replicas[r]
                         .in_flight
                         .take()
                         .expect("Done fires only while a batch is in flight");
@@ -275,6 +491,7 @@ impl<'c> Simulator<'c> {
                             request: *req,
                             completed_ns: now,
                             replica: r,
+                            service_ns,
                         });
                         if let Some(next) = stream.next_closed_loop(req.client, now) {
                             self.push(next.arrival_ns, EventKind::Arrival(next));
@@ -285,9 +502,19 @@ impl<'c> Simulator<'c> {
                         let est = self.cold_estimate(r, &next);
                         self.replicas[r].queued_est_ns -= est;
                         self.start(r, next, now);
+                    } else if self.replicas[r].draining {
+                        self.deactivate(r);
                     }
                 }
+                EventKind::ScaleUp(r) => {
+                    self.pending_ups -= 1;
+                    let replica = &mut self.replicas[r];
+                    replica.pending_up = false;
+                    replica.active = true;
+                    self.result.replicas_max = self.result.replicas_max.max(self.active_count());
+                }
             }
+            self.autoscale_step(now, &batcher);
             self.sample(now, &batcher);
         }
         self.result
@@ -313,26 +540,71 @@ impl<'c> Simulator<'c> {
     fn cold_estimate(&self, replica: usize, batch: &Batch) -> u64 {
         self.cost
             .cost(self.replicas[replica].platform, batch.cell)
-            .batch_ns(batch.len(), false)
+            .batch_ns(batch.len(), false, false)
+    }
+
+    /// Replicas eligible for dispatch: active and not draining. The
+    /// autoscaler never drains below the initial pool, so this is never
+    /// empty.
+    fn available(&self) -> Vec<usize> {
+        (0..self.replicas.len())
+            .filter(|&r| self.replicas[r].active && !self.replicas[r].draining)
+            .collect()
+    }
+
+    fn active_count(&self) -> usize {
+        self.replicas.iter().filter(|r| r.active).count()
+    }
+
+    fn dataset_index(batch: &Batch) -> usize {
+        Dataset::ALL
+            .iter()
+            .position(|&d| d == batch.cell.dataset)
+            .expect("Dataset::ALL is exhaustive")
     }
 
     fn dispatch(&mut self, batch: Batch, now: u64) {
-        let n = self.replicas.len();
+        let avail = self.available();
+        debug_assert!(!avail.is_empty(), "pool never drains below its minimum");
+        let least_loaded = |sim: &Self, among: &[usize]| {
+            among
+                .iter()
+                .copied()
+                .min_by_key(|&r| (sim.replicas[r].outstanding_ns(now), r))
+                .expect("candidate set is non-empty")
+        };
         let r = match self.sched {
             SchedPolicy::RoundRobin => {
-                let r = self.rr_next % n;
-                self.rr_next = (self.rr_next + 1) % n;
+                let r = avail[self.rr_next % avail.len()];
+                self.rr_next = self.rr_next.wrapping_add(1);
                 r
             }
-            SchedPolicy::LeastLoaded => (0..n)
-                .min_by_key(|&r| (self.replicas[r].outstanding_ns(now), r))
-                .expect("pool is non-empty"),
+            SchedPolicy::LeastLoaded => least_loaded(self, &avail),
             SchedPolicy::ShardAffinity => {
-                let d = Dataset::ALL
+                // Classic pinning over the whole slot range; an
+                // unavailable pin (possible only while autoscaled)
+                // spills to the least-loaded available replica.
+                let pin = Self::dataset_index(&batch) % self.replicas.len();
+                if avail.contains(&pin) {
+                    pin
+                } else {
+                    least_loaded(self, &avail)
+                }
+            }
+            SchedPolicy::ShardAffinityPartial => {
+                let d = Self::dataset_index(&batch);
+                let holders: Vec<usize> = avail
                     .iter()
-                    .position(|&d| d == batch.cell.dataset)
-                    .expect("Dataset::ALL is exhaustive");
-                d % n
+                    .copied()
+                    .filter(|&r| self.shards.holds(r, d))
+                    .collect();
+                if holders.is_empty() {
+                    // Miss-penalty routing: no available holder, so the
+                    // least-loaded replica cold-binds the dataset.
+                    least_loaded(self, &avail)
+                } else {
+                    least_loaded(self, &holders)
+                }
             }
         };
         if self.replicas[r].in_flight.is_none() {
@@ -345,21 +617,95 @@ impl<'c> Simulator<'c> {
     }
 
     fn start(&mut self, r: usize, batch: Batch, now: u64) {
+        let cost = self.cost.cost(self.replicas[r].platform, batch.cell);
+        let shard_miss = !self.shards.holds(r, Self::dataset_index(&batch));
         let replica = &mut self.replicas[r];
-        let warm = replica.last_dataset == Some(batch.cell.dataset);
-        let service = self
-            .cost
-            .cost(replica.platform, batch.cell)
-            .batch_ns(batch.len(), warm);
-        replica.last_dataset = Some(batch.cell.dataset);
+        let (warm, cache_hit, service, dram_bytes);
+        if shard_miss {
+            // The replica does not hold this dataset: it cold-binds a
+            // transient session (full restructuring plus one streaming
+            // pass over the working set) and retains nothing — the
+            // schedule cache is clobbered and the feature cache never
+            // sees the transient features.
+            warm = false;
+            cache_hit = false;
+            service = cost.batch_ns(batch.len(), false, false) + cost.bind_ns;
+            dram_bytes = cost.batch_dram_bytes(batch.len(), false) + cost.footprint_bytes;
+            replica.last_dataset = None;
+        } else {
+            warm = replica.last_dataset == Some(batch.cell.dataset);
+            cache_hit = replica
+                .cache
+                .access(batch.cell.index(), cost.footprint_bytes);
+            service = cost.batch_ns(batch.len(), warm, cache_hit);
+            dram_bytes = cost.batch_dram_bytes(batch.len(), cache_hit);
+            replica.last_dataset = Some(batch.cell.dataset);
+        }
         replica.busy_until = now + service;
         self.result.batches.push(BatchRecord {
             replica: r,
             size: batch.len(),
             warm,
+            cache_hit,
+            shard_miss,
+            dram_bytes,
+            service_ns: service,
         });
-        replica.in_flight = Some(batch);
+        replica.in_flight = Some((batch, service));
         self.push(now + service, EventKind::Done(r));
+    }
+
+    /// The queue-driven control loop, evaluated after every event.
+    fn autoscale_step(&mut self, now: u64, batcher: &Batcher) {
+        let Some(spec) = self.autoscale else {
+            return;
+        };
+        let depth = batcher.pending_len()
+            + self
+                .replicas
+                .iter()
+                .filter(|r| r.active)
+                .map(Replica::queued_requests)
+                .sum::<usize>();
+        if depth > spec.up_depth && self.active_count() + self.pending_ups < spec.max_replicas {
+            // One activation per event keeps the loop smooth; a deep
+            // queue keeps producing events, so growth stays exponential
+            // in wall (virtual) time, not instantaneous.
+            if let Some(r) = (0..self.replicas.len())
+                .find(|&r| !self.replicas[r].active && !self.replicas[r].pending_up)
+            {
+                let delay_ns = self.cost.cold_start_ns(self.replicas[r].platform).max(1);
+                self.replicas[r].pending_up = true;
+                self.pending_ups += 1;
+                self.result.cold_starts.push(ColdStart {
+                    replica: r,
+                    delay_ns,
+                });
+                self.push(now + delay_ns, EventKind::ScaleUp(r));
+            }
+        } else if depth < spec.down_depth && self.pending_ups == 0 {
+            let serving: Vec<usize> = self.available();
+            if serving.len() > self.result.initial_replicas {
+                let r = *serving.last().expect("non-empty above minimum");
+                if self.replicas[r].idle() {
+                    self.deactivate(r);
+                } else {
+                    self.replicas[r].draining = true;
+                }
+            }
+        }
+    }
+
+    /// Takes a drained replica out of service, cold: its schedule and
+    /// feature caches are dropped, so a later re-activation pays full
+    /// cold costs again.
+    fn deactivate(&mut self, r: usize) {
+        let replica = &mut self.replicas[r];
+        debug_assert!(replica.idle(), "only idle replicas deactivate");
+        replica.active = false;
+        replica.draining = false;
+        replica.last_dataset = None;
+        replica.cache.clear();
     }
 
     fn sample(&mut self, now: u64, batcher: &Batcher) {
@@ -367,6 +713,7 @@ impl<'c> Simulator<'c> {
             time_ns: now,
             batcher_pending: batcher.pending_len(),
             per_replica: self.replicas.iter().map(Replica::queued_requests).collect(),
+            active_replicas: self.active_count(),
         });
     }
 }
@@ -388,6 +735,10 @@ mod tests {
                     fixed_ns,
                     per_request_ns,
                     warm_save_ns,
+                    hit_per_request_ns: per_request_ns,
+                    dram_bytes_per_request: 64,
+                    footprint_bytes: 2048,
+                    bind_ns: 10 * fixed_ns,
                 }; CELL_COUNT],
             ],
         )
@@ -408,7 +759,25 @@ mod tests {
         policy: BatchPolicy,
         stream: TrafficStream,
     ) -> SimResult {
-        Simulator::new(cost, sched, replicas).run(stream, Batcher::new(policy))
+        run_pool(
+            cost,
+            sched,
+            replicas,
+            &PoolConfig::default(),
+            policy,
+            stream,
+        )
+    }
+
+    fn run_pool(
+        cost: &CostModel,
+        sched: SchedPolicy,
+        replicas: &[usize],
+        pool: &PoolConfig,
+        policy: BatchPolicy,
+        stream: TrafficStream,
+    ) -> SimResult {
+        Simulator::new(cost, sched, replicas, pool).run(stream, Batcher::new(policy))
     }
 
     #[test]
@@ -583,5 +952,270 @@ mod tests {
         for s in &r.samples {
             assert!(s.total() <= 4, "closed loop bounds the queue");
         }
+    }
+
+    #[test]
+    fn shard_map_covers_and_strides() {
+        let full = ShardMap::full(2);
+        assert!(full.covers_all_datasets());
+        assert!((0..2).all(|r| (0..3).all(|d| full.holds(r, d))));
+        let strided = ShardMap::strided(3, 3);
+        assert!(strided.covers_all_datasets());
+        for r in 0..3 {
+            for d in 0..3 {
+                assert_eq!(strided.holds(r, d), d % 3 == r % 3);
+            }
+        }
+        // fewer replicas than shards: dataset 2 has no holder
+        let uncovered = ShardMap::strided(2, 3);
+        assert!(!uncovered.covers_all_datasets());
+        assert_eq!(uncovered.replicas(), 2);
+        // shards <= 1 degenerates to full replicas
+        assert_eq!(ShardMap::strided(4, 0), ShardMap::full(4));
+        assert_eq!(ShardMap::strided(4, 1), ShardMap::full(4));
+    }
+
+    #[test]
+    fn partial_affinity_routes_to_holders_without_misses() {
+        let cost = flat_cost(50_000, 1_000, 40_000);
+        let pool = PoolConfig {
+            shards: 3,
+            cache_bytes: 64 * 2048,
+            ..PoolConfig::default()
+        };
+        let r = run_pool(
+            &cost,
+            SchedPolicy::ShardAffinityPartial,
+            &[0, 0, 0],
+            &pool,
+            BatchPolicy::Immediate,
+            poisson(4_000.0, 120, 9),
+        );
+        assert_eq!(r.completed.len(), 120);
+        assert!(
+            r.batches.iter().all(|b| !b.shard_miss),
+            "full coverage + partial affinity never misses"
+        );
+        // each replica only ever serves its own shard
+        for c in &r.completed {
+            let d = c.request.cell.index() % 3;
+            assert_eq!(c.replica % 3, d % 3);
+        }
+        // the per-replica cache warms: later batches hit
+        assert!(
+            r.batches.iter().filter(|b| b.cache_hit).count() > r.batches.len() / 2,
+            "cross-batch feature cache warms up"
+        );
+    }
+
+    #[test]
+    fn shard_misses_pay_the_cold_bind_penalty() {
+        let cost = flat_cost(10_000, 1_000, 0);
+        let sharded = PoolConfig {
+            shards: 3,
+            ..PoolConfig::default()
+        };
+        // Round-robin over partial replicas ignores the shard map, so
+        // roughly 2/3 of batches land on non-holders.
+        let r = run_pool(
+            &cost,
+            SchedPolicy::RoundRobin,
+            &[0, 0, 0],
+            &sharded,
+            BatchPolicy::Immediate,
+            poisson(1_000.0, 90, 5),
+        );
+        let misses = r.batches.iter().filter(|b| b.shard_miss).count();
+        assert!(misses > 0, "blind routing over shards must miss");
+        let bind = cost.cost(0, crate::request::Cell::from_index(0)).bind_ns;
+        for b in &r.batches {
+            if b.shard_miss {
+                assert!(b.service_ns >= bind, "miss pays the full bind");
+                assert!(!b.warm && !b.cache_hit, "a transient bind retains nothing");
+            }
+        }
+        // the same traffic with partial affinity avoids every miss
+        let affine = run_pool(
+            &cost,
+            SchedPolicy::ShardAffinityPartial,
+            &[0, 0, 0],
+            &sharded,
+            BatchPolicy::Immediate,
+            poisson(1_000.0, 90, 5),
+        );
+        assert_eq!(affine.batches.iter().filter(|b| b.shard_miss).count(), 0);
+        let dram = |r: &SimResult| r.batches.iter().map(|b| b.dram_bytes).sum::<u64>();
+        assert!(
+            dram(&affine) < dram(&r),
+            "miss binds stream the working set again"
+        );
+    }
+
+    #[test]
+    fn uncovered_dataset_always_misses_but_still_serves() {
+        let cost = flat_cost(10_000, 1_000, 0);
+        // 2 replicas, 3 shards: dataset 2 has no holder anywhere.
+        let pool = PoolConfig {
+            shards: 3,
+            ..PoolConfig::default()
+        };
+        let r = run_pool(
+            &cost,
+            SchedPolicy::ShardAffinityPartial,
+            &[0, 0],
+            &pool,
+            BatchPolicy::Immediate,
+            poisson(1_000.0, 60, 2),
+        );
+        assert_eq!(r.completed.len(), 60, "missing coverage still serves");
+        let misses = r.batches.iter().filter(|b| b.shard_miss).count();
+        assert!(misses > 0, "the uncovered dataset pays its way");
+    }
+
+    #[test]
+    fn feature_cache_discounts_service_and_dram() {
+        let mut costs = [ServiceCost {
+            fixed_ns: 1_000,
+            per_request_ns: 1_000,
+            warm_save_ns: 0,
+            hit_per_request_ns: 100,
+            dram_bytes_per_request: 1_000,
+            footprint_bytes: 10_000,
+            bind_ns: 1,
+        }; CELL_COUNT];
+        // make footprints distinguishable per cell
+        for (i, c) in costs.iter_mut().enumerate() {
+            c.footprint_bytes = 10_000 + i as u64;
+        }
+        let cost = CostModel::synthetic(vec!["X".into()], vec![costs]);
+        let cached = PoolConfig {
+            cache_bytes: 200_000, // all nine cells fit
+            ..PoolConfig::default()
+        };
+        let warm = run_pool(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0],
+            &cached,
+            BatchPolicy::SizeCapped { cap: 4 },
+            poisson(2_000.0, 120, 13),
+        );
+        let cold = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0],
+            BatchPolicy::SizeCapped { cap: 4 },
+            poisson(2_000.0, 120, 13),
+        );
+        let hits = warm.batches.iter().filter(|b| b.cache_hit).count();
+        assert!(hits > 0, "the cache warms from batch composition");
+        assert_eq!(
+            cold.batches.iter().filter(|b| b.cache_hit).count(),
+            0,
+            "no cache, no hits"
+        );
+        let dram = |r: &SimResult| r.batches.iter().map(|b| b.dram_bytes).sum::<u64>();
+        let service = |r: &SimResult| r.batches.iter().map(|b| b.service_ns).sum::<u64>();
+        assert!(dram(&warm) < dram(&cold), "hits discount DRAM traffic");
+        assert!(service(&warm) < service(&cold), "hits discount service");
+    }
+
+    #[test]
+    fn autoscaler_grows_under_load_and_drains_back() {
+        let cost = flat_cost(100_000, 10_000, 0);
+        let pool = PoolConfig {
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 4,
+                up_depth: 8,
+                down_depth: 1,
+            }),
+            ..PoolConfig::default()
+        };
+        // A short overload burst, then silence long enough to drain.
+        let stream = TrafficStream::new(Traffic {
+            process: ArrivalProcess::Bursty {
+                rate_rps: 200_000.0,
+                period_ns: 40_000_000,
+                duty: 0.05,
+            },
+            requests: 300,
+            seed: 21,
+        });
+        let r = run_pool(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0],
+            &pool,
+            BatchPolicy::SizeCapped { cap: 8 },
+            stream,
+        );
+        assert_eq!(r.completed.len(), 300);
+        assert_eq!(r.initial_replicas, 1);
+        assert!(
+            r.replicas_max > 1 && r.replicas_max <= 4,
+            "spike forces scale-up within the cap (got {})",
+            r.replicas_max
+        );
+        assert!(!r.cold_starts.is_empty(), "every activation cold-starts");
+        for cs in &r.cold_starts {
+            assert_eq!(cs.delay_ns, cost.cold_start_ns(0));
+        }
+        // replica count stays within [min, max] at every sample…
+        for s in &r.samples {
+            assert!((1..=4).contains(&s.active_replicas));
+        }
+        // …and the pool drains back to the minimum by the end
+        assert_eq!(
+            r.samples.last().unwrap().active_replicas,
+            1,
+            "surplus replicas drain once the burst passes"
+        );
+        // scaled-up slots actually served traffic
+        assert!(r.batches.iter().any(|b| b.replica > 0));
+    }
+
+    #[test]
+    fn fixed_pool_never_scales() {
+        let cost = flat_cost(100_000, 10_000, 0);
+        let r = run(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0],
+            BatchPolicy::SizeCapped { cap: 8 },
+            poisson(100_000.0, 200, 3),
+        );
+        assert_eq!(r.replicas_max, 2);
+        assert!(r.cold_starts.is_empty());
+        assert!(r.samples.iter().all(|s| s.active_replicas == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "down_depth must be below up_depth")]
+    fn autoscale_rejects_inverted_thresholds() {
+        let cost = flat_cost(1, 1, 0);
+        let pool = PoolConfig {
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 2,
+                up_depth: 4,
+                down_depth: 4,
+            }),
+            ..PoolConfig::default()
+        };
+        let _ = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0], &pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the initial pool size")]
+    fn autoscale_rejects_max_below_pool() {
+        let cost = flat_cost(1, 1, 0);
+        let pool = PoolConfig {
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 1,
+                up_depth: 4,
+                down_depth: 1,
+            }),
+            ..PoolConfig::default()
+        };
+        let _ = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0, 0], &pool);
     }
 }

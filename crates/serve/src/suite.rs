@@ -5,8 +5,10 @@
 //! `gdr-bench/v1` serve records. [`default_suite`] is the committed,
 //! CI-gated set: it contrasts batching policies under identical
 //! high-rate traffic (the size-capped vs immediate throughput headline),
-//! stresses tails with bursty arrivals, and exercises dataset-affine
-//! scheduling over a heterogeneous replica pool.
+//! stresses tails with bursty arrivals, exercises dataset-affine
+//! scheduling over a heterogeneous replica pool, contrasts warm-cache
+//! partial-replica sharding against blind cold routing, and drives the
+//! queue-driven autoscaler through a burst.
 
 use gdr_hetgraph::{GdrError, GdrResult};
 use gdr_system::grid::{platform_refs, select_platforms, ExperimentConfig};
@@ -15,12 +17,13 @@ use gdr_system::report::ServeScenarioRecord;
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::cost::CostModel;
 use crate::metrics::scenario_record;
-use crate::scheduler::{SchedPolicy, Simulator};
-use crate::workload::{ArrivalProcess, Traffic, TrafficStream};
+use crate::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, Simulator};
+use crate::workload::{ArrivalProcess, Traffic};
 
-/// One serving scenario: traffic shape, batching, scheduling, and the
+/// One serving scenario: traffic shape, batching, scheduling, the
 /// replica pool (platform names; repeat a name for several replicas of
-/// the same backend).
+/// the same backend), and the pool shaping — dataset sharding, the
+/// per-replica feature cache, and autoscaling.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Stable scenario label (the regression gate matches on it).
@@ -36,6 +39,47 @@ pub struct ScenarioSpec {
     /// Replica pool as platform names ([`gdr_system::grid::select_platforms`]
     /// names).
     pub pool: Vec<String>,
+    /// Dataset shards per replica (`0` or `1` = full replicas).
+    pub shards: usize,
+    /// Per-replica feature-cache capacity, bytes (`0` = disabled).
+    pub cache_bytes: u64,
+    /// Queue-driven autoscaling (`None` = fixed pool).
+    pub autoscale: Option<AutoscaleSpec>,
+}
+
+impl ScenarioSpec {
+    /// A classic fixed-pool scenario: full replicas, no feature cache,
+    /// no autoscaling. Use struct update syntax to shape the pool:
+    /// `ScenarioSpec { shards: 3, ..ScenarioSpec::new(...) }`.
+    pub fn new(
+        name: impl Into<String>,
+        process: ArrivalProcess,
+        requests: usize,
+        batch: BatchPolicy,
+        sched: SchedPolicy,
+        pool: Vec<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            process,
+            requests,
+            batch,
+            sched,
+            pool,
+            shards: 0,
+            cache_bytes: 0,
+            autoscale: None,
+        }
+    }
+
+    /// The pool shaping of this scenario as the simulator consumes it.
+    pub fn pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            shards: self.shards,
+            cache_bytes: self.cache_bytes,
+            autoscale: self.autoscale,
+        }
+    }
 }
 
 /// A measured platform pool ready to serve scenarios.
@@ -53,14 +97,14 @@ pub struct ScenarioSpec {
 /// let harness = ServeHarness::new(&cfg, &["HiHGNN"]).unwrap();
 /// let record = harness
 ///     .run(
-///         &ScenarioSpec {
-///             name: "demo".into(),
-///             process: ArrivalProcess::Poisson { rate_rps: 5_000.0 },
-///             requests: 64,
-///             batch: BatchPolicy::SizeCapped { cap: 4 },
-///             sched: SchedPolicy::RoundRobin,
-///             pool: vec!["HiHGNN".into(), "HiHGNN".into()],
-///         },
+///         &ScenarioSpec::new(
+///             "demo",
+///             ArrivalProcess::Poisson { rate_rps: 5_000.0 },
+///             64,
+///             BatchPolicy::SizeCapped { cap: 4 },
+///             SchedPolicy::RoundRobin,
+///             vec!["HiHGNN".into(), "HiHGNN".into()],
+///         ),
 ///         7,
 ///     )
 ///     .unwrap();
@@ -107,13 +151,36 @@ impl ServeHarness {
     /// # Errors
     ///
     /// Returns [`GdrError::InvalidConfig`] when the spec's pool names a
-    /// platform the harness did not measure, or the pool is empty.
+    /// platform the harness did not measure, the pool is empty, or the
+    /// autoscale spec is inconsistent (`max_replicas` below the pool
+    /// size, or `down_depth >= up_depth`).
     pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> GdrResult<ServeScenarioRecord> {
         if spec.pool.is_empty() {
             return Err(GdrError::invalid_config(
                 "pool",
                 "a scenario needs at least one replica",
             ));
+        }
+        if let Some(a) = &spec.autoscale {
+            if a.max_replicas < spec.pool.len() {
+                return Err(GdrError::invalid_config(
+                    "autoscale",
+                    format!(
+                        "max_replicas {} below the pool size {}",
+                        a.max_replicas,
+                        spec.pool.len()
+                    ),
+                ));
+            }
+            if a.down_depth >= a.up_depth {
+                return Err(GdrError::invalid_config(
+                    "autoscale",
+                    format!(
+                        "down_depth {} must be below up_depth {}",
+                        a.down_depth, a.up_depth
+                    ),
+                ));
+            }
         }
         let replicas: Vec<usize> = spec
             .pool
@@ -135,13 +202,15 @@ impl ServeHarness {
             requests: spec.requests,
             seed,
         };
-        let result = Simulator::new(&self.cost, spec.sched, &replicas)
-            .run(TrafficStream::new(traffic), Batcher::new(spec.batch));
+        let pool = spec.pool_config();
+        let result = Simulator::new(&self.cost, spec.sched, &replicas, &pool)
+            .run(traffic.stream(), Batcher::new(spec.batch));
         Ok(scenario_record(
             &spec.name,
             &traffic,
             spec.batch,
             spec.sched,
+            &pool,
             &result,
             self.cost.platforms(),
         ))
@@ -172,6 +241,14 @@ pub const BASE_THINK_NS: f64 = 100_000.0;
 /// canonical suite and the `gdr-bench serve --batch-timeout` default.
 pub const BASE_DEADLINE_TIMEOUT_NS: f64 = 20_000.0;
 
+/// Per-replica feature-cache capacity of the canonical sharded
+/// scenarios **at test scale**, bytes: large enough for one dataset
+/// shard (three cells of one dataset), too small for the whole grid —
+/// the regime where shard-affinity keeps the cache warm and blind
+/// routing thrashes it. Rescaled with the dataset scale by
+/// [`scaled_bytes`], since feature footprints grow with the datasets.
+pub const BASE_CACHE_BYTES: f64 = 64.0 * 1024.0 * 1024.0;
+
 /// Rescales a test-scale offered load to `cfg`'s dataset scale: service
 /// times grow roughly linearly with the datasets, so rates shrink by
 /// the same factor. The single rescaling rule for suite and CLI.
@@ -187,6 +264,15 @@ pub fn scaled_ns(cfg: &ExperimentConfig, base_ns: f64) -> u64 {
         .max(1.0) as u64
 }
 
+/// Rescales a test-scale byte budget to `cfg`'s dataset scale, in whole
+/// bytes (at least 1): dataset feature footprints grow roughly linearly
+/// with the scale, so cache capacities must too.
+pub fn scaled_bytes(cfg: &ExperimentConfig, base_bytes: f64) -> u64 {
+    (base_bytes * cfg.scale / ExperimentConfig::test_scale().scale)
+        .round()
+        .max(1.0) as u64
+}
+
 /// The committed scenario suite (see module docs). Labels are stable —
 /// the CI gate matches on them. Rates and time constants are expressed
 /// at [`ExperimentConfig::test_scale`] and rescaled via [`scaled_rate`]
@@ -198,62 +284,119 @@ pub fn default_specs(cfg: &ExperimentConfig) -> Vec<ScenarioSpec> {
 
     let gdr = "HiHGNN+GDR".to_string();
     let pool2 = vec![gdr.clone(), gdr.clone()];
+    let pool3 = vec![gdr.clone(), gdr.clone(), gdr.clone()];
     vec![
-        ScenarioSpec {
-            name: "poisson-hi/immediate/round-robin".into(),
-            process: ArrivalProcess::Poisson {
+        ScenarioSpec::new(
+            "poisson-hi/immediate/round-robin",
+            ArrivalProcess::Poisson {
                 rate_rps: rate(HIGH_RATE_RPS),
             },
-            requests: SUITE_REQUESTS,
-            batch: BatchPolicy::Immediate,
-            sched: SchedPolicy::RoundRobin,
-            pool: pool2.clone(),
-        },
-        ScenarioSpec {
-            name: "poisson-hi/size-capped/round-robin".into(),
-            process: ArrivalProcess::Poisson {
+            SUITE_REQUESTS,
+            BatchPolicy::Immediate,
+            SchedPolicy::RoundRobin,
+            pool2.clone(),
+        ),
+        ScenarioSpec::new(
+            "poisson-hi/size-capped/round-robin",
+            ArrivalProcess::Poisson {
                 rate_rps: rate(HIGH_RATE_RPS),
             },
-            requests: SUITE_REQUESTS,
-            batch: BatchPolicy::SizeCapped { cap: 8 },
-            sched: SchedPolicy::RoundRobin,
-            pool: pool2.clone(),
-        },
-        ScenarioSpec {
-            name: "poisson-hi/deadline/least-loaded".into(),
-            process: ArrivalProcess::Poisson {
+            SUITE_REQUESTS,
+            BatchPolicy::SizeCapped { cap: 8 },
+            SchedPolicy::RoundRobin,
+            pool2.clone(),
+        ),
+        ScenarioSpec::new(
+            "poisson-hi/deadline/least-loaded",
+            ArrivalProcess::Poisson {
                 rate_rps: rate(HIGH_RATE_RPS),
             },
-            requests: SUITE_REQUESTS,
-            batch: BatchPolicy::Deadline {
+            SUITE_REQUESTS,
+            BatchPolicy::Deadline {
                 cap: 8,
                 timeout_ns: ns(BASE_DEADLINE_TIMEOUT_NS),
             },
-            sched: SchedPolicy::LeastLoaded,
-            pool: pool2.clone(),
-        },
-        ScenarioSpec {
-            name: "bursty/size-capped/least-loaded".into(),
-            process: ArrivalProcess::Bursty {
+            SchedPolicy::LeastLoaded,
+            pool2.clone(),
+        ),
+        ScenarioSpec::new(
+            "bursty/size-capped/least-loaded",
+            ArrivalProcess::Bursty {
                 rate_rps: rate(HIGH_RATE_RPS / 2.0),
                 period_ns: ns(BASE_BURST_PERIOD_NS),
                 duty: 0.25,
             },
-            requests: SUITE_REQUESTS,
-            batch: BatchPolicy::SizeCapped { cap: 8 },
-            sched: SchedPolicy::LeastLoaded,
-            pool: pool2,
-        },
-        ScenarioSpec {
-            name: "closed-loop/size-capped/shard-affinity".into(),
-            process: ArrivalProcess::ClosedLoop {
+            SUITE_REQUESTS,
+            BatchPolicy::SizeCapped { cap: 8 },
+            SchedPolicy::LeastLoaded,
+            pool2,
+        ),
+        ScenarioSpec::new(
+            "closed-loop/size-capped/shard-affinity",
+            ArrivalProcess::ClosedLoop {
                 clients: 16,
                 think_ns: ns(BASE_THINK_NS),
             },
-            requests: SUITE_REQUESTS,
-            batch: BatchPolicy::SizeCapped { cap: 4 },
-            sched: SchedPolicy::ShardAffinity,
-            pool: vec![gdr.clone(), gdr, "HiHGNN".into()],
+            SUITE_REQUESTS,
+            BatchPolicy::SizeCapped { cap: 4 },
+            SchedPolicy::ShardAffinity,
+            vec![gdr.clone(), gdr.clone(), "HiHGNN".into()],
+        ),
+        // The sharding headline pair: identical traffic over identical
+        // partial replicas (each holds one dataset shard). Warm-cache
+        // shard-affinity routes every batch to its holder and reuses the
+        // cached features; blind round-robin cold-binds ~2/3 of its
+        // batches and re-streams the working set each time.
+        ScenarioSpec {
+            shards: 3,
+            cache_bytes: scaled_bytes(cfg, BASE_CACHE_BYTES),
+            ..ScenarioSpec::new(
+                "sharded/warm-cache/shard-affinity-partial",
+                ArrivalProcess::Poisson {
+                    rate_rps: rate(HIGH_RATE_RPS),
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::ShardAffinityPartial,
+                pool3.clone(),
+            )
+        },
+        ScenarioSpec {
+            shards: 3,
+            ..ScenarioSpec::new(
+                "sharded/cold/round-robin",
+                ArrivalProcess::Poisson {
+                    rate_rps: rate(HIGH_RATE_RPS),
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::RoundRobin,
+                pool3,
+            )
+        },
+        // Queue-driven autoscaling through a burst: one warm replica
+        // carries the base load; each burst backs the queue up past the
+        // threshold, adding replicas (cold-started at a full session
+        // bind) that drain away in the off part of the cycle.
+        ScenarioSpec {
+            cache_bytes: scaled_bytes(cfg, BASE_CACHE_BYTES),
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 4,
+                up_depth: 32,
+                down_depth: 4,
+            }),
+            ..ScenarioSpec::new(
+                "autoscale/bursty/least-loaded",
+                ArrivalProcess::Bursty {
+                    rate_rps: rate(HIGH_RATE_RPS / 2.0),
+                    period_ns: ns(BASE_BURST_PERIOD_NS * 10.0),
+                    duty: 0.25,
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::LeastLoaded,
+                vec![gdr],
+            )
         },
     ]
 }
@@ -304,9 +447,42 @@ mod tests {
     }
 
     #[test]
+    fn harness_rejects_inconsistent_autoscale_specs() {
+        let harness = ServeHarness::new(&tiny_cfg(), &["HiHGNN"]).unwrap();
+        let base = ScenarioSpec::new(
+            "bad-autoscale",
+            ArrivalProcess::Poisson { rate_rps: 1000.0 },
+            16,
+            BatchPolicy::Immediate,
+            SchedPolicy::LeastLoaded,
+            vec!["HiHGNN".into(), "HiHGNN".into()],
+        );
+        let too_small = ScenarioSpec {
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 1,
+                up_depth: 8,
+                down_depth: 1,
+            }),
+            ..base.clone()
+        };
+        let err = harness.run(&too_small, 1).unwrap_err();
+        assert!(err.to_string().contains("below the pool size"));
+        let inverted = ScenarioSpec {
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 4,
+                up_depth: 8,
+                down_depth: 8,
+            }),
+            ..base
+        };
+        let err = harness.run(&inverted, 1).unwrap_err();
+        assert!(err.to_string().contains("below up_depth"));
+    }
+
+    #[test]
     fn suite_labels_are_unique_and_stable() {
         let specs = default_specs(&tiny_cfg());
-        assert_eq!(specs.len(), 5);
+        assert_eq!(specs.len(), 8);
         let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
@@ -315,6 +491,52 @@ mod tests {
             specs.iter().any(|s| s.pool.iter().any(|p| p == "HiHGNN")
                 && s.pool.iter().any(|p| p == "HiHGNN+GDR")),
             "the suite exercises a heterogeneous pool"
+        );
+        // the sharding headline pair runs identical traffic and pools,
+        // differing only in routing and cache
+        let warm = specs
+            .iter()
+            .find(|s| s.name == "sharded/warm-cache/shard-affinity-partial")
+            .expect("warm sharded scenario");
+        let cold = specs
+            .iter()
+            .find(|s| s.name == "sharded/cold/round-robin")
+            .expect("cold sharded scenario");
+        assert_eq!(warm.process, cold.process);
+        assert_eq!(warm.pool, cold.pool);
+        assert_eq!(warm.batch, cold.batch);
+        assert_eq!((warm.shards, cold.shards), (3, 3));
+        assert!(warm.cache_bytes > 0 && cold.cache_bytes == 0);
+        assert_eq!(warm.sched, SchedPolicy::ShardAffinityPartial);
+        // …and the autoscaled scenario can actually scale
+        let auto = specs
+            .iter()
+            .find(|s| s.name == "autoscale/bursty/least-loaded")
+            .expect("autoscale scenario");
+        let spec = auto.autoscale.expect("autoscaler on");
+        assert!(spec.max_replicas > auto.pool.len());
+        assert!(spec.down_depth < spec.up_depth);
+    }
+
+    #[test]
+    fn scaled_bytes_tracks_dataset_scale() {
+        let test = ExperimentConfig::test_scale();
+        assert_eq!(scaled_bytes(&test, 1024.0), 1024);
+        let double = ExperimentConfig {
+            scale: test.scale * 2.0,
+            ..test
+        };
+        assert_eq!(scaled_bytes(&double, 1024.0), 2048);
+        assert_eq!(
+            scaled_bytes(
+                &ExperimentConfig {
+                    scale: 1e-9,
+                    ..test
+                },
+                1.0
+            ),
+            1,
+            "never rescales to zero"
         );
     }
 }

@@ -89,6 +89,14 @@ pub struct Traffic {
     pub seed: u64,
 }
 
+impl Traffic {
+    /// Opens the deterministic request stream for this traffic —
+    /// shorthand for [`TrafficStream::new`].
+    pub fn stream(self) -> TrafficStream {
+        TrafficStream::new(self)
+    }
+}
+
 /// The deterministic request stream of one scenario.
 ///
 /// Open-loop processes pre-generate every arrival; closed-loop traffic

@@ -1,0 +1,336 @@
+//! Property/invariant tests over the whole serving stack.
+//!
+//! Each case draws a randomized scenario — arrival process, batching
+//! policy, scheduler, pool size, sharding, cache capacity, autoscaler —
+//! from the in-workspace seeded `rand` shim and runs it against a
+//! randomized synthetic cost model, then checks the invariants that must
+//! hold for *every* configuration:
+//!
+//! * **conservation** — requests in = completed at drain (nothing is
+//!   ever dropped, duplicated, or left in flight);
+//! * **latency ≥ service** — no request finishes faster than the batch
+//!   that carried it;
+//! * **batch sizes never exceed the policy cap**;
+//! * **cache hit rate ∈ [0, 1]**, and zero whenever the cache is off;
+//! * **autoscaler replica count ∈ [min, max]** at every event sample.
+//!
+//! The percentile estimator is separately cross-checked against a naive
+//! sort-based quantile on randomized samples, including the 1-sample and
+//! all-equal edge cases.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gdr_serve::batcher::{BatchPolicy, Batcher};
+use gdr_serve::cost::{CostModel, ServiceCost};
+use gdr_serve::metrics::{percentile, scenario_record};
+use gdr_serve::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, SimResult, Simulator};
+use gdr_serve::workload::{ArrivalProcess, Traffic};
+use gdr_system::report::SERVE_METRIC_KEYS;
+
+/// Seeds per property — the issue floor is 32; a few extra are cheap
+/// because the synthetic cost model needs no platform measurement.
+const SEEDS: u64 = 48;
+
+/// One randomized scenario: everything the serving stack can vary.
+struct Scenario {
+    cost: CostModel,
+    sched: SchedPolicy,
+    replicas: Vec<usize>,
+    pool: PoolConfig,
+    batch: BatchPolicy,
+    traffic: Traffic,
+}
+
+fn random_scenario(seed: u64) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let platforms = rng.gen_range(1..=2usize);
+    let cost = CostModel::synthetic(
+        (0..platforms).map(|i| format!("P{i}")).collect(),
+        (0..platforms)
+            .map(|_| {
+                std::array::from_fn(|_| {
+                    let per_request_ns = rng.gen_range(100..20_000u64);
+                    ServiceCost {
+                        fixed_ns: rng.gen_range(1..200_000u64),
+                        per_request_ns,
+                        warm_save_ns: rng.gen_range(0..250_000u64),
+                        hit_per_request_ns: rng.gen_range(1..=per_request_ns),
+                        dram_bytes_per_request: rng.gen_range(1..1_000_000u64),
+                        footprint_bytes: rng.gen_range(1..32_000_000u64),
+                        bind_ns: rng.gen_range(1..2_000_000u64),
+                    }
+                })
+            })
+            .collect(),
+    );
+    let pool_size = rng.gen_range(1..=4usize);
+    let replicas: Vec<usize> = (0..pool_size)
+        .map(|_| rng.gen_range(0..platforms))
+        .collect();
+    let sched = match rng.gen_range(0..4usize) {
+        0 => SchedPolicy::RoundRobin,
+        1 => SchedPolicy::LeastLoaded,
+        2 => SchedPolicy::ShardAffinity,
+        _ => SchedPolicy::ShardAffinityPartial,
+    };
+    let pool = PoolConfig {
+        shards: rng.gen_range(0..=4usize),
+        cache_bytes: if rng.gen_bool(0.5) {
+            rng.gen_range(1_000_000..100_000_000u64)
+        } else {
+            0
+        },
+        autoscale: rng.gen_bool(0.5).then(|| {
+            let up_depth = rng.gen_range(2..48usize);
+            AutoscaleSpec {
+                max_replicas: pool_size + rng.gen_range(1..4usize),
+                up_depth,
+                down_depth: rng.gen_range(0..up_depth),
+            }
+        }),
+    };
+    let batch = match rng.gen_range(0..3usize) {
+        0 => BatchPolicy::Immediate,
+        1 => BatchPolicy::SizeCapped {
+            cap: rng.gen_range(1..16usize),
+        },
+        _ => BatchPolicy::Deadline {
+            cap: rng.gen_range(1..16usize),
+            timeout_ns: rng.gen_range(1..200_000u64),
+        },
+    };
+    let process = match rng.gen_range(0..3usize) {
+        0 => ArrivalProcess::Poisson {
+            rate_rps: rng.gen_range(500.0..2_000_000.0f64),
+        },
+        1 => ArrivalProcess::Bursty {
+            rate_rps: rng.gen_range(500.0..2_000_000.0f64),
+            period_ns: rng.gen_range(1_000..2_000_000u64),
+            duty: rng.gen_range(0.05..1.0f64),
+        },
+        _ => ArrivalProcess::ClosedLoop {
+            clients: rng.gen_range(1..24usize),
+            think_ns: rng.gen_range(1_000..2_000_000u64),
+        },
+    };
+    let traffic = Traffic {
+        process,
+        requests: rng.gen_range(1..256usize),
+        seed: rng.gen_range(0..1_000_000u64),
+    };
+    Scenario {
+        cost,
+        sched,
+        replicas,
+        pool,
+        batch,
+        traffic,
+    }
+}
+
+fn run(s: &Scenario) -> SimResult {
+    Simulator::new(&s.cost, s.sched, &s.replicas, &s.pool)
+        .run(s.traffic.stream(), Batcher::new(s.batch))
+}
+
+fn batch_cap(policy: BatchPolicy) -> usize {
+    match policy {
+        BatchPolicy::Immediate => 1,
+        BatchPolicy::SizeCapped { cap } | BatchPolicy::Deadline { cap, .. } => cap.max(1),
+    }
+}
+
+#[test]
+fn requests_are_conserved_at_drain() {
+    for seed in 0..SEEDS {
+        let s = random_scenario(seed);
+        let r = run(&s);
+        // every request completes exactly once — none dropped, none
+        // duplicated, none left in flight when the simulator returns
+        assert_eq!(r.completed.len(), s.traffic.requests, "seed {seed}");
+        let mut ids: Vec<u64> = r.completed.iter().map(|c| c.request.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), s.traffic.requests, "seed {seed}: duplicate ids");
+        // batches partition the request set
+        assert_eq!(
+            r.batches.iter().map(|b| b.size).sum::<usize>(),
+            s.traffic.requests,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn latency_is_bounded_below_by_service_cost() {
+    for seed in 0..SEEDS {
+        let s = random_scenario(seed);
+        let r = run(&s);
+        for c in &r.completed {
+            assert!(
+                c.latency_ns() >= c.service_ns,
+                "seed {seed}: request {} finished in {} ns, faster than its batch's {} ns service",
+                c.request.id,
+                c.latency_ns(),
+                c.service_ns
+            );
+            assert!(c.service_ns >= 1, "seed {seed}: service time has a floor");
+        }
+    }
+}
+
+#[test]
+fn batch_sizes_never_exceed_the_policy_cap() {
+    for seed in 0..SEEDS {
+        let s = random_scenario(seed);
+        let cap = batch_cap(s.batch);
+        let r = run(&s);
+        for b in &r.batches {
+            assert!(
+                (1..=cap).contains(&b.size),
+                "seed {seed}: batch of {} under cap {cap}",
+                b.size
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_hit_rate_is_a_rate() {
+    for seed in 0..SEEDS {
+        let s = random_scenario(seed);
+        let r = run(&s);
+        let rec = scenario_record(
+            "prop",
+            &s.traffic,
+            s.batch,
+            s.sched,
+            &s.pool,
+            &r,
+            s.cost.platforms(),
+        );
+        for run in &rec.runs {
+            let rate = run.metric("cache_hit_rate").expect("key present");
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "seed {seed}: hit rate {rate} on {}",
+                run.platform
+            );
+            if s.pool.cache_bytes == 0 {
+                assert_eq!(rate, 0.0, "seed {seed}: no cache, no hits");
+            }
+        }
+    }
+}
+
+#[test]
+fn autoscaler_stays_within_min_and_max() {
+    for seed in 0..SEEDS {
+        let s = random_scenario(seed);
+        let min = s.replicas.len();
+        let max = s.pool.autoscale.map_or(min, |a| a.max_replicas);
+        let r = run(&s);
+        for sample in &r.samples {
+            assert!(
+                (min..=max).contains(&sample.active_replicas),
+                "seed {seed}: {} active outside [{min}, {max}]",
+                sample.active_replicas
+            );
+        }
+        assert!((min..=max).contains(&r.replicas_max), "seed {seed}");
+        if s.pool.autoscale.is_none() {
+            assert!(
+                r.cold_starts.is_empty(),
+                "seed {seed}: fixed pools never cold-start"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_record_metric_is_finite_and_keyed_canonically() {
+    for seed in 0..SEEDS {
+        let s = random_scenario(seed);
+        let r = run(&s);
+        let rec = scenario_record(
+            "prop",
+            &s.traffic,
+            s.batch,
+            s.sched,
+            &s.pool,
+            &r,
+            s.cost.platforms(),
+        );
+        for run in &rec.runs {
+            let keys: Vec<&str> = run.metrics.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, SERVE_METRIC_KEYS, "seed {seed} on {}", run.platform);
+            for (k, v) in &run.metrics {
+                assert!(v.is_finite(), "seed {seed}: {k} = {v}");
+                assert!(*v >= 0.0, "seed {seed}: {k} = {v}");
+            }
+        }
+    }
+}
+
+/// Naive nearest-rank quantile, written independently of
+/// [`percentile`]: the smallest sample `x` such that at least
+/// `ceil(pct/100 * n)` samples are `<= x`.
+fn naive_quantile(samples: &[u64], pct: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let need = ((pct / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    let mut candidates: Vec<u64> = samples.to_vec();
+    candidates.sort_unstable();
+    *candidates
+        .iter()
+        .find(|&&x| candidates.iter().filter(|&&y| y <= x).count() >= need)
+        .expect("the maximum always satisfies the rank")
+}
+
+#[test]
+fn percentiles_match_a_naive_sort_based_quantile() {
+    for seed in 0..SEEDS {
+        let mut rng = SmallRng::seed_from_u64(1_000 + seed);
+        let n = rng.gen_range(1..500usize);
+        let mut samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+        samples.sort_unstable();
+        for pct in [1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(
+                percentile(&samples, pct),
+                naive_quantile(&samples, pct),
+                "seed {seed}: pct {pct} over {n} samples"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentile_edge_cases() {
+    // 1 sample: every percentile is that sample
+    for pct in [1.0, 50.0, 99.0, 100.0] {
+        assert_eq!(percentile(&[42], pct), 42);
+        assert_eq!(naive_quantile(&[42], pct), 42);
+    }
+    // all-equal samples: every percentile is the common value
+    let flat = [7u64; 100];
+    for pct in [1.0, 50.0, 95.0, 99.0, 100.0] {
+        assert_eq!(percentile(&flat, pct), 7);
+        assert_eq!(naive_quantile(&flat, pct), 7);
+    }
+    // empty: defined as 0
+    assert_eq!(percentile(&[], 50.0), 0);
+}
+
+#[test]
+fn simulation_is_replay_deterministic_across_random_scenarios() {
+    for seed in 0..8 {
+        let s = random_scenario(seed);
+        let (a, b) = (run(&s), run(&s));
+        assert_eq!(a.completed, b.completed, "seed {seed}");
+        assert_eq!(a.batches, b.batches, "seed {seed}");
+        assert_eq!(a.samples, b.samples, "seed {seed}");
+        assert_eq!(a.cold_starts, b.cold_starts, "seed {seed}");
+    }
+}

@@ -45,10 +45,17 @@ pub const SCHEMA: &str = "gdr-bench/v1";
 pub const GATED_METRICS: &[&str] = &["time_ns", "dram_bytes"];
 
 /// Serve-family metrics the gate compares, as `(key, higher_is_better)`:
-/// tail latency must not grow, throughput must not shrink. The remaining
-/// serve metrics (mean/max latency, queue depths, batch shape) are
+/// tail latency must not grow, throughput must not shrink, the
+/// cross-batch feature cache must not lose hits, and partial-replica
+/// routing must not start missing shards. The remaining serve metrics
+/// (mean/max latency, queue depths, batch shape, autoscale shape) are
 /// observability-only.
-pub const SERVE_GATED_METRICS: &[(&str, bool)] = &[("p99_ns", false), ("throughput_rps", true)];
+pub const SERVE_GATED_METRICS: &[(&str, bool)] = &[
+    ("p99_ns", false),
+    ("throughput_rps", true),
+    ("cache_hit_rate", true),
+    ("shard_miss_count", false),
+];
 
 /// The canonical metric keys of a [`ServeRunRecord`], in serialization
 /// order. `gdr-serve` emits exactly this set; the golden-file schema test
@@ -66,6 +73,11 @@ pub const SERVE_METRIC_KEYS: &[&str] = &[
     "mean_queue_depth",
     "max_queue_depth",
     "makespan_ns",
+    "dram_bytes",
+    "cache_hit_rate",
+    "shard_miss_count",
+    "replicas_max",
+    "cold_start_ns",
 ];
 
 /// One platform's aggregate over a serving scenario: the latency
@@ -105,10 +117,16 @@ pub struct ServeScenarioRecord {
     /// Batching policy label (`"immediate"`, `"size-capped:8"`, …).
     pub batch: String,
     /// Scheduler policy label (`"round-robin"`, `"least-loaded"`,
-    /// `"shard-affinity"`).
+    /// `"shard-affinity"`, `"shard-affinity-partial"`).
     pub scheduler: String,
-    /// Replica pool size.
+    /// Initial (minimum) replica pool size.
     pub replicas: u64,
+    /// Dataset shards per replica (0 = full replicas).
+    pub shards: u64,
+    /// Per-replica feature-cache capacity, bytes (0 = disabled).
+    pub cache_bytes: u64,
+    /// Autoscaler label (`"off"`, or `"queue:UP:DOWN:maxN"`).
+    pub autoscale: String,
     /// Request-stream seed.
     pub seed: u64,
     /// Total requests generated.
@@ -132,6 +150,9 @@ impl ServeScenarioRecord {
             ("batch", Json::from(self.batch.as_str())),
             ("scheduler", Json::from(self.scheduler.as_str())),
             ("replicas", Json::from(self.replicas)),
+            ("shards", Json::from(self.shards)),
+            ("cache_bytes", Json::from(self.cache_bytes)),
+            ("autoscale", Json::from(self.autoscale.as_str())),
             ("seed", Json::from(self.seed)),
             ("requests", Json::from(self.requests)),
             (
@@ -190,6 +211,16 @@ impl ServeScenarioRecord {
             batch: string("batch")?,
             scheduler: string("scheduler")?,
             replicas: num("replicas")? as u64,
+            // The scale-out fields were added within the same schema id:
+            // records written before them parse as an unsharded,
+            // uncached, fixed pool.
+            shards: v.get("shards").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            cache_bytes: v.get("cache_bytes").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            autoscale: v
+                .get("autoscale")
+                .and_then(Json::as_str)
+                .unwrap_or("off")
+                .to_string(),
             seed: num("seed")? as u64,
             requests: num("requests")? as u64,
             runs,
@@ -566,6 +597,7 @@ impl BenchReport {
     fn serve_markdown(&self) -> String {
         let headers = [
             "scenario", "platform", "req/s", "p50 ms", "p95 ms", "p99 ms", "batch ×", "queue",
+            "cache %", "misses", "replicas",
         ];
         let rows: Vec<Vec<String>> = self
             .serve
@@ -582,6 +614,9 @@ impl BenchReport {
                         ms("p99_ns"),
                         f2(r.metric("mean_batch_size").unwrap_or(0.0)),
                         f2(r.metric("mean_queue_depth").unwrap_or(0.0)),
+                        f2(r.metric("cache_hit_rate").unwrap_or(0.0) * 100.0),
+                        f2(r.metric("shard_miss_count").unwrap_or(0.0)),
+                        f2(r.metric("replicas_max").unwrap_or(0.0)),
                     ]
                 })
             })
@@ -1113,14 +1148,22 @@ mod tests {
 
     /// A synthetic serve scenario with the canonical metric keys.
     fn serve_scenario(name: &str, p99_ns: f64, throughput_rps: f64) -> ServeScenarioRecord {
+        serve_scenario_with(
+            name,
+            &[("p99_ns", p99_ns), ("throughput_rps", throughput_rps)],
+        )
+    }
+
+    /// A synthetic serve scenario overriding the given metric keys.
+    fn serve_scenario_with(name: &str, overrides: &[(&str, f64)]) -> ServeScenarioRecord {
         let metrics = SERVE_METRIC_KEYS
             .iter()
             .map(|&k| {
-                let v = match k {
-                    "p99_ns" => p99_ns,
-                    "throughput_rps" => throughput_rps,
-                    _ => 64.0,
-                };
+                let v = overrides
+                    .iter()
+                    .find(|(ok, _)| *ok == k)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(64.0);
                 (k.to_string(), v)
             })
             .collect();
@@ -1131,6 +1174,9 @@ mod tests {
             batch: "size-capped:8".into(),
             scheduler: "round-robin".into(),
             replicas: 2,
+            shards: 3,
+            cache_bytes: 1 << 20,
+            autoscale: "queue:32:2:max4".into(),
             seed: 7,
             requests: 64,
             runs: vec![ServeRunRecord {
@@ -1190,5 +1236,53 @@ mod tests {
         let cmp = compare(&base, &gone, 10.0);
         assert!(!cmp.passed());
         assert_eq!(cmp.missing, ["serve s on ALL"]);
+    }
+
+    #[test]
+    fn comparator_gates_cache_hit_rate_and_shard_miss_count() {
+        let mut base = tiny_report();
+        base.serve = vec![serve_scenario_with(
+            "s",
+            &[("cache_hit_rate", 0.8), ("shard_miss_count", 10.0)],
+        )];
+
+        // a cooling feature cache fails the gate…
+        let mut cooled = base.clone();
+        cooled.serve = vec![serve_scenario_with(
+            "s",
+            &[("cache_hit_rate", 0.6), ("shard_miss_count", 10.0)],
+        )];
+        let cmp = compare(&base, &cooled, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].metric, "cache_hit_rate");
+
+        // …and so do growing shard misses…
+        let mut missy = base.clone();
+        missy.serve = vec![serve_scenario_with(
+            "s",
+            &[("cache_hit_rate", 0.8), ("shard_miss_count", 20.0)],
+        )];
+        let cmp = compare(&base, &missy, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].metric, "shard_miss_count");
+
+        // …while moves inside the threshold and in the good direction
+        // pass.
+        let mut better = base.clone();
+        better.serve = vec![serve_scenario_with(
+            "s",
+            &[("cache_hit_rate", 0.95), ("shard_miss_count", 2.0)],
+        )];
+        let cmp = compare(&base, &better, 10.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.improvements.len(), 2);
+        let mut close = base.clone();
+        close.serve = vec![serve_scenario_with(
+            "s",
+            &[("cache_hit_rate", 0.75), ("shard_miss_count", 10.5)],
+        )];
+        assert!(compare(&base, &close, 10.0).passed());
     }
 }

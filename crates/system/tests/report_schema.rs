@@ -57,12 +57,15 @@ fn test_scale_report() -> BenchReport {
     // SERVE_METRIC_KEYS (its own tests assert that), so a hand-built
     // record covers the schema without a cross-crate dev-dependency.
     report.serve = vec![ServeScenarioRecord {
-        scenario: "poisson-hi/size-capped/round-robin".into(),
+        scenario: "sharded/warm-cache/shard-affinity-partial".into(),
         arrival: "poisson".into(),
         rate_rps: 1_200_000.0,
         batch: "size-capped:8".into(),
-        scheduler: "round-robin".into(),
-        replicas: 2,
+        scheduler: "shard-affinity-partial".into(),
+        replicas: 3,
+        shards: 3,
+        cache_bytes: 64 << 20,
+        autoscale: "queue:32:4:max4".into(),
         seed: 42,
         requests: 384,
         runs: ["ALL", "HiHGNN+GDR"]
@@ -133,6 +136,40 @@ fn gate_catches_regression_injected_into_serialized_report() {
 
     let ok = BenchReport::from_json(&scale_metric(&json, "time_ns", 1.05)).unwrap();
     assert!(compare(&report, &ok, 10.0).passed());
+}
+
+#[test]
+fn gate_thresholds_cover_the_new_serve_metrics() {
+    // cache_hit_rate is gated higher-is-better, shard_miss_count
+    // lower-is-better — both through the serialized report, as CI
+    // exercises them.
+    let report = test_scale_report();
+    let json = report.to_json();
+
+    let cooled = BenchReport::from_json(&scale_metric(&json, "cache_hit_rate", 0.8)).unwrap();
+    let cmp = compare(&report, &cooled, 10.0);
+    assert!(!cmp.passed(), "a 20% hit-rate loss must fail the gate");
+    assert!(cmp.regressions.iter().all(|d| d.metric == "cache_hit_rate"));
+
+    let missy = BenchReport::from_json(&scale_metric(&json, "shard_miss_count", 1.2)).unwrap();
+    let cmp = compare(&report, &missy, 10.0);
+    assert!(!cmp.passed(), "20% more shard misses must fail the gate");
+    assert!(cmp
+        .regressions
+        .iter()
+        .all(|d| d.metric == "shard_miss_count"));
+
+    // within-threshold drift passes in both directions
+    let ok = BenchReport::from_json(&scale_metric(&json, "cache_hit_rate", 0.95)).unwrap();
+    assert!(compare(&report, &ok, 10.0).passed());
+    let ok = BenchReport::from_json(&scale_metric(&json, "shard_miss_count", 1.05)).unwrap();
+    assert!(compare(&report, &ok, 10.0).passed());
+
+    // moves in the good direction count as improvements, not failures
+    let better = BenchReport::from_json(&scale_metric(&json, "shard_miss_count", 0.5)).unwrap();
+    let cmp = compare(&report, &better, 10.0);
+    assert!(cmp.passed());
+    assert!(!cmp.improvements.is_empty());
 }
 
 fn scale_metric(v: &Json, key: &str, factor: f64) -> Json {

@@ -37,16 +37,16 @@ fn main() -> GdrResult<()> {
     );
     for (label, batch) in policies {
         let record = harness.run(
-            &ScenarioSpec {
-                name: label.into(),
-                process: ArrivalProcess::Poisson {
+            &ScenarioSpec::new(
+                label,
+                ArrivalProcess::Poisson {
                     rate_rps: 1_200_000.0,
                 },
-                requests: 384,
+                384,
                 batch,
-                sched: SchedPolicy::LeastLoaded,
-                pool: vec!["HiHGNN+GDR".into(), "HiHGNN+GDR".into()],
-            },
+                SchedPolicy::LeastLoaded,
+                vec!["HiHGNN+GDR".into(), "HiHGNN+GDR".into()],
+            ),
             cfg.seed,
         )?;
         let all = record.aggregate().expect("ALL row");
@@ -62,7 +62,52 @@ fn main() -> GdrResult<()> {
         );
     }
 
-    // 3. The committed canonical suite — what `gdr-bench` embeds into
+    // 3. Scale-out: partial replicas (each holds one dataset shard)
+    //    with a cross-batch feature cache and a queue-driven
+    //    autoscaler. Shard-affine routing keeps every replica's cache
+    //    hot; blind routing pays cold binds on most batches.
+    println!("\nscale-out (3 partial replicas, 1 dataset shard each):");
+    let sharded = |name: &str, sched, cache_bytes| ScenarioSpec {
+        shards: 3,
+        cache_bytes,
+        autoscale: Some(AutoscaleSpec {
+            max_replicas: 4,
+            up_depth: 32,
+            down_depth: 4,
+        }),
+        ..ScenarioSpec::new(
+            name,
+            ArrivalProcess::Poisson {
+                rate_rps: 1_200_000.0,
+            },
+            384,
+            BatchPolicy::SizeCapped { cap: 8 },
+            sched,
+            vec!["HiHGNN+GDR".into(); 3],
+        )
+    };
+    for spec in [
+        sharded(
+            "warm shard-affinity",
+            SchedPolicy::ShardAffinityPartial,
+            64 << 20,
+        ),
+        sharded("cold round-robin", SchedPolicy::RoundRobin, 0),
+    ] {
+        let all_rec = harness.run(&spec, cfg.seed)?;
+        let all = all_rec.aggregate().expect("ALL row");
+        println!(
+            "  {:<22} p99 {:>8.1} µs, {:>6.1} MiB DRAM, cache {:>4.0}%, {:>2.0} shard misses, peak {:.0} replicas",
+            spec.name,
+            all.metric("p99_ns").unwrap_or(0.0) / 1e3,
+            all.metric("dram_bytes").unwrap_or(0.0) / (1 << 20) as f64,
+            all.metric("cache_hit_rate").unwrap_or(0.0) * 100.0,
+            all.metric("shard_miss_count").unwrap_or(0.0),
+            all.metric("replicas_max").unwrap_or(0.0),
+        );
+    }
+
+    // 4. The committed canonical suite — what `gdr-bench` embeds into
     //    grid reports and CI gates against bench/baseline.json.
     println!("\ncanonical suite:");
     for record in default_suite(&cfg)? {

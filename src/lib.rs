@@ -76,33 +76,49 @@
 //!
 //! The serving subsystem ([`serve`]) puts the same platforms behind a
 //! request queue: seeded arrival processes over the dataset × model
-//! grid, dynamic batching, and multi-replica scheduling, simulated in
-//! **virtual time** — a fixed seed reproduces every latency percentile
-//! byte for byte. The `gdr-bench serve` CLI exposes it
-//! (`cargo run -p gdr-bench --bin gdr-bench -- serve --scale test --seed 7`),
-//! and the canonical suite rides along in grid reports and the CI gate:
+//! grid, dynamic batching, multi-replica scheduling with
+//! partial-replica dataset sharding, a per-replica cross-batch feature
+//! cache, and queue-driven autoscaling — all simulated in **virtual
+//! time**, so a fixed seed reproduces every latency percentile byte for
+//! byte. The `gdr-bench serve` CLI exposes it
+//! (`cargo run -p gdr-bench --bin gdr-bench -- serve --scale test
+//! --shards 3 --cache-bytes 67108864 --autoscale 4:32:2`), and the
+//! canonical suite rides along in grid reports and the CI gate:
 //!
 //! ```
 //! use gdr::prelude::*;
 //!
 //! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
-//! // Measure the backend once, then serve Poisson traffic on two
-//! // replicas with size-capped batching.
-//! let harness = ServeHarness::new(&cfg, &["HiHGNN"])?;
+//! // Measure the backend once, then shard the dataset grid across
+//! // three partial replicas: each holds one dataset, routes its own
+//! // traffic, and reuses cached features across batches, while the
+//! // autoscaler follows the queue.
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN+GDR"])?;
 //! let record = harness.run(
 //!     &ScenarioSpec {
-//!         name: "quickstart".into(),
-//!         process: ArrivalProcess::Poisson { rate_rps: 5_000.0 },
-//!         requests: 64,
-//!         batch: BatchPolicy::SizeCapped { cap: 4 },
-//!         sched: SchedPolicy::LeastLoaded,
-//!         pool: vec!["HiHGNN".into(), "HiHGNN".into()],
+//!         shards: 3,
+//!         cache_bytes: 64 << 20,
+//!         autoscale: Some(AutoscaleSpec {
+//!             max_replicas: 4,
+//!             up_depth: 16,
+//!             down_depth: 2,
+//!         }),
+//!         ..ScenarioSpec::new(
+//!             "quickstart",
+//!             ArrivalProcess::Poisson { rate_rps: 50_000.0 },
+//!             64,
+//!             BatchPolicy::SizeCapped { cap: 4 },
+//!             SchedPolicy::ShardAffinityPartial,
+//!             vec!["HiHGNN+GDR".into(); 3],
+//!         )
 //!     },
 //!     7,
 //! )?;
 //! let all = record.aggregate().unwrap();
 //! assert_eq!(all.metric("completed"), Some(64.0));
 //! assert!(all.metric("p99_ns").unwrap() >= all.metric("p50_ns").unwrap());
+//! assert_eq!(all.metric("shard_miss_count"), Some(0.0));
+//! assert!((0.0..=1.0).contains(&all.metric("cache_hit_rate").unwrap()));
 //! # Ok::<(), gdr::prelude::GdrError>(())
 //! ```
 //!
@@ -159,7 +175,13 @@ pub use gdr_system as system;
 ///   [`ScenarioSpec`](prelude::ScenarioSpec) /
 ///   [`ArrivalProcess`](prelude::ArrivalProcess) /
 ///   [`BatchPolicy`](prelude::BatchPolicy) /
-///   [`SchedPolicy`](prelude::SchedPolicy) (online-serving simulation)
+///   [`SchedPolicy`](prelude::SchedPolicy) (online-serving simulation),
+///   with [`PoolConfig`](prelude::PoolConfig) /
+///   [`ShardMap`](prelude::ShardMap) /
+///   [`FeatureCache`](prelude::FeatureCache) /
+///   [`AutoscaleSpec`](prelude::AutoscaleSpec) shaping the pool
+///   (partial-replica sharding, cross-batch feature cache, queue-driven
+///   autoscaling)
 /// * errors: [`GdrError`](prelude::GdrError) /
 ///   [`GdrResult`](prelude::GdrResult) across all of the above
 pub mod prelude {
@@ -178,8 +200,9 @@ pub mod prelude {
     pub use gdr_hgnn::model::{ModelConfig, ModelKind};
     pub use gdr_hgnn::workload::Workload;
     pub use gdr_serve::{
-        default_specs, default_suite, ArrivalProcess, BatchPolicy, Batcher, CostModel,
-        ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, Simulator, Traffic, TrafficStream,
+        default_specs, default_suite, ArrivalProcess, AutoscaleSpec, BatchPolicy, Batcher,
+        CostModel, FeatureCache, PoolConfig, ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost,
+        ShardMap, Simulator, Traffic, TrafficStream,
     };
     pub use gdr_system::builder::{System, SystemBuilder};
     pub use gdr_system::combined::{CombinedRun, CombinedSystem};
