@@ -1,17 +1,67 @@
-//! Session streaming vs. batch: the frontend restructuring fan-out.
+//! Session streaming vs. batch: the frontend restructuring fan-out,
+//! and the workspace-reuse hot path.
 //!
 //! Semantic graphs are independent restructuring problems, so
 //! `Session::par_process` should beat the sequential path on any
-//! multi-core host. Prints the measured speedup per Table 2 dataset,
-//! then benchmarks both paths.
+//! multi-core host — and the sequential path itself should beat
+//! per-graph transient workspaces, since a reused `Workspace` removes
+//! every intermediate allocation (matching tables, BFS arrays, subgraph
+//! CSRs) from the loop. Prints the measured ns/graph for the fresh and
+//! reused paths plus the parallel speedup per Table 2 dataset, then
+//! benchmarks all three.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdr_frontend::config::FrontendConfig;
+use gdr_frontend::pipeline::FrontendPipeline;
 use gdr_frontend::session::Session;
+use gdr_frontend::Workspace;
 use gdr_hetgraph::datasets::Dataset;
 use std::time::{Duration, Instant};
 
+/// The workspace-reuse headline, measured where it matters: at serving
+/// scale, where graphs are small enough that per-graph allocation is a
+/// real share of the restructuring cost (this is the regime the serve
+/// `CostModel` replays and online rebinds run in). Larger graphs
+/// amortize allocator traffic into the O(E) matching work, so the
+/// streaming benches below use paper-sized graphs while this table uses
+/// the CI test scale.
+fn reuse_headline() {
+    let scale = 0.08;
+    let passes = 8u32;
+    println!("\nworkspace reuse at serving scale ({scale}), {passes} passes per path");
+    for dataset in Dataset::ALL {
+        let graphs = dataset.build_scaled(42, scale).all_semantic_graphs();
+        let pipeline = FrontendPipeline::new(FrontendConfig::default());
+        let session = Session::with_pipeline(pipeline.clone(), &graphs);
+        let per_graph = |d: Duration| d.as_nanos() as f64 / (graphs.len() as u32 * passes) as f64;
+
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            for g in &graphs {
+                criterion::black_box(pipeline.process(g));
+            }
+        }
+        let t_fresh = t0.elapsed();
+
+        let mut ws = Workspace::new();
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            criterion::black_box(session.process_with(&mut ws));
+        }
+        let t_reused = t0.elapsed();
+
+        println!(
+            "  {:>5}: fresh-ws {:>8.0} ns/graph, reused-ws {:>8.0} ns/graph ({:.2}x)",
+            dataset.name(),
+            per_graph(t_fresh),
+            per_graph(t_reused),
+            t_fresh.as_secs_f64() / t_reused.as_secs_f64().max(1e-9),
+        );
+    }
+}
+
 fn bench(c: &mut Criterion) {
+    reuse_headline();
     let scale = 0.5;
     println!(
         "\nsession streaming on {} cores (scale {scale})",
@@ -23,28 +73,46 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(6));
     for dataset in Dataset::ALL {
         let graphs = dataset.build_scaled(42, scale).all_semantic_graphs();
-        let session = Session::new(FrontendConfig::default(), &graphs);
+        let pipeline = FrontendPipeline::new(FrontendConfig::default());
+        let session = Session::with_pipeline(pipeline.clone(), &graphs);
 
         // one measured round-trip of each path, for the printed headline
         let t0 = Instant::now();
-        let seq = session.process();
+        let fresh: u64 = graphs.iter().map(|g| pipeline.process(g).cycles).sum();
+        let t_fresh = t0.elapsed();
+        let mut ws = Workspace::new();
+        let t0 = Instant::now();
+        let seq = session.process_with(&mut ws);
         let t_seq = t0.elapsed();
         let t0 = Instant::now();
         let par = session.par_process();
         let t_par = t0.elapsed();
         assert_eq!(seq.total_cycles(), par.total_cycles());
+        assert_eq!(seq.total_cycles(), fresh, "reuse must not change results");
+        let per_graph = |d: Duration| d.as_nanos() as f64 / graphs.len() as f64;
         println!(
-            "  {:>5}: sequential {:>8.1} ms, parallel {:>8.1} ms  ({:.2}x)",
+            "  {:>5}: fresh-ws {:>9.0} ns/graph, reused-ws {:>9.0} ns/graph ({:.2}x), \
+             parallel {:>8.1} ms ({:.2}x vs reused)",
             dataset.name(),
-            t_seq.as_secs_f64() * 1e3,
+            per_graph(t_fresh),
+            per_graph(t_seq),
+            t_fresh.as_secs_f64() / t_seq.as_secs_f64().max(1e-9),
             t_par.as_secs_f64() * 1e3,
             t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
         );
 
         group.bench_with_input(
+            BenchmarkId::new("fresh-workspace", dataset.name()),
+            &graphs,
+            |b, gs| b.iter(|| gs.iter().map(|g| pipeline.process(g).cycles).sum::<u64>()),
+        );
+        group.bench_with_input(
             BenchmarkId::new("sequential", dataset.name()),
             &session,
-            |b, s| b.iter(|| s.process()),
+            |b, s| {
+                let mut ws = Workspace::new();
+                b.iter(|| s.process_with(&mut ws))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("parallel", dataset.name()),

@@ -38,16 +38,18 @@ use gdr_serve::suite::{
 use gdr_system::grid::{
     paper_platforms, platform_names, platform_refs, select_platforms, ExperimentConfig,
 };
-use gdr_system::report::{compare, BenchReport};
+use gdr_system::report::{collect_host_records, compare, BenchReport};
 
 const USAGE: &str = "\
 gdr-bench: run the GDR-HGNN evaluation grid, emit gdr-bench/v1 JSON, gate regressions
 
 USAGE:
   gdr-bench [--scale test|paper|<factor>] [--seed N] [--platforms A,B,..]
-            [--no-serve] [--out FILE] [--baseline FILE] [--threshold PCT]
+            [--no-serve] [--no-host] [--passes N]
+            [--out FILE] [--baseline FILE] [--threshold PCT]
   gdr-bench --compare NEW --baseline OLD [--threshold PCT]
   gdr-bench --list-platforms
+  gdr-bench host [--scale S] [--seed N] [--passes N] [--out FILE] [--quiet]
   gdr-bench serve [--scale S] [--seed N] [--arrival poisson|bursty|closed-loop]
                   [--rate RPS] [--burst-period NS] [--burst-duty F]
                   [--clients N] [--think NS]
@@ -63,6 +65,8 @@ OPTIONS (grid mode):
   --seed        dataset generation seed                                             [42]
   --platforms   comma-separated subset of the registered platforms                  [all]
   --no-serve    skip the canonical serving suite (grid records only)
+  --no-host     skip the host wall-clock throughput measurement
+  --passes      full frontend passes per host throughput record          [2]
   --out         write the report as pretty JSON to FILE
   --baseline    compare against a previously written report; exit 1 on regression
   --threshold   regression threshold, e.g. \"10%\"                                    [10%]
@@ -100,7 +104,11 @@ struct Args {
     compare_file: Option<String>,
     quiet: bool,
     no_serve: bool,
+    no_host: bool,
+    passes: usize,
     list_platforms: bool,
+    // host-mode flag
+    host: bool,
     // serve-mode flags
     serve: bool,
     suite: bool,
@@ -132,7 +140,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         compare_file: None,
         quiet: false,
         no_serve: false,
+        no_host: false,
+        passes: 2,
         list_platforms: false,
+        host: false,
         serve: false,
         suite: false,
         arrival: "poisson".into(),
@@ -156,6 +167,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     while let Some(flag) = it.next() {
         if first && flag == "serve" {
             args.serve = true;
+            first = false;
+            continue;
+        }
+        if first && flag == "host" {
+            args.host = true;
             first = false;
             continue;
         }
@@ -186,6 +202,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--compare" => args.compare_file = Some(value()?.to_string()),
             "--quiet" => args.quiet = true,
             "--no-serve" => args.no_serve = true,
+            "--no-host" => args.no_host = true,
+            "--passes" => args.passes = parse_num("--passes", value()?)?.max(1) as usize,
             "--list-platforms" => args.list_platforms = true,
             "--suite" => args.suite = true,
             "--arrival" => args.arrival = value()?.to_string(),
@@ -255,6 +273,32 @@ fn finish(args: &Args, report: &BenchReport) -> Result<i32, String> {
         });
     }
     Ok(0)
+}
+
+/// `gdr-bench host`: measure host-side restructuring throughput only —
+/// the wall-clock `host` record family (`graphs_per_sec`,
+/// `ns_per_graph` per dataset × strategy). Reported, never gated: the
+/// values are machine-dependent, so there is no baseline to compare
+/// them against; CI runs this once as a smoke check.
+fn run_host(args: &Args) -> Result<i32, String> {
+    let cfg = ExperimentConfig {
+        seed: args.seed,
+        scale: args.scale,
+    };
+    eprintln!(
+        "gdr-bench host: measuring frontend throughput ({} passes, seed {}, scale {})",
+        args.passes, cfg.seed, cfg.scale
+    );
+    let report = BenchReport {
+        seed: cfg.seed,
+        scale: cfg.scale,
+        platforms: Vec::new(),
+        points: Vec::new(),
+        wall_clock_s: 0.0,
+        serve: Vec::new(),
+        host: collect_host_records(&cfg, args.passes),
+    };
+    finish(args, &report)
 }
 
 /// `gdr-bench serve`: simulate one scenario (or the canonical suite) and
@@ -354,9 +398,11 @@ fn run_serve(args: &Args) -> Result<i32, String> {
         platforms,
         points: Vec::new(),
         // Serve-only reports carry no wall clock: determinism is part of
-        // the contract (CI diffs two runs byte-for-byte).
+        // the contract (CI diffs two runs byte-for-byte) — which is also
+        // why they never carry host records.
         wall_clock_s: 0.0,
         serve: records,
+        host: Vec::new(),
     };
     finish(args, &report)
 }
@@ -369,6 +415,9 @@ fn run(argv: &[String]) -> Result<i32, String> {
             println!("{name}");
         }
         return Ok(0);
+    }
+    if args.host {
+        return run_host(&args);
     }
     if args.serve {
         return run_serve(&args);
@@ -418,6 +467,13 @@ fn run(argv: &[String]) -> Result<i32, String> {
         eprintln!(
             "gdr-bench: serving suite done ({} scenarios)",
             report.serve.len()
+        );
+    }
+    if !args.no_host {
+        report.host = collect_host_records(&cfg, args.passes);
+        eprintln!(
+            "gdr-bench: host throughput done ({} records; wall clock, not gated)",
+            report.host.len()
         );
     }
 

@@ -9,6 +9,7 @@
 use gdr_hetgraph::BipartiteGraph;
 
 use crate::matching::Matching;
+use crate::workspace::MatchScratch;
 
 /// Which construction to use when selecting the backbone from the
 /// decoupling result.
@@ -54,7 +55,7 @@ impl std::fmt::Display for BackboneStrategy {
 /// assert_eq!(b.len(), m.size()); // König: |cover| == |matching|
 /// # Ok::<(), gdr_hetgraph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Backbone {
     src_in: Vec<bool>,
     dst_in: Vec<bool>,
@@ -65,19 +66,40 @@ pub struct Backbone {
 impl Backbone {
     /// Selects the backbone from a decoupling result.
     pub fn select(g: &BipartiteGraph, m: &Matching, strategy: BackboneStrategy) -> Self {
+        let mut out = Backbone::default();
+        let mut scratch = MatchScratch::default();
+        Self::select_into(g, m, strategy, &mut out, &mut scratch);
+        out
+    }
+
+    /// Workspace variant of [`Backbone::select`]: the membership bitmaps
+    /// are rebuilt in place in `out` and BFS state comes from `scratch`,
+    /// so the paper heuristic and König construction allocate nothing at
+    /// steady state. The greedy-degree baseline keeps its allocating
+    /// construction — it is the islandization ablation, not a hot path.
+    /// Results are identical to [`Backbone::select`].
+    pub fn select_into(
+        g: &BipartiteGraph,
+        m: &Matching,
+        strategy: BackboneStrategy,
+        out: &mut Backbone,
+        scratch: &mut MatchScratch,
+    ) {
         match strategy {
-            BackboneStrategy::Paper => Self::paper_heuristic(g, m),
-            BackboneStrategy::KonigExact => Self::konig(g, m),
-            BackboneStrategy::GreedyDegree => Self::greedy_degree(g),
+            BackboneStrategy::Paper => Self::paper_heuristic_into(g, m, out),
+            BackboneStrategy::KonigExact => Self::konig_into(g, m, out, scratch),
+            BackboneStrategy::GreedyDegree => *out = Self::greedy_degree(g),
         }
     }
 
     /// The paper's Algorithm 2, lines 1-18, plus the totality fixup.
-    fn paper_heuristic(g: &BipartiteGraph, m: &Matching) -> Self {
-        let mut src_in = vec![false; g.src_count()];
-        let mut dst_in = vec![false; g.dst_count()];
+    fn paper_heuristic_into(g: &BipartiteGraph, m: &Matching, out: &mut Backbone) {
+        out.src_in.clear();
+        out.src_in.resize(g.src_count(), false);
+        out.dst_in.clear();
+        out.dst_in.resize(g.dst_count(), false);
         // Lines 3-9: matched sources with an unmatched destination neighbor.
-        for (s, slot) in src_in.iter_mut().enumerate() {
+        for (s, slot) in out.src_in.iter_mut().enumerate() {
             if !m.src_matched(s) {
                 continue;
             }
@@ -90,7 +112,7 @@ impl Backbone {
             }
         }
         // Lines 10-16: matched destinations with an unmatched source neighbor.
-        for (d, slot) in dst_in.iter_mut().enumerate() {
+        for (d, slot) in out.dst_in.iter_mut().enumerate() {
             if !m.dst_matched(d) {
                 continue;
             }
@@ -104,30 +126,38 @@ impl Backbone {
         }
         // Totality fixup: an edge between two matched vertices neither of
         // which saw an unmatched neighbor is uncovered; promote its source.
-        let mut fixup_promotions = 0;
+        out.fixup_promotions = 0;
         for e in g.iter_edges() {
-            if !src_in[e.src.index()] && !dst_in[e.dst.index()] {
-                src_in[e.src.index()] = true;
-                fixup_promotions += 1;
+            if !out.src_in[e.src.index()] && !out.dst_in[e.dst.index()] {
+                out.src_in[e.src.index()] = true;
+                out.fixup_promotions += 1;
             }
         }
-        Self {
-            src_in,
-            dst_in,
-            strategy: BackboneStrategy::Paper,
-            fixup_promotions,
-        }
+        out.strategy = BackboneStrategy::Paper;
     }
 
     /// König's minimum vertex cover: `Z` = vertices reachable from
     /// unmatched sources via alternating paths; cover =
     /// `(V_src \ Z) ∪ (V_dst ∩ Z)`.
-    fn konig(g: &BipartiteGraph, m: &Matching) -> Self {
+    fn konig_into(
+        g: &BipartiteGraph,
+        m: &Matching,
+        out: &mut Backbone,
+        scratch: &mut MatchScratch,
+    ) {
         let n_src = g.src_count();
         let n_dst = g.dst_count();
-        let mut z_src = vec![false; n_src];
-        let mut z_dst = vec![false; n_dst];
-        let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        let MatchScratch {
+            z_src,
+            z_dst,
+            queue,
+            ..
+        } = scratch;
+        z_src.clear();
+        z_src.resize(n_src, false);
+        z_dst.clear();
+        z_dst.resize(n_dst, false);
+        queue.clear();
         for (s, z) in z_src.iter_mut().enumerate() {
             if !m.src_matched(s) {
                 *z = true;
@@ -152,14 +182,13 @@ impl Backbone {
                 }
             }
         }
-        let src_in: Vec<bool> = (0..n_src).map(|s| m.src_matched(s) && !z_src[s]).collect();
-        let dst_in: Vec<bool> = (0..n_dst).map(|d| z_dst[d]).collect();
-        Self {
-            src_in,
-            dst_in,
-            strategy: BackboneStrategy::KonigExact,
-            fixup_promotions: 0,
-        }
+        out.src_in.clear();
+        out.src_in
+            .extend((0..n_src).map(|s| m.src_matched(s) && !z_src[s]));
+        out.dst_in.clear();
+        out.dst_in.extend((0..n_dst).map(|d| z_dst[d]));
+        out.strategy = BackboneStrategy::KonigExact;
+        out.fixup_promotions = 0;
     }
 
     /// Greedy max-degree cover: repeatedly take the vertex covering the

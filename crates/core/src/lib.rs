@@ -15,7 +15,10 @@
 //! * [`locality`] — fully-associative LRU analysis quantifying buffer
 //!   thrashing per schedule;
 //! * [`restructure`] — the end-to-end [`restructure::Restructurer`]
-//!   driver, including the paper's recursive sub-subgraph extension.
+//!   driver, including the paper's recursive sub-subgraph extension;
+//! * [`workspace`] — the reusable [`workspace::Workspace`] scratch arena
+//!   behind the zero-allocation `_into`/`_with` variants of all of the
+//!   above.
 //!
 //! # Examples
 //!
@@ -46,9 +49,11 @@ pub mod matching;
 pub mod recouple;
 pub mod restructure;
 pub mod schedule;
+pub mod workspace;
 
 pub use backbone::{Backbone, BackboneStrategy};
 pub use matching::Matching;
 pub use recouple::{RestructuredSubgraphs, SubgraphKind, VertexPartition};
 pub use restructure::{MatcherKind, Restructured, Restructurer};
 pub use schedule::EdgeSchedule;
+pub use workspace::{MatchScratch, RecoupleScratch, Workspace};

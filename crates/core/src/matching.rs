@@ -14,6 +14,8 @@
 
 use gdr_hetgraph::BipartiteGraph;
 
+use crate::workspace::MatchScratch;
+
 /// A matching over a bipartite semantic graph.
 ///
 /// Invariant: `pair_src[s] == Some(d)` iff `pair_dst[d] == Some(s)`.
@@ -29,7 +31,7 @@ use gdr_hetgraph::BipartiteGraph;
 /// assert!(m.is_valid(&g));
 /// # Ok::<(), gdr_hetgraph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Matching {
     pair_src: Vec<Option<u32>>,
     pair_dst: Vec<Option<u32>>,
@@ -45,6 +47,18 @@ impl Matching {
             pair_dst: vec![None; dst_count],
             size: 0,
         }
+    }
+
+    /// Resets to an empty matching over new vertex counts, reusing the
+    /// assignment-table storage — the workspace path of
+    /// [`Matching::empty`]. Equivalent to `*self = Matching::empty(..)`
+    /// without the allocation.
+    pub fn reset(&mut self, src_count: usize, dst_count: usize) {
+        self.pair_src.clear();
+        self.pair_src.resize(src_count, None);
+        self.pair_dst.clear();
+        self.pair_dst.resize(dst_count, None);
+        self.size = 0;
     }
 
     /// Number of matched pairs.
@@ -145,19 +159,26 @@ impl Matching {
 /// first free pair seen. Maximal but in general only a 1/2-approximation
 /// of maximum. Baseline for the decoupling-quality ablation.
 pub fn greedy_matching(g: &BipartiteGraph) -> Matching {
-    let mut m = Matching::empty(g.src_count(), g.dst_count());
+    let mut m = Matching::default();
+    greedy_matching_into(g, &mut m);
+    m
+}
+
+/// Workspace variant of [`greedy_matching`]: the matching is rebuilt in
+/// `out`, reusing its assignment-table storage.
+pub fn greedy_matching_into(g: &BipartiteGraph, out: &mut Matching) {
+    out.reset(g.src_count(), g.dst_count());
     for s in 0..g.src_count() {
-        if m.src_matched(s) {
+        if out.src_matched(s) {
             continue;
         }
         for &d in g.out_neighbors(s) {
-            if !m.dst_matched(d as usize) {
-                m.link(s as u32, d);
+            if !out.dst_matched(d as usize) {
+                out.link(s as u32, d);
                 break;
             }
         }
     }
-    m
 }
 
 /// The paper's Algorithm 1: FIFO-driven augmenting search.
@@ -173,16 +194,40 @@ pub fn greedy_matching(g: &BipartiteGraph) -> Matching {
 /// Returns the matching together with the number of vertex-expansion steps
 /// performed (the work measure the Decoupler's cycle model consumes).
 pub fn fifo_matching_with_stats(g: &BipartiteGraph) -> (Matching, DecouplingStats) {
+    let mut m = Matching::default();
+    let mut scratch = MatchScratch::default();
+    let stats = fifo_matching_into(g, &mut m, &mut scratch);
+    (m, stats)
+}
+
+/// Workspace variant of [`fifo_matching_with_stats`]: the matching is
+/// rebuilt in `out` and every FIFO/bitmap comes from `scratch`, so a
+/// caller looping over graphs performs no heap allocation once the
+/// buffers have grown to the largest graph seen. Results are identical
+/// to the allocating path.
+pub fn fifo_matching_into(
+    g: &BipartiteGraph,
+    out: &mut Matching,
+    scratch: &mut MatchScratch,
+) -> DecouplingStats {
     let n_src = g.src_count();
     let n_dst = g.dst_count();
-    let mut m = Matching::empty(n_src, n_dst);
+    out.reset(n_src, n_dst);
+    let m = out;
     let mut stats = DecouplingStats::default();
 
     // Per-destination "parent" source of the current BFS tree, i.e. the
     // content of Matching_FIFO[v] in hardware.
-    let mut parent_of_dst: Vec<u32> = vec![u32::MAX; n_dst];
-    let mut visited_dst: Vec<u32> = vec![u32::MAX; n_dst]; // epoch-tagged Visited Bm.
-    let mut search_list: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let MatchScratch {
+        parent_of_dst,
+        visited_dst,
+        search_list,
+        ..
+    } = scratch;
+    parent_of_dst.clear();
+    parent_of_dst.resize(n_dst, u32::MAX);
+    visited_dst.clear();
+    visited_dst.resize(n_dst, u32::MAX); // epoch-tagged Visited Bm.
 
     for root in 0..n_src as u32 {
         if m.src_matched(root as usize) || g.out_degree(root as usize) == 0 {
@@ -224,7 +269,7 @@ pub fn fifo_matching_with_stats(g: &BipartiteGraph) -> (Matching, DecouplingStat
             }
         }
     }
-    (m, stats)
+    stats
 }
 
 /// Convenience wrapper over [`fifo_matching_with_stats`] discarding stats.
@@ -266,13 +311,29 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
 
 /// [`hopcroft_karp`] with work counters (see [`PhaseStats`]).
 pub fn hopcroft_karp_with_stats(g: &BipartiteGraph) -> (Matching, PhaseStats) {
+    let mut m = Matching::default();
+    let mut scratch = MatchScratch::default();
+    let stats = hopcroft_karp_into(g, &mut m, &mut scratch);
+    (m, stats)
+}
+
+/// Workspace variant of [`hopcroft_karp_with_stats`]: the matching is
+/// rebuilt in `out`, BFS layers and queues come from `scratch`. Results
+/// are identical to the allocating path.
+pub fn hopcroft_karp_into(
+    g: &BipartiteGraph,
+    out: &mut Matching,
+    scratch: &mut MatchScratch,
+) -> PhaseStats {
     let n_src = g.src_count();
     let n_dst = g.dst_count();
-    let mut m = Matching::empty(n_src, n_dst);
+    out.reset(n_src, n_dst);
+    let m = out;
     let mut stats = PhaseStats::default();
     const INF: u32 = u32::MAX;
-    let mut dist: Vec<u32> = vec![INF; n_src];
-    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let MatchScratch { dist, queue, .. } = scratch;
+    dist.clear();
+    dist.resize(n_src, INF);
 
     loop {
         // BFS phase: layer the graph from free sources.
@@ -335,7 +396,7 @@ pub fn hopcroft_karp_with_stats(g: &BipartiteGraph) -> (Matching, PhaseStats) {
         for s in 0..n_src as u32 {
             if !m.src_matched(s as usize)
                 && dist[s as usize] == 0
-                && dfs(s, g, &mut m, &mut dist, &mut stats.dfs_steps)
+                && dfs(s, g, m, dist, &mut stats.dfs_steps)
             {
                 augmented = true;
             }
@@ -344,7 +405,7 @@ pub fn hopcroft_karp_with_stats(g: &BipartiteGraph) -> (Matching, PhaseStats) {
             break;
         }
     }
-    (m, stats)
+    stats
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use gdr_hetgraph::BipartiteGraph;
 
 use crate::backbone::Backbone;
+use crate::workspace::RecoupleScratch;
 
 /// The four vertex classes of §4.1: source/destination vertices inside or
 /// outside the graph backbone.
@@ -21,7 +22,7 @@ pub enum VertexClass {
 
 /// Vertex partition derived from a [`Backbone`]: the contents of the four
 /// FIFOs (`Src_in`, `Src_out`, `Dst_in`, `Dst_out`) the Recoupler fills.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct VertexPartition {
     src_in: Vec<u32>,
     src_out: Vec<u32>,
@@ -36,20 +37,27 @@ impl VertexPartition {
     /// entirely — the paper's "eliminating irrelevant vertices from each
     /// subgraph".
     pub fn from_backbone(g: &BipartiteGraph, b: &Backbone) -> Self {
-        let mut p = VertexPartition {
-            src_in: Vec::new(),
-            src_out: Vec::new(),
-            dst_in: Vec::new(),
-            dst_out: Vec::new(),
-        };
+        let mut p = VertexPartition::default();
+        Self::from_backbone_into(g, b, &mut p);
+        p
+    }
+
+    /// Workspace variant of [`VertexPartition::from_backbone`]: the four
+    /// class FIFOs are refilled in place, reusing their storage. Results
+    /// are identical to the allocating path.
+    pub fn from_backbone_into(g: &BipartiteGraph, b: &Backbone, out: &mut VertexPartition) {
+        out.src_in.clear();
+        out.src_out.clear();
+        out.dst_in.clear();
+        out.dst_out.clear();
         for s in 0..g.src_count() {
             if g.out_degree(s) == 0 {
                 continue;
             }
             if b.src_in(s) {
-                p.src_in.push(s as u32);
+                out.src_in.push(s as u32);
             } else {
-                p.src_out.push(s as u32);
+                out.src_out.push(s as u32);
             }
         }
         for d in 0..g.dst_count() {
@@ -57,12 +65,11 @@ impl VertexPartition {
                 continue;
             }
             if b.dst_in(d) {
-                p.dst_in.push(d as u32);
+                out.dst_in.push(d as u32);
             } else {
-                p.dst_out.push(d as u32);
+                out.dst_out.push(d as u32);
             }
         }
-        p
     }
 
     /// Sources inside the backbone.
@@ -143,22 +150,57 @@ impl std::fmt::Display for SubgraphKind {
 /// The output of `GenerateGraph`: the three subgraphs `G_Ps1..G_Ps3`, each
 /// over the **original** vertex id spaces so feature tables need no
 /// remapping.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RestructuredSubgraphs {
     subgraphs: [BipartiteGraph; 3],
+    cover_violations: usize,
 }
 
 impl RestructuredSubgraphs {
     /// Partitions the edges of `g` into the three subgraphs.
+    ///
+    /// A backbone that is not a vertex cover of `g` trips a debug
+    /// assertion; in release builds the offending edges are filed into
+    /// the `in-out` subgraph to keep the partition total, and counted
+    /// into [`RestructuredSubgraphs::cover_violations`] so callers can
+    /// detect the breach instead of silently consuming a wrong
+    /// restructuring.
     ///
     /// # Panics
     ///
     /// Panics (debug assertion) if an edge has neither endpoint in the
     /// backbone, i.e. if `b` is not a vertex cover of `g`.
     pub fn generate(g: &BipartiteGraph, b: &Backbone) -> Self {
-        let mut in_out: Vec<(u32, u32)> = Vec::new();
-        let mut in_in: Vec<(u32, u32)> = Vec::new();
-        let mut out_in: Vec<(u32, u32)> = Vec::new();
+        let mut out = RestructuredSubgraphs::default();
+        let mut scratch = RecoupleScratch::default();
+        Self::generate_into(g, b, &mut out, &mut scratch);
+        out
+    }
+
+    /// Workspace variant of [`RestructuredSubgraphs::generate`]: the
+    /// three subgraphs are rebuilt **in place** — their CSR and name
+    /// storage reused through
+    /// [`BipartiteGraph::rebuild_from_pairs`] — and the edge-partition
+    /// buffers come from `scratch`, so regenerating subgraphs in a loop
+    /// performs no heap allocation at steady state. Results are
+    /// identical to the allocating path, including the release-mode
+    /// cover-violation accounting.
+    pub fn generate_into(
+        g: &BipartiteGraph,
+        b: &Backbone,
+        out: &mut RestructuredSubgraphs,
+        scratch: &mut RecoupleScratch,
+    ) {
+        let RecoupleScratch {
+            in_out,
+            in_in,
+            out_in,
+            cursor,
+        } = scratch;
+        in_out.clear();
+        in_in.clear();
+        out_in.clear();
+        let mut violations = 0usize;
         for e in g.iter_edges() {
             let (s, d) = (e.src.raw(), e.dst.raw());
             match (b.src_in(s as usize), b.dst_in(d as usize)) {
@@ -167,27 +209,38 @@ impl RestructuredSubgraphs {
                 (false, true) => out_in.push((s, d)),
                 (false, false) => {
                     debug_assert!(false, "backbone is not a vertex cover: edge {e}");
-                    // Release-mode fallback keeps the partition total.
+                    // Release-mode fallback keeps the partition total;
+                    // the breach is surfaced through cover_violations.
+                    violations += 1;
                     in_out.push((s, d));
                 }
             }
         }
-        let make = |name: &str, pairs: &[(u32, u32)]| {
-            BipartiteGraph::from_pairs(
-                format!("{}/{}", g.name(), name),
-                g.src_count(),
-                g.dst_count(),
-                pairs,
-            )
-            .expect("edges come from a validated graph")
-        };
-        Self {
-            subgraphs: [
-                make("in-out", &in_out),
-                make("in-in", &in_in),
-                make("out-in", &out_in),
-            ],
+        for (slot, name, pairs) in [
+            (0, "in-out", &*in_out),
+            (1, "in-in", &*in_in),
+            (2, "out-in", &*out_in),
+        ] {
+            out.subgraphs[slot]
+                .rebuild_from_pairs(
+                    format_args!("{}/{}", g.name(), name),
+                    g.src_count(),
+                    g.dst_count(),
+                    pairs,
+                    cursor,
+                )
+                .expect("edges come from a validated graph");
         }
+        out.cover_violations = violations;
+    }
+
+    /// Number of edges whose endpoints were **both** outside the
+    /// backbone — vertex-cover violations. Always 0 for a valid
+    /// backbone; nonzero means the restructuring consumed a non-cover
+    /// backbone and mis-filed these edges into the `in-out` subgraph
+    /// (debug builds assert instead).
+    pub fn cover_violations(&self) -> usize {
+        self.cover_violations
     }
 
     /// The subgraph of a given kind.
@@ -294,6 +347,36 @@ mod tests {
         for e in r.get(SubgraphKind::OutIn).iter_edges() {
             assert!(!b.src_in(e.src.index()) && b.dst_in(e.dst.index()));
         }
+    }
+
+    #[test]
+    fn valid_backbones_report_zero_cover_violations() {
+        for seed in 0..5 {
+            let (g, b) = setup(seed);
+            let r = RestructuredSubgraphs::generate(&g, &b);
+            assert_eq!(r.cover_violations(), 0, "seed {seed}");
+        }
+    }
+
+    /// The release-mode fallback: a non-cover backbone mis-files edges
+    /// into `in-out` but now *counts* them, so callers can detect the
+    /// breach without the debug assertion. (In debug builds the
+    /// assertion fires first, so this test only runs in release.)
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn non_cover_backbone_is_counted_not_silent() {
+        use crate::matching::Matching;
+        // An all-out backbone selected for an edgeless graph…
+        let empty = BipartiteGraph::from_pairs("e", 2, 2, &[]).unwrap();
+        let m = Matching::empty(2, 2);
+        let b = Backbone::select(&empty, &m, BackboneStrategy::Paper);
+        assert!(b.is_empty());
+        // …misses every edge of a non-empty graph of the same shape.
+        let g = BipartiteGraph::from_pairs("g", 2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let r = RestructuredSubgraphs::generate(&g, &b);
+        assert_eq!(r.cover_violations(), 2);
+        assert_eq!(r.total_edges(), g.edge_count(), "partition stays total");
+        assert_eq!(r.get(SubgraphKind::InOut).edge_count(), 2);
     }
 
     #[test]

@@ -12,10 +12,12 @@ use gdr_hetgraph::BipartiteGraph;
 
 use crate::backbone::{Backbone, BackboneStrategy};
 use crate::matching::{
-    fifo_matching_with_stats, greedy_matching, hopcroft_karp, DecouplingStats, Matching,
+    fifo_matching_into, fifo_matching_with_stats, greedy_matching, greedy_matching_into,
+    hopcroft_karp, hopcroft_karp_into, DecouplingStats, Matching,
 };
 use crate::recouple::{RestructuredSubgraphs, SubgraphKind, VertexPartition};
 use crate::schedule::EdgeSchedule;
+use crate::workspace::Workspace;
 
 /// Which matching engine performs graph decoupling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -129,28 +131,88 @@ impl Restructurer {
     }
 
     /// Restructures one semantic graph.
+    ///
+    /// This is the allocating entry point: it builds a transient
+    /// [`Workspace`], runs [`Restructurer::restructure_with`], and moves
+    /// the results out — so it costs exactly one restructuring pass
+    /// worth of allocations. Callers restructuring many graphs should
+    /// hold a workspace and call `restructure_with` directly.
     pub fn restructure(&self, g: &BipartiteGraph) -> Restructured {
-        let (matching, decoupling_stats) = self.run_matcher(g);
-        let backbone = Backbone::select(g, &matching, self.strategy);
-        let partition = VertexPartition::from_backbone(g, &backbone);
-        let subgraphs = RestructuredSubgraphs::generate(g, &backbone);
-        let schedule = if self.recursion_depth == 0 {
-            EdgeSchedule::restructured(&subgraphs)
+        let mut ws = Workspace::new();
+        let decoupling_stats = self.restructure_with(&mut ws, g);
+        let name = if self.recursion_depth == 0 {
+            "restructured"
         } else {
-            let mut edges = Vec::with_capacity(g.edge_count());
-            for (kind, sg) in subgraphs.iter() {
-                self.schedule_recursive(kind, sg, self.recursion_depth, &mut edges);
-            }
-            EdgeSchedule::new("restructured-recursive", edges)
+            "restructured-recursive"
         };
         Restructured {
-            matching,
-            backbone,
-            partition,
-            subgraphs,
-            schedule,
+            matching: ws.matching,
+            backbone: ws.backbone,
+            partition: ws.partition,
+            subgraphs: ws.subgraphs,
+            schedule: EdgeSchedule::new(name, ws.edges),
             decoupling_stats,
         }
+    }
+
+    /// Restructures one semantic graph **into a reusable workspace**:
+    /// decouple → select backbone → partition → generate subgraphs →
+    /// emit the schedule, with every intermediate rebuilt in place. At
+    /// steady state (buffers grown to the largest graph seen) the pass
+    /// performs zero heap allocation; results are byte-identical to
+    /// [`Restructurer::restructure`], which the 48-seed property net in
+    /// `crates/core/tests/workspace_properties.rs` pins.
+    ///
+    /// On return the workspace holds the full result: `ws.matching`,
+    /// `ws.backbone`, `ws.partition`, `ws.subgraphs` (including
+    /// [`RestructuredSubgraphs::cover_violations`]), and the schedule
+    /// edge order in `ws.edges`. The returned [`DecouplingStats`] carry
+    /// the FIFO matcher's work counters (zero for the other engines, as
+    /// in the allocating path).
+    ///
+    /// Recursive refinement (`recursion_depth > 0`) reuses the workspace
+    /// for the top level; the recursion into sub-subgraphs allocates per
+    /// level, exactly as before — it is an offline schedule-quality
+    /// extension, not the streaming hot path.
+    pub fn restructure_with(&self, ws: &mut Workspace, g: &BipartiteGraph) -> DecouplingStats {
+        let stats = match self.matcher {
+            MatcherKind::Fifo => fifo_matching_into(g, &mut ws.matching, &mut ws.match_scratch),
+            MatcherKind::HopcroftKarp => {
+                hopcroft_karp_into(g, &mut ws.matching, &mut ws.match_scratch);
+                DecouplingStats::default()
+            }
+            MatcherKind::Greedy => {
+                greedy_matching_into(g, &mut ws.matching);
+                DecouplingStats::default()
+            }
+        };
+        Backbone::select_into(
+            g,
+            &ws.matching,
+            self.strategy,
+            &mut ws.backbone,
+            &mut ws.match_scratch,
+        );
+        VertexPartition::from_backbone_into(g, &ws.backbone, &mut ws.partition);
+        RestructuredSubgraphs::generate_into(
+            g,
+            &ws.backbone,
+            &mut ws.subgraphs,
+            &mut ws.recouple_scratch,
+        );
+        if self.recursion_depth == 0 {
+            EdgeSchedule::restructured_into(&ws.subgraphs, &mut ws.edges);
+        } else {
+            let Workspace {
+                subgraphs, edges, ..
+            } = ws;
+            edges.clear();
+            edges.reserve(g.edge_count());
+            for (kind, sg) in subgraphs.iter() {
+                self.schedule_recursive(kind, sg, self.recursion_depth, edges);
+            }
+        }
+        stats
     }
 
     fn schedule_recursive(
@@ -226,6 +288,15 @@ impl Restructured {
     /// The three generated subgraphs.
     pub fn subgraphs(&self) -> &RestructuredSubgraphs {
         &self.subgraphs
+    }
+
+    /// Vertex-cover violations seen while generating the subgraphs
+    /// (see [`RestructuredSubgraphs::cover_violations`]). Always 0 for
+    /// the shipped backbone strategies; a nonzero value in a release
+    /// build means the restructuring consumed a broken backbone and the
+    /// schedule's locality guarantees do not hold.
+    pub fn cover_violations(&self) -> usize {
+        self.subgraphs.cover_violations()
     }
 
     /// The restructured edge schedule (possibly recursively refined).

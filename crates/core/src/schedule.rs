@@ -151,25 +151,36 @@ impl EdgeSchedule {
     ///   finishes in one burst, backbone sources stay on-chip).
     pub fn restructured(r: &RestructuredSubgraphs) -> Self {
         let mut edges = Vec::with_capacity(r.total_edges());
+        Self::restructured_into(r, &mut edges);
+        Self::new("restructured", edges)
+    }
+
+    /// Workspace variant of [`EdgeSchedule::restructured`]: emits the
+    /// restructured order into a reusable buffer (cleared first) instead
+    /// of allocating a schedule, for callers that re-emit schedules in a
+    /// loop. The buffer contents equal
+    /// `EdgeSchedule::restructured(r).edges()`.
+    pub fn restructured_into(r: &RestructuredSubgraphs, out: &mut Vec<Edge>) {
+        out.clear();
+        out.reserve(r.total_edges());
         for (kind, sg) in r.iter() {
             match kind {
                 SubgraphKind::OutIn => {
                     for s in 0..sg.src_count() {
                         for &d in sg.out_neighbors(s) {
-                            edges.push(Edge::new(s as u32, d));
+                            out.push(Edge::new(s as u32, d));
                         }
                     }
                 }
                 SubgraphKind::InIn | SubgraphKind::InOut => {
                     for d in 0..sg.dst_count() {
                         for &s in sg.in_neighbors(d) {
-                            edges.push(Edge::new(s, d as u32));
+                            out.push(Edge::new(s, d as u32));
                         }
                     }
                 }
             }
         }
-        Self::new("restructured", edges)
     }
 
     /// The GDR-HGNN restructured order walking each subgraph **backbone

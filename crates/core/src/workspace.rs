@@ -1,0 +1,157 @@
+//! Reusable scratch arena for the restructuring hot path.
+//!
+//! The GDR-HGNN frontend restructures semantic graphs continuously —
+//! one per accelerator execution, one per serving request batch — and
+//! the naive implementation pays allocator traffic for every one of
+//! them: fresh matching tables, BFS queues, partition FIFOs, and six
+//! CSR arrays per graph. A [`Workspace`] owns all of that state once
+//! and the `_into`/`_with` variants of the restructuring steps
+//! ([`crate::matching::fifo_matching_into`],
+//! [`crate::backbone::Backbone::select_into`],
+//! [`crate::recouple::RestructuredSubgraphs::generate_into`],
+//! [`crate::schedule::EdgeSchedule::restructured_into`],
+//! [`crate::restructure::Restructurer::restructure_with`]) reuse it:
+//! buffers are `clear()`ed, never dropped, and subgraph
+//! [`BipartiteGraph`](gdr_hetgraph::BipartiteGraph)s are rebuilt in
+//! place through
+//! [`BipartiteGraph::rebuild_from_pairs`](gdr_hetgraph::BipartiteGraph::rebuild_from_pairs).
+//! At steady state — once every buffer has grown to the largest graph
+//! seen — a restructuring pass performs **zero heap allocation** for
+//! its intermediates; only retained products (an owned schedule, DRAM
+//! request logs) still allocate.
+//!
+//! Results are byte-identical to the allocating paths, which remain
+//! available as thin wrappers constructing a transient workspace; a
+//! 48-seed property net (`crates/core/tests/workspace_properties.rs`)
+//! pins the equivalence over long reuse sequences with interleaved
+//! graph sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use gdr_core::restructure::Restructurer;
+//! use gdr_core::workspace::Workspace;
+//! use gdr_hetgraph::gen::PowerLawConfig;
+//!
+//! let r = Restructurer::new();
+//! let mut ws = Workspace::new();
+//! for seed in 0..4 {
+//!     let g = PowerLawConfig::new(60, 60, 240).generate("g", seed);
+//!     r.restructure_with(&mut ws, &g);
+//!     assert_eq!(ws.subgraphs.total_edges(), g.edge_count());
+//!     assert_eq!(ws.edges.len(), g.edge_count());
+//! }
+//! ```
+
+use std::collections::VecDeque;
+
+use gdr_hetgraph::Edge;
+
+use crate::backbone::Backbone;
+use crate::matching::Matching;
+use crate::recouple::{RestructuredSubgraphs, VertexPartition};
+
+/// Scratch consumed by the matching engines and backbone selection:
+/// the decoupling FIFOs, epoch-tagged bitmaps, BFS layer arrays, and
+/// alternating-reachability marks. Every buffer is length-reset per
+/// graph but keeps its capacity.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Per-destination BFS parent — the `Matching_FIFO` head contents
+    /// of the paper's Algorithm 1.
+    pub parent_of_dst: Vec<u32>,
+    /// Epoch-tagged visited bitmap over destinations (`Visited Bm.`).
+    pub visited_dst: Vec<u32>,
+    /// The `Search_List` FIFO driving the augmenting search.
+    pub search_list: VecDeque<u32>,
+    /// Per-source BFS layer distances (Hopcroft-Karp phases, also the
+    /// hardware decoupler's bulk-synchronous search).
+    pub dist: Vec<u32>,
+    /// Shared BFS queue (phase layering, König alternating paths).
+    pub queue: VecDeque<u32>,
+    /// König `Z`-set membership, source side.
+    pub z_src: Vec<bool>,
+    /// König `Z`-set membership, destination side.
+    pub z_dst: Vec<bool>,
+}
+
+/// Scratch consumed by three-subgraph generation: the per-class edge
+/// partition buffers and the CSR counting-sort cursor used by the
+/// in-place rebuilds.
+#[derive(Debug, Clone, Default)]
+pub struct RecoupleScratch {
+    /// `Src_in × Dst_out` edge-partition buffer.
+    pub in_out: Vec<(u32, u32)>,
+    /// `Src_in × Dst_in` edge-partition buffer.
+    pub in_in: Vec<(u32, u32)>,
+    /// `Src_out × Dst_in` edge-partition buffer.
+    pub out_in: Vec<(u32, u32)>,
+    /// Counting-sort cursor for
+    /// [`Csr`](gdr_hetgraph::Csr) rebuilds.
+    pub cursor: Vec<u32>,
+}
+
+/// The reusable restructuring arena: output slots rebuilt in place
+/// (matching, backbone, partition, subgraphs, schedule edges) plus the
+/// scratch that produces them. One workspace serves any sequence of
+/// graphs — sizes may differ wildly between calls; buffers resize
+/// (upward allocations amortize away, downward resets are free).
+///
+/// Fields are public by design: the `_into` steps are usable à la carte
+/// (an external engine like the hardware Decoupler model borrows
+/// `matching` and `match_scratch` while leaving the rest untouched),
+/// and disjoint field borrows keep the pipeline free of artificial
+/// aliasing conflicts.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Matching output slot (graph decoupling result).
+    pub matching: Matching,
+    /// Matching-engine and backbone-selection scratch.
+    pub match_scratch: MatchScratch,
+    /// Backbone output slot (membership bitmaps rebuilt in place).
+    pub backbone: Backbone,
+    /// Four-way vertex partition output slot.
+    pub partition: VertexPartition,
+    /// Three-subgraph output slot; each
+    /// [`BipartiteGraph`](gdr_hetgraph::BipartiteGraph) rebuilds its CSR
+    /// storage in place.
+    pub subgraphs: RestructuredSubgraphs,
+    /// Edge-partition and CSR-rebuild scratch.
+    pub recouple_scratch: RecoupleScratch,
+    /// Schedule emission buffer: after
+    /// [`Restructurer::restructure_with`](crate::restructure::Restructurer::restructure_with)
+    /// this holds the restructured edge order.
+    pub edges: Vec<Edge>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace. All buffers start unallocated and
+    /// grow to the working-set size over the first graphs processed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::fifo_matching_into;
+    use gdr_hetgraph::gen::PowerLawConfig;
+
+    #[test]
+    fn workspace_buffers_keep_capacity_across_graphs() {
+        let mut ws = Workspace::new();
+        let big = PowerLawConfig::new(300, 300, 1200).generate("b", 1);
+        let small = PowerLawConfig::new(10, 10, 20).generate("s", 2);
+        fifo_matching_into(&big, &mut ws.matching, &mut ws.match_scratch);
+        let cap = ws.match_scratch.visited_dst.capacity();
+        assert!(cap >= 300);
+        fifo_matching_into(&small, &mut ws.matching, &mut ws.match_scratch);
+        assert_eq!(
+            ws.match_scratch.visited_dst.capacity(),
+            cap,
+            "shrinking graphs must not shed capacity"
+        );
+        assert_eq!(ws.matching.pair_src().len(), 10);
+    }
+}

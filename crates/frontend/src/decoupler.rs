@@ -10,9 +10,8 @@
 //! with Hopcroft-Karp — plus a cycle count derived from the
 //! micro-operations performed.
 
-use std::collections::VecDeque;
-
 use gdr_core::matching::Matching;
+use gdr_core::workspace::{MatchScratch, Workspace};
 use gdr_hetgraph::BipartiteGraph;
 use gdr_memsim::hashtable::HashTable;
 use gdr_memsim::hbm::MemRequest;
@@ -54,6 +53,21 @@ pub struct DecouplerRun {
     pub requests: Vec<MemRequest>,
 }
 
+/// Outcome of a workspace decoupling run
+/// ([`Decoupler::decouple_with`]): everything but the matching, which
+/// lands in the workspace's `matching` slot so its tables can be reused
+/// by the next graph.
+#[derive(Debug, Clone)]
+pub struct DecoupleOutcome {
+    /// Cycle count of the run.
+    pub cycles: u64,
+    /// Micro-operation counters.
+    pub stats: DecouplerStats,
+    /// DRAM traffic issued by the Decoupler (owned: the caller retains
+    /// request logs across graphs, so they cannot live in the arena).
+    pub requests: Vec<MemRequest>,
+}
+
 /// The Decoupler model.
 ///
 /// # Examples
@@ -90,10 +104,32 @@ impl Decoupler {
     }
 
     /// Runs graph decoupling on one semantic graph.
+    ///
+    /// Thin wrapper over [`Decoupler::decouple_with`] with a transient
+    /// workspace; callers decoupling many graphs should hold a
+    /// [`Workspace`] and use the `_with` path.
     pub fn decouple(&self, g: &BipartiteGraph) -> DecouplerRun {
+        let mut ws = Workspace::new();
+        let out = self.decouple_with(&mut ws, g);
+        DecouplerRun {
+            matching: ws.matching,
+            cycles: out.cycles,
+            stats: out.stats,
+            requests: out.requests,
+        }
+    }
+
+    /// Runs graph decoupling through a reusable [`Workspace`]: the
+    /// matching is rebuilt in `ws.matching` and the bulk-synchronous
+    /// search reuses `ws.match_scratch`'s BFS arrays, so the modeled
+    /// datapath allocates only its per-run outputs (the DRAM request
+    /// log) at steady state. Results are identical to
+    /// [`Decoupler::decouple`].
+    pub fn decouple_with(&self, ws: &mut Workspace, g: &BipartiteGraph) -> DecoupleOutcome {
         let n_src = g.src_count();
         let n_dst = g.dst_count();
-        let mut matching = Matching::empty(n_src, n_dst);
+        let matching = &mut ws.matching;
+        matching.reset(n_src, n_dst);
         let mut stats = DecouplerStats::default();
         let mut requests = Vec::new();
 
@@ -130,8 +166,9 @@ impl Decoupler {
         // (this is exactly a Hopcroft-Karp phase, keeping the Decoupler
         // linear even on dense semantic graphs).
         const INF: u32 = u32::MAX;
-        let mut dist: Vec<u32> = vec![INF; n_src];
-        let mut queue: VecDeque<u32> = VecDeque::new();
+        let MatchScratch { dist, queue, .. } = &mut ws.match_scratch;
+        dist.clear();
+        dist.resize(n_src, INF);
         loop {
             stats.phases += 1;
             queue.clear();
@@ -197,7 +234,7 @@ impl Decoupler {
             for s in 0..n_src as u32 {
                 if !matching.src_matched(s as usize)
                     && dist[s as usize] == 0
-                    && dfs(s, g, &mut matching, &mut dist, &mut stats.augment_steps)
+                    && dfs(s, g, matching, dist, &mut stats.augment_steps)
                 {
                     augmented = true;
                 }
@@ -230,8 +267,7 @@ impl Decoupler {
         let serial_ops = stats.augment_steps + stats.matching_buffer_spills;
         let cycles = parallel_ops + serial_ops;
 
-        DecouplerRun {
-            matching,
+        DecoupleOutcome {
             cycles,
             stats,
             requests,

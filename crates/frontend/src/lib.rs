@@ -11,7 +11,8 @@
 //! * [`pipeline`] — the epoch-overlapped Decoupler → Recoupler →
 //!   accelerator pipeline with exposed-cycle accounting;
 //! * [`session`] — the lazy, streaming [`Session`] API: per-graph
-//!   results on demand, parallel fan-out across cores;
+//!   results on demand, parallel fan-out across cores, one reused
+//!   restructuring [`Workspace`] per stream/lane;
 //! * [`area_power`] — Fig. 10's component-level area/power estimate;
 //! * [`config`] — Table 3 hardware parameters.
 //!
@@ -42,7 +43,10 @@ pub mod session;
 
 pub use area_power::FrontendAreaPower;
 pub use config::FrontendConfig;
-pub use decoupler::{Decoupler, DecouplerRun};
+pub use decoupler::{DecoupleOutcome, Decoupler, DecouplerRun};
 pub use pipeline::{FrontendPipeline, FrontendRun, GraphResult};
-pub use recoupler::{Recoupler, RecouplerRun};
+pub use recoupler::{RecoupleOutcome, Recoupler, RecouplerRun};
 pub use session::Session;
+// The reusable restructuring arena, re-exported so downstream layers
+// (serving, benches) can hold one without a direct gdr-core dependency.
+pub use gdr_core::workspace::Workspace;

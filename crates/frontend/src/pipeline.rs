@@ -8,6 +8,7 @@
 //! cycles are exposed.
 
 use gdr_core::schedule::EdgeSchedule;
+use gdr_core::workspace::Workspace;
 use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult};
 use gdr_memsim::hbm::MemRequest;
 
@@ -161,9 +162,25 @@ impl FrontendPipeline {
     }
 
     /// Restructures one semantic graph.
+    ///
+    /// Thin wrapper over [`FrontendPipeline::process_with`] constructing
+    /// a transient [`Workspace`]; callers restructuring many graphs
+    /// should hold one workspace and use the `_with` path (the
+    /// [`crate::session::Session`] API does this automatically).
     pub fn process(&self, g: &BipartiteGraph) -> GraphResult {
-        let dec = self.decoupler.decouple(g);
-        let rec = self.recoupler.recouple(g, &dec.matching);
+        self.process_with(&mut Workspace::new(), g)
+    }
+
+    /// Restructures one semantic graph through a reusable [`Workspace`]:
+    /// Decoupler and Recoupler intermediates (matching tables, BFS
+    /// arrays, partition FIFOs, subgraph CSRs) are rebuilt in place, so
+    /// at steady state only the retained products — the schedule and the
+    /// DRAM request log — allocate. Results are identical to
+    /// [`FrontendPipeline::process`].
+    pub fn process_with(&self, ws: &mut Workspace, g: &BipartiteGraph) -> GraphResult {
+        let dec = self.decoupler.decouple_with(ws, g);
+        let matching_size = ws.matching.size();
+        let rec = self.recoupler.recouple_with(ws, g);
         let mut requests = dec.requests;
         requests.extend(rec.requests);
         // Decoupler and Recoupler are themselves pipelined (Fig. 4): the
@@ -174,22 +191,29 @@ impl FrontendPipeline {
         GraphResult {
             schedule: rec.schedule,
             cycles,
-            matching_size: dec.matching.size(),
-            backbone_size: rec.backbone.len(),
+            matching_size,
+            backbone_size: ws.backbone.len(),
             requests,
             decoupler_stats: dec.stats,
             recoupler_stats: rec.stats,
         }
     }
 
-    /// Restructures every semantic graph of a dataset, eagerly.
+    /// Restructures every semantic graph of a dataset, eagerly, through
+    /// one reused workspace.
     ///
     /// This is the batch adapter over the streaming API: equivalent to
     /// `Session::with_pipeline(self.clone(), graphs).process()`. Prefer
     /// [`crate::session::Session`] when results should stream per graph
     /// or fan out across cores.
     pub fn process_all(&self, graphs: &[BipartiteGraph]) -> FrontendRun {
-        FrontendRun::from_results(graphs.iter().map(|g| self.process(g)).collect())
+        let mut ws = Workspace::new();
+        FrontendRun::from_results(
+            graphs
+                .iter()
+                .map(|g| self.process_with(&mut ws, g))
+                .collect(),
+        )
     }
 }
 
@@ -244,6 +268,28 @@ mod tests {
         assert_eq!(m[1].1, run.total_cycles() as f64);
         assert_eq!(m[2].1, run.total_bytes() as f64);
         assert!(run.total_matching() > 0 && run.total_backbone() > 0);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_processing() {
+        // The hardware path through one long-lived workspace must be
+        // indistinguishable from transient-workspace processing, graph
+        // by graph — schedules, cycles, requests, and both counter sets.
+        let het = Dataset::Dblp.build_scaled(3, 0.05);
+        let graphs = het.all_semantic_graphs();
+        let pipeline = FrontendPipeline::new(FrontendConfig::default());
+        let mut ws = Workspace::new();
+        for g in &graphs {
+            let reused = pipeline.process_with(&mut ws, g);
+            let fresh = pipeline.process(g);
+            assert_eq!(reused.schedule, fresh.schedule, "{}", g.name());
+            assert_eq!(reused.cycles, fresh.cycles, "{}", g.name());
+            assert_eq!(reused.matching_size, fresh.matching_size);
+            assert_eq!(reused.backbone_size, fresh.backbone_size);
+            assert_eq!(reused.requests, fresh.requests, "{}", g.name());
+            assert_eq!(reused.decoupler_stats, fresh.decoupler_stats);
+            assert_eq!(reused.recoupler_stats, fresh.recoupler_stats);
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use gdr_core::backbone::{Backbone, BackboneStrategy};
 use gdr_core::matching::Matching;
 use gdr_core::recouple::{RestructuredSubgraphs, VertexPartition};
 use gdr_core::schedule::EdgeSchedule;
+use gdr_core::workspace::{MatchScratch, RecoupleScratch, Workspace};
 use gdr_hetgraph::BipartiteGraph;
 use gdr_memsim::fifo::HwFifo;
 use gdr_memsim::hbm::MemRequest;
@@ -31,6 +32,23 @@ pub struct RecouplerStats {
     pub edges_emitted: u64,
     /// Adjacency-buffer overflow fetches served from DRAM.
     pub adj_spill_fetches: u64,
+}
+
+/// Outcome of a workspace recoupling run
+/// ([`Recoupler::recouple_with`]): the owned products — the schedule
+/// handed to the accelerator, cycles, counters, DRAM requests — while
+/// the backbone, partition, and subgraphs land in the workspace slots
+/// for in-place reuse by the next graph.
+#[derive(Debug, Clone)]
+pub struct RecoupleOutcome {
+    /// The restructured edge schedule handed to the accelerator.
+    pub schedule: EdgeSchedule,
+    /// Cycle count of the run.
+    pub cycles: u64,
+    /// Micro-operation counters.
+    pub stats: RecouplerStats,
+    /// DRAM traffic (adjacency overflow fetches, subgraph write-out).
+    pub requests: Vec<MemRequest>,
 }
 
 /// Result of recoupling one semantic graph in hardware.
@@ -90,14 +108,84 @@ impl Recoupler {
 
     /// Runs graph recoupling from the Decoupler's matching, producing the
     /// restructured subgraphs and their execution schedule.
+    ///
+    /// Thin wrapper over the workspace path with a transient
+    /// [`Workspace`]; callers recoupling many graphs should hold one and
+    /// use [`Recoupler::recouple_with`].
     pub fn recouple(&self, g: &BipartiteGraph, matching: &Matching) -> RecouplerRun {
+        let mut ws = Workspace::new();
+        let out = self.recouple_parts(
+            g,
+            matching,
+            &mut ws.backbone,
+            &mut ws.partition,
+            &mut ws.subgraphs,
+            &mut ws.match_scratch,
+            &mut ws.recouple_scratch,
+        );
+        RecouplerRun {
+            backbone: ws.backbone,
+            partition: ws.partition,
+            subgraphs: ws.subgraphs,
+            schedule: out.schedule,
+            cycles: out.cycles,
+            stats: out.stats,
+            requests: out.requests,
+        }
+    }
+
+    /// Runs graph recoupling through a reusable [`Workspace`]: consumes
+    /// the matching left in `ws.matching` by
+    /// [`Decoupler::decouple_with`](crate::decoupler::Decoupler::decouple_with),
+    /// rebuilds `ws.backbone` / `ws.partition` / `ws.subgraphs` in
+    /// place, and returns only the owned products. Results are identical
+    /// to [`Recoupler::recouple`] on the same matching.
+    pub fn recouple_with(&self, ws: &mut Workspace, g: &BipartiteGraph) -> RecoupleOutcome {
+        let Workspace {
+            matching,
+            match_scratch,
+            backbone,
+            partition,
+            subgraphs,
+            recouple_scratch,
+            ..
+        } = ws;
+        self.recouple_parts(
+            g,
+            matching,
+            backbone,
+            partition,
+            subgraphs,
+            match_scratch,
+            recouple_scratch,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recouple_parts(
+        &self,
+        g: &BipartiteGraph,
+        matching: &Matching,
+        backbone_out: &mut Backbone,
+        partition_out: &mut VertexPartition,
+        subgraphs_out: &mut RestructuredSubgraphs,
+        match_scratch: &mut MatchScratch,
+        recouple_scratch: &mut RecoupleScratch,
+    ) -> RecoupleOutcome {
         let mut stats = RecouplerStats::default();
         let mut requests = Vec::new();
 
         // ---- Backbone Searcher (Algorithm 2 through the datapath) ----
         // The functional selection is delegated to gdr-core (same
         // algorithm); here we charge the hardware events it implies.
-        let backbone = Backbone::select(g, matching, BackboneStrategy::Paper);
+        Backbone::select_into(
+            g,
+            matching,
+            BackboneStrategy::Paper,
+            backbone_out,
+            match_scratch,
+        );
+        let backbone = &*backbone_out;
         for s in 0..g.src_count() {
             if matching.src_matched(s) {
                 stats.candidates_examined += 1;
@@ -125,7 +213,8 @@ impl Recoupler {
         }
 
         // ---- Class FIFOs ----
-        let partition = VertexPartition::from_backbone(g, &backbone);
+        VertexPartition::from_backbone_into(g, backbone, partition_out);
+        let partition = &*partition_out;
         let entries = self.cfg.class_fifo_entries();
         let mut fifos = [
             HwFifo::<u32>::new("src_in", entries),
@@ -155,8 +244,8 @@ impl Recoupler {
         }
 
         // ---- Graph Generator ----
-        let subgraphs = RestructuredSubgraphs::generate(g, &backbone);
-        let schedule = EdgeSchedule::restructured(&subgraphs);
+        RestructuredSubgraphs::generate_into(g, backbone, subgraphs_out, recouple_scratch);
+        let schedule = EdgeSchedule::restructured(&*subgraphs_out);
         stats.edges_emitted = schedule.len() as u64;
         // restructured topology streams back to HBM for the accelerator
         let out_bytes = stats.edges_emitted * 8;
@@ -176,10 +265,7 @@ impl Recoupler {
             + stats.fifo_stalls
             + stats.adj_spill_fetches.div_ceil(w);
 
-        RecouplerRun {
-            backbone,
-            partition,
-            subgraphs,
+        RecoupleOutcome {
             schedule,
             cycles,
             stats,

@@ -16,6 +16,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use gdr_core::workspace::Workspace;
 use gdr_hetgraph::BipartiteGraph;
 
 use crate::config::FrontendConfig;
@@ -106,16 +107,36 @@ impl<'g> Session<'g> {
     /// order. Each result is computed when the iterator is advanced —
     /// nothing is buffered, so a consumer that stops early (or feeds an
     /// accelerator graph-by-graph, as the §4.3 overlap pipeline does)
-    /// never pays for the tail.
+    /// never pays for the tail. The iterator owns one restructuring
+    /// [`Workspace`] and reuses it across every graph it yields, so the
+    /// stream's intermediates stop allocating once the buffers reach the
+    /// largest graph's size.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = GraphResult> + '_ {
-        self.graphs.iter().map(|g| self.pipeline.process(g))
+        let mut ws = Workspace::new();
+        self.graphs
+            .iter()
+            .map(move |g| self.pipeline.process_with(&mut ws, g))
     }
 
     /// Restructures every graph sequentially and aggregates the results
     /// — the streaming equivalent of the old
     /// [`FrontendPipeline::process_all`].
     pub fn process(&self) -> FrontendRun {
-        FrontendRun::from_results(self.iter().collect())
+        self.process_with(&mut Workspace::new())
+    }
+
+    /// [`Session::process`] through a caller-held [`Workspace`] — the
+    /// serving hook's hot path: an online server keeps one workspace per
+    /// replica next to its warm pipeline and replays rebinds through it,
+    /// so back-to-back cost measurements and cold binds stop paying
+    /// allocator traffic. Results are identical to [`Session::process`].
+    pub fn process_with(&self, ws: &mut Workspace) -> FrontendRun {
+        FrontendRun::from_results(
+            self.graphs
+                .iter()
+                .map(|g| self.pipeline.process_with(ws, g))
+                .collect(),
+        )
     }
 
     /// Restructures every graph in parallel across the machine's cores
@@ -125,6 +146,8 @@ impl<'g> Session<'g> {
     /// is an embarrassingly-parallel fan-out: worker threads pull graph
     /// indices from a shared atomic counter (cheap work stealing — graph
     /// sizes are heavily skewed) and write results back slot-for-slot.
+    /// Each worker lane owns one restructuring [`Workspace`] for the
+    /// whole run, so the fan-out allocates per *lane*, not per graph.
     /// The output is bit-identical to [`Session::process`].
     pub fn par_process(&self) -> FrontendRun {
         self.par_process_with(available_workers())
@@ -145,13 +168,14 @@ impl<'g> Session<'g> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut ws = Workspace::new();
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            local.push((i, self.pipeline.process(&self.graphs[i])));
+                            local.push((i, self.pipeline.process_with(&mut ws, &self.graphs[i])));
                         }
                         local
                     })

@@ -25,7 +25,7 @@ use crate::ids::{Edge, RelationId, VertexTypeId};
 /// assert_eq!(g.in_neighbors(0), &[0, 1]); // movie 0 has actors {0, 1}
 /// # Ok::<(), gdr_hetgraph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BipartiteGraph {
     name: String,
     relation: Option<RelationId>,
@@ -71,6 +71,43 @@ impl BipartiteGraph {
             out,
             inc,
         }
+    }
+
+    /// Rebuilds this semantic graph **in place** from `(src, dst)` edge
+    /// pairs: both adjacency directions and the name buffer reuse their
+    /// existing storage, so a caller regenerating subgraphs in a loop
+    /// performs no heap allocation once the buffers (and the provided
+    /// `cursor` scratch) have grown to the largest graph seen. The result
+    /// is indistinguishable from [`BipartiteGraph::from_pairs`] with the
+    /// same arguments — provenance is cleared, neighbors end up sorted —
+    /// which the restructuring workspace's reuse-vs-fresh property tests
+    /// rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::VertexOutOfRange`] when an endpoint
+    /// exceeds its declared space, before any mutation.
+    pub fn rebuild_from_pairs(
+        &mut self,
+        name: std::fmt::Arguments<'_>,
+        src_count: usize,
+        dst_count: usize,
+        pairs: &[(u32, u32)],
+        cursor: &mut Vec<u32>,
+    ) -> Result<()> {
+        self.out
+            .rebuild_from_pairs(src_count, dst_count, pairs, cursor)?;
+        // The outgoing rebuild just bounds-checked every pair; skip the
+        // second O(E) validation scan on this hot path.
+        self.inc
+            .rebuild_from_pairs_transposed_prevalidated(dst_count, src_count, pairs, cursor);
+        self.name.clear();
+        use std::fmt::Write as _;
+        write!(self.name, "{name}").expect("writing to a String cannot fail");
+        self.relation = None;
+        self.src_ty = None;
+        self.dst_ty = None;
+        Ok(())
     }
 
     /// Attaches schema provenance (which relation and endpoint types this
@@ -244,6 +281,31 @@ mod tests {
         assert_eq!(r.edge_count(), g.edge_count());
         assert_eq!(r.out_neighbors(2), &[1, 3]);
         assert_eq!(r.name(), "toy-rev");
+    }
+
+    #[test]
+    fn rebuild_matches_from_pairs() {
+        let mut g = toy().with_provenance(
+            RelationId::new(1),
+            VertexTypeId::new(0),
+            VertexTypeId::new(2),
+        );
+        let mut cursor = Vec::new();
+        let pairs = [(0u32, 0u32), (0, 1), (1, 0)];
+        g.rebuild_from_pairs(format_args!("re/{}", "built"), 2, 2, &pairs, &mut cursor)
+            .unwrap();
+        let fresh = BipartiteGraph::from_pairs("re/built", 2, 2, &pairs).unwrap();
+        assert_eq!(g, fresh, "rebuild must be indistinguishable from fresh");
+        assert_eq!(g.relation(), None, "provenance resets like from_pairs");
+        // growing again through the same storage still matches
+        let bigger = [(0u32, 0u32), (1, 0), (1, 2), (3, 1), (3, 2)];
+        g.rebuild_from_pairs(format_args!("toy"), 4, 3, &bigger, &mut cursor)
+            .unwrap();
+        assert_eq!(g, toy());
+        // out-of-range pairs are rejected up front
+        assert!(g
+            .rebuild_from_pairs(format_args!("bad"), 2, 2, &[(5, 0)], &mut cursor)
+            .is_err());
     }
 
     #[test]

@@ -179,6 +179,127 @@ impl Csr {
         self.iter_pairs().map(|(r, c)| Edge::new(r, c))
     }
 
+    /// Rebuilds this CSR in place from `(row, col)` pairs, reusing the
+    /// offset and column storage. Semantically identical to
+    /// [`Csr::from_pairs`] — same validation, same neighbor ordering —
+    /// but performs **no heap allocation** once the existing buffers
+    /// (and the caller-provided `cursor` scratch) have grown to the
+    /// working-set size. This is the restructuring workspace's path for
+    /// regenerating subgraph adjacency every graph without allocator
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if any endpoint exceeds
+    /// `rows`/`cols`; the CSR is left unchanged in that case only if the
+    /// offending pair is detected during validation (it always is —
+    /// validation runs before any mutation).
+    pub fn rebuild_from_pairs(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        pairs: &[(u32, u32)],
+        cursor: &mut Vec<u32>,
+    ) -> Result<()> {
+        self.rebuild_inner(rows, cols, pairs, false, true, cursor)
+    }
+
+    /// Rebuilds this CSR in place as the **transpose** of `pairs`: each
+    /// `(row, col)` pair is read as `(col, row)`, so the result equals
+    /// `Csr::from_pairs(rows, cols, swapped).` without materializing the
+    /// swapped pair list. Used to refresh a bipartite graph's incoming
+    /// adjacency from the same pair buffer that rebuilt the outgoing one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] as
+    /// [`Csr::rebuild_from_pairs`] does (against the transposed roles).
+    pub fn rebuild_from_pairs_transposed(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        pairs: &[(u32, u32)],
+        cursor: &mut Vec<u32>,
+    ) -> Result<()> {
+        self.rebuild_inner(rows, cols, pairs, true, true, cursor)
+    }
+
+    /// [`Csr::rebuild_from_pairs_transposed`] minus the bounds scan, for
+    /// crate-internal callers that just validated the same pairs in the
+    /// forward orientation (the bipartite double-rebuild hot path).
+    pub(crate) fn rebuild_from_pairs_transposed_prevalidated(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        pairs: &[(u32, u32)],
+        cursor: &mut Vec<u32>,
+    ) {
+        self.rebuild_inner(rows, cols, pairs, true, false, cursor)
+            .expect("validation skipped, no other error path exists");
+    }
+
+    fn rebuild_inner(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        pairs: &[(u32, u32)],
+        swap: bool,
+        validate: bool,
+        cursor: &mut Vec<u32>,
+    ) -> Result<()> {
+        let rc = |&(a, b): &(u32, u32)| if swap { (b, a) } else { (a, b) };
+        if validate {
+            for p in pairs {
+                let (r, c) = rc(p);
+                if r as usize >= rows {
+                    return Err(GraphError::VertexOutOfRange {
+                        what: "source",
+                        index: r as usize,
+                        len: rows,
+                    });
+                }
+                if c as usize >= cols {
+                    return Err(GraphError::VertexOutOfRange {
+                        what: "destination",
+                        index: c as usize,
+                        len: cols,
+                    });
+                }
+            }
+        } else {
+            debug_assert!(pairs
+                .iter()
+                .all(|p| (rc(p).0 as usize) < rows && (rc(p).1 as usize) < cols));
+        }
+        // Same counting sort as `from_pairs`, into reused storage.
+        self.offsets.clear();
+        self.offsets.resize(rows + 1, 0);
+        for p in pairs {
+            let (r, _) = rc(p);
+            self.offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&self.offsets);
+        self.cols.clear();
+        self.cols.resize(pairs.len(), 0);
+        for p in pairs {
+            let (r, c) = rc(p);
+            let at = cursor[r as usize] as usize;
+            self.cols[at] = c;
+            cursor[r as usize] += 1;
+        }
+        for r in 0..rows {
+            let (a, b) = (self.offsets[r] as usize, self.offsets[r + 1] as usize);
+            self.cols[a..b].sort_unstable();
+        }
+        self.rows = rows;
+        self.cols_len = cols;
+        Ok(())
+    }
+
     /// Returns the transpose (column-major adjacency) of this CSR.
     ///
     /// # Examples
@@ -296,6 +417,32 @@ mod tests {
         let c = sample();
         assert_eq!(c.max_degree(), 3);
         assert_eq!(c.rows_by_degree_desc(), vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn rebuild_matches_from_pairs_and_reuses_storage() {
+        let mut csr = sample();
+        let mut cursor = Vec::new();
+        // shrink, grow, and transpose through the same storage
+        let small = [(0u32, 1u32), (1, 0)];
+        csr.rebuild_from_pairs(2, 2, &small, &mut cursor).unwrap();
+        assert_eq!(csr, Csr::from_pairs(2, 2, &small).unwrap());
+        let big = [(0u32, 1u32), (0, 0), (2, 2), (2, 1), (2, 0), (3, 1)];
+        csr.rebuild_from_pairs(4, 3, &big, &mut cursor).unwrap();
+        assert_eq!(csr, sample());
+        let mut t = Csr::default();
+        t.rebuild_from_pairs_transposed(3, 4, &big, &mut cursor)
+            .unwrap();
+        assert_eq!(t, sample().transpose());
+        // rebuild validates exactly like from_pairs
+        assert!(matches!(
+            csr.rebuild_from_pairs(2, 2, &[(2, 0)], &mut cursor),
+            Err(GraphError::VertexOutOfRange { what: "source", .. })
+        ));
+        assert!(matches!(
+            t.rebuild_from_pairs_transposed(2, 2, &[(0, 9)], &mut cursor),
+            Err(GraphError::VertexOutOfRange { what: "source", .. })
+        ));
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //!   restructuring time on a schedule-cache hit. The exposure is priced
 //!   by replaying the §4.3 overlap accounting over one reused
 //!   [`Session`] — [`Session::rebind`]
-//!   keeps a single warm pipeline across all nine cells, exactly as a
-//!   serving replica would.
+//!   keeps a single warm pipeline, and one reused restructuring
+//!   [`Workspace`] carries its scratch, across all nine cells, exactly
+//!   as a serving replica would.
 //! * `hit_per_request_ns` — the marginal cost when the cell's features
 //!   are already resident in the replica's cross-batch feature cache:
 //!   the NA gather stage (the memory-bound share of the work) is served
@@ -48,6 +49,7 @@ use gdr_accel::platform::Platform;
 use gdr_frontend::config::FrontendConfig;
 use gdr_frontend::pipeline::FrontendRun;
 use gdr_frontend::session::Session;
+use gdr_frontend::Workspace;
 use gdr_hetgraph::GdrResult;
 use gdr_hgnn::workload::Workload;
 use gdr_system::grid::{cell_inputs, ExperimentConfig};
@@ -154,15 +156,21 @@ impl CostModel {
     /// fail on grid-generated inputs.
     pub fn measure(platforms: &[&dyn Platform], cfg: &ExperimentConfig) -> GdrResult<Self> {
         let needs_frontend = platforms.iter().any(|p| p.reuses_schedules());
-        // One warm pipeline, re-bound per cell — the Session reuse hook.
+        // One warm pipeline, re-bound per cell — the Session reuse hook —
+        // and one restructuring workspace reused across every cell's
+        // rebind replay, exactly as a serving replica holds them: the
+        // nine replays share matching tables, BFS arrays, and subgraph
+        // CSR storage instead of reallocating them per cell.
         let warm_session = Session::new(FrontendConfig::default(), &[]);
+        let mut ws = Workspace::new();
         let clock = FrontendConfig::default().clock_ghz;
 
         let mut costs: Vec<[ServiceCost; CELL_COUNT]> =
             vec![[ServiceCost::default(); CELL_COUNT]; platforms.len()];
         for cell in Cell::all() {
             let (workload, graphs) = cell_inputs(cell.model, cell.dataset, cfg);
-            let frontend = needs_frontend.then(|| warm_session.rebind(&graphs).process());
+            let frontend =
+                needs_frontend.then(|| warm_session.rebind(&graphs).process_with(&mut ws));
             for (p, row) in platforms.iter().zip(costs.iter_mut()) {
                 let run = p.execute(&workload, &graphs, None)?;
                 let fixed_ns = run.report.stages.overhead_ns.max(0.0).round() as u64;

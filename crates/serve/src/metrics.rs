@@ -3,10 +3,12 @@
 //! Converts a raw [`SimResult`] into the `serve` record family of the
 //! `gdr-bench/v1` schema: p50/p95/p99/mean/max latency, throughput,
 //! batch shape, time-weighted queue depths, DRAM traffic, feature-cache
-//! hit rate, shard-miss count, and autoscale shape (peak replicas and
-//! total cold-start latency) — pool-wide (`"ALL"`) and per distinct
-//! platform. Every value is a pure function of the scenario
-//! configuration, so records diff byte-for-byte across runs.
+//! hit rate, shard-miss count, autoscale shape (peak replicas and
+//! total cold-start latency), and `replica_seconds` — the integral of
+//! active replicas over virtual time, the cost-of-goods denominator for
+//! comparing autoscale policies on efficiency — pool-wide (`"ALL"`) and
+//! per distinct platform. Every value is a pure function of the
+//! scenario configuration, so records diff byte-for-byte across runs.
 
 use gdr_system::report::{ServeRunRecord, ServeScenarioRecord, SERVE_METRIC_KEYS};
 
@@ -150,6 +152,23 @@ fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> Serve
         completed as f64 * NS_PER_S as f64 / result.makespan_ns as f64
     };
 
+    // Cost of goods: the integral of active replicas over virtual time
+    // ("replica-seconds"), pool-wide or restricted to one platform's
+    // slots — the denominator for comparing autoscale policies on
+    // efficiency rather than tails alone.
+    let mut replica_ns = 0.0f64;
+    for pair in result.samples.windows(2) {
+        let dt = pair[1].time_ns - pair[0].time_ns;
+        let active = pair[0]
+            .active_per_replica
+            .iter()
+            .enumerate()
+            .filter(|&(r, &a)| a && on_platform(r))
+            .count();
+        replica_ns += active as f64 * dt as f64;
+    }
+    let replica_seconds = replica_ns / NS_PER_S as f64;
+
     // Scale-out metrics: DRAM traffic, feature-cache hit rate over the
     // cache-eligible batches (shard misses bind transiently and never
     // touch the cache), shard misses, peak replicas, and the total
@@ -200,6 +219,7 @@ fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> Serve
             "shard_miss_count" => shard_miss_count as f64,
             "replicas_max" => replicas_max as f64,
             "cold_start_ns" => cold_start_ns as f64,
+            "replica_seconds" => replica_seconds,
             other => unreachable!("unknown serve metric key {other}"),
         }
     };
@@ -303,5 +323,16 @@ mod tests {
         // per-platform DRAM partitions the pool-wide total
         let dram = |i: usize| rec.runs[i].metric("dram_bytes").unwrap();
         assert_eq!(dram(1) + dram(2), dram(0));
+        // replica-seconds: positive, bounded by peak replicas × the
+        // sampled span, and partitioned exactly by platform
+        let rs = |i: usize| rec.runs[i].metric("replica_seconds").unwrap();
+        assert!(rs(0) > 0.0, "a served scenario accrues replica time");
+        let span_s = (result.samples.last().unwrap().time_ns
+            - result.samples.first().unwrap().time_ns) as f64
+            / crate::workload::NS_PER_S as f64;
+        assert!(rs(0) <= all.metric("replicas_max").unwrap() * span_s + 1e-9);
+        assert!((rs(1) + rs(2) - rs(0)).abs() < 1e-9, "platforms partition");
+        // a fixed 2-replica pool is active for the whole sampled span
+        assert!((rs(0) - 2.0 * span_s).abs() < 1e-9);
     }
 }

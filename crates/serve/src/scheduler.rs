@@ -236,6 +236,11 @@ pub struct QueueSample {
     pub per_replica: Vec<usize>,
     /// Replicas active (serving or draining) at the sample time.
     pub active_replicas: usize,
+    /// Per-slot activity flags at the sample time (`active_replicas`
+    /// counts the `true`s). This is what lets `replica_seconds` — the
+    /// integral of active replicas over virtual time, the serving
+    /// cost-of-goods metric — be split per platform.
+    pub active_per_replica: Vec<bool>,
 }
 
 impl QueueSample {
@@ -714,6 +719,7 @@ impl<'c> Simulator<'c> {
             batcher_pending: batcher.pending_len(),
             per_replica: self.replicas.iter().map(Replica::queued_requests).collect(),
             active_replicas: self.active_count(),
+            active_per_replica: self.replicas.iter().map(|r| r.active).collect(),
         });
     }
 }

@@ -184,6 +184,7 @@ fn suite_is_byte_for_byte_deterministic() {
         points: Vec::new(),
         wall_clock_s: 0.0,
         serve,
+        host: Vec::new(),
     };
     let (ja, jb) = (suite(), suite());
     assert_eq!(

@@ -59,7 +59,11 @@ pub const SERVE_GATED_METRICS: &[(&str, bool)] = &[
 
 /// The canonical metric keys of a [`ServeRunRecord`], in serialization
 /// order. `gdr-serve` emits exactly this set; the golden-file schema test
-/// pins it.
+/// pins it. `replica_seconds` — the integral of active replicas over
+/// virtual time — is the serving cost-of-goods metric: deterministic
+/// (virtual time, not wall clock) but **not gated**, since the right
+/// direction depends on the latency target an autoscale policy trades
+/// it against.
 pub const SERVE_METRIC_KEYS: &[&str] = &[
     "completed",
     "p50_ns",
@@ -78,7 +82,73 @@ pub const SERVE_METRIC_KEYS: &[&str] = &[
     "shard_miss_count",
     "replicas_max",
     "cold_start_ns",
+    "replica_seconds",
 ];
+
+/// The canonical metric keys of a [`HostRecord`], in serialization
+/// order. Host records measure **wall-clock** restructuring throughput
+/// of the machine running the report — they are reported for
+/// observability (the `host` family of `gdr-bench/v1`) but never gated:
+/// wall clock is machine-dependent and nondeterministic, so
+/// [`compare`] ignores them entirely.
+pub const HOST_METRIC_KEYS: &[&str] = &[
+    "graphs",
+    "passes",
+    "wall_clock_s",
+    "graphs_per_sec",
+    "ns_per_graph",
+];
+
+/// One host-side throughput measurement: how fast this machine's
+/// frontend software restructures a dataset's semantic graphs, for one
+/// execution strategy (fresh workspace per graph, reused workspace,
+/// parallel lanes). The `host` record family of `gdr-bench/v1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostRecord {
+    /// Measurement label (`"session/DBLP/reused"`).
+    pub name: String,
+    /// Stable-ordered numeric metrics, keyed by [`HOST_METRIC_KEYS`].
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl HostRecord {
+    /// Looks up a metric by key (`"graphs_per_sec"`, `"ns_per_graph"`, …).
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// The host object of the `host` array in `gdr-bench/v1`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("name".to_string(), Json::from(self.name.as_str()))];
+        fields.extend(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v))),
+        );
+        Json::Obj(fields)
+    }
+
+    /// Parses one object of the `host` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let mut name = None;
+        let mut metrics = Vec::new();
+        for (k, field) in v.as_obj().ok_or("host record is not an object")? {
+            match (k.as_str(), field) {
+                ("name", Json::Str(n)) => name = Some(n.clone()),
+                (_, Json::Num(x)) => metrics.push((k.clone(), *x)),
+                _ => return Err(format!("unexpected host record field {k:?}")),
+            }
+        }
+        Ok(HostRecord {
+            name: name.ok_or("host record: missing name")?,
+            metrics,
+        })
+    }
+}
 
 /// One platform's aggregate over a serving scenario: the latency
 /// histogram summary, throughput, and queue/batch shape for every
@@ -287,6 +357,10 @@ pub struct BenchReport {
     pub wall_clock_s: f64,
     /// Serving-scenario records (`gdr-serve`), empty for grid-only runs.
     pub serve: Vec<ServeScenarioRecord>,
+    /// Host wall-clock throughput records ([`collect_host_records`]).
+    /// Reported, never gated; empty for serve-only reports, whose bytes
+    /// must be deterministic.
+    pub host: Vec<HostRecord>,
 }
 
 impl BenchReport {
@@ -345,6 +419,7 @@ impl BenchReport {
             points,
             wall_clock_s: t0.elapsed().as_secs_f64(),
             serve: Vec::new(),
+            host: Vec::new(),
         })
     }
 
@@ -421,6 +496,7 @@ impl BenchReport {
                 "serve",
                 Json::arr(self.serve.iter().map(ServeScenarioRecord::to_json)),
             ),
+            ("host", Json::arr(self.host.iter().map(HostRecord::to_json))),
         ])
     }
 
@@ -514,6 +590,17 @@ impl BenchReport {
                 .map(ServeScenarioRecord::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // `host` likewise: reports written before the host family exist
+        // parse with no host records.
+        let host = match v.get("host") {
+            None => Vec::new(),
+            Some(h) => h
+                .as_arr()
+                .ok_or("host is not an array")?
+                .iter()
+                .map(HostRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(BenchReport {
             seed: num(config, "seed")? as u64,
             scale: num(config, "scale")?,
@@ -521,12 +608,14 @@ impl BenchReport {
             points,
             wall_clock_s: num(v, "wall_clock_s")?,
             serve,
+            host,
         })
     }
 
     /// Markdown rendering: per-cell latency and speedup table plus a
-    /// DRAM traffic table with geomean rows (when the grid ran), and a
-    /// serving table (when serve scenarios ran).
+    /// DRAM traffic table with geomean rows (when the grid ran), a
+    /// serving table (when serve scenarios ran), and a host throughput
+    /// table (when host records were collected).
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         if !self.points.is_empty() {
@@ -537,6 +626,12 @@ impl BenchReport {
                 out.push('\n');
             }
             out.push_str(&self.serve_markdown());
+        }
+        if !self.host.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&self.host_markdown());
         }
         out
     }
@@ -628,6 +723,104 @@ impl BenchReport {
             table(&headers, &rows)
         )
     }
+
+    fn host_markdown(&self) -> String {
+        let headers = ["measurement", "graphs/s", "ns/graph", "wall s"];
+        let rows: Vec<Vec<String>> = self
+            .host
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    f2(r.metric("graphs_per_sec").unwrap_or(0.0)),
+                    f2(r.metric("ns_per_graph").unwrap_or(0.0)),
+                    f2(r.metric("wall_clock_s").unwrap_or(0.0)),
+                ]
+            })
+            .collect();
+        format!(
+            "### Host restructuring throughput (wall clock, not gated; scale {})\n\n{}",
+            self.scale,
+            table(&headers, &rows)
+        )
+    }
+}
+
+/// Measures host-side restructuring throughput: for every Table 2
+/// dataset, times `passes` full frontend passes over its semantic
+/// graphs under three execution strategies —
+///
+/// * `fresh` — a transient restructuring workspace per graph (the
+///   allocating baseline every pre-workspace caller paid),
+/// * `reused` — one [`Workspace`](gdr_frontend::Workspace) carried
+///   across all graphs and passes (the `Session` steady state),
+/// * `parallel` —
+///   [`Session::par_process`](gdr_frontend::session::Session::par_process)
+///   with one workspace per lane,
+///
+/// and emits one [`HostRecord`] per (dataset, strategy) with
+/// `graphs_per_sec` and `ns_per_graph`. This is **wall clock**: values
+/// differ across machines and runs, which is exactly why the records
+/// are reported but never gated ([`compare`] ignores the `host`
+/// family). `passes` is clamped to at least 1.
+pub fn collect_host_records(cfg: &ExperimentConfig, passes: usize) -> Vec<HostRecord> {
+    use gdr_frontend::config::FrontendConfig;
+    use gdr_frontend::pipeline::FrontendPipeline;
+    use gdr_frontend::session::Session;
+    use gdr_frontend::Workspace;
+
+    let passes = passes.max(1);
+    let mut out = Vec::new();
+    for dataset in Dataset::ALL {
+        let graphs = dataset
+            .build_scaled(cfg.seed, cfg.scale)
+            .all_semantic_graphs();
+        let pipeline = FrontendPipeline::new(FrontendConfig::default());
+        let session = Session::with_pipeline(pipeline.clone(), &graphs);
+        let total_graphs = graphs.len() * passes;
+        let mut record = |strategy: &str, wall_s: f64| {
+            let wall_s = wall_s.max(f64::MIN_POSITIVE);
+            let value = |key: &str| -> f64 {
+                match key {
+                    "graphs" => graphs.len() as f64,
+                    "passes" => passes as f64,
+                    "wall_clock_s" => wall_s,
+                    "graphs_per_sec" => total_graphs as f64 / wall_s,
+                    "ns_per_graph" => wall_s * 1e9 / (total_graphs as f64).max(1.0),
+                    other => unreachable!("unknown host metric key {other}"),
+                }
+            };
+            out.push(HostRecord {
+                name: format!("session/{}/{}", dataset.name(), strategy),
+                metrics: HOST_METRIC_KEYS
+                    .iter()
+                    .map(|&k| (k.to_string(), value(k)))
+                    .collect(),
+            });
+        };
+
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            for g in &graphs {
+                std::hint::black_box(pipeline.process(g));
+            }
+        }
+        record("fresh", t0.elapsed().as_secs_f64());
+
+        let mut ws = Workspace::new();
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            std::hint::black_box(session.process_with(&mut ws));
+        }
+        record("reused", t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            std::hint::black_box(session.par_process());
+        }
+        record("parallel", t0.elapsed().as_secs_f64());
+    }
+    out
 }
 
 /// Every table and figure of the paper's evaluation, regenerated from

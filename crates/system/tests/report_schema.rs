@@ -11,7 +11,8 @@
 use gdr_system::grid::{paper_platforms, platform_refs, ExperimentConfig};
 use gdr_system::json::Json;
 use gdr_system::report::{
-    compare, BenchReport, ServeRunRecord, ServeScenarioRecord, SERVE_METRIC_KEYS,
+    compare, BenchReport, HostRecord, ServeRunRecord, ServeScenarioRecord, HOST_METRIC_KEYS,
+    SERVE_METRIC_KEYS,
 };
 
 const GOLDEN: &str = include_str!("golden/bench_schema_keys.txt");
@@ -78,6 +79,17 @@ fn test_scale_report() -> BenchReport {
                     .map(|(i, &k)| (k.to_string(), (i + 1) as f64))
                     .collect(),
             })
+            .collect(),
+    }];
+    // A representative host record pins the `host` family's key paths.
+    // Host metrics are wall clock (reported, never gated), so the test
+    // uses synthetic values rather than a real measurement.
+    report.host = vec![HostRecord {
+        name: "session/DBLP/reused".into(),
+        metrics: HOST_METRIC_KEYS
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k.to_string(), (i + 1) as f64))
             .collect(),
     }];
     report
@@ -170,6 +182,47 @@ fn gate_thresholds_cover_the_new_serve_metrics() {
     let cmp = compare(&report, &better, 10.0);
     assert!(cmp.passed());
     assert!(!cmp.improvements.is_empty());
+}
+
+#[test]
+fn reports_without_replica_seconds_or_host_still_parse_and_gate() {
+    // Back-compat within the schema id: baselines written before the
+    // `replica_seconds` serve metric and the `host` record family
+    // existed must keep parsing (empty host, serve records simply
+    // lacking the key) and keep gating cleanly against current reports
+    // — `replica_seconds` and everything in `host` are not gated.
+    let current = test_scale_report();
+    let old_json = strip_key(&strip_key(&current.to_json(), "replica_seconds"), "host");
+    let old = BenchReport::from_json(&old_json).expect("pre-host reports must parse");
+    assert!(old.host.is_empty(), "missing host family parses as empty");
+    assert_eq!(
+        old.serve[0].aggregate().unwrap().metric("replica_seconds"),
+        None,
+        "the metric is simply absent on old records"
+    );
+    // old baseline vs current report (and the reverse) both pass: no
+    // gated metric involves the new fields.
+    assert!(compare(&old, &current, 10.0).passed());
+    assert!(compare(&current, &old, 10.0).passed());
+    // …and the old report round-trips through its own serialization.
+    let reread = BenchReport::parse(&old.to_json().to_pretty()).unwrap();
+    assert_eq!(reread.serve, old.serve);
+}
+
+/// Removes every object entry named `key`, recursively — simulating a
+/// report written before that field existed.
+fn strip_key(v: &Json, key: &str) -> Json {
+    match v {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != key)
+                .map(|(k, val)| (k.clone(), strip_key(val, key)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(|i| strip_key(i, key)).collect()),
+        other => other.clone(),
+    }
 }
 
 fn scale_metric(v: &Json, key: &str, factor: f64) -> Json {

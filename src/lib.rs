@@ -122,6 +122,51 @@
 //! # Ok::<(), gdr::prelude::GdrError>(())
 //! ```
 //!
+//! # Reusing a workspace
+//!
+//! The restructuring hot path — decouple → recouple → schedule — runs
+//! **allocation-free at steady state** when a [`prelude::Workspace`] is
+//! threaded through it: matching tables, BFS arrays, partition FIFOs,
+//! and subgraph CSR storage are rebuilt in place instead of reallocated
+//! per graph. [`prelude::Session`] does this automatically (one
+//! workspace per [`Session::iter`](prelude::Session::iter) stream, one
+//! per [`Session::par_process`](prelude::Session::par_process) worker
+//! lane), and long-lived callers — serving replicas, benchmark loops —
+//! hold their own and pass it to
+//! [`Session::process_with`](prelude::Session::process_with). Results
+//! are byte-identical to the allocating paths; the `host` record family
+//! of `gdr-bench/v1` (`gdr-bench host`, or any grid report) measures
+//! the wall-clock throughput win:
+//!
+//! ```
+//! use gdr::prelude::*;
+//!
+//! let graphs = Dataset::Acm.build_scaled(1, 0.03).all_semantic_graphs();
+//! let session = Session::new(FrontendConfig::default(), &graphs);
+//!
+//! // One workspace, reused across every graph (and every later rebind).
+//! let mut ws = Workspace::new();
+//! let reused = session.process_with(&mut ws);
+//!
+//! // Identical to the allocating path, graph for graph.
+//! let fresh = session.process();
+//! for (a, b) in reused.per_graph().iter().zip(fresh.per_graph()) {
+//!     assert_eq!(a.schedule, b.schedule);
+//!     assert_eq!(a.cycles, b.cycles);
+//! }
+//!
+//! // The core algorithm driver has the same shape: results land in the
+//! // workspace slots, nothing is reallocated between graphs.
+//! use gdr::core::restructure::Restructurer;
+//! let restructurer = Restructurer::new();
+//! let mut core_ws = gdr::core::workspace::Workspace::new();
+//! for g in &graphs {
+//!     restructurer.restructure_with(&mut core_ws, g);
+//!     assert_eq!(core_ws.edges.len(), g.edge_count());
+//!     assert_eq!(core_ws.subgraphs.cover_violations(), 0);
+//! }
+//! ```
+//!
 //! Lower-level pieces stay available through the per-crate re-exports —
 //! e.g. restructure one semantic graph by hand and measure the
 //! locality win:
@@ -163,7 +208,9 @@ pub use gdr_system as system;
 ///   [`CombinedSystem`](prelude::CombinedSystem))
 /// * stream: [`Session`](prelude::Session) →
 ///   [`GraphResult`](prelude::GraphResult) /
-///   [`FrontendRun`](prelude::FrontendRun)
+///   [`FrontendRun`](prelude::FrontendRun), with
+///   [`Workspace`](prelude::Workspace) as the reusable zero-allocation
+///   restructuring arena
 /// * evaluate: [`run_grid`](prelude::run_grid) /
 ///   [`run_platforms`](prelude::run_platforms) and
 ///   [`ExecReport`](prelude::ExecReport)
@@ -195,6 +242,7 @@ pub mod prelude {
     pub use gdr_frontend::config::FrontendConfig;
     pub use gdr_frontend::pipeline::{FrontendPipeline, FrontendRun, GraphResult};
     pub use gdr_frontend::session::Session;
+    pub use gdr_frontend::Workspace;
     pub use gdr_hetgraph::datasets::Dataset;
     pub use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult, HeteroGraph};
     pub use gdr_hgnn::model::{ModelConfig, ModelKind};
@@ -212,6 +260,7 @@ pub mod prelude {
     };
     pub use gdr_system::json::Json;
     pub use gdr_system::report::{
-        compare, BenchReport, Comparison, PaperReport, ServeRunRecord, ServeScenarioRecord,
+        collect_host_records, compare, BenchReport, Comparison, HostRecord, PaperReport,
+        ServeRunRecord, ServeScenarioRecord,
     };
 }
