@@ -27,9 +27,10 @@
 //! Exit codes: 0 = ok, 1 = perf gate failed, 2 = usage/IO error.
 
 use gdr_bench::{
-    parse_arrival, parse_autoscale, parse_batch_policy, parse_scale, parse_scheduler,
-    parse_threshold, ArrivalArgs, BENCH_SEED,
+    parse_arrival, parse_autoscale, parse_batch_policy, parse_drop, parse_faults, parse_scale,
+    parse_scheduler, parse_slow, parse_threshold, ArrivalArgs, BENCH_SEED,
 };
+use gdr_serve::fault::{CrashWindow, FaultSpec, Slowdown};
 use gdr_serve::scheduler::AutoscaleSpec;
 use gdr_serve::suite::{
     default_suite, scaled_ns, scaled_rate, ScenarioSpec, ServeHarness, BASE_BURST_PERIOD_NS,
@@ -58,6 +59,8 @@ USAGE:
                   [--scheduler round-robin|least-loaded|shard-affinity|shard-affinity-partial]
                   [--replicas N] [--platforms A,B] [--requests N] [--suite]
                   [--shards N] [--cache-bytes N] [--autoscale MAX:UP:DOWN]
+                  [--faults CRASH_AT[:RECOVER_AFTER],..] [--slow REPLICA:FACTOR]
+                  [--drop P] [--deadline NS] [--control]
                   [--out FILE] [--baseline FILE] [--threshold PCT]
 
 OPTIONS (grid mode):
@@ -91,6 +94,13 @@ OPTIONS (serve mode — all simulated in virtual time, byte-for-byte reproducibl
   --shards        dataset shards per replica (partial replicas; 0 = full)           [0]
   --cache-bytes   per-replica cross-batch feature cache capacity (0 = off)          [0]
   --autoscale     queue-driven autoscaler: MAX:UP:DOWN (e.g. 4:32:2)                [off]
+  --faults        per-replica crash schedule, virtual ns: the i-th comma-separated
+                  entry crashes replica i at CRASH_AT and revives it RECOVER_AFTER
+                  later (0 or omitted = never; \"-\" skips the replica)             [none]
+  --slow          straggler: REPLICA serves every batch FACTOR x slower (repeatable) [none]
+  --drop          per-batch in-transit loss probability in [0, 1)                   [0]
+  --deadline      availability deadline, virtual ns (0 = any completion counts)     [0]
+  --control       replicate batch assignments through the view-change control plane [off]
   --suite         run the committed canonical suite instead of one scenario
 ";
 
@@ -127,6 +137,11 @@ struct Args {
     shards: usize,
     cache_bytes: u64,
     autoscale: Option<AutoscaleSpec>,
+    faults: Vec<CrashWindow>,
+    slow: Vec<Slowdown>,
+    drop: f64,
+    deadline: u64,
+    control: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -161,6 +176,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         shards: 0,
         cache_bytes: 0,
         autoscale: None,
+        faults: Vec::new(),
+        slow: Vec::new(),
+        drop: 0.0,
+        deadline: 0,
+        control: false,
     };
     let mut it = argv.iter();
     let mut first = true;
@@ -235,6 +255,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--shards" => args.shards = parse_num("--shards", value()?)? as usize,
             "--cache-bytes" => args.cache_bytes = parse_num("--cache-bytes", value()?)?,
             "--autoscale" => args.autoscale = Some(parse_autoscale(value()?)?),
+            "--faults" => args.faults = parse_faults(value()?)?,
+            "--slow" => args.slow.push(parse_slow(value()?)?),
+            "--drop" => args.drop = parse_drop(value()?)?,
+            "--deadline" => args.deadline = parse_num("--deadline", value()?)?,
+            "--control" => args.control = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -355,10 +380,18 @@ fn run_serve(args: &Args) -> Result<i32, String> {
                 ));
             }
         }
+        let faults = FaultSpec {
+            crashes: args.faults.clone(),
+            slowdowns: args.slow.clone(),
+            drop_prob: args.drop,
+            deadline_ns: args.deadline,
+        };
         let spec = ScenarioSpec {
             shards: args.shards,
             cache_bytes: args.cache_bytes,
             autoscale: args.autoscale,
+            faults,
+            control: args.control,
             ..ScenarioSpec::new(
                 format!("{}/{}/{}", arrival.name(), batch.label(), sched.name()),
                 arrival,
@@ -370,13 +403,17 @@ fn run_serve(args: &Args) -> Result<i32, String> {
         };
         let names: Vec<&str> = backends.iter().map(String::as_str).collect();
         eprintln!(
-            "gdr-bench serve: {} — {} requests over {} replicas{} (seed {})",
+            "gdr-bench serve: {} — {} requests over {} replicas{}{} (seed {})",
             spec.name,
             spec.requests,
             args.replicas,
             match &spec.autoscale {
                 Some(a) => format!(" (autoscaled up to {})", a.max_replicas),
                 None => String::new(),
+            },
+            match gdr_serve::fault::plan_label(&spec.faults, spec.control).as_str() {
+                "none" => String::new(),
+                plan => format!(" (faults: {plan})"),
             },
             cfg.seed
         );

@@ -10,6 +10,7 @@ use gdr_hetgraph::BipartiteGraph;
 use gdr_hgnn::model::ModelKind;
 use gdr_hgnn::workload::Workload;
 use gdr_serve::batcher::BatchPolicy;
+use gdr_serve::fault::{CrashWindow, Slowdown};
 use gdr_serve::scheduler::{AutoscaleSpec, SchedPolicy};
 use gdr_serve::workload::ArrivalProcess;
 use gdr_system::grid::{cell_inputs, ExperimentConfig};
@@ -272,6 +273,133 @@ pub fn parse_autoscale(arg: &str) -> Result<AutoscaleSpec, String> {
     Ok(spec)
 }
 
+/// Parses a `--faults` argument: comma-separated per-replica crash
+/// windows, where the i-th entry schedules replica i. Each entry is
+/// `CRASH_AT[:RECOVER_AFTER]` in virtual ns (`RECOVER_AFTER` 0 or
+/// omitted = the replica never comes back), or `-` to leave that
+/// replica alone.
+///
+/// # Errors
+///
+/// Returns a message for a malformed entry.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_faults;
+/// use gdr_serve::fault::CrashWindow;
+///
+/// // replica 0 crashes at 80 µs for good; replica 2 crashes at 50 µs
+/// // and recovers 20 µs later; replica 1 is untouched
+/// assert_eq!(
+///     parse_faults("80000,-,50000:20000"),
+///     Ok(vec![
+///         CrashWindow { replica: 0, crash_at_ns: 80_000, recover_after_ns: 0 },
+///         CrashWindow { replica: 2, crash_at_ns: 50_000, recover_after_ns: 20_000 },
+///     ])
+/// );
+/// assert!(parse_faults("80000:0:1").is_err(), "too many fields");
+/// assert!(parse_faults("soon").is_err(), "times are virtual ns");
+/// assert!(parse_faults("").is_err(), "an empty plan is spelled by omitting the flag");
+/// ```
+pub fn parse_faults(arg: &str) -> Result<Vec<CrashWindow>, String> {
+    let bad = |entry: &str| {
+        format!(
+            "invalid --faults entry {entry:?}: expected CRASH_AT[:RECOVER_AFTER] \
+             virtual ns for the i-th replica, or \"-\" to skip it \
+             (e.g. \"80000,-,50000:20000\")"
+        )
+    };
+    if arg.is_empty() {
+        return Err(bad(arg));
+    }
+    let mut crashes = Vec::new();
+    for (replica, entry) in arg.split(',').enumerate() {
+        if entry == "-" {
+            continue;
+        }
+        let mut fields = entry.split(':');
+        let crash_at_ns = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| bad(entry))?;
+        let recover_after_ns = match fields.next() {
+            Some(f) => f.parse().map_err(|_| bad(entry))?,
+            None => 0,
+        };
+        if fields.next().is_some() {
+            return Err(bad(entry));
+        }
+        crashes.push(CrashWindow {
+            replica,
+            crash_at_ns,
+            recover_after_ns,
+        });
+    }
+    Ok(crashes)
+}
+
+/// Parses a `--slow` argument of the form `REPLICA:FACTOR` — the named
+/// replica serves every batch `FACTOR`× slower. The flag repeats, one
+/// straggler per occurrence.
+///
+/// # Errors
+///
+/// Returns a message for a malformed pair or a factor below 1.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_slow;
+/// use gdr_serve::fault::Slowdown;
+///
+/// assert_eq!(
+///     parse_slow("1:4"),
+///     Ok(Slowdown { replica: 1, factor: 4.0 })
+/// );
+/// assert!(parse_slow("1:0.5").is_err(), "a sub-1 factor is a speedup");
+/// assert!(parse_slow("1").is_err(), "missing factor");
+/// ```
+pub fn parse_slow(arg: &str) -> Result<Slowdown, String> {
+    let bad = || {
+        format!(
+            "invalid --slow {arg:?}: expected REPLICA:FACTOR with FACTOR >= 1 \
+             (e.g. \"1:4\" = replica 1 serves 4x slower)"
+        )
+    };
+    let (replica, factor) = arg.split_once(':').ok_or_else(bad)?;
+    let replica = replica.parse().map_err(|_| bad())?;
+    let factor: f64 = factor.parse().map_err(|_| bad())?;
+    if !factor.is_finite() || factor < 1.0 {
+        return Err(bad());
+    }
+    Ok(Slowdown { replica, factor })
+}
+
+/// Parses a `--drop` argument: the per-batch in-transit loss
+/// probability, a fraction in `[0, 1)`.
+///
+/// # Errors
+///
+/// Returns a message for non-numeric input or a value outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gdr_bench::parse_drop("0.05"), Ok(0.05));
+/// assert_eq!(gdr_bench::parse_drop("0"), Ok(0.0));
+/// assert!(gdr_bench::parse_drop("1").is_err(), "dropping everything serves nothing");
+/// assert!(gdr_bench::parse_drop("5%").is_err());
+/// ```
+pub fn parse_drop(arg: &str) -> Result<f64, String> {
+    match arg.parse::<f64>() {
+        Ok(p) if p.is_finite() && (0.0..1.0).contains(&p) => Ok(p),
+        _ => Err(format!(
+            "invalid --drop {arg:?}: expected a loss probability in [0, 1)"
+        )),
+    }
+}
+
 /// The thrashing-dominant single-cell inputs (RGCN on DBLP) the
 /// accelerator microbenches iterate on.
 pub fn thrash_cell(scale: f64) -> (Workload, Vec<BipartiteGraph>) {
@@ -360,6 +488,62 @@ mod tests {
             Ok(SchedPolicy::ShardAffinityPartial)
         );
         assert!(parse_scheduler("").is_err());
+    }
+
+    #[test]
+    fn fault_parsers_cover_schedules_stragglers_and_loss() {
+        // positional entries map to replicas; "-" skips; a bare time
+        // means "never recovers"
+        assert_eq!(
+            parse_faults("80000"),
+            Ok(vec![CrashWindow {
+                replica: 0,
+                crash_at_ns: 80_000,
+                recover_after_ns: 0
+            }])
+        );
+        assert_eq!(
+            parse_faults("-,-,100:200"),
+            Ok(vec![CrashWindow {
+                replica: 2,
+                crash_at_ns: 100,
+                recover_after_ns: 200
+            }])
+        );
+        assert_eq!(
+            parse_faults("10:20,30"),
+            Ok(vec![
+                CrashWindow {
+                    replica: 0,
+                    crash_at_ns: 10,
+                    recover_after_ns: 20
+                },
+                CrashWindow {
+                    replica: 1,
+                    crash_at_ns: 30,
+                    recover_after_ns: 0
+                },
+            ])
+        );
+        for bad in ["", ",", "x", "10:x", "10:20:30", "10,,20"] {
+            assert!(parse_faults(bad).is_err(), "{bad:?} must be rejected");
+        }
+
+        assert_eq!(
+            parse_slow("2:1.5"),
+            Ok(Slowdown {
+                replica: 2,
+                factor: 1.5
+            })
+        );
+        for bad in ["", "2", ":4", "2:", "2:0.99", "2:inf", "2:nan", "x:4"] {
+            assert!(parse_slow(bad).is_err(), "{bad:?} must be rejected");
+        }
+
+        assert_eq!(parse_drop("0.5"), Ok(0.5));
+        for bad in ["", "1", "1.5", "-0.1", "nan", "5%"] {
+            assert!(parse_drop(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

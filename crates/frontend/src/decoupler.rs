@@ -63,8 +63,11 @@ pub struct DecoupleOutcome {
     pub cycles: u64,
     /// Micro-operation counters.
     pub stats: DecouplerStats,
-    /// DRAM traffic issued by the Decoupler (owned: the caller retains
-    /// request logs across graphs, so they cannot live in the arena).
+    /// DRAM traffic issued by the Decoupler. The log is owned — callers
+    /// retain it across graphs — but its storage is drawn from the
+    /// workspace's request pool, so retiring runs through
+    /// [`Workspace::recycle_request_log`] makes replays allocation-free
+    /// at steady state.
     pub requests: Vec<MemRequest>,
 }
 
@@ -128,10 +131,10 @@ impl Decoupler {
     pub fn decouple_with(&self, ws: &mut Workspace, g: &BipartiteGraph) -> DecoupleOutcome {
         let n_src = g.src_count();
         let n_dst = g.dst_count();
+        let mut requests = ws.take_request_log();
         let matching = &mut ws.matching;
         matching.reset(n_src, n_dst);
         let mut stats = DecouplerStats::default();
-        let mut requests = Vec::new();
 
         // Epoch start: the topology streams in from HBM (Fig. 4 dataflow).
         let topo_bytes = (g.edge_count() as u64) * 8;

@@ -100,6 +100,18 @@ impl FrontendRun {
         ]
     }
 
+    /// Retires the run, returning every per-graph DRAM request log's
+    /// storage to `ws`'s request pool. Replay-heavy callers (the serving
+    /// cost model re-runs the restructuring pass per cell) recycle the
+    /// retired run before the next replay so the logs stop allocating at
+    /// steady state; callers that keep runs alive simply drop them as
+    /// before.
+    pub fn recycle_into(self, ws: &mut Workspace) {
+        for g in self.per_graph {
+            ws.recycle_request_log(g.requests);
+        }
+    }
+
     /// Frontend cycles left exposed when overlapped with an accelerator
     /// that spends `accel_cycles_per_graph[i]` on graph *i*.
     ///
@@ -173,16 +185,21 @@ impl FrontendPipeline {
 
     /// Restructures one semantic graph through a reusable [`Workspace`]:
     /// Decoupler and Recoupler intermediates (matching tables, BFS
-    /// arrays, partition FIFOs, subgraph CSRs) are rebuilt in place, so
-    /// at steady state only the retained products — the schedule and the
-    /// DRAM request log — allocate. Results are identical to
+    /// arrays, partition FIFOs, subgraph CSRs) are rebuilt in place, and
+    /// the DRAM request log draws its storage from the workspace's
+    /// request pool (retire whole runs back into it with
+    /// [`FrontendRun::recycle_into`]), so at steady state only the
+    /// retained schedule allocates. Results are identical to
     /// [`FrontendPipeline::process`].
     pub fn process_with(&self, ws: &mut Workspace, g: &BipartiteGraph) -> GraphResult {
         let dec = self.decoupler.decouple_with(ws, g);
         let matching_size = ws.matching.size();
         let rec = self.recoupler.recouple_with(ws, g);
         let mut requests = dec.requests;
-        requests.extend(rec.requests);
+        let mut rec_requests = rec.requests;
+        requests.append(&mut rec_requests);
+        // the Recoupler's log buffer is spent; hand its storage back
+        ws.recycle_request_log(rec_requests);
         // Decoupler and Recoupler are themselves pipelined (Fig. 4): the
         // Recoupler consumes candidates while the Decoupler works on the
         // remainder, so the stage time is dominated by the slower of the
@@ -290,6 +307,45 @@ mod tests {
             assert_eq!(reused.decoupler_stats, fresh.decoupler_stats);
             assert_eq!(reused.recoupler_stats, fresh.recoupler_stats);
         }
+    }
+
+    #[test]
+    fn recycled_runs_feed_the_request_pool_and_replays_stay_identical() {
+        let het = Dataset::Acm.build_scaled(2, 0.05);
+        let graphs = het.all_semantic_graphs();
+        let pipeline = FrontendPipeline::new(FrontendConfig::default());
+        let mut ws = Workspace::new();
+        let first = FrontendRun::from_results(
+            graphs
+                .iter()
+                .map(|g| pipeline.process_with(&mut ws, g))
+                .collect(),
+        );
+        let first_requests: Vec<Vec<_>> = first
+            .per_graph()
+            .iter()
+            .map(|g| g.requests.clone())
+            .collect();
+        first.recycle_into(&mut ws);
+        assert!(!ws.request_pool.is_empty(), "retired logs land in the pool");
+        let pooled = ws.request_pool.len();
+        // the replay drains the pool for its own logs and produces the
+        // byte-identical request streams
+        let second = FrontendRun::from_results(
+            graphs
+                .iter()
+                .map(|g| pipeline.process_with(&mut ws, g))
+                .collect(),
+        );
+        for (a, b) in first_requests.iter().zip(second.per_graph()) {
+            assert_eq!(a, &b.requests, "pooled storage must not change results");
+        }
+        second.recycle_into(&mut ws);
+        assert_eq!(
+            ws.request_pool.len(),
+            pooled,
+            "steady state: the replay reuses exactly the pooled vectors"
+        );
     }
 
     #[test]

@@ -122,6 +122,7 @@ impl Recoupler {
             &mut ws.subgraphs,
             &mut ws.match_scratch,
             &mut ws.recouple_scratch,
+            Vec::new(),
         );
         RecouplerRun {
             backbone: ws.backbone,
@@ -141,6 +142,7 @@ impl Recoupler {
     /// place, and returns only the owned products. Results are identical
     /// to [`Recoupler::recouple`] on the same matching.
     pub fn recouple_with(&self, ws: &mut Workspace, g: &BipartiteGraph) -> RecoupleOutcome {
+        let log = ws.take_request_log();
         let Workspace {
             matching,
             match_scratch,
@@ -158,6 +160,7 @@ impl Recoupler {
             subgraphs,
             match_scratch,
             recouple_scratch,
+            log,
         )
     }
 
@@ -171,9 +174,11 @@ impl Recoupler {
         subgraphs_out: &mut RestructuredSubgraphs,
         match_scratch: &mut MatchScratch,
         recouple_scratch: &mut RecoupleScratch,
+        log: Vec<MemRequest>,
     ) -> RecoupleOutcome {
         let mut stats = RecouplerStats::default();
-        let mut requests = Vec::new();
+        let mut requests = log;
+        debug_assert!(requests.is_empty(), "pooled logs arrive cleared");
 
         // ---- Backbone Searcher (Algorithm 2 through the datapath) ----
         // The functional selection is delegated to gdr-core (same

@@ -1,0 +1,444 @@
+//! A replicated control plane in the Viewstamped-Replication style.
+//!
+//! The serving pool's batch assignments are ordered by a **primary**: on
+//! every dispatch the primary assigns the batch an op number and sends a
+//! `Prepare` into each live backup's **mailbox** (a buffered,
+//! deliver-at-time message queue — the simulator turns each envelope
+//! into a heap event, so control traffic obeys the same deterministic
+//! `(time, seq)` ordering as data traffic). Backups ack with
+//! `PrepareOk`; once a majority of the pool (primary included) has
+//! acknowledged an op it is **committed**. The primary also heartbeats
+//! its backups; when a backup notices the heartbeat has lapsed past
+//! [`HEARTBEAT_TIMEOUT_NS`] it starts a **view change**: the next live
+//! replica in slot order becomes primary, announces `StartView`, and the
+//! simulator re-issues every batch the dead primary (or any crashed
+//! backup) still held — so no accepted request is silently lost, it is
+//! merely late. The elapsed time from primary crash to `StartView` is
+//! the scenario's **failover** contribution
+//! ([`ControlStats::failover_ns`]).
+//!
+//! This is a deliberately compact VR core: a single concern (who may
+//! assign batches, and what survives a crash) modeled with deterministic
+//! data structures only — `Vec` state, FIFO mailboxes, no hashing — so
+//! two runs of the same scenario are byte-identical.
+
+use std::collections::VecDeque;
+
+/// Interval between primary heartbeats, virtual ns.
+pub const HEARTBEAT_INTERVAL_NS: u64 = 5_000;
+
+/// A backup that has not heard the primary for this long starts a view
+/// change (three missed heartbeats).
+pub const HEARTBEAT_TIMEOUT_NS: u64 = 3 * HEARTBEAT_INTERVAL_NS;
+
+/// One-way control-message delivery latency, virtual ns.
+pub const CTRL_HOP_NS: u64 = 500;
+
+/// Duration of a view change once detection fires: two message rounds
+/// among the survivors (`StartViewChange` + `DoViewChange`).
+pub const VIEW_CHANGE_NS: u64 = 4 * CTRL_HOP_NS;
+
+/// A control-plane message between replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Primary → backup: op `op` is assigned in view `view`.
+    Prepare {
+        /// View the op was assigned in.
+        view: u64,
+        /// Op number.
+        op: u64,
+    },
+    /// Backup → primary: op `op` is logged.
+    PrepareOk {
+        /// View the ack belongs to.
+        view: u64,
+        /// Op number acknowledged.
+        op: u64,
+        /// Acking backup slot.
+        from: usize,
+    },
+    /// Primary → backup: liveness beacon.
+    Heartbeat {
+        /// Current view.
+        view: u64,
+    },
+    /// New primary → backups: view change complete.
+    StartView {
+        /// The new view.
+        view: u64,
+    },
+}
+
+/// Counters the control plane accumulates over a run, surfaced through
+/// the serve metrics (`failover_ns`, and `view_changes` in
+/// [`SimResult`](crate::scheduler::SimResult)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControlStats {
+    /// Completed view changes.
+    pub view_changes: u64,
+    /// Total virtual time spent without an operating primary: sum over
+    /// view changes of (StartView time − primary crash time).
+    pub failover_ns: u64,
+    /// Control messages enqueued (Prepare/PrepareOk/Heartbeat/StartView).
+    pub messages: u64,
+    /// Ops that reached a commit majority.
+    pub committed_ops: u64,
+}
+
+/// Deliveries the caller must schedule: `(replica, deliver_at_ns)` per
+/// newly enqueued envelope.
+pub type Deliveries = Vec<(usize, u64)>;
+
+/// The replicated control plane state machine (see module docs). The
+/// simulator owns one instance and drives it from heap events; every
+/// method is deterministic.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    n: usize,
+    view: u64,
+    primary: usize,
+    live: Vec<bool>,
+    mailboxes: Vec<VecDeque<(u64, ControlMsg)>>,
+    next_op: u64,
+    committed: u64,
+    /// Outstanding `(op, acks)` tallies, primary's own log counted.
+    acks: Vec<(u64, usize)>,
+    last_beat_rx: Vec<u64>,
+    /// When the current primary crashed (None while it is live).
+    primary_down_since: Option<u64>,
+    /// A view change is in progress (detection fired, StartView pending).
+    electing: bool,
+    /// Run counters.
+    pub stats: ControlStats,
+}
+
+impl ControlPlane {
+    /// A fresh control plane over `n` replica slots: view 0, slot 0
+    /// primary, everyone live and recently heartbeaten.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "control plane needs at least one replica");
+        Self {
+            n,
+            view: 0,
+            primary: 0,
+            live: vec![true; n],
+            mailboxes: vec![VecDeque::new(); n],
+            next_op: 0,
+            committed: 0,
+            acks: Vec::new(),
+            last_beat_rx: vec![0; n],
+            primary_down_since: None,
+            electing: false,
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// Current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Current primary slot.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// Whether the current primary is live.
+    pub fn primary_live(&self) -> bool {
+        self.live[self.primary]
+    }
+
+    /// Whether the primary is down and no replacement has taken over yet
+    /// (dispatch ordering is suspended; re-issues wait for `StartView`).
+    pub fn primary_down(&self) -> bool {
+        self.primary_down_since.is_some()
+    }
+
+    /// Whether replica `r` is currently live.
+    pub fn is_live(&self, r: usize) -> bool {
+        self.live[r]
+    }
+
+    /// Highest committed op number.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Majority size over the full pool (VR quorum: `⌊n/2⌋ + 1`).
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// The primary assigns the next op number to a batch dispatch and
+    /// prepares it on every live backup. Returns the deliveries to
+    /// schedule.
+    pub fn on_dispatch(&mut self, now: u64) -> Deliveries {
+        self.next_op += 1;
+        let op = self.next_op;
+        self.acks.push((op, 1)); // the primary's own log entry
+        if 1 >= self.majority() {
+            self.commit(op);
+        }
+        self.broadcast(
+            ControlMsg::Prepare {
+                view: self.view,
+                op,
+            },
+            now,
+        )
+    }
+
+    /// The primary heartbeats every live backup.
+    pub fn heartbeat(&mut self, now: u64) -> Deliveries {
+        let view = self.view;
+        self.broadcast(ControlMsg::Heartbeat { view }, now)
+    }
+
+    fn broadcast(&mut self, msg: ControlMsg, now: u64) -> Deliveries {
+        let mut out = Vec::new();
+        for r in 0..self.n {
+            if r != self.primary && self.live[r] {
+                self.mailboxes[r].push_back((now + CTRL_HOP_NS, msg));
+                self.stats.messages += 1;
+                out.push((r, now + CTRL_HOP_NS));
+            }
+        }
+        out
+    }
+
+    /// Delivers every envelope due at `now` in replica `r`'s mailbox and
+    /// processes it. Returns follow-on deliveries (acks to the primary).
+    pub fn deliver(&mut self, r: usize, now: u64) -> Deliveries {
+        let mut out = Vec::new();
+        if !self.live[r] {
+            return out; // the crash cleared the mailbox; stragglers are void
+        }
+        while let Some(&(at, msg)) = self.mailboxes[r].front() {
+            if at > now {
+                break;
+            }
+            self.mailboxes[r].pop_front();
+            match msg {
+                ControlMsg::Prepare { view, op } if view == self.view => {
+                    let ack = ControlMsg::PrepareOk { view, op, from: r };
+                    self.mailboxes[self.primary].push_back((now + CTRL_HOP_NS, ack));
+                    self.stats.messages += 1;
+                    out.push((self.primary, now + CTRL_HOP_NS));
+                }
+                ControlMsg::PrepareOk { view, op, .. }
+                    if view == self.view && r == self.primary =>
+                {
+                    if let Some(entry) = self.acks.iter_mut().find(|(o, _)| *o == op) {
+                        entry.1 += 1;
+                        if entry.1 == self.majority() {
+                            self.commit(op);
+                        }
+                    }
+                }
+                ControlMsg::Heartbeat { view } | ControlMsg::StartView { view }
+                    if view == self.view =>
+                {
+                    self.last_beat_rx[r] = now;
+                }
+                // Cross-view stragglers are void by construction.
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn commit(&mut self, op: u64) {
+        if op > self.committed {
+            self.committed = op;
+        }
+        self.stats.committed_ops += 1;
+        self.acks.retain(|&(o, _)| o != op);
+    }
+
+    /// Replica `r` crashed: it leaves the live set and its mailbox dies
+    /// with it. If `r` was the primary, the failover clock starts.
+    pub fn on_crash(&mut self, r: usize, now: u64) {
+        self.live[r] = false;
+        self.mailboxes[r].clear();
+        if r == self.primary && self.primary_down_since.is_none() {
+            self.primary_down_since = Some(now);
+        }
+    }
+
+    /// Replica `r` rejoined (cold). It adopts the current view as a
+    /// backup and counts `now` as its last heartbeat.
+    pub fn on_recover(&mut self, r: usize, now: u64) {
+        self.live[r] = true;
+        self.last_beat_rx[r] = now;
+    }
+
+    /// Backup `r`'s heartbeat timer fired: returns `true` when `r`
+    /// detects a lapsed primary and starts a view change (the caller
+    /// schedules its completion [`VIEW_CHANGE_NS`] later).
+    pub fn check_heartbeat(&mut self, r: usize, now: u64) -> bool {
+        if self.electing || !self.live[r] || r == self.primary || self.primary_live() {
+            return false;
+        }
+        if now.saturating_sub(self.last_beat_rx[r]) >= HEARTBEAT_TIMEOUT_NS {
+            self.electing = true;
+            return true;
+        }
+        false
+    }
+
+    /// Completes the in-progress view change: the next live slot after
+    /// the failed primary (in slot order, wrapping) becomes primary and
+    /// announces `StartView`. Returns the announcement deliveries; empty
+    /// when every replica is down (the view change aborts and a later
+    /// recovery must restart detection).
+    pub fn complete_view_change(&mut self, now: u64) -> Deliveries {
+        self.electing = false;
+        if !self.live.iter().any(|&l| l) {
+            return Vec::new();
+        }
+        let mut candidate = self.primary;
+        loop {
+            candidate = (candidate + 1) % self.n;
+            if self.live[candidate] {
+                break;
+            }
+        }
+        self.view += 1;
+        self.primary = candidate;
+        self.stats.view_changes += 1;
+        if let Some(t0) = self.primary_down_since.take() {
+            self.stats.failover_ns += now.saturating_sub(t0);
+        }
+        // Un-acked ops from the old view are re-issued by the simulator
+        // under the new primary; drop the stale tallies.
+        self.acks.clear();
+        for r in 0..self.n {
+            if self.live[r] {
+                self.last_beat_rx[r] = now;
+            }
+        }
+        let view = self.view;
+        self.broadcast(ControlMsg::StartView { view }, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the delivery cascade until quiescent, delivering each
+    /// envelope at its scheduled time.
+    fn settle(cp: &mut ControlPlane, mut pending: Deliveries) {
+        while let Some((r, at)) = pending.pop() {
+            pending.extend(cp.deliver(r, at));
+        }
+    }
+
+    #[test]
+    fn dispatch_commits_once_a_majority_acks() {
+        let mut cp = ControlPlane::new(3);
+        assert_eq!(cp.primary(), 0);
+        let deliveries = cp.on_dispatch(0);
+        assert_eq!(deliveries.len(), 2, "both backups receive the Prepare");
+        assert_eq!(cp.committed(), 0, "primary alone is not a majority of 3");
+        settle(&mut cp, deliveries);
+        assert_eq!(cp.committed(), 1, "primary + one backup commit op 1");
+        assert_eq!(cp.stats.committed_ops, 1);
+        assert!(cp.stats.messages >= 4, "2 Prepares + 2 PrepareOks");
+    }
+
+    #[test]
+    fn single_replica_pool_commits_immediately() {
+        let mut cp = ControlPlane::new(1);
+        let deliveries = cp.on_dispatch(0);
+        assert!(deliveries.is_empty(), "no backups to prepare");
+        assert_eq!(cp.committed(), 1, "a majority of 1 is the primary itself");
+    }
+
+    #[test]
+    fn backup_crash_blocks_commit_without_majority() {
+        let mut cp = ControlPlane::new(3);
+        cp.on_crash(1, 10);
+        cp.on_crash(2, 10);
+        let deliveries = cp.on_dispatch(20);
+        assert!(deliveries.is_empty(), "no live backup to prepare");
+        settle(&mut cp, deliveries);
+        assert_eq!(cp.committed(), 0, "1 of 3 never commits");
+        assert!(cp.primary_live(), "the primary itself is still up");
+    }
+
+    #[test]
+    fn heartbeat_prevents_and_lapse_triggers_view_change() {
+        let mut cp = ControlPlane::new(3);
+        let beats = cp.heartbeat(0);
+        settle(&mut cp, beats);
+        assert!(!cp.check_heartbeat(1, CTRL_HOP_NS + 1), "primary is live");
+        // A beat lands at t_crash; the crash follows immediately, so the
+        // timeout clock starts from that last beat.
+        let t_crash = 10_000;
+        let beats = cp.heartbeat(t_crash - CTRL_HOP_NS);
+        settle(&mut cp, beats);
+        cp.on_crash(0, t_crash);
+        assert!(
+            !cp.check_heartbeat(1, t_crash + HEARTBEAT_TIMEOUT_NS - 1),
+            "timeout not yet lapsed since the last beat"
+        );
+        assert!(cp.check_heartbeat(1, t_crash + HEARTBEAT_TIMEOUT_NS));
+        assert!(
+            !cp.check_heartbeat(2, t_crash + HEARTBEAT_TIMEOUT_NS),
+            "only one election at a time"
+        );
+    }
+
+    #[test]
+    fn view_change_elects_next_live_slot_and_accounts_failover() {
+        let mut cp = ControlPlane::new(4);
+        cp.on_crash(1, 50); // the slot after the primary is also dead
+        cp.on_crash(0, 100);
+        assert!(cp.primary_down());
+        assert!(cp.check_heartbeat(2, 100 + HEARTBEAT_TIMEOUT_NS));
+        let done_at = 100 + HEARTBEAT_TIMEOUT_NS + VIEW_CHANGE_NS;
+        let deliveries = cp.complete_view_change(done_at);
+        assert_eq!(cp.primary(), 2, "slot 1 is dead, slot 2 takes over");
+        assert_eq!(cp.view(), 1);
+        assert!(!cp.primary_down());
+        assert_eq!(cp.stats.view_changes, 1);
+        assert_eq!(
+            cp.stats.failover_ns,
+            HEARTBEAT_TIMEOUT_NS + VIEW_CHANGE_NS,
+            "failover spans crash to StartView"
+        );
+        assert_eq!(deliveries.len(), 1, "StartView reaches the one live backup");
+        settle(&mut cp, deliveries);
+        // The new primary orders ops in the new view and still commits:
+        // 2 live of 4 is not a majority — no commit…
+        let d = cp.on_dispatch(done_at + 10);
+        settle(&mut cp, d);
+        assert_eq!(cp.committed(), 0);
+        // …until a third replica recovers and the next op finds quorum.
+        cp.on_recover(1, done_at + 20);
+        let d = cp.on_dispatch(done_at + 30);
+        settle(&mut cp, d);
+        assert_eq!(cp.committed(), 2);
+    }
+
+    #[test]
+    fn crashed_mailboxes_drop_messages_and_stale_views_are_void() {
+        let mut cp = ControlPlane::new(3);
+        let deliveries = cp.on_dispatch(0);
+        // Backup 1 crashes before its Prepare arrives: delivery is void.
+        cp.on_crash(1, CTRL_HOP_NS / 2);
+        for (r, at) in deliveries {
+            let follow = cp.deliver(r, at);
+            settle(&mut cp, follow);
+        }
+        assert_eq!(cp.committed(), 1, "backup 2 alone still completes quorum");
+        // A Prepare from view 0 delivered after a view change is ignored.
+        let stale = cp.on_dispatch(1_000);
+        cp.on_crash(0, 1_001);
+        assert!(cp.check_heartbeat(2, 1_001 + HEARTBEAT_TIMEOUT_NS));
+        cp.complete_view_change(1_001 + HEARTBEAT_TIMEOUT_NS + VIEW_CHANGE_NS);
+        settle(&mut cp, stale);
+        assert_eq!(cp.committed(), 1, "stale-view Prepare never acks");
+    }
+}

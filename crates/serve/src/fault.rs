@@ -1,0 +1,325 @@
+//! Deterministic, seeded fault plans for the serving simulator.
+//!
+//! A [`FaultSpec`] is injected through
+//! [`ScenarioSpec`](crate::suite::ScenarioSpec) and replayed inside the
+//! virtual-time event loop: crashes and recoveries become heap events
+//! with the same `(time, seq)` ordering as every other event, slowdowns
+//! stretch service times by a fixed multiplier, and batch drops are
+//! drawn from a dedicated RNG seeded from the scenario seed. Nothing
+//! reads a wall clock, so a faulty run is exactly as reproducible as a
+//! healthy one — the CI smoke step double-run-diffs a crash+failover
+//! scenario to prove it.
+//!
+//! Three fault families cover the serving-degradation literature:
+//!
+//! * **crashes** — replica `r` fails at `crash_at_ns` and (optionally)
+//!   rejoins cold `recover_after_ns` later. Without the control plane
+//!   its in-flight and queued batches die with it; with the control
+//!   plane ([`crate::control`]) they migrate to survivors.
+//! * **slowdowns** — replica `r` serves every batch `factor`× slower
+//!   (a straggler: thermal throttling, a noisy neighbor, a degraded
+//!   link).
+//! * **drops** — each dispatched batch is lost in transit with
+//!   probability `drop_prob` (network loss). Drops are terminal: the
+//!   control plane replicates *assignment ordering*, not payloads, so
+//!   dropped requests count against availability in every mode.
+//!
+//! The empty plan ([`FaultSpec::default`]) is the identity: the
+//! simulator takes the exact code paths of a fault-free build and
+//! produces byte-identical reports (pinned by the 48-seed property net
+//! in `crates/serve/tests/properties.rs`).
+
+/// One replica crash window: fail at `crash_at_ns`, optionally rejoin
+/// (cold — caches dropped, schedule affinity lost) `recover_after_ns`
+/// later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashWindow {
+    /// Replica slot that crashes.
+    pub replica: usize,
+    /// Virtual time of the crash, ns.
+    pub crash_at_ns: u64,
+    /// Downtime before the replica rejoins, ns. `0` = never recovers.
+    pub recover_after_ns: u64,
+}
+
+impl CrashWindow {
+    /// Virtual recovery time, if the replica ever rejoins.
+    pub fn recover_at_ns(&self) -> Option<u64> {
+        (self.recover_after_ns > 0).then(|| self.crash_at_ns + self.recover_after_ns)
+    }
+}
+
+/// A straggling replica: every service time is multiplied by `factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// Replica slot that straggles.
+    pub replica: usize,
+    /// Service-time multiplier, `>= 1.0`.
+    pub factor: f64,
+}
+
+/// The deterministic fault plan of one scenario (see module docs).
+///
+/// The default plan is empty: no crashes, no stragglers, no drops, no
+/// deadline — the simulator behaves exactly as if faults did not exist.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Replica crash/recover schedules (at most one per replica).
+    pub crashes: Vec<CrashWindow>,
+    /// Straggling replicas (at most one entry per replica).
+    pub slowdowns: Vec<Slowdown>,
+    /// Per-batch in-transit loss probability, in `[0, 1)`.
+    pub drop_prob: f64,
+    /// Availability deadline: a request completing later than
+    /// `arrival + deadline_ns` counts as unavailable. `0` = no deadline
+    /// (any completion counts as available).
+    pub deadline_ns: u64,
+}
+
+impl FaultSpec {
+    /// Whether this is the empty (identity) plan.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty()
+            && self.slowdowns.is_empty()
+            && self.drop_prob == 0.0
+            && self.deadline_ns == 0
+    }
+
+    /// Virtual time of the first injected fault: `Some(0)` when a
+    /// slowdown or drop probability applies from the start, the earliest
+    /// `crash_at_ns` otherwise, `None` for a fault-free plan. Feeds the
+    /// `p99_under_failure_ns` metric (tail latency over requests
+    /// arriving at or after this instant).
+    pub fn first_fault_ns(&self) -> Option<u64> {
+        if !self.slowdowns.is_empty() || self.drop_prob > 0.0 {
+            return Some(0);
+        }
+        self.crashes.iter().map(|c| c.crash_at_ns).min()
+    }
+
+    /// Validates the plan against a pool of `slots` replica slots.
+    /// Returns a human-readable complaint on the first inconsistency.
+    pub fn validate(&self, slots: usize) -> Result<(), String> {
+        let mut crashed = vec![false; slots];
+        for c in &self.crashes {
+            if c.replica >= slots {
+                return Err(format!(
+                    "crash names replica {} but the pool has {slots} slot(s)",
+                    c.replica
+                ));
+            }
+            if std::mem::replace(&mut crashed[c.replica], true) {
+                return Err(format!(
+                    "replica {} has more than one crash window",
+                    c.replica
+                ));
+            }
+        }
+        let mut slowed = vec![false; slots];
+        for s in &self.slowdowns {
+            if s.replica >= slots {
+                return Err(format!(
+                    "slowdown names replica {} but the pool has {slots} slot(s)",
+                    s.replica
+                ));
+            }
+            if std::mem::replace(&mut slowed[s.replica], true) {
+                return Err(format!("replica {} has more than one slowdown", s.replica));
+            }
+            if !s.factor.is_finite() || s.factor < 1.0 {
+                return Err(format!(
+                    "slowdown factor {} for replica {} must be a finite value >= 1",
+                    s.factor, s.replica
+                ));
+            }
+        }
+        if !self.drop_prob.is_finite() || !(0.0..1.0).contains(&self.drop_prob) {
+            return Err(format!(
+                "drop probability {} outside [0, 1)",
+                self.drop_prob
+            ));
+        }
+        Ok(())
+    }
+
+    /// Stable plan label serialized into serve records: `;`-joined
+    /// segments (`crash:R@AT+REC`, `slow:R*F`, `drop:P`, `deadline:N`),
+    /// or `"none"` for the empty plan.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for c in &self.crashes {
+            parts.push(match c.recover_at_ns() {
+                Some(_) => format!(
+                    "crash:{}@{}+{}",
+                    c.replica, c.crash_at_ns, c.recover_after_ns
+                ),
+                None => format!("crash:{}@{}", c.replica, c.crash_at_ns),
+            });
+        }
+        for s in &self.slowdowns {
+            parts.push(format!("slow:{}*{}", s.replica, s.factor));
+        }
+        if self.drop_prob > 0.0 {
+            parts.push(format!("drop:{}", self.drop_prob));
+        }
+        if self.deadline_ns > 0 {
+            parts.push(format!("deadline:{}", self.deadline_ns));
+        }
+        if parts.is_empty() {
+            "none".into()
+        } else {
+            parts.join(";")
+        }
+    }
+}
+
+/// The full fault-plan label of a scenario — the [`FaultSpec::label`]
+/// plus a `control:vr` segment when the replicated control plane is
+/// enabled. This is the string serialized into the `faults` field of
+/// serve records (`"none"` when neither applies, the back-compat
+/// default for pre-fault baselines).
+pub fn plan_label(faults: &FaultSpec, control: bool) -> String {
+    match (faults.is_none(), control) {
+        (true, false) => "none".into(),
+        (true, true) => "control:vr".into(),
+        (false, false) => faults.label(),
+        (false, true) => format!("{};control:vr", faults.label()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_none_and_has_no_first_fault() {
+        let f = FaultSpec::default();
+        assert!(f.is_none());
+        assert_eq!(f.first_fault_ns(), None);
+        assert_eq!(f.label(), "none");
+        assert_eq!(plan_label(&f, false), "none");
+        assert_eq!(plan_label(&f, true), "control:vr");
+        assert!(f.validate(1).is_ok());
+    }
+
+    #[test]
+    fn first_fault_is_zero_for_ambient_faults_and_min_crash_otherwise() {
+        let crash_only = FaultSpec {
+            crashes: vec![
+                CrashWindow {
+                    replica: 1,
+                    crash_at_ns: 500,
+                    recover_after_ns: 0,
+                },
+                CrashWindow {
+                    replica: 0,
+                    crash_at_ns: 200,
+                    recover_after_ns: 100,
+                },
+            ],
+            ..FaultSpec::default()
+        };
+        assert_eq!(crash_only.first_fault_ns(), Some(200));
+        let slow = FaultSpec {
+            slowdowns: vec![Slowdown {
+                replica: 0,
+                factor: 2.0,
+            }],
+            ..FaultSpec::default()
+        };
+        assert_eq!(slow.first_fault_ns(), Some(0));
+        let lossy = FaultSpec {
+            drop_prob: 0.1,
+            ..FaultSpec::default()
+        };
+        assert_eq!(lossy.first_fault_ns(), Some(0));
+        // a bare deadline is not a fault: it only reinterprets completions
+        let strict = FaultSpec {
+            deadline_ns: 1_000,
+            ..FaultSpec::default()
+        };
+        assert!(!strict.is_none());
+        assert_eq!(strict.first_fault_ns(), None);
+    }
+
+    #[test]
+    fn labels_are_stable_and_composable() {
+        let f = FaultSpec {
+            crashes: vec![
+                CrashWindow {
+                    replica: 0,
+                    crash_at_ns: 80_000,
+                    recover_after_ns: 0,
+                },
+                CrashWindow {
+                    replica: 2,
+                    crash_at_ns: 40_000,
+                    recover_after_ns: 60_000,
+                },
+            ],
+            slowdowns: vec![Slowdown {
+                replica: 1,
+                factor: 4.0,
+            }],
+            drop_prob: 0.05,
+            deadline_ns: 250_000,
+        };
+        assert_eq!(
+            f.label(),
+            "crash:0@80000;crash:2@40000+60000;slow:1*4;drop:0.05;deadline:250000"
+        );
+        assert_eq!(plan_label(&f, true), format!("{};control:vr", f.label()));
+        assert_eq!(
+            f.crashes[1].recover_at_ns(),
+            Some(100_000),
+            "recovery time is crash + downtime"
+        );
+        assert_eq!(f.crashes[0].recover_at_ns(), None);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_plans() {
+        let oob = FaultSpec {
+            crashes: vec![CrashWindow {
+                replica: 3,
+                crash_at_ns: 1,
+                recover_after_ns: 0,
+            }],
+            ..FaultSpec::default()
+        };
+        assert!(oob.validate(3).unwrap_err().contains("replica 3"));
+        assert!(oob.validate(4).is_ok());
+
+        let dup = FaultSpec {
+            crashes: vec![
+                CrashWindow {
+                    replica: 0,
+                    crash_at_ns: 1,
+                    recover_after_ns: 0,
+                },
+                CrashWindow {
+                    replica: 0,
+                    crash_at_ns: 2,
+                    recover_after_ns: 0,
+                },
+            ],
+            ..FaultSpec::default()
+        };
+        assert!(dup.validate(2).unwrap_err().contains("more than one crash"));
+
+        let speedup = FaultSpec {
+            slowdowns: vec![Slowdown {
+                replica: 0,
+                factor: 0.5,
+            }],
+            ..FaultSpec::default()
+        };
+        assert!(speedup.validate(1).unwrap_err().contains(">= 1"));
+
+        let certain_loss = FaultSpec {
+            drop_prob: 1.0,
+            ..FaultSpec::default()
+        };
+        assert!(certain_loss.validate(1).unwrap_err().contains("[0, 1)"));
+    }
+}

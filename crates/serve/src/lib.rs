@@ -24,11 +24,22 @@
 //!   once from the platforms' own cycle models (with a reused frontend
 //!   [`Session`](gdr_frontend::session::Session) pricing the
 //!   dataset-warm schedule cache and the cold-bind penalty);
+//! * [`fault`] — deterministic, seeded **fault plans**
+//!   ([`FaultSpec`]): scheduled crash/recover windows, per-replica
+//!   slowdown factors, per-batch in-transit drop probability, and an
+//!   availability deadline, all replayed in virtual time so a faulty
+//!   run is as byte-reproducible as a healthy one;
+//! * [`control`] — the Viewstamped-Replication-style **control plane**
+//!   ([`ControlPlane`]): the primary orders batch assignments, backups
+//!   acknowledge through buffered mailboxes, a heartbeat lapse elects a
+//!   new view, and a crashed replica's batches migrate to survivors;
 //! * [`metrics`] — p50/p95/p99 latency, throughput, queue-depth, DRAM,
-//!   cache, shard, and autoscale aggregation into the `gdr-bench/v1`
-//!   `serve` record family;
+//!   cache, shard, autoscale, and fault aggregation (availability,
+//!   under-failure tail, failover time, re-issued batches) into the
+//!   `gdr-bench/v1` `serve` record family;
 //! * [`suite`] — the [`ServeHarness`] runner and the committed,
-//!   CI-gated scenario suite.
+//!   CI-gated scenario suite, including the crash/failover availability
+//!   headline pair.
 //!
 //! Time is **virtual**: the simulation never reads a wall clock, so a
 //! fixed seed produces byte-for-byte identical reports on any machine —
@@ -96,13 +107,61 @@
 //! assert!(all.metric("replicas_max").unwrap() <= 4.0);
 //! # Ok::<(), gdr_hetgraph::GdrError>(())
 //! ```
+//!
+//! # Serving through failures
+//!
+//! Crash the primary mid-run and let the replicated control plane
+//! migrate its batches — the scenario stays fully available, the
+//! failover is priced, and the run is still byte-reproducible:
+//!
+//! ```
+//! use gdr_serve::prelude::*;
+//!
+//! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN+GDR"])?;
+//! let record = harness.run(
+//!     &ScenarioSpec {
+//!         faults: FaultSpec {
+//!             // replica 0 — the initial primary — dies for good
+//!             crashes: vec![CrashWindow {
+//!                 replica: 0,
+//!                 crash_at_ns: 80_000,
+//!                 recover_after_ns: 0,
+//!             }],
+//!             ..FaultSpec::default()
+//!         },
+//!         control: true, // replicate assignments; elect on heartbeat lapse
+//!         ..ScenarioSpec::new(
+//!             "crash-failover",
+//!             ArrivalProcess::Poisson { rate_rps: 100_000.0 },
+//!             96,
+//!             BatchPolicy::SizeCapped { cap: 4 },
+//!             SchedPolicy::LeastLoaded,
+//!             vec!["HiHGNN+GDR".into(); 3],
+//!         )
+//!     },
+//!     7,
+//! )?;
+//! let all = record.aggregate().unwrap();
+//! assert_eq!(all.metric("dropped"), Some(0.0)); // survivors absorb the work
+//! assert_eq!(all.metric("availability"), Some(1.0));
+//! assert!(all.metric("failover_ns").unwrap() > 0.0); // the election is priced
+//! assert_eq!(record.faults, "crash:0@80000;control:vr");
+//! # Ok::<(), gdr_hetgraph::GdrError>(())
+//! ```
+//!
+//! The same plan with `control: false` drops the dead primary's queued
+//! batches and measurably degrades availability — that contrast is the
+//! committed `crash/failover` vs `crash/no-control` suite pair.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batcher;
 pub mod cache;
+pub mod control;
 pub mod cost;
+pub mod fault;
 pub mod metrics;
 pub mod request;
 pub mod scheduler;
@@ -111,7 +170,9 @@ pub mod workload;
 
 pub use batcher::{Batch, BatchPolicy, Batcher};
 pub use cache::FeatureCache;
+pub use control::{ControlPlane, ControlStats};
 pub use cost::{CostModel, ServiceCost, MINI_BATCH_DIVISOR};
+pub use fault::{CrashWindow, FaultSpec, Slowdown};
 pub use request::{Cell, Request};
 pub use scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator};
 pub use suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
@@ -121,7 +182,9 @@ pub use workload::{ArrivalProcess, Traffic, TrafficStream};
 pub mod prelude {
     pub use crate::batcher::{Batch, BatchPolicy, Batcher};
     pub use crate::cache::FeatureCache;
+    pub use crate::control::{ControlPlane, ControlStats};
     pub use crate::cost::{CostModel, ServiceCost};
+    pub use crate::fault::{CrashWindow, FaultSpec, Slowdown};
     pub use crate::request::{Cell, Request};
     pub use crate::scheduler::{
         AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator,

@@ -4,15 +4,18 @@
 //! `gdr-bench/v1` schema: p50/p95/p99/mean/max latency, throughput,
 //! batch shape, time-weighted queue depths, DRAM traffic, feature-cache
 //! hit rate, shard-miss count, autoscale shape (peak replicas and
-//! total cold-start latency), and `replica_seconds` — the integral of
+//! total cold-start latency), `replica_seconds` — the integral of
 //! active replicas over virtual time, the cost-of-goods denominator for
-//! comparing autoscale policies on efficiency — pool-wide (`"ALL"`) and
-//! per distinct platform. Every value is a pure function of the
-//! scenario configuration, so records diff byte-for-byte across runs.
+//! comparing autoscale policies on efficiency — and the fault family
+//! (`dropped`, `availability`, `p99_under_failure_ns`, `failover_ns`,
+//! `requeued_batches`), pool-wide (`"ALL"`) and per distinct platform.
+//! Every value is a pure function of the scenario configuration, so
+//! records diff byte-for-byte across runs.
 
 use gdr_system::report::{ServeRunRecord, ServeScenarioRecord, SERVE_METRIC_KEYS};
 
 use crate::batcher::BatchPolicy;
+use crate::fault::{plan_label, FaultSpec};
 use crate::scheduler::{PoolConfig, SchedPolicy, SimResult};
 use crate::workload::{Traffic, NS_PER_S};
 
@@ -42,21 +45,24 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
 /// `result.replica_platforms`) to labels. The record carries an `"ALL"`
 /// aggregate row first, then one row per distinct platform in
 /// first-replica order.
+#[allow(clippy::too_many_arguments)]
 pub fn scenario_record(
     scenario: &str,
     traffic: &Traffic,
     batch: BatchPolicy,
     sched: SchedPolicy,
     pool: &PoolConfig,
+    faults: &FaultSpec,
+    control: bool,
     result: &SimResult,
     platform_names: &[String],
 ) -> ServeScenarioRecord {
-    let mut runs = vec![run_record("ALL", result, None)];
+    let mut runs = vec![run_record("ALL", result, faults, None)];
     let mut seen: Vec<usize> = Vec::new();
     for &p in &result.replica_platforms {
         if !seen.contains(&p) {
             seen.push(p);
-            runs.push(run_record(&platform_names[p], result, Some(p)));
+            runs.push(run_record(&platform_names[p], result, faults, Some(p)));
         }
     }
     ServeScenarioRecord {
@@ -75,6 +81,7 @@ pub fn scenario_record(
         autoscale: pool
             .autoscale
             .map_or_else(|| "off".to_string(), |a| a.label()),
+        faults: plan_label(faults, control),
         seed: traffic.seed,
         requests: traffic.requests as u64,
         runs,
@@ -83,7 +90,12 @@ pub fn scenario_record(
 
 /// One aggregate row: over the whole pool (`platform == None`) or over
 /// the replicas of one platform index.
-fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> ServeRunRecord {
+fn run_record(
+    label: &str,
+    result: &SimResult,
+    faults: &FaultSpec,
+    platform: Option<usize>,
+) -> ServeRunRecord {
     let on_platform =
         |replica: usize| platform.is_none_or(|p| result.replica_platforms[replica] == p);
 
@@ -200,6 +212,44 @@ fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> Serve
         .map(|cs| cs.delay_ns)
         .sum();
 
+    // Fault metrics. Drops attribute to the platform of the replica they
+    // died on; in-transit drops (no replica) count only in the pool-wide
+    // row. Availability is the fraction of this row's terminated
+    // requests that completed within the plan's deadline (no deadline =
+    // any completion counts; nothing terminated = fully available).
+    // `p99_under_failure_ns` restricts the tail to requests arriving at
+    // or after the plan's first fault — the failure-window tail the
+    // healthy p99 would dilute.
+    let dropped = result
+        .dropped
+        .iter()
+        .filter(|d| match d.replica {
+            Some(r) => on_platform(r),
+            None => platform.is_none(),
+        })
+        .count();
+    let within_deadline =
+        |latency_ns: u64| -> bool { faults.deadline_ns == 0 || latency_ns <= faults.deadline_ns };
+    let available = latencies.iter().filter(|&&l| within_deadline(l)).count();
+    let availability = if completed + dropped == 0 {
+        1.0
+    } else {
+        available as f64 / (completed + dropped) as f64
+    };
+    let p99_under_failure_ns = match faults.first_fault_ns() {
+        None => 0.0,
+        Some(first) => {
+            let mut tail: Vec<u64> = result
+                .completed
+                .iter()
+                .filter(|c| on_platform(c.replica) && c.request.arrival_ns >= first)
+                .map(|c| c.latency_ns())
+                .collect();
+            tail.sort_unstable();
+            percentile(&tail, 99.0) as f64
+        }
+    };
+
     let value = |key: &str| -> f64 {
         match key {
             "completed" => completed as f64,
@@ -220,6 +270,13 @@ fn run_record(label: &str, result: &SimResult, platform: Option<usize>) -> Serve
             "replicas_max" => replicas_max as f64,
             "cold_start_ns" => cold_start_ns as f64,
             "replica_seconds" => replica_seconds,
+            "dropped" => dropped as f64,
+            "availability" => availability,
+            "p99_under_failure_ns" => p99_under_failure_ns,
+            // Failover and re-issue volume are control-plane-global:
+            // identical on every row of the scenario.
+            "failover_ns" => result.failover_ns as f64,
+            "requeued_batches" => result.requeued_batches as f64,
             other => unreachable!("unknown serve metric key {other}"),
         }
     };
@@ -291,6 +348,8 @@ mod tests {
             batch,
             SchedPolicy::LeastLoaded,
             &pool,
+            &FaultSpec::default(),
+            false,
             &result,
             cost.platforms(),
         );
@@ -300,6 +359,7 @@ mod tests {
         assert_eq!(rec.shards, 0, "unsharded pools record 0");
         assert_eq!(rec.cache_bytes, 1 << 20);
         assert_eq!(rec.autoscale, "off");
+        assert_eq!(rec.faults, "none", "the empty plan labels as none");
         let platforms: Vec<&str> = rec.runs.iter().map(|r| r.platform.as_str()).collect();
         assert_eq!(platforms, ["ALL", "A", "B"]);
         let all = rec.aggregate().unwrap();
@@ -334,5 +394,86 @@ mod tests {
         assert!((rs(1) + rs(2) - rs(0)).abs() < 1e-9, "platforms partition");
         // a fixed 2-replica pool is active for the whole sampled span
         assert!((rs(0) - 2.0 * span_s).abs() < 1e-9);
+        // fault metrics on a fault-free run: nothing dropped, fully
+        // available, no failure window, no failover, nothing requeued
+        assert_eq!(all.metric("dropped"), Some(0.0));
+        assert_eq!(all.metric("availability"), Some(1.0));
+        assert_eq!(all.metric("p99_under_failure_ns"), Some(0.0));
+        assert_eq!(all.metric("failover_ns"), Some(0.0));
+        assert_eq!(all.metric("requeued_batches"), Some(0.0));
+    }
+
+    #[test]
+    fn fault_metrics_partition_drops_and_bound_availability() {
+        use crate::fault::CrashWindow;
+
+        let base = ServiceCost {
+            fixed_ns: 100_000,
+            per_request_ns: 2_000,
+            warm_save_ns: 0,
+            hit_per_request_ns: 2_000,
+            dram_bytes_per_request: 0,
+            footprint_bytes: 0,
+            bind_ns: 0,
+        };
+        let cost = CostModel::synthetic(vec!["A".into()], vec![[base; CELL_COUNT]]);
+        let traffic = Traffic {
+            process: ArrivalProcess::Poisson { rate_rps: 50_000.0 },
+            requests: 200,
+            seed: 11,
+        };
+        let faults = FaultSpec {
+            crashes: vec![CrashWindow {
+                replica: 0,
+                crash_at_ns: 1_000_000,
+                recover_after_ns: 0,
+            }],
+            ..FaultSpec::default()
+        };
+        let batch = BatchPolicy::SizeCapped { cap: 4 };
+        let pool = PoolConfig::default();
+        let result = Simulator::with_faults(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0],
+            &pool,
+            &faults,
+            false,
+            11,
+        )
+        .run(TrafficStream::new(traffic), Batcher::new(batch));
+        let rec = scenario_record(
+            "faulty/scn",
+            &traffic,
+            batch,
+            SchedPolicy::LeastLoaded,
+            &pool,
+            &faults,
+            false,
+            &result,
+            cost.platforms(),
+        );
+        assert_eq!(rec.faults, "crash:0@1000000");
+        let all = rec.aggregate().unwrap();
+        let dropped = all.metric("dropped").unwrap();
+        assert!(dropped > 0.0, "the dead replica held work");
+        assert_eq!(
+            all.metric("completed").unwrap() + dropped,
+            200.0,
+            "conservation surfaces in the record"
+        );
+        let avail = all.metric("availability").unwrap();
+        assert!((0.0..1.0).contains(&avail), "drops cost availability");
+        let expected = all.metric("completed").unwrap() / 200.0;
+        assert!((avail - expected).abs() < 1e-12);
+        // the failure-window tail is a latency percentile over a subset
+        let p99f = all.metric("p99_under_failure_ns").unwrap();
+        assert!(p99f > 0.0);
+        assert!(p99f <= all.metric("max_ns").unwrap());
+        // no control plane: no failover, but also no requeues
+        assert_eq!(all.metric("failover_ns"), Some(0.0));
+        assert_eq!(all.metric("requeued_batches"), Some(0.0));
+        // the single-platform row equals the pool-wide row on drops
+        assert_eq!(rec.runs[1].metric("dropped"), Some(dropped));
     }
 }

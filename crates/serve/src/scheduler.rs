@@ -30,14 +30,32 @@
 //! ([`FeatureCache`]), and a queue-driven **autoscaler**
 //! ([`AutoscaleSpec`]) that adds replicas (cold-start priced as a full
 //! session bind) and drains them back to the initial pool size.
+//!
+//! Faults enter through [`Simulator::with_faults`]: a [`FaultSpec`]
+//! turns crashes and recoveries into heap events, stretches a
+//! straggler's service times, and drops batches in transit from a
+//! dedicated seeded RNG. Without the control plane a crashed replica's
+//! in-flight and queued batches die with it (their requests are counted
+//! in [`SimResult::dropped`]); with the
+//! [`ControlPlane`] enabled they migrate
+//! to survivors, and a primary crash triggers a heartbeat-timeout view
+//! change that re-issues everything the dead primary held — no accepted
+//! request is silently lost. Batches that momentarily have no live
+//! replica to run on park and are re-issued on the next recovery or
+//! view change; only when the run drains with no live replica left are
+//! they counted dropped.
 
 use std::collections::{BinaryHeap, VecDeque};
 
 use gdr_hetgraph::datasets::Dataset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::batcher::{Batch, Batcher};
 use crate::cache::FeatureCache;
+use crate::control::{ControlPlane, HEARTBEAT_INTERVAL_NS, HEARTBEAT_TIMEOUT_NS, VIEW_CHANGE_NS};
 use crate::cost::CostModel;
+use crate::fault::FaultSpec;
 use crate::request::Request;
 use crate::workload::TrafficStream;
 
@@ -250,10 +268,25 @@ impl QueueSample {
     }
 }
 
+/// One request lost to a fault: a crashed replica's dying batch
+/// (control plane off), an in-transit batch drop, or a drain with no
+/// live replica left to serve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DroppedRequest {
+    /// The original request.
+    pub request: Request,
+    /// Virtual time the loss was recorded, ns.
+    pub dropped_ns: u64,
+    /// Replica the request died on, when attributable (`None` for
+    /// in-transit drops and end-of-run force-drops).
+    pub replica: Option<usize>,
+}
+
 /// The raw outcome of one scenario simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
-    /// Every completed request (all generated requests complete).
+    /// Every completed request (every generated request completes
+    /// unless a fault plan drops it — see [`SimResult::dropped`]).
     pub completed: Vec<CompletedRequest>,
     /// Every executed batch, in execution-start order.
     pub batches: Vec<BatchRecord>,
@@ -270,14 +303,43 @@ pub struct SimResult {
     pub replicas_max: usize,
     /// Every autoscale activation, in activation-decision order.
     pub cold_starts: Vec<ColdStart>,
+    /// Every request lost to the fault plan, in loss order. Empty for
+    /// fault-free runs.
+    pub dropped: Vec<DroppedRequest>,
+    /// Completed control-plane view changes.
+    pub view_changes: u64,
+    /// Total virtual time spent without an operating primary, ns.
+    pub failover_ns: u64,
+    /// Batches that migrated off crashed replicas for re-issue (control
+    /// plane only).
+    pub requeued_batches: u64,
 }
 
 #[derive(Debug)]
 enum EventKind {
     Arrival(Request),
     Flush,
-    Done(usize),
+    Done {
+        replica: usize,
+        /// Crash-generation stamp: a `Done` from before a crash must not
+        /// complete a batch started after the recovery.
+        generation: u64,
+    },
     ScaleUp(usize),
+    /// Fault plan: replica fails.
+    Crash(usize),
+    /// Fault plan: replica rejoins, cold.
+    Recover(usize),
+    /// Control plane: the primary heartbeats its backups.
+    CtrlTick,
+    /// Control plane: drain due envelopes in a replica's mailbox.
+    CtrlDeliver(usize),
+    /// Control plane: a backup's heartbeat-timeout timer.
+    CtrlCheck(usize),
+    /// Control plane: an in-progress view change completes.
+    ViewChange,
+    /// Re-dispatch orphaned and parked batches onto live replicas.
+    ReIssue,
 }
 
 #[derive(Debug)]
@@ -322,6 +384,11 @@ struct Replica {
     draining: bool,
     /// A scale-up event is in flight for this slot.
     pending_up: bool,
+    /// Whether the replica is alive (false between crash and recovery).
+    up: bool,
+    /// Bumped on every crash, stamped into `Done` events so completions
+    /// from a previous life are void.
+    generation: u64,
 }
 
 impl Replica {
@@ -357,6 +424,24 @@ pub struct Simulator<'c> {
     flush_at: Option<u64>,
     /// Scale-up events scheduled but not yet fired.
     pending_ups: usize,
+    /// The injected fault plan (empty by default).
+    faults: FaultSpec,
+    /// Per-slot service-time multipliers from the fault plan's
+    /// slowdowns (1.0 = healthy).
+    slow: Vec<f64>,
+    /// In-transit batch-loss RNG; present only when `drop_prob > 0`, so
+    /// fault-free runs draw nothing and stay byte-identical.
+    drop_rng: Option<SmallRng>,
+    /// The replicated control plane, when enabled.
+    control: Option<ControlPlane>,
+    /// Batches collected off crashed replicas, awaiting re-issue.
+    orphans: VecDeque<Batch>,
+    /// Batches with no live replica to run on (or dispatched while the
+    /// primary is down), awaiting a recovery or view change.
+    parked: VecDeque<Batch>,
+    /// Closed-loop clients whose request was dropped: they think and
+    /// re-issue just as if the response had arrived.
+    followups: Vec<(usize, u64)>,
     result: SimResult,
 }
 
@@ -378,6 +463,37 @@ impl<'c> Simulator<'c> {
         sched: SchedPolicy,
         replica_platforms: &[usize],
         pool: &PoolConfig,
+    ) -> Self {
+        Self::with_faults(
+            cost,
+            sched,
+            replica_platforms,
+            pool,
+            &FaultSpec::default(),
+            false,
+            0,
+        )
+    }
+
+    /// [`Simulator::new`] plus a deterministic fault plan and (when
+    /// `control` is set) the replicated
+    /// [`ControlPlane`]. `seed` feeds the
+    /// in-transit drop RNG only (crashes and slowdowns are scheduled,
+    /// not sampled); the empty plan with `control` off is exactly
+    /// [`Simulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on everything [`Simulator::new`] panics on, plus any
+    /// [`FaultSpec::validate`] inconsistency against the slot count.
+    pub fn with_faults(
+        cost: &'c CostModel,
+        sched: SchedPolicy,
+        replica_platforms: &[usize],
+        pool: &PoolConfig,
+        faults: &FaultSpec,
+        control: bool,
+        seed: u64,
     ) -> Self {
         assert!(!replica_platforms.is_empty(), "need at least one replica");
         assert!(
@@ -406,6 +522,13 @@ impl<'c> Simulator<'c> {
         } else {
             ShardMap::full(slots)
         };
+        if let Err(msg) = faults.validate(slots) {
+            panic!("inconsistent fault plan: {msg}");
+        }
+        let mut slow = vec![1.0; slots];
+        for s in &faults.slowdowns {
+            slow[s.replica] = s.factor;
+        }
         Self {
             cost,
             sched,
@@ -423,6 +546,8 @@ impl<'c> Simulator<'c> {
                     active: i < initial,
                     draining: false,
                     pending_up: false,
+                    up: true,
+                    generation: 0,
                 })
                 .collect(),
             events: BinaryHeap::new(),
@@ -430,6 +555,14 @@ impl<'c> Simulator<'c> {
             rr_next: 0,
             flush_at: None,
             pending_ups: 0,
+            faults: faults.clone(),
+            slow,
+            drop_rng: (faults.drop_prob > 0.0)
+                .then(|| SmallRng::seed_from_u64(seed ^ 0xD60F_AB1E_5EED_FA17)),
+            control: control.then(|| ControlPlane::new(slots)),
+            orphans: VecDeque::new(),
+            parked: VecDeque::new(),
+            followups: Vec::new(),
             result: SimResult {
                 completed: Vec::new(),
                 batches: Vec::new(),
@@ -439,6 +572,10 @@ impl<'c> Simulator<'c> {
                 initial_replicas: initial,
                 replicas_max: initial,
                 cold_starts: Vec::new(),
+                dropped: Vec::new(),
+                view_changes: 0,
+                failover_ns: 0,
+                requeued_batches: 0,
             },
         }
     }
@@ -449,10 +586,22 @@ impl<'c> Simulator<'c> {
     }
 
     /// Runs `stream` through `batcher` to completion and returns the raw
-    /// results. Every generated request completes: when the event queue
-    /// drains with requests still gathering in the batcher (stream over,
-    /// cap not reached), the leftovers are flushed as partial batches.
+    /// results. Every generated request completes *or is counted
+    /// dropped, never both*: when the event queue drains with requests
+    /// still gathering in the batcher (stream over, cap not reached),
+    /// the leftovers are flushed as partial batches; batches still
+    /// parked or orphaned at the drain with no live replica to serve
+    /// them are recorded in [`SimResult::dropped`].
     pub fn run(mut self, mut stream: TrafficStream, mut batcher: Batcher) -> SimResult {
+        for c in self.faults.crashes.clone() {
+            self.push(c.crash_at_ns, EventKind::Crash(c.replica));
+            if let Some(at) = c.recover_at_ns() {
+                self.push(at, EventKind::Recover(c.replica));
+            }
+        }
+        if self.control.is_some() {
+            self.push(HEARTBEAT_INTERVAL_NS, EventKind::CtrlTick);
+        }
         for req in stream.initial_arrivals() {
             self.push(req.arrival_ns, EventKind::Arrival(req));
         }
@@ -464,10 +613,34 @@ impl<'c> Simulator<'c> {
                     for batch in batcher.flush_all(now) {
                         self.dispatch(batch, now);
                     }
-                    self.sample(now, &batcher);
-                    continue;
+                } else if !self.orphans.is_empty() || !self.parked.is_empty() {
+                    // Leftover batches with no event left to revive a
+                    // replica: either every survivor can take them now,
+                    // or no accepted request will ever complete — count
+                    // them dropped rather than hang.
+                    let stranded: Vec<Batch> = self
+                        .orphans
+                        .drain(..)
+                        .chain(self.parked.drain(..))
+                        .collect();
+                    let dead_end = self.available().is_empty()
+                        || self
+                            .control
+                            .as_ref()
+                            .is_some_and(ControlPlane::primary_down);
+                    for batch in stranded {
+                        if dead_end {
+                            self.drop_batch(batch, now, None);
+                        } else {
+                            self.dispatch(batch, now);
+                        }
+                    }
+                } else {
+                    break;
                 }
-                break;
+                self.drain_followups(&mut stream);
+                self.sample(now, &batcher);
+                continue;
             };
             now = ev.time;
             match ev.kind {
@@ -486,30 +659,14 @@ impl<'c> Simulator<'c> {
                     }
                     self.schedule_flush(&batcher);
                 }
-                EventKind::Done(r) => {
-                    let (batch, service_ns) = self.replicas[r]
-                        .in_flight
-                        .take()
-                        .expect("Done fires only while a batch is in flight");
-                    for req in &batch.requests {
-                        self.result.completed.push(CompletedRequest {
-                            request: *req,
-                            completed_ns: now,
-                            replica: r,
-                            service_ns,
-                        });
-                        if let Some(next) = stream.next_closed_loop(req.client, now) {
-                            self.push(next.arrival_ns, EventKind::Arrival(next));
-                        }
+                EventKind::Done {
+                    replica: r,
+                    generation,
+                } => {
+                    if self.replicas[r].generation == generation {
+                        self.complete(r, now, &mut stream);
                     }
-                    self.result.makespan_ns = self.result.makespan_ns.max(now);
-                    if let Some(next) = self.replicas[r].queue.pop_front() {
-                        let est = self.cold_estimate(r, &next);
-                        self.replicas[r].queued_est_ns -= est;
-                        self.start(r, next, now);
-                    } else if self.replicas[r].draining {
-                        self.deactivate(r);
-                    }
+                    // else: a completion from before the crash — void.
                 }
                 EventKind::ScaleUp(r) => {
                     self.pending_ups -= 1;
@@ -518,11 +675,228 @@ impl<'c> Simulator<'c> {
                     replica.active = true;
                     self.result.replicas_max = self.result.replicas_max.max(self.active_count());
                 }
+                EventKind::Crash(r) => self.crash(r, now),
+                EventKind::Recover(r) => self.recover(r, now),
+                EventKind::CtrlTick => {
+                    // Decide liveness of the tick *before* enqueueing
+                    // control traffic, and look only at the heap: every
+                    // kind of pending work is itself an event, while
+                    // batcher leftovers can only flush once the heap
+                    // drains — a tick chain that re-armed on them would
+                    // keep the heap non-empty forever.
+                    let work_remains = !self.events.is_empty();
+                    if work_remains {
+                        let beats = match self.control.as_mut() {
+                            Some(cp) if cp.primary_live() => cp.heartbeat(now),
+                            _ => Vec::new(),
+                        };
+                        for (r, at) in beats {
+                            self.push(at, EventKind::CtrlDeliver(r));
+                        }
+                        self.push(now + HEARTBEAT_INTERVAL_NS, EventKind::CtrlTick);
+                    }
+                }
+                EventKind::CtrlDeliver(r) => {
+                    let follow = match self.control.as_mut() {
+                        Some(cp) => cp.deliver(r, now),
+                        None => Vec::new(),
+                    };
+                    for (r2, at) in follow {
+                        self.push(at, EventKind::CtrlDeliver(r2));
+                    }
+                }
+                EventKind::CtrlCheck(r) => {
+                    let verdict = self.control.as_mut().map(|cp| {
+                        (
+                            cp.check_heartbeat(r, now),
+                            cp.primary_down() && cp.is_live(r),
+                        )
+                    });
+                    match verdict {
+                        Some((true, _)) => self.push(now + VIEW_CHANGE_NS, EventKind::ViewChange),
+                        // The primary is still dead but this timer fired
+                        // early (a beat was in flight at the crash):
+                        // re-arm until detection lands. A dead checker's
+                        // timer dies with it.
+                        Some((false, true)) => {
+                            self.push(now + HEARTBEAT_INTERVAL_NS, EventKind::CtrlCheck(r))
+                        }
+                        _ => {}
+                    }
+                }
+                EventKind::ViewChange => {
+                    if self.control.is_some() {
+                        let announcements = self
+                            .control
+                            .as_mut()
+                            .map(|cp| cp.complete_view_change(now))
+                            .unwrap_or_default();
+                        for (r, at) in announcements {
+                            self.push(at, EventKind::CtrlDeliver(r));
+                        }
+                        // The heartbeat tick chain keeps running through
+                        // the outage, so the new primary resumes beats
+                        // on the next tick without a fresh chain.
+                        if !self
+                            .control
+                            .as_ref()
+                            .is_some_and(ControlPlane::primary_down)
+                        {
+                            self.reissue(now);
+                        }
+                    }
+                }
+                EventKind::ReIssue => {
+                    if !self
+                        .control
+                        .as_ref()
+                        .is_some_and(ControlPlane::primary_down)
+                    {
+                        self.reissue(now);
+                    }
+                }
             }
+            self.drain_followups(&mut stream);
             self.autoscale_step(now, &batcher);
             self.sample(now, &batcher);
         }
+        if let Some(cp) = &self.control {
+            self.result.view_changes = cp.stats.view_changes;
+            self.result.failover_ns = cp.stats.failover_ns;
+        }
         self.result
+    }
+
+    /// Replica `r`'s in-flight batch finished at `now`.
+    fn complete(&mut self, r: usize, now: u64, stream: &mut TrafficStream) {
+        let (batch, service_ns) = self.replicas[r]
+            .in_flight
+            .take()
+            .expect("Done fires only while a batch is in flight");
+        for req in &batch.requests {
+            self.result.completed.push(CompletedRequest {
+                request: *req,
+                completed_ns: now,
+                replica: r,
+                service_ns,
+            });
+            if let Some(next) = stream.next_closed_loop(req.client, now) {
+                self.push(next.arrival_ns, EventKind::Arrival(next));
+            }
+        }
+        self.result.makespan_ns = self.result.makespan_ns.max(now);
+        if let Some(next) = self.replicas[r].queue.pop_front() {
+            let est = self.cold_estimate(r, &next);
+            self.replicas[r].queued_est_ns -= est;
+            self.start(r, next, now);
+        } else if self.replicas[r].draining {
+            self.deactivate(r);
+        }
+    }
+
+    /// Replica `r` fails at `now`: its in-flight and queued batches are
+    /// torn off it — migrated to the control plane's re-issue path when
+    /// enabled, dropped otherwise — and its caches die with it.
+    fn crash(&mut self, r: usize, now: u64) {
+        let replica = &mut self.replicas[r];
+        replica.up = false;
+        replica.generation += 1;
+        replica.busy_until = now;
+        replica.queued_est_ns = 0;
+        replica.last_dataset = None;
+        replica.draining = false;
+        replica.cache.clear();
+        let mut dead: Vec<Batch> = Vec::new();
+        if let Some((batch, _)) = replica.in_flight.take() {
+            dead.push(batch);
+        }
+        dead.extend(replica.queue.drain(..));
+        if self.control.is_some() {
+            let was_primary = {
+                let cp = self.control.as_mut().expect("checked above");
+                let wp = cp.primary() == r;
+                cp.on_crash(r, now);
+                wp
+            };
+            let had_work = !dead.is_empty();
+            self.result.requeued_batches += dead.len() as u64;
+            self.orphans.extend(dead);
+            if was_primary {
+                // Guarantee detection even if the crash beat every
+                // heartbeat: the lowest live backup's local timer.
+                if let Some(b) = self.first_live_replica() {
+                    self.push(now + HEARTBEAT_TIMEOUT_NS, EventKind::CtrlCheck(b));
+                }
+            } else if had_work {
+                // A backup died with assigned work: the primary notices
+                // the missing acks after a timeout and re-issues.
+                self.push(now + HEARTBEAT_TIMEOUT_NS, EventKind::ReIssue);
+            }
+        } else {
+            for batch in dead {
+                self.drop_batch(batch, now, Some(r));
+            }
+        }
+    }
+
+    /// Replica `r` rejoins at `now`, cold: caches were dropped at the
+    /// crash, and parked work gets a fresh chance to run.
+    fn recover(&mut self, r: usize, now: u64) {
+        self.replicas[r].up = true;
+        let primary_still_down = self.control.as_mut().map(|cp| {
+            cp.on_recover(r, now);
+            cp.primary_down()
+        });
+        if primary_still_down == Some(true) {
+            // The recovered backup's own timer restarts detection
+            // (every earlier elector may have died mid-election).
+            self.push(now + HEARTBEAT_TIMEOUT_NS, EventKind::CtrlCheck(r));
+        }
+        if !self.orphans.is_empty() || !self.parked.is_empty() {
+            self.push(now, EventKind::ReIssue);
+        }
+    }
+
+    /// Lowest-indexed live replica slot, if any.
+    fn first_live_replica(&self) -> Option<usize> {
+        (0..self.replicas.len()).find(|&r| self.replicas[r].up)
+    }
+
+    /// Re-dispatches every orphaned (crashed-replica) and parked
+    /// (no-live-replica) batch, oldest assignment first. Batches that
+    /// still find no live replica simply park again.
+    fn reissue(&mut self, now: u64) {
+        let pending: Vec<Batch> = self
+            .orphans
+            .drain(..)
+            .chain(self.parked.drain(..))
+            .collect();
+        for batch in pending {
+            self.dispatch(batch, now);
+        }
+    }
+
+    /// Records a whole batch as lost; closed-loop clients think and
+    /// re-issue just as if the response had arrived, so the request
+    /// budget is conserved.
+    fn drop_batch(&mut self, batch: Batch, now: u64, replica: Option<usize>) {
+        for req in &batch.requests {
+            self.result.dropped.push(DroppedRequest {
+                request: *req,
+                dropped_ns: now,
+                replica,
+            });
+            self.followups.push((req.client, now));
+        }
+    }
+
+    /// Issues the closed-loop follow-ups queued by dropped requests.
+    fn drain_followups(&mut self, stream: &mut TrafficStream) {
+        for (client, at) in std::mem::take(&mut self.followups) {
+            if let Some(next) = stream.next_closed_loop(client, at) {
+                self.push(next.arrival_ns, EventKind::Arrival(next));
+            }
+        }
     }
 
     fn push(&mut self, time: u64, kind: EventKind) {
@@ -548,17 +922,20 @@ impl<'c> Simulator<'c> {
             .batch_ns(batch.len(), false, false)
     }
 
-    /// Replicas eligible for dispatch: active and not draining. The
-    /// autoscaler never drains below the initial pool, so this is never
-    /// empty.
+    /// Replicas eligible for dispatch: up, active, and not draining.
+    /// The autoscaler never drains below the initial pool, so without a
+    /// fault plan this is never empty; crashes can empty it, in which
+    /// case batches park until a recovery.
     fn available(&self) -> Vec<usize> {
         (0..self.replicas.len())
-            .filter(|&r| self.replicas[r].active && !self.replicas[r].draining)
+            .filter(|&r| {
+                self.replicas[r].up && self.replicas[r].active && !self.replicas[r].draining
+            })
             .collect()
     }
 
     fn active_count(&self) -> usize {
-        self.replicas.iter().filter(|r| r.active).count()
+        self.replicas.iter().filter(|r| r.active && r.up).count()
     }
 
     fn dataset_index(batch: &Batch) -> usize {
@@ -569,8 +946,27 @@ impl<'c> Simulator<'c> {
     }
 
     fn dispatch(&mut self, batch: Batch, now: u64) {
+        // In-transit loss: drawn only when the fault plan asks for it,
+        // so fault-free runs never touch the RNG.
+        if let Some(rng) = self.drop_rng.as_mut() {
+            if rng.gen_range(0.0..1.0) < self.faults.drop_prob {
+                self.drop_batch(batch, now, None);
+                return;
+            }
+        }
         let avail = self.available();
-        debug_assert!(!avail.is_empty(), "pool never drains below its minimum");
+        // No live replica to run on, or assignment ordering suspended
+        // while the primary seat is empty: park for the next recovery
+        // or view change.
+        if avail.is_empty()
+            || self
+                .control
+                .as_ref()
+                .is_some_and(ControlPlane::primary_down)
+        {
+            self.parked.push_back(batch);
+            return;
+        }
         let least_loaded = |sim: &Self, among: &[usize]| {
             among
                 .iter()
@@ -612,6 +1008,15 @@ impl<'c> Simulator<'c> {
                 }
             }
         };
+        // The primary orders every assignment through the control plane
+        // before it reaches the replica.
+        let prepares = match self.control.as_mut() {
+            Some(cp) => cp.on_dispatch(now),
+            None => Vec::new(),
+        };
+        for (b, at) in prepares {
+            self.push(at, EventKind::CtrlDeliver(b));
+        }
         if self.replicas[r].in_flight.is_none() {
             self.start(r, batch, now);
         } else {
@@ -646,6 +1051,15 @@ impl<'c> Simulator<'c> {
             dram_bytes = cost.batch_dram_bytes(batch.len(), cache_hit);
             replica.last_dataset = Some(batch.cell.dataset);
         }
+        // A straggling replica stretches the whole service (bind
+        // included). Guarded on 1.0 so healthy runs never round-trip
+        // through f64.
+        let service = if self.slow[r] != 1.0 {
+            ((service as f64) * self.slow[r]).round().max(1.0) as u64
+        } else {
+            service
+        };
+        let replica = &mut self.replicas[r];
         replica.busy_until = now + service;
         self.result.batches.push(BatchRecord {
             replica: r,
@@ -657,7 +1071,14 @@ impl<'c> Simulator<'c> {
             service_ns: service,
         });
         replica.in_flight = Some((batch, service));
-        self.push(now + service, EventKind::Done(r));
+        let generation = replica.generation;
+        self.push(
+            now + service,
+            EventKind::Done {
+                replica: r,
+                generation,
+            },
+        );
     }
 
     /// The queue-driven control loop, evaluated after every event.
@@ -676,9 +1097,9 @@ impl<'c> Simulator<'c> {
             // One activation per event keeps the loop smooth; a deep
             // queue keeps producing events, so growth stays exponential
             // in wall (virtual) time, not instantaneous.
-            if let Some(r) = (0..self.replicas.len())
-                .find(|&r| !self.replicas[r].active && !self.replicas[r].pending_up)
-            {
+            if let Some(r) = (0..self.replicas.len()).find(|&r| {
+                !self.replicas[r].active && !self.replicas[r].pending_up && self.replicas[r].up
+            }) {
                 let delay_ns = self.cost.cold_start_ns(self.replicas[r].platform).max(1);
                 self.replicas[r].pending_up = true;
                 self.pending_ups += 1;
@@ -719,7 +1140,9 @@ impl<'c> Simulator<'c> {
             batcher_pending: batcher.pending_len(),
             per_replica: self.replicas.iter().map(Replica::queued_requests).collect(),
             active_replicas: self.active_count(),
-            active_per_replica: self.replicas.iter().map(|r| r.active).collect(),
+            // A crashed replica is not serving and does not bill
+            // replica-seconds, whatever its autoscale state.
+            active_per_replica: self.replicas.iter().map(|r| r.active && r.up).collect(),
         });
     }
 }
@@ -1223,5 +1646,260 @@ mod tests {
             ..PoolConfig::default()
         };
         let _ = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0, 0], &pool);
+    }
+
+    // ---- fault injection + control plane ----
+
+    use crate::fault::{CrashWindow, Slowdown};
+
+    fn run_faulty(
+        cost: &CostModel,
+        replicas: &[usize],
+        faults: &FaultSpec,
+        control: bool,
+        stream: TrafficStream,
+    ) -> SimResult {
+        Simulator::with_faults(
+            cost,
+            SchedPolicy::LeastLoaded,
+            replicas,
+            &PoolConfig::default(),
+            faults,
+            control,
+            stream.budget(), // any deterministic seed works
+        )
+        .run(stream, Batcher::new(BatchPolicy::SizeCapped { cap: 4 }))
+    }
+
+    /// Unique sorted request ids across completions and drops.
+    fn account(r: &SimResult) -> (Vec<u64>, Vec<u64>) {
+        let mut done: Vec<u64> = r.completed.iter().map(|c| c.request.id).collect();
+        let mut lost: Vec<u64> = r.dropped.iter().map(|d| d.request.id).collect();
+        done.sort_unstable();
+        lost.sort_unstable();
+        (done, lost)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_plain_simulator() {
+        let cost = flat_cost(20_000, 2_000, 0);
+        let pool = PoolConfig::default();
+        let plain = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0, 0], &pool).run(
+            poisson(30_000.0, 250, 9),
+            Batcher::new(BatchPolicy::SizeCapped { cap: 4 }),
+        );
+        let faulty = Simulator::with_faults(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0],
+            &pool,
+            &FaultSpec::default(),
+            false,
+            123, // unused: no drop probability, so the RNG never exists
+        )
+        .run(
+            poisson(30_000.0, 250, 9),
+            Batcher::new(BatchPolicy::SizeCapped { cap: 4 }),
+        );
+        assert_eq!(plain, faulty, "the empty plan must be the identity");
+    }
+
+    #[test]
+    fn crash_without_control_drops_the_dead_replicas_work() {
+        let cost = flat_cost(100_000, 2_000, 0);
+        let faults = FaultSpec {
+            crashes: vec![CrashWindow {
+                replica: 0,
+                crash_at_ns: 1_000_000,
+                recover_after_ns: 0,
+            }],
+            ..FaultSpec::default()
+        };
+        let r = run_faulty(&cost, &[0, 0], &faults, false, poisson(50_000.0, 200, 11));
+        assert!(!r.dropped.is_empty(), "the dead replica held work");
+        assert!(r.dropped.iter().all(|d| d.replica == Some(0)));
+        assert!(r.dropped.iter().all(|d| d.dropped_ns == 1_000_000));
+        let (done, lost) = account(&r);
+        assert_eq!(done.len() + lost.len(), 200, "conservation");
+        let mut all: Vec<u64> = done.iter().chain(lost.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..200).collect::<Vec<_>>(),
+            "never both, never neither"
+        );
+        assert_eq!(r.view_changes, 0);
+        assert_eq!(r.requeued_batches, 0);
+        // the survivor keeps serving: completions continue past the crash
+        assert!(r.completed.iter().any(|c| c.completed_ns > 1_000_000));
+    }
+
+    #[test]
+    fn crash_with_control_migrates_work_and_fails_over() {
+        let cost = flat_cost(100_000, 2_000, 0);
+        let faults = FaultSpec {
+            crashes: vec![CrashWindow {
+                replica: 0, // the initial primary
+                crash_at_ns: 1_000_000,
+                recover_after_ns: 0,
+            }],
+            ..FaultSpec::default()
+        };
+        // Overdrive the pool so every replica holds queued work when the
+        // primary dies — the migration path must have something to move.
+        let r = run_faulty(
+            &cost,
+            &[0, 0, 0],
+            &faults,
+            true,
+            poisson(150_000.0, 200, 11),
+        );
+        assert_eq!(r.completed.len(), 200, "no accepted request is lost");
+        assert!(r.dropped.is_empty());
+        assert_eq!(r.view_changes, 1, "the primary crash elects a new view");
+        assert!(r.failover_ns > 0, "failover time is accounted");
+        assert!(
+            r.requeued_batches > 0,
+            "the dead primary's batches migrated"
+        );
+        assert!(
+            r.completed
+                .iter()
+                .all(|c| c.completed_ns <= 1_000_000 || c.replica != 0),
+            "nothing completes on the dead replica after the crash"
+        );
+    }
+
+    #[test]
+    fn recovered_replica_rejoins_cold_and_serves_again() {
+        let cost = flat_cost(50_000, 2_000, 0);
+        let faults = FaultSpec {
+            crashes: vec![CrashWindow {
+                replica: 0,
+                crash_at_ns: 500_000,
+                recover_after_ns: 1_000_000,
+            }],
+            ..FaultSpec::default()
+        };
+        // A single replica: during the outage everything parks, after
+        // recovery the backlog drains. Only the in-flight batch at the
+        // crash instant is lost (no control plane).
+        let r = run_faulty(&cost, &[0], &faults, false, poisson(30_000.0, 120, 3));
+        let (done, lost) = account(&r);
+        assert_eq!(
+            done.len() + lost.len(),
+            120,
+            "conservation through the outage"
+        );
+        assert!(lost.len() <= 4, "at most the one in-flight batch dies");
+        assert!(
+            r.completed.iter().any(|c| c.completed_ns > 1_500_000),
+            "the recovered replica serves the parked backlog"
+        );
+        assert!(
+            !r.completed
+                .iter()
+                .any(|c| (500_000..1_500_000).contains(&c.completed_ns)),
+            "nothing completes during the outage"
+        );
+    }
+
+    #[test]
+    fn straggler_stretches_service_and_the_tail() {
+        let cost = flat_cost(20_000, 2_000, 0);
+        let healthy = run_faulty(
+            &cost,
+            &[0, 0],
+            &FaultSpec::default(),
+            false,
+            poisson(30_000.0, 150, 5),
+        );
+        let slow = FaultSpec {
+            slowdowns: vec![Slowdown {
+                replica: 1,
+                factor: 8.0,
+            }],
+            ..FaultSpec::default()
+        };
+        let straggling = run_faulty(&cost, &[0, 0], &slow, false, poisson(30_000.0, 150, 5));
+        assert_eq!(straggling.completed.len(), 150, "slow is not lost");
+        let min_service = |r: &SimResult, replica: usize| {
+            r.batches
+                .iter()
+                .filter(|b| b.replica == replica)
+                .map(|b| b.service_ns)
+                .min()
+                .unwrap()
+        };
+        assert!(
+            min_service(&straggling, 1) >= 8 * min_service(&healthy, 0),
+            "every batch on the straggler pays the multiplier"
+        );
+        assert!(straggling.makespan_ns > healthy.makespan_ns);
+    }
+
+    #[test]
+    fn in_transit_drops_are_seeded_and_conserved() {
+        let cost = flat_cost(20_000, 2_000, 0);
+        let lossy = FaultSpec {
+            drop_prob: 0.25,
+            ..FaultSpec::default()
+        };
+        let a = run_faulty(&cost, &[0, 0], &lossy, false, poisson(30_000.0, 200, 13));
+        let b = run_faulty(&cost, &[0, 0], &lossy, false, poisson(30_000.0, 200, 13));
+        assert_eq!(a, b, "drops replay identically from the seed");
+        assert!(!a.dropped.is_empty(), "a quarter of batches vanish");
+        assert!(a.dropped.iter().all(|d| d.replica.is_none()));
+        let (done, lost) = account(&a);
+        assert_eq!(done.len() + lost.len(), 200);
+        let mut all: Vec<u64> = done.iter().chain(lost.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closed_loop_clients_reissue_after_drops() {
+        // Dropped responses must not strand closed-loop clients: the
+        // full request budget is still issued and accounted.
+        let cost = flat_cost(20_000, 2_000, 0);
+        let lossy = FaultSpec {
+            drop_prob: 0.3,
+            ..FaultSpec::default()
+        };
+        let stream = TrafficStream::new(Traffic {
+            process: ArrivalProcess::ClosedLoop {
+                clients: 4,
+                think_ns: 50_000,
+            },
+            requests: 80,
+            seed: 21,
+        });
+        let r = run_faulty(&cost, &[0, 0], &lossy, false, stream);
+        let (done, lost) = account(&r);
+        assert!(!lost.is_empty());
+        assert_eq!(done.len() + lost.len(), 80, "the whole budget resolves");
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent fault plan")]
+    fn fault_plan_replica_indices_are_validated() {
+        let cost = flat_cost(1, 1, 0);
+        let faults = FaultSpec {
+            crashes: vec![CrashWindow {
+                replica: 5,
+                crash_at_ns: 1,
+                recover_after_ns: 0,
+            }],
+            ..FaultSpec::default()
+        };
+        let _ = Simulator::with_faults(
+            &cost,
+            SchedPolicy::LeastLoaded,
+            &[0, 0],
+            &PoolConfig::default(),
+            &faults,
+            false,
+            0,
+        );
     }
 }

@@ -7,8 +7,11 @@
 //! high-rate traffic (the size-capped vs immediate throughput headline),
 //! stresses tails with bursty arrivals, exercises dataset-affine
 //! scheduling over a heterogeneous replica pool, contrasts warm-cache
-//! partial-replica sharding against blind cold routing, and drives the
-//! queue-driven autoscaler through a burst.
+//! partial-replica sharding against blind cold routing, drives the
+//! queue-driven autoscaler through a burst, and serves through faults —
+//! the availability headline pair (a primary crash with the replicated
+//! control plane failing over vs. the same crash dropping the dead
+//! replica's work), a deadline-gated straggler, and in-transit loss.
 
 use gdr_hetgraph::{GdrError, GdrResult};
 use gdr_system::grid::{platform_refs, select_platforms, ExperimentConfig};
@@ -16,6 +19,7 @@ use gdr_system::report::ServeScenarioRecord;
 
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::cost::CostModel;
+use crate::fault::{CrashWindow, FaultSpec, Slowdown};
 use crate::metrics::scenario_record;
 use crate::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, Simulator};
 use crate::workload::{ArrivalProcess, Traffic};
@@ -45,6 +49,11 @@ pub struct ScenarioSpec {
     pub cache_bytes: u64,
     /// Queue-driven autoscaling (`None` = fixed pool).
     pub autoscale: Option<AutoscaleSpec>,
+    /// Deterministic fault plan (empty = fault-free).
+    pub faults: FaultSpec,
+    /// Whether the replicated control plane orders dispatches and fails
+    /// over on a primary crash ([`crate::control`]).
+    pub control: bool,
 }
 
 impl ScenarioSpec {
@@ -69,6 +78,8 @@ impl ScenarioSpec {
             shards: 0,
             cache_bytes: 0,
             autoscale: None,
+            faults: FaultSpec::default(),
+            control: false,
         }
     }
 
@@ -151,15 +162,22 @@ impl ServeHarness {
     /// # Errors
     ///
     /// Returns [`GdrError::InvalidConfig`] when the spec's pool names a
-    /// platform the harness did not measure, the pool is empty, or the
+    /// platform the harness did not measure, the pool is empty, the
     /// autoscale spec is inconsistent (`max_replicas` below the pool
-    /// size, or `down_depth >= up_depth`).
+    /// size, or `down_depth >= up_depth`), or the fault plan is
+    /// inconsistent with the slot count ([`FaultSpec::validate`]).
     pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> GdrResult<ServeScenarioRecord> {
         if spec.pool.is_empty() {
             return Err(GdrError::invalid_config(
                 "pool",
                 "a scenario needs at least one replica",
             ));
+        }
+        let slots = spec
+            .autoscale
+            .map_or(spec.pool.len(), |a| a.max_replicas.max(spec.pool.len()));
+        if let Err(msg) = spec.faults.validate(slots) {
+            return Err(GdrError::invalid_config("faults", msg));
         }
         if let Some(a) = &spec.autoscale {
             if a.max_replicas < spec.pool.len() {
@@ -203,14 +221,24 @@ impl ServeHarness {
             seed,
         };
         let pool = spec.pool_config();
-        let result = Simulator::new(&self.cost, spec.sched, &replicas, &pool)
-            .run(traffic.stream(), Batcher::new(spec.batch));
+        let result = Simulator::with_faults(
+            &self.cost,
+            spec.sched,
+            &replicas,
+            &pool,
+            &spec.faults,
+            spec.control,
+            seed,
+        )
+        .run(traffic.stream(), Batcher::new(spec.batch));
         Ok(scenario_record(
             &spec.name,
             &traffic,
             spec.batch,
             spec.sched,
             &pool,
+            &spec.faults,
+            spec.control,
             &result,
             self.cost.platforms(),
         ))
@@ -248,6 +276,18 @@ pub const BASE_DEADLINE_TIMEOUT_NS: f64 = 20_000.0;
 /// routing thrashes it. Rescaled with the dataset scale by
 /// [`scaled_bytes`], since feature footprints grow with the datasets.
 pub const BASE_CACHE_BYTES: f64 = 64.0 * 1024.0 * 1024.0;
+
+/// Crash time of the canonical fault scenarios **at test scale**, ns:
+/// about a quarter into the high-rate arrival window, so the primary
+/// dies holding queued work and most of the stream is served through
+/// the failover. Rescaled with [`scaled_ns`].
+pub const BASE_CRASH_AT_NS: f64 = 80_000.0;
+
+/// Availability deadline of the canonical straggler scenario **at test
+/// scale**, ns: above the healthy pool's median latency, below a 4×
+/// straggler's tail — late completions are exactly what the deadline is
+/// meant to surface. Rescaled with [`scaled_ns`].
+pub const BASE_FAULT_DEADLINE_NS: f64 = 60_000.0;
 
 /// Rescales a test-scale offered load to `cfg`'s dataset scale: service
 /// times grow roughly linearly with the datasets, so rates shrink by
@@ -371,7 +411,7 @@ pub fn default_specs(cfg: &ExperimentConfig) -> Vec<ScenarioSpec> {
                 SUITE_REQUESTS,
                 BatchPolicy::SizeCapped { cap: 8 },
                 SchedPolicy::RoundRobin,
-                pool3,
+                pool3.clone(),
             )
         },
         // Queue-driven autoscaling through a burst: one warm replica
@@ -395,7 +435,95 @@ pub fn default_specs(cfg: &ExperimentConfig) -> Vec<ScenarioSpec> {
                 SUITE_REQUESTS,
                 BatchPolicy::SizeCapped { cap: 8 },
                 SchedPolicy::LeastLoaded,
-                vec![gdr],
+                vec![gdr.clone()],
+            )
+        },
+        // The availability headline pair: identical traffic, pool, and
+        // primary crash — with the replicated control plane the dead
+        // primary's batches migrate to the survivors (availability stays
+        // 1.0 at the cost of failover time); without it they die with
+        // the replica and availability measurably degrades.
+        ScenarioSpec {
+            faults: FaultSpec {
+                crashes: vec![CrashWindow {
+                    replica: 0,
+                    crash_at_ns: ns(BASE_CRASH_AT_NS),
+                    recover_after_ns: 0,
+                }],
+                ..FaultSpec::default()
+            },
+            control: true,
+            ..ScenarioSpec::new(
+                "crash/failover/least-loaded",
+                ArrivalProcess::Poisson {
+                    rate_rps: rate(HIGH_RATE_RPS),
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::LeastLoaded,
+                pool3.clone(),
+            )
+        },
+        ScenarioSpec {
+            faults: FaultSpec {
+                crashes: vec![CrashWindow {
+                    replica: 0,
+                    crash_at_ns: ns(BASE_CRASH_AT_NS),
+                    recover_after_ns: 0,
+                }],
+                ..FaultSpec::default()
+            },
+            ..ScenarioSpec::new(
+                "crash/no-control/least-loaded",
+                ArrivalProcess::Poisson {
+                    rate_rps: rate(HIGH_RATE_RPS),
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::LeastLoaded,
+                pool3.clone(),
+            )
+        },
+        // A deadline-gated straggler: one replica serves 4× slower, so
+        // its completions blow the availability deadline while the
+        // healthy replicas' do not — degradation without a single drop.
+        ScenarioSpec {
+            faults: FaultSpec {
+                slowdowns: vec![Slowdown {
+                    replica: 1,
+                    factor: 4.0,
+                }],
+                deadline_ns: ns(BASE_FAULT_DEADLINE_NS),
+                ..FaultSpec::default()
+            },
+            ..ScenarioSpec::new(
+                "straggler/deadline/least-loaded",
+                ArrivalProcess::Poisson {
+                    rate_rps: rate(HIGH_RATE_RPS),
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::LeastLoaded,
+                pool3,
+            )
+        },
+        // In-transit loss: batches vanish with seeded probability; the
+        // closed-loop-free stream simply loses them, so availability
+        // settles near 1 − drop_prob.
+        ScenarioSpec {
+            faults: FaultSpec {
+                drop_prob: 0.05,
+                ..FaultSpec::default()
+            },
+            ..ScenarioSpec::new(
+                "lossy/drop/least-loaded",
+                ArrivalProcess::Poisson {
+                    rate_rps: rate(HIGH_RATE_RPS),
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::LeastLoaded,
+                vec![gdr.clone(), gdr],
             )
         },
     ]
@@ -482,7 +610,7 @@ mod tests {
     #[test]
     fn suite_labels_are_unique_and_stable() {
         let specs = default_specs(&tiny_cfg());
-        assert_eq!(specs.len(), 8);
+        assert_eq!(specs.len(), 12);
         let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
@@ -516,6 +644,28 @@ mod tests {
         let spec = auto.autoscale.expect("autoscaler on");
         assert!(spec.max_replicas > auto.pool.len());
         assert!(spec.down_depth < spec.up_depth);
+        // the availability headline pair differs only in the control
+        // plane — same traffic, pool, batching, and crash schedule
+        let failover = specs
+            .iter()
+            .find(|s| s.name == "crash/failover/least-loaded")
+            .expect("failover scenario");
+        let no_control = specs
+            .iter()
+            .find(|s| s.name == "crash/no-control/least-loaded")
+            .expect("no-control scenario");
+        assert_eq!(failover.process, no_control.process);
+        assert_eq!(failover.pool, no_control.pool);
+        assert_eq!(failover.batch, no_control.batch);
+        assert_eq!(failover.faults, no_control.faults);
+        assert!(failover.control && !no_control.control);
+        assert_eq!(failover.faults.crashes[0].replica, 0, "the primary dies");
+        // every fault scenario carries a validated, non-empty plan
+        let faulty: Vec<&ScenarioSpec> = specs.iter().filter(|s| !s.faults.is_none()).collect();
+        assert_eq!(faulty.len(), 4);
+        for s in &faulty {
+            s.faults.validate(s.pool.len()).expect("plan fits the pool");
+        }
     }
 
     #[test]

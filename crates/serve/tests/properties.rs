@@ -17,12 +17,25 @@
 //! The percentile estimator is separately cross-checked against a naive
 //! sort-based quantile on randomized samples, including the 1-sample and
 //! all-equal edge cases.
+//!
+//! A second net layers a randomized *fault plan* (crash windows,
+//! slowdowns, in-transit drops, deadlines) over the same scenario space
+//! and checks the failure-mode invariants:
+//!
+//! * **conservation under crashes** — every accepted request completes
+//!   or is counted dropped, never both and never neither;
+//! * **availability ∈ [0, 1]**, and exactly 1 for fault-free plans;
+//! * **failover_ns > 0 iff a view change occurred**;
+//! * **the empty plan is byte-identical** to the plain simulator;
+//! * **control + a guaranteed survivor + no in-transit loss ⇒ nothing
+//!   is ever dropped**.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use gdr_serve::batcher::{BatchPolicy, Batcher};
 use gdr_serve::cost::{CostModel, ServiceCost};
+use gdr_serve::fault::{CrashWindow, FaultSpec, Slowdown};
 use gdr_serve::metrics::{percentile, scenario_record};
 use gdr_serve::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, SimResult, Simulator};
 use gdr_serve::workload::{ArrivalProcess, Traffic};
@@ -207,6 +220,8 @@ fn cache_hit_rate_is_a_rate() {
             s.batch,
             s.sched,
             &s.pool,
+            &FaultSpec::default(),
+            false,
             &r,
             s.cost.platforms(),
         );
@@ -259,6 +274,8 @@ fn every_record_metric_is_finite_and_keyed_canonically() {
             s.batch,
             s.sched,
             &s.pool,
+            &FaultSpec::default(),
+            false,
             &r,
             s.cost.platforms(),
         );
@@ -321,6 +338,193 @@ fn percentile_edge_cases() {
     }
     // empty: defined as 0
     assert_eq!(percentile(&[], 50.0), 0);
+}
+
+/// Draws a random fault plan over the scenario's replica *slots*
+/// (initial pool plus any autoscale headroom). When `spare_zero` is
+/// set, slot 0 never crashes — the survivor the control plane can
+/// always migrate onto.
+fn random_faults(rng: &mut SmallRng, slots: usize, spare_zero: bool) -> FaultSpec {
+    let mut faults = FaultSpec::default();
+    for replica in 0..slots {
+        if rng.gen_bool(0.4) && !(spare_zero && replica == 0) {
+            faults.crashes.push(CrashWindow {
+                replica,
+                crash_at_ns: rng.gen_range(1..2_000_000u64),
+                recover_after_ns: if rng.gen_bool(0.5) {
+                    rng.gen_range(1..2_000_000u64)
+                } else {
+                    0
+                },
+            });
+        }
+        if rng.gen_bool(0.3) {
+            faults.slowdowns.push(Slowdown {
+                replica,
+                factor: rng.gen_range(1.5..6.0f64),
+            });
+        }
+    }
+    if rng.gen_bool(0.3) {
+        faults.drop_prob = rng.gen_range(0.01..0.2f64);
+    }
+    if rng.gen_bool(0.5) {
+        faults.deadline_ns = rng.gen_range(50_000..5_000_000u64);
+    }
+    faults
+}
+
+/// One randomized faulty scenario: a base scenario, a fault plan drawn
+/// over its slots, and a coin flip on the control plane.
+fn random_fault_scenario(seed: u64, spare_zero: bool) -> (Scenario, FaultSpec, bool) {
+    let s = random_scenario(seed);
+    let mut rng = SmallRng::seed_from_u64(0xFA_017 ^ seed);
+    let slots = s
+        .pool
+        .autoscale
+        .map_or(s.replicas.len(), |a| a.max_replicas.max(s.replicas.len()));
+    let faults = random_faults(&mut rng, slots, spare_zero);
+    faults
+        .validate(slots)
+        .expect("generated plans are always consistent");
+    let control = rng.gen_bool(0.5);
+    (s, faults, control)
+}
+
+fn run_faulty(s: &Scenario, faults: &FaultSpec, control: bool, seed: u64) -> SimResult {
+    Simulator::with_faults(
+        &s.cost,
+        s.sched,
+        &s.replicas,
+        &s.pool,
+        faults,
+        control,
+        seed,
+    )
+    .run(s.traffic.stream(), Batcher::new(s.batch))
+}
+
+#[test]
+fn faulty_runs_conserve_requests_without_double_counting() {
+    for seed in 0..SEEDS {
+        let (s, faults, control) = random_fault_scenario(seed, false);
+        let r = run_faulty(&s, &faults, control, seed);
+        // every generated request lands in exactly one ledger: completed
+        // or dropped — never both, never neither, never twice
+        let mut ids: Vec<u64> = r
+            .completed
+            .iter()
+            .map(|c| c.request.id)
+            .chain(r.dropped.iter().map(|d| d.request.id))
+            .collect();
+        assert_eq!(
+            ids.len(),
+            s.traffic.requests,
+            "seed {seed} ({}): {} completed + {} dropped",
+            faults.label(),
+            r.completed.len(),
+            r.dropped.len()
+        );
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            s.traffic.requests,
+            "seed {seed} ({}): an id appears in both ledgers",
+            faults.label()
+        );
+    }
+}
+
+#[test]
+fn fault_metrics_stay_well_formed_and_failover_tracks_view_changes() {
+    for seed in 0..SEEDS {
+        let (s, faults, control) = random_fault_scenario(seed, false);
+        let r = run_faulty(&s, &faults, control, seed);
+        // failover time is accounted exactly when an election completed,
+        // and only the control plane ever migrates batches
+        assert_eq!(
+            r.failover_ns > 0,
+            r.view_changes > 0,
+            "seed {seed}: failover_ns {} with {} view change(s)",
+            r.failover_ns,
+            r.view_changes
+        );
+        if !control {
+            assert_eq!(r.view_changes, 0, "seed {seed}");
+            assert_eq!(r.requeued_batches, 0, "seed {seed}");
+        }
+        let rec = scenario_record(
+            "prop-fault",
+            &s.traffic,
+            s.batch,
+            s.sched,
+            &s.pool,
+            &faults,
+            control,
+            &r,
+            s.cost.platforms(),
+        );
+        for run in &rec.runs {
+            let avail = run.metric("availability").expect("key present");
+            assert!(
+                (0.0..=1.0).contains(&avail),
+                "seed {seed}: availability {avail} on {}",
+                run.platform
+            );
+            for (k, v) in &run.metrics {
+                assert!(v.is_finite() && *v >= 0.0, "seed {seed}: {k} = {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn the_empty_fault_plan_is_byte_identical_to_the_plain_simulator() {
+    for seed in 0..SEEDS {
+        let s = random_scenario(seed);
+        let plain = run(&s);
+        let empty = run_faulty(&s, &FaultSpec::default(), false, seed);
+        assert_eq!(
+            plain, empty,
+            "seed {seed}: the no-fault path must not perturb a single event"
+        );
+        assert_eq!(plain.dropped, Vec::new(), "seed {seed}");
+        assert_eq!(plain.view_changes, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn control_with_a_survivor_and_no_transit_loss_never_drops() {
+    for seed in 0..SEEDS {
+        let (s, mut faults, _) = random_fault_scenario(seed, true);
+        // keep the crash/slowdown schedule but rule out in-transit loss;
+        // slot 0 never crashes, so the control plane always has a live
+        // replica to migrate a dead primary's batches onto
+        faults.drop_prob = 0.0;
+        faults.deadline_ns = 0;
+        let r = run_faulty(&s, &faults, true, seed);
+        assert_eq!(
+            r.dropped,
+            Vec::new(),
+            "seed {seed} ({}): the control plane must re-issue every \
+             migrated batch",
+            faults.label()
+        );
+        assert_eq!(r.completed.len(), s.traffic.requests, "seed {seed}");
+    }
+}
+
+#[test]
+fn faulty_simulation_is_replay_deterministic() {
+    for seed in 0..8 {
+        let (s, faults, control) = random_fault_scenario(seed, false);
+        let (a, b) = (
+            run_faulty(&s, &faults, control, seed),
+            run_faulty(&s, &faults, control, seed),
+        );
+        assert_eq!(a, b, "seed {seed} ({})", faults.label());
+    }
 }
 
 #[test]

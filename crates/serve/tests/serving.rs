@@ -98,15 +98,28 @@ fn autoscaler_scales_through_the_burst_and_prices_cold_starts() {
 #[test]
 fn suite_covers_policies_pools_and_metric_keys() {
     let records = suite();
-    assert_eq!(records.len(), 8);
+    assert_eq!(records.len(), 12);
     for rec in &records {
         assert!(rec.aggregate().is_some(), "{}", rec.scenario);
+        let all = rec.aggregate().unwrap();
+        // Fault-free scenarios complete everything; lossy/crash plans
+        // conserve instead: completed + dropped covers every request.
+        if rec.faults == "none" || rec.faults == "control:vr" {
+            assert_eq!(
+                all.metric("completed"),
+                Some(rec.requests as f64),
+                "{}: every request completes",
+                rec.scenario
+            );
+        }
         assert_eq!(
-            rec.aggregate().unwrap().metric("completed"),
-            Some(rec.requests as f64),
-            "{}: every request completes",
+            all.metric("completed").unwrap() + all.metric("dropped").unwrap(),
+            rec.requests as f64,
+            "{}: conservation",
             rec.scenario
         );
+        let avail = all.metric("availability").unwrap();
+        assert!((0.0..=1.0).contains(&avail), "{}", rec.scenario);
         for run in &rec.runs {
             let keys: Vec<&str> = run.metrics.iter().map(|(k, _)| k.as_str()).collect();
             assert_eq!(keys, SERVE_METRIC_KEYS, "{}", rec.scenario);
@@ -190,5 +203,63 @@ fn suite_is_byte_for_byte_deterministic() {
     assert_eq!(
         report(ja).to_json().to_pretty(),
         report(jb).to_json().to_pretty()
+    );
+}
+
+#[test]
+fn control_plane_serves_through_the_primary_crash() {
+    // The committed availability headline: identical traffic, pool, and
+    // primary crash — the replicated control plane migrates the dead
+    // primary's batches and stays available through the failover, while
+    // the uncontrolled pool drops them and measurably degrades.
+    let records = suite();
+    let with = "crash/failover/least-loaded";
+    let without = "crash/no-control/least-loaded";
+
+    let avail_with = metric(&records, with, "availability");
+    let avail_without = metric(&records, without, "availability");
+    assert!(
+        avail_with >= 0.99,
+        "control plane availability {avail_with} under a primary crash"
+    );
+    assert!(
+        avail_without < avail_with,
+        "disabling the control plane must measurably degrade availability \
+         ({avail_without} vs {avail_with})"
+    );
+    assert!(
+        metric(&records, without, "dropped") > 0.0,
+        "the uncontrolled crash loses the dead primary's work"
+    );
+
+    // Failover is visible and priced: exactly one view change, its
+    // detection+election latency accounted, and the migrated batches
+    // counted — none of which the uncontrolled run records.
+    assert_eq!(metric(&records, with, "dropped"), 0.0);
+    assert!(metric(&records, with, "failover_ns") > 0.0);
+    assert!(metric(&records, with, "requeued_batches") > 0.0);
+    assert_eq!(metric(&records, without, "failover_ns"), 0.0);
+    assert_eq!(metric(&records, without, "requeued_batches"), 0.0);
+
+    // The under-failure tail is pinned for both: requests arriving after
+    // the crash instant have a well-formed p99.
+    assert!(metric(&records, with, "p99_under_failure_ns") > 0.0);
+    assert!(metric(&records, without, "p99_under_failure_ns") > 0.0);
+
+    // The straggler scenario degrades availability without dropping a
+    // single request — late completions blow the deadline instead.
+    let straggler = "straggler/deadline/least-loaded";
+    assert_eq!(metric(&records, straggler, "dropped"), 0.0);
+    let straggler_avail = metric(&records, straggler, "availability");
+    assert!(
+        straggler_avail < 1.0,
+        "a 4x straggler misses the deadline (availability {straggler_avail})"
+    );
+    // The lossy scenario drops in transit; availability settles near
+    // 1 − drop_prob.
+    let lossy_avail = metric(&records, "lossy/drop/least-loaded", "availability");
+    assert!(
+        (0.80..1.0).contains(&lossy_avail),
+        "5% in-transit loss lands availability near 0.95 (got {lossy_avail})"
     );
 }

@@ -57,6 +57,20 @@ pub const SERVE_GATED_METRICS: &[(&str, bool)] = &[
     ("shard_miss_count", false),
 ];
 
+/// Fault-family serve metrics the gate compares **only when the baseline
+/// records them**, as `(key, higher_is_better)`. Pre-fault baselines
+/// simply lack these keys, so they parse and gate unchanged
+/// (default-absent, not gated-to-zero); once a baseline pins them, a
+/// current report missing one fails the gate like any other gated
+/// metric. Availability must not shrink; failover time, the
+/// under-failure tail, and the re-issue volume must not grow.
+pub const SERVE_FAULT_GATED_METRICS: &[(&str, bool)] = &[
+    ("availability", true),
+    ("p99_under_failure_ns", false),
+    ("failover_ns", false),
+    ("requeued_batches", false),
+];
+
 /// The canonical metric keys of a [`ServeRunRecord`], in serialization
 /// order. `gdr-serve` emits exactly this set; the golden-file schema test
 /// pins it. `replica_seconds` — the integral of active replicas over
@@ -83,6 +97,11 @@ pub const SERVE_METRIC_KEYS: &[&str] = &[
     "replicas_max",
     "cold_start_ns",
     "replica_seconds",
+    "dropped",
+    "availability",
+    "p99_under_failure_ns",
+    "failover_ns",
+    "requeued_batches",
 ];
 
 /// The canonical metric keys of a [`HostRecord`], in serialization
@@ -197,6 +216,10 @@ pub struct ServeScenarioRecord {
     pub cache_bytes: u64,
     /// Autoscaler label (`"off"`, or `"queue:UP:DOWN:maxN"`).
     pub autoscale: String,
+    /// Fault-plan label (`"none"`, or `;`-joined `crash:R@AT+REC` /
+    /// `slow:R*F` / `drop:P` / `deadline:N` segments, with a
+    /// `control:vr` suffix when the replicated control plane is on).
+    pub faults: String,
     /// Request-stream seed.
     pub seed: u64,
     /// Total requests generated.
@@ -223,6 +246,7 @@ impl ServeScenarioRecord {
             ("shards", Json::from(self.shards)),
             ("cache_bytes", Json::from(self.cache_bytes)),
             ("autoscale", Json::from(self.autoscale.as_str())),
+            ("faults", Json::from(self.faults.as_str())),
             ("seed", Json::from(self.seed)),
             ("requests", Json::from(self.requests)),
             (
@@ -290,6 +314,12 @@ impl ServeScenarioRecord {
                 .get("autoscale")
                 .and_then(Json::as_str)
                 .unwrap_or("off")
+                .to_string(),
+            // Likewise: pre-fault records parse as fault-free scenarios.
+            faults: v
+                .get("faults")
+                .and_then(Json::as_str)
+                .unwrap_or("none")
                 .to_string(),
             seed: num("seed")? as u64,
             requests: num("requests")? as u64,
@@ -691,8 +721,19 @@ impl BenchReport {
 
     fn serve_markdown(&self) -> String {
         let headers = [
-            "scenario", "platform", "req/s", "p50 ms", "p95 ms", "p99 ms", "batch ×", "queue",
-            "cache %", "misses", "replicas",
+            "scenario",
+            "platform",
+            "req/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "batch ×",
+            "queue",
+            "cache %",
+            "misses",
+            "replicas",
+            "avail %",
+            "failover ms",
         ];
         let rows: Vec<Vec<String>> = self
             .serve
@@ -712,6 +753,10 @@ impl BenchReport {
                         f2(r.metric("cache_hit_rate").unwrap_or(0.0) * 100.0),
                         f2(r.metric("shard_miss_count").unwrap_or(0.0)),
                         f2(r.metric("replicas_max").unwrap_or(0.0)),
+                        // Pre-fault records lack the fault metrics: show
+                        // a fully available, failover-free pool.
+                        f2(r.metric("availability").unwrap_or(1.0) * 100.0),
+                        f2(r.metric("failover_ns").unwrap_or(0.0) / 1e6),
                     ]
                 })
             })
@@ -1075,11 +1120,12 @@ impl Comparison {
 }
 
 /// Compares `current` against `baseline` on [`GATED_METRICS`] (grid
-/// records, lower-is-better) and [`SERVE_GATED_METRICS`] (serve records,
-/// direction per metric), flagging any gated metric that moved in the
-/// bad direction by more than `threshold_pct` percent. Wall-clock fields
-/// and non-gated metrics are never compared — they are either
-/// machine-dependent or direction-ambiguous.
+/// records, lower-is-better), [`SERVE_GATED_METRICS`] (serve records,
+/// direction per metric), and — when the baseline records them —
+/// [`SERVE_FAULT_GATED_METRICS`], flagging any gated metric that moved
+/// in the bad direction by more than `threshold_pct` percent.
+/// Wall-clock fields and non-gated metrics are never compared — they
+/// are either machine-dependent or direction-ambiguous.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
     let mut cmp = Comparison {
         threshold_pct,
@@ -1145,6 +1191,44 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64
             };
             for &(metric, higher_is_better) in SERVE_GATED_METRICS {
                 let (Some(b), Some(c)) = (b_run.metric(metric), c_run.metric(metric)) else {
+                    cmp.missing.push(format!(
+                        "{} for serve {} on {}",
+                        metric, b_scn.scenario, b_run.platform
+                    ));
+                    continue;
+                };
+                let delta = Delta {
+                    point: format!("serve {}", b_scn.scenario),
+                    platform: b_run.platform.clone(),
+                    metric: metric.to_string(),
+                    baseline: b,
+                    current: c,
+                };
+                let (worse, better) = if higher_is_better {
+                    (
+                        c < b * (1.0 - threshold_pct / 100.0),
+                        c > b * (1.0 + threshold_pct / 100.0),
+                    )
+                } else {
+                    (
+                        c > b * (1.0 + threshold_pct / 100.0),
+                        c < b * (1.0 - threshold_pct / 100.0),
+                    )
+                };
+                if worse {
+                    cmp.regressions.push(delta);
+                } else if better {
+                    cmp.improvements.push(delta);
+                }
+            }
+            for &(metric, higher_is_better) in SERVE_FAULT_GATED_METRICS {
+                // Fault metrics gate only once the baseline pins them:
+                // pre-fault baselines lack the keys entirely, and
+                // treating absence as zero would invent regressions.
+                let Some(b) = b_run.metric(metric) else {
+                    continue;
+                };
+                let Some(c) = c_run.metric(metric) else {
                     cmp.missing.push(format!(
                         "{} for serve {} on {}",
                         metric, b_scn.scenario, b_run.platform
@@ -1370,6 +1454,7 @@ mod tests {
             shards: 3,
             cache_bytes: 1 << 20,
             autoscale: "queue:32:2:max4".into(),
+            faults: "crash:0@80000;control:vr".into(),
             seed: 7,
             requests: 64,
             runs: vec![ServeRunRecord {
@@ -1477,5 +1562,57 @@ mod tests {
             &[("cache_hit_rate", 0.75), ("shard_miss_count", 10.5)],
         )];
         assert!(compare(&base, &close, 10.0).passed());
+    }
+
+    #[test]
+    fn comparator_gates_fault_metrics_only_when_the_baseline_pins_them() {
+        let mut base = tiny_report();
+        base.serve = vec![serve_scenario_with(
+            "s",
+            &[("availability", 1.0), ("failover_ns", 20_000.0)],
+        )];
+
+        // shrinking availability and growing failover both fail …
+        let mut flaky = base.clone();
+        flaky.serve = vec![serve_scenario_with(
+            "s",
+            &[("availability", 0.8), ("failover_ns", 20_000.0)],
+        )];
+        let cmp = compare(&base, &flaky, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].metric, "availability");
+        let mut slow_failover = base.clone();
+        slow_failover.serve = vec![serve_scenario_with(
+            "s",
+            &[("availability", 1.0), ("failover_ns", 40_000.0)],
+        )];
+        let cmp = compare(&base, &slow_failover, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].metric, "failover_ns");
+
+        // … and a current report that *lost* a pinned fault metric fails
+        // as missing, like any gated metric.
+        let mut lost = base.clone();
+        lost.serve = vec![serve_scenario_with(
+            "s",
+            &[("availability", 1.0), ("failover_ns", 20_000.0)],
+        )];
+        lost.serve[0].runs[0]
+            .metrics
+            .retain(|(k, _)| k != "availability");
+        let cmp = compare(&base, &lost, 10.0);
+        assert!(!cmp.passed());
+        assert!(cmp.missing.iter().any(|m| m.contains("availability")));
+
+        // A *baseline* without the fault keys gates nothing on them: the
+        // same degraded current report passes (pre-fault back-compat).
+        let mut old = base.clone();
+        for s in &mut old.serve {
+            for r in &mut s.runs {
+                r.metrics
+                    .retain(|(k, _)| !SERVE_FAULT_GATED_METRICS.iter().any(|&(fk, _)| fk == k));
+            }
+        }
+        assert!(compare(&old, &flaky, 10.0).passed());
     }
 }

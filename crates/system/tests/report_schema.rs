@@ -67,6 +67,7 @@ fn test_scale_report() -> BenchReport {
         shards: 3,
         cache_bytes: 64 << 20,
         autoscale: "queue:32:4:max4".into(),
+        faults: "crash:0@80000;control:vr".into(),
         seed: 42,
         requests: 384,
         runs: ["ALL", "HiHGNN+GDR"]
@@ -204,6 +205,56 @@ fn reports_without_replica_seconds_or_host_still_parse_and_gate() {
     // gated metric involves the new fields.
     assert!(compare(&old, &current, 10.0).passed());
     assert!(compare(&current, &old, 10.0).passed());
+    // …and the old report round-trips through its own serialization.
+    let reread = BenchReport::parse(&old.to_json().to_pretty()).unwrap();
+    assert_eq!(reread.serve, old.serve);
+}
+
+#[test]
+fn pre_fault_baselines_parse_and_gate_without_the_new_metrics() {
+    // Baselines written before the fault subsystem lack the `faults`
+    // scenario field and the five fault metrics (`dropped`,
+    // `availability`, `p99_under_failure_ns`, `failover_ns`,
+    // `requeued_batches`). They must keep parsing — new fields
+    // default-absent, not gated-to-zero — and keep gating cleanly as the
+    // *baseline*: SERVE_FAULT_GATED_METRICS only arm once a baseline
+    // pins them.
+    let current = test_scale_report();
+    let mut old_json = current.to_json();
+    for key in [
+        "faults",
+        "dropped",
+        "availability",
+        "p99_under_failure_ns",
+        "failover_ns",
+        "requeued_batches",
+    ] {
+        old_json = strip_key(&old_json, key);
+    }
+    let old = BenchReport::from_json(&old_json).expect("pre-fault reports must parse");
+    assert_eq!(
+        old.serve[0].faults, "none",
+        "a missing fault plan parses as the empty plan"
+    );
+    assert_eq!(
+        old.serve[0].aggregate().unwrap().metric("availability"),
+        None,
+        "the metrics are simply absent on old records"
+    );
+    // old baseline vs current report: nothing pinned, nothing gated.
+    assert!(compare(&old, &current, 10.0).passed());
+    // current baseline vs old report: the baseline pins the fault
+    // metrics, so a report that lost them must fail as missing.
+    let cmp = compare(&current, &old, 10.0);
+    assert!(
+        !cmp.passed(),
+        "dropping pinned fault metrics must not gate clean"
+    );
+    assert!(cmp.regressions.is_empty());
+    assert!(cmp
+        .missing
+        .iter()
+        .any(|m| m.contains("availability") || m.contains("failover_ns")));
     // …and the old report round-trips through its own serialization.
     let reread = BenchReport::parse(&old.to_json().to_pretty()).unwrap();
     assert_eq!(reread.serve, old.serve);

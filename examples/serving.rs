@@ -107,16 +107,62 @@ fn main() -> GdrResult<()> {
         );
     }
 
-    // 4. The committed canonical suite — what `gdr-bench` embeds into
-    //    grid reports and CI gates against bench/baseline.json.
+    // 4. Faults: crash the primary replica mid-run, with and without
+    //    the replicated control plane. With it, backups hold the
+    //    primary's batch assignments and a heartbeat lapse elects a new
+    //    primary that re-issues the dead replica's work; without it,
+    //    those batches are simply lost. Both runs replay the *same*
+    //    deterministic fault plan.
+    println!("\nprimary crash at t=80µs (3 replicas, identical traffic):");
+    let crashed = |name: &str, control| ScenarioSpec {
+        faults: FaultSpec {
+            crashes: vec![CrashWindow {
+                replica: 0,
+                crash_at_ns: 80_000,
+                recover_after_ns: 0, // stays down
+            }],
+            ..FaultSpec::default()
+        },
+        control,
+        ..ScenarioSpec::new(
+            name,
+            ArrivalProcess::Poisson {
+                rate_rps: 1_200_000.0,
+            },
+            384,
+            BatchPolicy::SizeCapped { cap: 8 },
+            SchedPolicy::LeastLoaded,
+            vec!["HiHGNN+GDR".into(); 3],
+        )
+    };
+    for spec in [
+        crashed("view-change control plane", true),
+        crashed("no control plane", false),
+    ] {
+        let rec = harness.run(&spec, cfg.seed)?;
+        let all = rec.aggregate().expect("ALL row");
+        println!(
+            "  {:<26} availability {:>7.3}%, {:>2.0} dropped, failover {:>5.1} µs, {:>2.0} batches migrated",
+            spec.name,
+            all.metric("availability").unwrap_or(0.0) * 100.0,
+            all.metric("dropped").unwrap_or(0.0),
+            all.metric("failover_ns").unwrap_or(0.0) / 1e3,
+            all.metric("requeued_batches").unwrap_or(0.0),
+        );
+    }
+
+    // 5. The committed canonical suite — what `gdr-bench` embeds into
+    //    grid reports and CI gates against bench/baseline.json (the
+    //    crash/straggler/lossy scenarios pin the availability headline).
     println!("\ncanonical suite:");
     for record in default_suite(&cfg)? {
         let all = record.aggregate().expect("ALL row");
         println!(
-            "  {:<42} {:>10.0} req/s, p99 {:>8.1} µs",
+            "  {:<42} {:>10.0} req/s, p99 {:>8.1} µs, avail {:>6.2}%",
             record.scenario,
             all.metric("throughput_rps").unwrap_or(0.0),
             all.metric("p99_ns").unwrap_or(0.0) / 1e3,
+            all.metric("availability").unwrap_or(1.0) * 100.0,
         );
     }
     Ok(())

@@ -249,8 +249,9 @@ pub mod prelude {
     pub use gdr_hgnn::workload::Workload;
     pub use gdr_serve::{
         default_specs, default_suite, ArrivalProcess, AutoscaleSpec, BatchPolicy, Batcher,
-        CostModel, FeatureCache, PoolConfig, ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost,
-        ShardMap, Simulator, Traffic, TrafficStream,
+        ControlPlane, CostModel, CrashWindow, FaultSpec, FeatureCache, PoolConfig, ScenarioSpec,
+        SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator, Slowdown, Traffic,
+        TrafficStream,
     };
     pub use gdr_system::builder::{System, SystemBuilder};
     pub use gdr_system::combined::{CombinedRun, CombinedSystem};
