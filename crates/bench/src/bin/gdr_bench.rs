@@ -22,13 +22,18 @@
 //!
 //! # simulate one serving scenario; byte-identical for a fixed seed
 //! gdr-bench serve --scale test --seed 7 --rate 800000 --batch-policy deadline --out serve.json
+//!
+//! # sweep the serving config space and recommend a config for a 2 ms p99
+//! gdr-bench sweep --scale test --slo-p99 2000000 --out sweep.json
 //! ```
 //!
 //! Exit codes: 0 = ok, 1 = perf gate failed, 2 = usage/IO error.
 
+use gdr_bench::sweep::{run_sweep, sweep_record};
 use gdr_bench::{
-    parse_arrival, parse_autoscale, parse_batch_policy, parse_drop, parse_faults, parse_scale,
-    parse_scheduler, parse_slow, parse_threshold, ArrivalArgs, BENCH_SEED,
+    default_jobs, parse_arrival, parse_autoscale, parse_axis, parse_batch_policy, parse_drop,
+    parse_faults, parse_scale, parse_scheduler, parse_slow, parse_threshold, ArrivalArgs,
+    BENCH_SEED,
 };
 use gdr_serve::fault::{CrashWindow, FaultSpec, Slowdown};
 use gdr_serve::scheduler::AutoscaleSpec;
@@ -36,6 +41,7 @@ use gdr_serve::suite::{
     default_suite, scaled_ns, scaled_rate, ScenarioSpec, ServeHarness, BASE_BURST_PERIOD_NS,
     BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS, HIGH_RATE_RPS,
 };
+use gdr_serve::sweep::SweepSpec;
 use gdr_system::grid::{
     paper_platforms, platform_names, platform_refs, select_platforms, ExperimentConfig,
 };
@@ -62,6 +68,10 @@ USAGE:
                   [--faults CRASH_AT[:RECOVER_AFTER],..] [--slow REPLICA:FACTOR]
                   [--drop P] [--deadline NS] [--control]
                   [--out FILE] [--baseline FILE] [--threshold PCT]
+  gdr-bench sweep [--scale S] [--seed N] [--axis KEY=V1,V2,...]...
+                  [--jobs N] [--requests N] [--max-scenarios N]
+                  [--slo-p99 NS] [--budget S] [--platforms A]
+                  [--out FILE] [--quiet]
 
 OPTIONS (grid mode):
   --scale       grid scale: \"test\" (CI gate), \"paper\" (Table 2 sizes), or a factor  [test]
@@ -102,6 +112,19 @@ OPTIONS (serve mode — all simulated in virtual time, byte-for-byte reproducibl
   --deadline      availability deadline, virtual ns (0 = any completion counts)     [0]
   --control       replicate batch assignments through the view-change control plane [off]
   --suite         run the committed canonical suite instead of one scenario
+
+OPTIONS (sweep mode — cartesian scenario sweep + Pareto recommender):
+  --axis          replace one axis with KEY=V1,V2,... (repeatable); keys: arrival,
+                  rate, batch (immediate|size-capped:CAP|deadline:CAP:TIMEOUT_NS),
+                  scheduler, replicas, shards, cache-bytes,
+                  autoscale (off|MAX:UP:DOWN), faults (none|crash|crash-failover);
+                  rates/timeouts/bytes at test scale       [default 64-scenario sweep]
+  --jobs          worker lanes (results are lane-count invariant)  [available cores]
+  --max-scenarios hard cap on the expanded scenario count                    [1024]
+  --slo-p99       p99 SLO, virtual ns: emit a recommend block naming the
+                  cheapest (min replica-seconds) frontier config meeting it  [off]
+  --budget        replica-seconds ceiling for the recommendation             [unbounded]
+  --platforms     the single backend every replica runs               [HiHGNN+GDR]
 ";
 
 struct Args {
@@ -119,6 +142,13 @@ struct Args {
     list_platforms: bool,
     // host-mode flag
     host: bool,
+    // sweep-mode flags
+    sweep: bool,
+    axes: Vec<String>,
+    jobs: Option<usize>,
+    slo_p99: Option<f64>,
+    budget: Option<f64>,
+    max_scenarios: Option<usize>,
     // serve-mode flags
     serve: bool,
     suite: bool,
@@ -159,6 +189,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         passes: 2,
         list_platforms: false,
         host: false,
+        sweep: false,
+        axes: Vec::new(),
+        jobs: None,
+        slo_p99: None,
+        budget: None,
+        max_scenarios: None,
         serve: false,
         suite: false,
         arrival: "poisson".into(),
@@ -192,6 +228,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         if first && flag == "host" {
             args.host = true;
+            first = false;
+            continue;
+        }
+        if first && flag == "sweep" {
+            args.sweep = true;
             first = false;
             continue;
         }
@@ -260,6 +301,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--drop" => args.drop = parse_drop(value()?)?,
             "--deadline" => args.deadline = parse_num("--deadline", value()?)?,
             "--control" => args.control = true,
+            "--axis" => args.axes.push(value()?.to_string()),
+            "--jobs" => args.jobs = Some(parse_num("--jobs", value()?)? as usize),
+            "--max-scenarios" => {
+                args.max_scenarios = Some(parse_num("--max-scenarios", value()?)?.max(1) as usize);
+            }
+            "--slo-p99" => {
+                args.slo_p99 = Some(
+                    value()?
+                        .parse()
+                        .ok()
+                        .filter(|x: &f64| x.is_finite() && *x > 0.0)
+                        .ok_or("invalid --slo-p99: expected a positive virtual-ns figure")?,
+                );
+            }
+            "--budget" => {
+                args.budget = Some(
+                    value()?
+                        .parse()
+                        .ok()
+                        .filter(|x: &f64| x.is_finite() && *x > 0.0)
+                        .ok_or("invalid --budget: expected a positive replica-seconds figure")?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -322,6 +386,7 @@ fn run_host(args: &Args) -> Result<i32, String> {
         wall_clock_s: 0.0,
         serve: Vec::new(),
         host: collect_host_records(&cfg, args.passes),
+        sweep: Vec::new(),
     };
     finish(args, &report)
 }
@@ -440,6 +505,72 @@ fn run_serve(args: &Args) -> Result<i32, String> {
         wall_clock_s: 0.0,
         serve: records,
         host: Vec::new(),
+        sweep: Vec::new(),
+    };
+    finish(args, &report)
+}
+
+/// `gdr-bench sweep`: expand the (possibly `--axis`-overridden) sweep
+/// grid, fan it over worker lanes, and emit a sweep-only report with the
+/// results table, the Pareto frontier, and — under `--slo-p99` — the
+/// recommendation. Like `serve`, no wall clock enters the records: the
+/// bytes depend only on the flags, never on `--jobs`.
+fn run_sweep_cmd(args: &Args) -> Result<i32, String> {
+    let cfg = ExperimentConfig {
+        seed: args.seed,
+        scale: args.scale,
+    };
+    let platform = match &args.platforms {
+        None => "HiHGNN+GDR".to_string(),
+        Some(names) if names.len() == 1 => names[0].clone(),
+        Some(names) => {
+            return Err(format!(
+                "sweep runs a homogeneous pool: --platforms takes one backend, got {}",
+                names.len()
+            ))
+        }
+    };
+    if args.budget.is_some() && args.slo_p99.is_none() {
+        return Err("--budget needs --slo-p99".into());
+    }
+    let mut spec = SweepSpec {
+        platform,
+        requests: args.requests,
+        cap: args.max_scenarios.unwrap_or(SweepSpec::default().cap),
+        ..SweepSpec::default()
+    };
+    for axis in &args.axes {
+        parse_axis(&mut spec, axis)?;
+    }
+    let jobs = args.jobs.unwrap_or_else(default_jobs);
+    eprintln!(
+        "gdr-bench sweep: {} scenarios over {} lanes (seed {}, scale {})",
+        spec.scenario_count()
+            .map_or_else(|| "?".into(), |n| n.to_string()),
+        jobs.max(1),
+        cfg.seed,
+        cfg.scale
+    );
+    let records = run_sweep(&cfg, &spec, jobs).map_err(|e| e.to_string())?;
+    let record = sweep_record(
+        "default",
+        &spec,
+        &records,
+        args.slo_p99,
+        args.budget.unwrap_or(0.0),
+    );
+    let report = BenchReport {
+        seed: cfg.seed,
+        scale: cfg.scale,
+        platforms: vec![spec.platform.clone()],
+        points: Vec::new(),
+        // Sweep reports carry no wall clock and no host records:
+        // byte-for-byte reproducibility across runs and lane counts is
+        // part of the contract (CI cmp's --jobs 1 against --jobs 4).
+        wall_clock_s: 0.0,
+        serve: Vec::new(),
+        host: Vec::new(),
+        sweep: vec![record],
     };
     finish(args, &report)
 }
@@ -458,6 +589,9 @@ fn run(argv: &[String]) -> Result<i32, String> {
     }
     if args.serve {
         return run_serve(&args);
+    }
+    if args.sweep {
+        return run_sweep_cmd(&args);
     }
 
     // Pure file-vs-file gate: no simulation.

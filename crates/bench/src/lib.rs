@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use gdr_hetgraph::datasets::Dataset;
 use gdr_hetgraph::BipartiteGraph;
 use gdr_hgnn::model::ModelKind;
@@ -12,8 +14,17 @@ use gdr_hgnn::workload::Workload;
 use gdr_serve::batcher::BatchPolicy;
 use gdr_serve::fault::{CrashWindow, Slowdown};
 use gdr_serve::scheduler::{AutoscaleSpec, SchedPolicy};
+use gdr_serve::sweep::{ArrivalKind, FaultVariant, SweepSpec};
 use gdr_serve::workload::ArrivalProcess;
 use gdr_system::grid::{cell_inputs, ExperimentConfig};
+
+/// The default worker-lane count everywhere `gdr-bench` takes one (the
+/// `--jobs` default of the sweep executor, the lane count of the
+/// session-streaming bench): the machine's available parallelism,
+/// clamped to at least 1 when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// The seed every bench and committed baseline uses, taken from
 /// [`ExperimentConfig::test_scale`] (the single source of truth).
@@ -398,6 +409,189 @@ pub fn parse_drop(arg: &str) -> Result<f64, String> {
             "invalid --drop {arg:?}: expected a loss probability in [0, 1)"
         )),
     }
+}
+
+/// Parses a batch-policy *label* — the exact strings
+/// [`BatchPolicy::label`] emits (`"immediate"`, `"size-capped:8"`,
+/// `"deadline:8:20000"`, timeouts in virtual ns at test scale) — used
+/// by the sweep's `batch` axis, where each value must carry its own
+/// parameters.
+///
+/// # Errors
+///
+/// Returns a message for an unknown policy, a zero cap, or a malformed
+/// parameter.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_batch_label;
+/// use gdr_serve::batcher::BatchPolicy;
+///
+/// assert_eq!(parse_batch_label("immediate"), Ok(BatchPolicy::Immediate));
+/// assert_eq!(
+///     parse_batch_label("size-capped:8"),
+///     Ok(BatchPolicy::SizeCapped { cap: 8 })
+/// );
+/// assert_eq!(
+///     parse_batch_label("deadline:8:20000"),
+///     Ok(BatchPolicy::Deadline { cap: 8, timeout_ns: 20_000 })
+/// );
+/// assert!(parse_batch_label("size-capped").is_err(), "cap is required");
+/// assert!(parse_batch_label("size-capped:0").is_err(), "zero cap");
+/// ```
+pub fn parse_batch_label(value: &str) -> Result<BatchPolicy, String> {
+    let bad = || {
+        format!(
+            "invalid batch value {value:?}: expected \"immediate\", \
+             \"size-capped:CAP\", or \"deadline:CAP:TIMEOUT_NS\""
+        )
+    };
+    if value == "immediate" {
+        return Ok(BatchPolicy::Immediate);
+    }
+    if let Some(cap) = value.strip_prefix("size-capped:") {
+        let cap: usize = cap.parse().map_err(|_| bad())?;
+        if cap == 0 {
+            return Err(bad());
+        }
+        return Ok(BatchPolicy::SizeCapped { cap });
+    }
+    if let Some(rest) = value.strip_prefix("deadline:") {
+        let (cap, timeout) = rest.split_once(':').ok_or_else(bad)?;
+        let cap: usize = cap.parse().map_err(|_| bad())?;
+        let timeout_ns: u64 = timeout.parse().map_err(|_| bad())?;
+        if cap == 0 {
+            return Err(bad());
+        }
+        return Ok(BatchPolicy::Deadline { cap, timeout_ns });
+    }
+    Err(bad())
+}
+
+/// Parses one `--axis KEY=V1,V2,...` argument of `gdr-bench sweep` and
+/// replaces that axis of `spec`. Rates, cache capacities, and batch
+/// timeouts are expressed at test scale, like the canonical suite's
+/// constants, and rescaled at expansion. Duplicate values are rejected
+/// — they would expand into duplicate scenario labels.
+///
+/// Axis keys: `arrival`, `rate`, `batch`, `scheduler`, `replicas`,
+/// `shards`, `cache-bytes`, `autoscale` (`off` or `MAX:UP:DOWN`), and
+/// `faults` (`none`, `crash`, `crash-failover`).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown axis or the malformed value.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_axis;
+/// use gdr_serve::sweep::{ArrivalKind, FaultVariant, SweepSpec};
+///
+/// let mut spec = SweepSpec::default();
+/// parse_axis(&mut spec, "rate=600000,1200000").unwrap();
+/// assert_eq!(spec.rates_rps, [600_000.0, 1_200_000.0]);
+/// parse_axis(&mut spec, "arrival=closed-loop").unwrap();
+/// assert_eq!(spec.arrivals, [ArrivalKind::ClosedLoop]);
+/// parse_axis(&mut spec, "batch=immediate,size-capped:8").unwrap();
+/// parse_axis(&mut spec, "autoscale=off,4:32:2").unwrap();
+/// parse_axis(&mut spec, "faults=none,crash-failover").unwrap();
+/// assert_eq!(spec.faults, [FaultVariant::None, FaultVariant::CrashFailover]);
+/// assert!(parse_axis(&mut spec, "vibes=high").is_err(), "unknown axis");
+/// assert!(parse_axis(&mut spec, "rate=").is_err(), "empty value list");
+/// assert!(parse_axis(&mut spec, "replicas=2,2").is_err(), "duplicate value");
+/// ```
+pub fn parse_axis(spec: &mut SweepSpec, arg: &str) -> Result<(), String> {
+    fn values<T: PartialEq>(
+        arg: &str,
+        list: &str,
+        parse: impl Fn(&str) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
+        if list.is_empty() {
+            return Err(format!("invalid --axis {arg:?}: empty value list"));
+        }
+        let mut out = Vec::new();
+        for v in list.split(',') {
+            let parsed = parse(v).map_err(|e| format!("invalid --axis {arg:?}: {e}"))?;
+            if out.contains(&parsed) {
+                return Err(format!("invalid --axis {arg:?}: duplicate value {v:?}"));
+            }
+            out.push(parsed);
+        }
+        Ok(out)
+    }
+    let (key, list) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("invalid --axis {arg:?}: expected KEY=V1,V2,..."))?;
+    match key {
+        "arrival" => {
+            spec.arrivals = values(arg, list, |v| {
+                ArrivalKind::ALL
+                    .iter()
+                    .copied()
+                    .find(|a| a.name() == v)
+                    .ok_or_else(|| format!("unknown arrival {v:?} (poisson, bursty, closed-loop)"))
+            })?;
+        }
+        "rate" => {
+            spec.rates_rps = values(arg, list, |v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| format!("rate {v:?} is not a positive requests/s figure"))
+            })?;
+        }
+        "batch" => spec.batches = values(arg, list, parse_batch_label)?,
+        "scheduler" => spec.scheds = values(arg, list, parse_scheduler)?,
+        "replicas" => {
+            spec.replicas = values(arg, list, |v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|r| *r >= 1)
+                    .ok_or_else(|| format!("replicas {v:?} must be a count of at least 1"))
+            })?;
+        }
+        "shards" => {
+            spec.shards = values(arg, list, |v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("shards {v:?} must be a count (0 = full replicas)"))
+            })?;
+        }
+        "cache-bytes" => {
+            spec.cache_bytes = values(arg, list, |v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("cache-bytes {v:?} must be a byte count (0 = off)"))
+            })?;
+        }
+        "autoscale" => {
+            spec.autoscales = values(arg, list, |v| {
+                if v == "off" {
+                    Ok(None)
+                } else {
+                    parse_autoscale(v).map(Some)
+                }
+            })?;
+        }
+        "faults" => {
+            spec.faults = values(arg, list, |v| {
+                FaultVariant::ALL
+                    .iter()
+                    .copied()
+                    .find(|f| f.name() == v)
+                    .ok_or_else(|| {
+                        format!("unknown faults value {v:?} (none, crash, crash-failover)")
+                    })
+            })?;
+        }
+        other => {
+            return Err(format!(
+                "unknown --axis key {other:?}: expected arrival, rate, batch, scheduler, \
+                 replicas, shards, cache-bytes, autoscale, or faults"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The thrashing-dominant single-cell inputs (RGCN on DBLP) the

@@ -1,0 +1,122 @@
+//! The sweep executor behind `gdr-bench sweep`.
+//!
+//! [`run_sweep`] expands a [`SweepSpec`] and fans the scenarios out
+//! over std-thread worker lanes. Each lane owns its own clone of the
+//! measured [`ServeHarness`] (one `CostModel::measure` result per
+//! lane), lanes pull scenario indices from a shared atomic counter,
+//! and the merged results are sorted back into expansion order — so
+//! the output is a pure function of `(cfg, spec)`, byte-identical
+//! regardless of the lane count. [`sweep_record`] then folds the
+//! records into the `sweep` family of `gdr-bench/v1`: the results
+//! table, the Pareto frontier over
+//! [`SWEEP_OBJECTIVES`], and the
+//! SLO recommendation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gdr_hetgraph::GdrResult;
+use gdr_serve::suite::ServeHarness;
+use gdr_serve::sweep::SweepSpec;
+use gdr_system::grid::ExperimentConfig;
+use gdr_system::report::{
+    pareto_frontier, recommend, ServeScenarioRecord, SweepRecord, SweepRowRecord, SWEEP_OBJECTIVES,
+};
+
+use crate::default_jobs;
+
+/// Expands `spec` at `cfg` and runs every scenario over `jobs` worker
+/// lanes (0 = [`default_jobs`]), returning the records in expansion
+/// order. Scenarios are independent and simulated in virtual time, so
+/// the result — and its serialized bytes — does not depend on the lane
+/// count or on scheduling: the CI `sweep-smoke` job `cmp`s `--jobs 1`
+/// against `--jobs 4` byte for byte.
+///
+/// # Errors
+///
+/// Propagates expansion errors ([`SweepSpec::expand`]), harness
+/// construction errors, and the first scenario error in expansion
+/// order.
+pub fn run_sweep(
+    cfg: &ExperimentConfig,
+    spec: &SweepSpec,
+    jobs: usize,
+) -> GdrResult<Vec<ServeScenarioRecord>> {
+    let scenarios = spec.expand(cfg)?;
+    let harness = ServeHarness::new(cfg, &[spec.platform.as_str()])?;
+    let lanes = if jobs == 0 { default_jobs() } else { jobs }
+        .min(scenarios.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, GdrResult<ServeScenarioRecord>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..lanes)
+            .map(|_| {
+                // Each lane owns its own copy of the measured cost
+                // table; the scenario list and the work counter are
+                // shared read-only / atomically.
+                let lane = harness.clone();
+                let (next, scenarios) = (&next, &scenarios);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = scenarios.get(i) else {
+                            break;
+                        };
+                        out.push((i, lane.run(spec, lane.config().seed)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep lane panicked"))
+            .collect()
+    });
+    // Lanes finish in wall-clock order; the report must not. Restore
+    // expansion order, and fail on the *first* scenario error by index
+    // so even the error is deterministic.
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Folds sweep records into one [`SweepRecord`]: one table row per
+/// scenario (the pool-wide aggregate of each [`SWEEP_OBJECTIVES`]
+/// key), the Pareto frontier, and — when an SLO was requested — the
+/// cheapest-within-budget recommendation (a zero budget is unbounded).
+pub fn sweep_record(
+    name: &str,
+    spec: &SweepSpec,
+    records: &[ServeScenarioRecord],
+    slo_p99_ns: Option<f64>,
+    budget_replica_seconds: f64,
+) -> SweepRecord {
+    let table: Vec<SweepRowRecord> = records
+        .iter()
+        .map(|rec| SweepRowRecord {
+            scenario: rec.scenario.clone(),
+            metrics: SWEEP_OBJECTIVES
+                .iter()
+                .filter_map(|&(key, _)| {
+                    rec.aggregate()
+                        .and_then(|all| all.metric(key))
+                        .map(|v| (key.to_string(), v))
+                })
+                .collect(),
+        })
+        .collect();
+    let frontier_idx = pareto_frontier(&table);
+    SweepRecord {
+        name: name.to_string(),
+        axes: spec.axis_summary(),
+        requests: spec.requests as u64,
+        platform: spec.platform.clone(),
+        frontier: frontier_idx
+            .iter()
+            .map(|&i| table[i].scenario.clone())
+            .collect(),
+        recommend: slo_p99_ns
+            .map(|slo| recommend(&table, &frontier_idx, slo, budget_replica_seconds)),
+        table,
+    }
+}

@@ -1,0 +1,246 @@
+//! Sweep-executor and Pareto-frontier tests: lane-count invariance of
+//! `run_sweep`, a property net over random tables for `pareto_frontier`
+//! and `dominates`, and the end-to-end recommendation contract the CI
+//! `sweep-smoke` job asserts from the outside.
+
+use gdr_bench::sweep::{run_sweep, sweep_record};
+use gdr_bench::{default_jobs, parse_axis};
+use gdr_serve::sweep::{ArrivalKind, SweepSpec};
+use gdr_system::grid::ExperimentConfig;
+use gdr_system::report::{dominates, pareto_frontier, recommend, SweepRowRecord, SWEEP_OBJECTIVES};
+
+/// A small (8-scenario) spec so the multi-run tests stay fast.
+fn small_spec() -> SweepSpec {
+    let mut spec = SweepSpec {
+        requests: 96,
+        ..SweepSpec::default()
+    };
+    parse_axis(&mut spec, "arrival=poisson").unwrap();
+    parse_axis(&mut spec, "rate=400000,800000").unwrap();
+    parse_axis(&mut spec, "batch=immediate,size-capped:8").unwrap();
+    parse_axis(&mut spec, "scheduler=least-loaded").unwrap();
+    parse_axis(&mut spec, "replicas=2,3").unwrap();
+    parse_axis(&mut spec, "cache-bytes=0").unwrap();
+    spec
+}
+
+#[test]
+fn run_sweep_is_lane_count_invariant_down_to_the_bytes() {
+    let cfg = ExperimentConfig {
+        seed: 7,
+        scale: 0.04,
+    };
+    let spec = small_spec();
+    let lane_counts = [1usize, 2, 4, 0]; // 0 = default_jobs()
+    let runs: Vec<_> = lane_counts
+        .iter()
+        .map(|&jobs| run_sweep(&cfg, &spec, jobs).expect("sweep runs"))
+        .collect();
+    for (i, other) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &runs[0], other,
+            "jobs={} differs from jobs=1",
+            lane_counts[i]
+        );
+    }
+    // …and the serialized record — what CI cmp's — is byte-identical too.
+    let jsons: Vec<String> = runs
+        .iter()
+        .map(|records| {
+            sweep_record("inv", &spec, records, Some(2_000_000.0), 0.0)
+                .to_json()
+                .to_pretty()
+        })
+        .collect();
+    assert!(jsons.iter().all(|j| j == &jsons[0]));
+    assert!(default_jobs() >= 1, "default lane count is clamped >= 1");
+}
+
+#[test]
+fn run_sweep_returns_records_in_expansion_order() {
+    let cfg = ExperimentConfig {
+        seed: 7,
+        scale: 0.04,
+    };
+    let spec = small_spec();
+    let expected: Vec<String> = spec
+        .expand(&cfg)
+        .unwrap()
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    let got: Vec<String> = run_sweep(&cfg, &spec, 3)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.scenario)
+        .collect();
+    assert_eq!(got, expected);
+}
+
+/// Deterministic LCG (the bench crate deliberately has no rand dep).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// A metric value from a tiny discrete set, so random tables contain
+    /// plenty of ties and exact dominations.
+    fn metric(&mut self) -> f64 {
+        (self.next() % 5) as f64
+    }
+}
+
+fn random_table(rng: &mut Lcg, rows: usize) -> Vec<SweepRowRecord> {
+    (0..rows)
+        .map(|i| SweepRowRecord {
+            scenario: format!("row-{i}"),
+            metrics: SWEEP_OBJECTIVES
+                .iter()
+                .map(|&(key, _)| (key.to_string(), rng.metric()))
+                .collect(),
+        })
+        .collect()
+}
+
+#[test]
+fn frontier_properties_hold_over_random_tables() {
+    let mut rng = Lcg(0x5eed);
+    for trial in 0..200 {
+        let rows = 1 + (rng.next() % 12) as usize;
+        let table = random_table(&mut rng, rows);
+        let frontier = pareto_frontier(&table);
+        assert!(!frontier.is_empty(), "trial {trial}: frontier never empty");
+
+        // Frontier rows are mutually and globally non-dominated.
+        for &i in &frontier {
+            for (j, other) in table.iter().enumerate() {
+                assert!(
+                    i == j || !dominates(other, &table[i]),
+                    "trial {trial}: frontier row {i} dominated by {j}"
+                );
+            }
+        }
+        // Every excluded row is dominated by some *frontier* row
+        // (dominance is transitive, so the witness chain ends on the
+        // frontier).
+        for (i, row) in table.iter().enumerate() {
+            if !frontier.contains(&i) {
+                assert!(
+                    frontier.iter().any(|&f| dominates(&table[f], row)),
+                    "trial {trial}: excluded row {i} dominated by no frontier row"
+                );
+            }
+        }
+        // Frontier of the frontier is itself.
+        let sub: Vec<SweepRowRecord> = frontier.iter().map(|&i| table[i].clone()).collect();
+        let again = pareto_frontier(&sub);
+        assert_eq!(
+            again,
+            (0..sub.len()).collect::<Vec<_>>(),
+            "trial {trial}: frontier must be a fixed point"
+        );
+    }
+}
+
+#[test]
+fn single_row_tables_are_their_own_frontier() {
+    let mut rng = Lcg(99);
+    let table = random_table(&mut rng, 1);
+    assert_eq!(pareto_frontier(&table), vec![0]);
+    // …and a row missing an objective is incomparable, not dominated.
+    let partial = vec![
+        SweepRowRecord {
+            scenario: "full".into(),
+            metrics: SWEEP_OBJECTIVES
+                .iter()
+                .map(|&(k, _)| (k.to_string(), 0.0))
+                .collect(),
+        },
+        SweepRowRecord {
+            scenario: "partial".into(),
+            metrics: vec![("p99_ns".into(), 1e12)],
+        },
+    ];
+    assert_eq!(pareto_frontier(&partial), vec![0, 1]);
+}
+
+#[test]
+fn end_to_end_sweep_has_a_frontier_and_an_slo_meeting_recommendation() {
+    let cfg = ExperimentConfig {
+        seed: 7,
+        scale: 0.04,
+    };
+    let spec = small_spec();
+    let records = run_sweep(&cfg, &spec, 2).expect("sweep runs");
+    assert_eq!(records.len(), 8);
+
+    // Loose SLO, unbounded budget: feasible, and the pick actually meets
+    // the SLO while being the cheapest frontier config that does.
+    let slo = 10_000_000.0;
+    let rec = sweep_record("e2e", &spec, &records, Some(slo), 0.0);
+    assert!(!rec.frontier.is_empty(), "frontier non-empty");
+    let chosen = rec.recommend.as_ref().expect("recommend block present");
+    assert!(chosen.feasible);
+    assert!(chosen.metric("p99_ns").unwrap() <= slo);
+    let table = &rec.table;
+    let frontier = pareto_frontier(table);
+    for &i in &frontier {
+        if table[i].metric("p99_ns").unwrap() <= slo {
+            assert!(
+                chosen.metric("replica_seconds").unwrap()
+                    <= table[i].metric("replica_seconds").unwrap(),
+                "recommendation must be the cheapest SLO-meeting frontier row"
+            );
+        }
+    }
+
+    // Impossible SLO: infeasible, named as such.
+    let none = sweep_record("e2e", &spec, &records, Some(1e-9), 0.0);
+    let r = none.recommend.as_ref().unwrap();
+    assert!(!r.feasible);
+    assert!(r.scenario.is_empty());
+
+    // A budget below every config's cost is also infeasible.
+    let broke = recommend(table, &frontier, slo, 1e-12);
+    assert!(!broke.feasible);
+}
+
+#[test]
+fn axis_overrides_compose_with_fault_and_autoscale_axes() {
+    let cfg = ExperimentConfig {
+        seed: 7,
+        scale: 0.04,
+    };
+    let mut spec = SweepSpec {
+        requests: 64,
+        ..SweepSpec::default()
+    };
+    parse_axis(&mut spec, "arrival=bursty").unwrap();
+    parse_axis(&mut spec, "rate=400000").unwrap();
+    parse_axis(&mut spec, "batch=size-capped:8").unwrap();
+    parse_axis(&mut spec, "scheduler=least-loaded").unwrap();
+    parse_axis(&mut spec, "replicas=2").unwrap();
+    parse_axis(&mut spec, "cache-bytes=0").unwrap();
+    parse_axis(&mut spec, "autoscale=off,4:32:2").unwrap();
+    parse_axis(&mut spec, "faults=none,crash,crash-failover").unwrap();
+    assert_eq!(spec.arrivals, vec![ArrivalKind::Bursty]);
+    let records = run_sweep(&cfg, &spec, 2).expect("sweep runs");
+    assert_eq!(records.len(), 6);
+    let names: Vec<&str> = records.iter().map(|r| r.scenario.as_str()).collect();
+    assert!(names.iter().any(|n| n.ends_with("/off/none")));
+    assert!(names.iter().any(|n| n.ends_with("/queue:32:2:max4/crash")));
+    assert!(names.iter().any(|n| n.ends_with("/crash-failover")));
+    // The failover variant routes through the control plane: it records a
+    // view change where the uncontrolled crash records none.
+    let failover = records
+        .iter()
+        .find(|r| r.scenario.ends_with("/off/crash-failover"))
+        .unwrap();
+    assert!(failover.aggregate().unwrap().metric("failover_ns").unwrap() > 0.0);
+}

@@ -39,7 +39,10 @@
 //!   `gdr-bench/v1` `serve` record family;
 //! * [`suite`] — the [`ServeHarness`] runner and the committed,
 //!   CI-gated scenario suite, including the crash/failover availability
-//!   headline pair.
+//!   headline pair;
+//! * [`sweep`] — per-axis value lists ([`SweepSpec`]) expanded into a
+//!   capped, deterministically ordered cartesian scenario grid — the
+//!   enumeration behind `gdr-bench sweep` and its Pareto recommender.
 //!
 //! Time is **virtual**: the simulation never reads a wall clock, so a
 //! fixed seed produces byte-for-byte identical reports on any machine —
@@ -166,6 +169,7 @@ pub mod metrics;
 pub mod request;
 pub mod scheduler;
 pub mod suite;
+pub mod sweep;
 pub mod workload;
 
 pub use batcher::{Batch, BatchPolicy, Batcher};
@@ -176,6 +180,7 @@ pub use fault::{CrashWindow, FaultSpec, Slowdown};
 pub use request::{Cell, Request};
 pub use scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator};
 pub use suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
+pub use sweep::{ArrivalKind, FaultVariant, SweepSpec};
 pub use workload::{ArrivalProcess, Traffic, TrafficStream};
 
 /// Everything needed to define and run a serving scenario.
@@ -190,6 +195,7 @@ pub mod prelude {
         AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator,
     };
     pub use crate::suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
+    pub use crate::sweep::{ArrivalKind, FaultVariant, SweepSpec};
     pub use crate::workload::{ArrivalProcess, Traffic, TrafficStream};
     pub use gdr_system::grid::ExperimentConfig;
     pub use gdr_system::report::{ServeRunRecord, ServeScenarioRecord};

@@ -1,0 +1,535 @@
+//! Scenario-space enumeration for `gdr-bench sweep`.
+//!
+//! A [`SweepSpec`] lists values per configuration axis (arrival shape,
+//! offered rate, batching, scheduling, pool size, sharding, cache,
+//! autoscaling, faults) and [`SweepSpec::expand`] takes their cartesian
+//! product into a deterministically ordered, uniquely labeled
+//! [`ScenarioSpec`] grid — the input of the sweep executor in
+//! `gdr-bench`. Axis values are expressed **at test scale**, like the
+//! canonical suite's constants, and rescaled through the same
+//! [`scaled_rate`] / [`scaled_ns`] / [`scaled_bytes`] rules, so a
+//! sweep keeps its intended load regimes at any dataset scale while the
+//! labels (built from the test-scale values) stay stable across scales.
+
+use gdr_hetgraph::{GdrError, GdrResult};
+use gdr_system::grid::ExperimentConfig;
+
+use crate::batcher::BatchPolicy;
+use crate::fault::{CrashWindow, FaultSpec};
+use crate::scheduler::{AutoscaleSpec, SchedPolicy};
+use crate::suite::{
+    scaled_bytes, scaled_ns, scaled_rate, ScenarioSpec, BASE_BURST_PERIOD_NS, BASE_CACHE_BYTES,
+    BASE_CRASH_AT_NS, BASE_THINK_NS, HIGH_RATE_RPS, SUITE_REQUESTS,
+};
+use crate::workload::ArrivalProcess;
+
+/// An arrival-process *shape* for the sweep's `arrival` axis: the rate
+/// axis supplies the load, so the shape carries only the suite's
+/// canonical secondary parameters (burst period/duty, client count and
+/// think time), rescaled at expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Open-loop Poisson arrivals at the axis rate.
+    Poisson,
+    /// On/off bursts at the axis rate, the suite's period and 0.25 duty.
+    Bursty,
+    /// A 16-client closed loop with the suite's think time (the rate
+    /// axis does not apply; the label still records it for uniqueness).
+    ClosedLoop,
+}
+
+impl ArrivalKind {
+    /// Every shape, in sweep-axis order.
+    pub const ALL: &'static [ArrivalKind] = &[
+        ArrivalKind::Poisson,
+        ArrivalKind::Bursty,
+        ArrivalKind::ClosedLoop,
+    ];
+
+    /// Stable axis-value name (`"poisson"`, `"bursty"`, `"closed-loop"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Bursty => "bursty",
+            ArrivalKind::ClosedLoop => "closed-loop",
+        }
+    }
+
+    /// The concrete process at `cfg`'s scale for a test-scale rate.
+    fn process(self, cfg: &ExperimentConfig, base_rate_rps: f64) -> ArrivalProcess {
+        match self {
+            ArrivalKind::Poisson => ArrivalProcess::Poisson {
+                rate_rps: scaled_rate(cfg, base_rate_rps),
+            },
+            ArrivalKind::Bursty => ArrivalProcess::Bursty {
+                rate_rps: scaled_rate(cfg, base_rate_rps),
+                period_ns: scaled_ns(cfg, BASE_BURST_PERIOD_NS),
+                duty: 0.25,
+            },
+            ArrivalKind::ClosedLoop => ArrivalProcess::ClosedLoop {
+                clients: 16,
+                think_ns: scaled_ns(cfg, BASE_THINK_NS),
+            },
+        }
+    }
+}
+
+/// A fault-plan variant for the sweep's `faults` axis: fault-free, the
+/// canonical primary crash with the dead replica's work dropped, or the
+/// same crash served through the replicated control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVariant {
+    /// No faults, no control plane.
+    None,
+    /// Replica 0 dies for good at the suite's crash time; its queued
+    /// work is lost (no control plane).
+    Crash,
+    /// The same crash, with the view-change control plane migrating the
+    /// primary's batches to the survivors.
+    CrashFailover,
+}
+
+impl FaultVariant {
+    /// Every variant, in sweep-axis order.
+    pub const ALL: &'static [FaultVariant] = &[
+        FaultVariant::None,
+        FaultVariant::Crash,
+        FaultVariant::CrashFailover,
+    ];
+
+    /// Stable axis-value name (`"none"`, `"crash"`, `"crash-failover"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultVariant::None => "none",
+            FaultVariant::Crash => "crash",
+            FaultVariant::CrashFailover => "crash-failover",
+        }
+    }
+
+    /// The concrete `(fault plan, control plane)` pair at `cfg`'s scale.
+    fn plan(self, cfg: &ExperimentConfig) -> (FaultSpec, bool) {
+        match self {
+            FaultVariant::None => (FaultSpec::default(), false),
+            FaultVariant::Crash | FaultVariant::CrashFailover => (
+                FaultSpec {
+                    crashes: vec![CrashWindow {
+                        replica: 0,
+                        crash_at_ns: scaled_ns(cfg, BASE_CRASH_AT_NS),
+                        recover_after_ns: 0,
+                    }],
+                    ..FaultSpec::default()
+                },
+                self == FaultVariant::CrashFailover,
+            ),
+        }
+    }
+}
+
+/// Formats a test-scale axis rate for labels and summaries: integral
+/// rates print without a fractional part (`"600000"`), others as plain
+/// `f64` (`"1234.5"`).
+fn fmt_rate(r: f64) -> String {
+    if r.fract() == 0.0 && r.abs() < 1e15 {
+        format!("{}", r as i64)
+    } else {
+        format!("{r}")
+    }
+}
+
+/// Per-axis value lists whose cartesian product is a scenario grid.
+///
+/// Every axis must be non-empty; [`SweepSpec::expand`] rejects products
+/// above [`SweepSpec::cap`] *before* materializing anything, so a typo
+/// cannot detonate into a million scenarios. The default spec sweeps
+/// 64 scenarios: 2 arrivals × 2 rates × 2 batchers × 2 schedulers ×
+/// 2 pool sizes × 2 cache capacities.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_serve::sweep::SweepSpec;
+/// use gdr_system::grid::ExperimentConfig;
+///
+/// let spec = SweepSpec::default();
+/// let cfg = ExperimentConfig::test_scale();
+/// let scenarios = spec.expand(&cfg).unwrap();
+/// assert_eq!(scenarios.len(), 64);
+/// // deterministic ordering and unique labels
+/// let again = spec.expand(&cfg).unwrap();
+/// assert_eq!(scenarios, again);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Arrival shapes (`arrival` axis).
+    pub arrivals: Vec<ArrivalKind>,
+    /// Offered loads at test scale, requests/s (`rate` axis).
+    pub rates_rps: Vec<f64>,
+    /// Batching policies (`batch` axis).
+    pub batches: Vec<BatchPolicy>,
+    /// Dispatch policies (`scheduler` axis).
+    pub scheds: Vec<SchedPolicy>,
+    /// Initial pool sizes (`replicas` axis).
+    pub replicas: Vec<usize>,
+    /// Dataset shards per replica, 0 = full replicas (`shards` axis).
+    pub shards: Vec<usize>,
+    /// Per-replica feature-cache capacities at test scale, bytes,
+    /// 0 = disabled (`cache-bytes` axis).
+    pub cache_bytes: Vec<u64>,
+    /// Autoscaler settings, `None` = fixed pool (`autoscale` axis).
+    /// `max_replicas` is clamped up to the pool size at expansion so a
+    /// small autoscaler composes with a large `replicas` value instead
+    /// of producing an invalid scenario.
+    pub autoscales: Vec<Option<AutoscaleSpec>>,
+    /// Fault-plan variants (`faults` axis).
+    pub faults: Vec<FaultVariant>,
+    /// The single backend every replica runs.
+    pub platform: String,
+    /// Requests per scenario.
+    pub requests: usize,
+    /// Hard ceiling on the expanded scenario count.
+    pub cap: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            arrivals: vec![ArrivalKind::Poisson, ArrivalKind::Bursty],
+            rates_rps: vec![HIGH_RATE_RPS / 2.0, HIGH_RATE_RPS],
+            batches: vec![BatchPolicy::Immediate, BatchPolicy::SizeCapped { cap: 8 }],
+            scheds: vec![SchedPolicy::RoundRobin, SchedPolicy::LeastLoaded],
+            replicas: vec![2, 3],
+            shards: vec![0],
+            cache_bytes: vec![0, BASE_CACHE_BYTES as u64],
+            autoscales: vec![None],
+            faults: vec![FaultVariant::None],
+            platform: "HiHGNN+GDR".into(),
+            requests: SUITE_REQUESTS,
+            cap: 1024,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// The expanded scenario count, or `None` on overflow.
+    pub fn scenario_count(&self) -> Option<usize> {
+        [
+            self.arrivals.len(),
+            self.rates_rps.len(),
+            self.batches.len(),
+            self.scheds.len(),
+            self.replicas.len(),
+            self.shards.len(),
+            self.cache_bytes.len(),
+            self.autoscales.len(),
+            self.faults.len(),
+        ]
+        .iter()
+        .try_fold(1usize, |acc, &n| acc.checked_mul(n))
+    }
+
+    /// Expands the cartesian product into runnable scenarios, arrival
+    /// axis outermost and fault axis innermost — a fixed, documented
+    /// order, so the result table (and everything derived from it) is
+    /// identical run to run. Labels encode every axis value
+    /// (`"poisson-r600000/immediate/round-robin/x2/s0/c0/off/none"`)
+    /// and are therefore unique across the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdrError::InvalidConfig`] for an empty axis, a zero
+    /// replica count, or a product beyond [`SweepSpec::cap`].
+    pub fn expand(&self, cfg: &ExperimentConfig) -> GdrResult<Vec<ScenarioSpec>> {
+        for (axis, len) in [
+            ("arrival", self.arrivals.len()),
+            ("rate", self.rates_rps.len()),
+            ("batch", self.batches.len()),
+            ("scheduler", self.scheds.len()),
+            ("replicas", self.replicas.len()),
+            ("shards", self.shards.len()),
+            ("cache-bytes", self.cache_bytes.len()),
+            ("autoscale", self.autoscales.len()),
+            ("faults", self.faults.len()),
+        ] {
+            if len == 0 {
+                return Err(GdrError::invalid_config(
+                    "sweep",
+                    format!("axis {axis:?} has no values"),
+                ));
+            }
+        }
+        if self.replicas.contains(&0) {
+            return Err(GdrError::invalid_config(
+                "sweep",
+                "the replicas axis needs at least one replica per value",
+            ));
+        }
+        let count = self.scenario_count().unwrap_or(usize::MAX);
+        if count > self.cap {
+            return Err(GdrError::invalid_config(
+                "sweep",
+                format!(
+                    "{count} scenarios exceed the cap of {} — trim an axis or raise the cap",
+                    self.cap
+                ),
+            ));
+        }
+        let mut out = Vec::with_capacity(count);
+        for &arrival in &self.arrivals {
+            for &rate in &self.rates_rps {
+                for &batch in &self.batches {
+                    for &sched in &self.scheds {
+                        for &replicas in &self.replicas {
+                            for &shards in &self.shards {
+                                for &cache in &self.cache_bytes {
+                                    for &autoscale in &self.autoscales {
+                                        for &fault in &self.faults {
+                                            out.push(self.scenario(
+                                                cfg, arrival, rate, batch, sched, replicas, shards,
+                                                cache, autoscale, fault,
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)] // one value per axis, by construction
+    fn scenario(
+        &self,
+        cfg: &ExperimentConfig,
+        arrival: ArrivalKind,
+        rate: f64,
+        batch: BatchPolicy,
+        sched: SchedPolicy,
+        replicas: usize,
+        shards: usize,
+        cache: u64,
+        autoscale: Option<AutoscaleSpec>,
+        fault: FaultVariant,
+    ) -> ScenarioSpec {
+        let autoscale = autoscale.map(|a| AutoscaleSpec {
+            max_replicas: a.max_replicas.max(replicas),
+            ..a
+        });
+        let (faults, control) = fault.plan(cfg);
+        let name = format!(
+            "{}-r{}/{}/{}/x{}/s{}/c{}/{}/{}",
+            arrival.name(),
+            fmt_rate(rate),
+            batch.label(),
+            sched.name(),
+            replicas,
+            shards,
+            cache,
+            autoscale.map_or("off".into(), |a| a.label()),
+            fault.name(),
+        );
+        ScenarioSpec {
+            shards,
+            cache_bytes: if cache == 0 {
+                0
+            } else {
+                scaled_bytes(cfg, cache as f64)
+            },
+            autoscale,
+            faults,
+            control,
+            ..ScenarioSpec::new(
+                name,
+                arrival.process(cfg, rate),
+                self.requests,
+                batch,
+                sched,
+                vec![self.platform.clone(); replicas],
+            )
+        }
+    }
+
+    /// The swept axes as stable `(axis, comma-joined values)` pairs, in
+    /// expansion order — what the `sweep` record family embeds so a
+    /// report is self-describing.
+    pub fn axis_summary(&self) -> Vec<(String, String)> {
+        let join = |vals: Vec<String>| vals.join(",");
+        vec![
+            (
+                "arrival".into(),
+                join(self.arrivals.iter().map(|a| a.name().into()).collect()),
+            ),
+            (
+                "rate".into(),
+                join(self.rates_rps.iter().map(|&r| fmt_rate(r)).collect()),
+            ),
+            (
+                "batch".into(),
+                join(self.batches.iter().map(|b| b.label()).collect()),
+            ),
+            (
+                "scheduler".into(),
+                join(self.scheds.iter().map(|s| s.name().into()).collect()),
+            ),
+            (
+                "replicas".into(),
+                join(self.replicas.iter().map(|r| r.to_string()).collect()),
+            ),
+            (
+                "shards".into(),
+                join(self.shards.iter().map(|s| s.to_string()).collect()),
+            ),
+            (
+                "cache-bytes".into(),
+                join(self.cache_bytes.iter().map(|c| c.to_string()).collect()),
+            ),
+            (
+                "autoscale".into(),
+                join(
+                    self.autoscales
+                        .iter()
+                        .map(|a| a.map_or("off".into(), |a| a.label()))
+                        .collect(),
+                ),
+            ),
+            (
+                "faults".into(),
+                join(self.faults.iter().map(|f| f.name().into()).collect()),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 7,
+            scale: 0.04,
+        }
+    }
+
+    #[test]
+    fn default_spec_expands_to_64_unique_labels_in_fixed_order() {
+        let spec = SweepSpec::default();
+        assert_eq!(spec.scenario_count(), Some(64));
+        let scenarios = spec.expand(&tiny_cfg()).unwrap();
+        assert_eq!(scenarios.len(), 64);
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        let ordered = names.clone();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 64, "labels must be unique");
+        assert_eq!(
+            scenarios
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>(),
+            ordered,
+            "expansion order is deterministic"
+        );
+        // arrival is the outermost axis, faults the innermost
+        assert!(ordered[0].starts_with("poisson-"));
+        assert!(ordered[63].starts_with("bursty-"));
+        assert!(ordered.iter().all(|n| n.ends_with("/none")));
+    }
+
+    #[test]
+    fn labels_are_scale_invariant_but_scenarios_rescale() {
+        let spec = SweepSpec::default();
+        let test = spec.expand(&tiny_cfg()).unwrap();
+        let big = spec
+            .expand(&ExperimentConfig {
+                seed: 7,
+                scale: 0.08,
+            })
+            .unwrap();
+        for (a, b) in test.iter().zip(&big) {
+            assert_eq!(a.name, b.name, "labels do not drift with scale");
+        }
+        // the offered load halves when the datasets double
+        let (ra, rb) = (test[0].process.rate_rps(), big[0].process.rate_rps());
+        assert!(ra > rb, "rates rescale with the dataset scale");
+    }
+
+    #[test]
+    fn expansion_rejects_empty_axes_and_cap_overflow() {
+        let cfg = tiny_cfg();
+        let mut empty = SweepSpec::default();
+        empty.batches.clear();
+        let err = empty.expand(&cfg).unwrap_err();
+        assert!(err.to_string().contains("batch"));
+
+        let capped = SweepSpec {
+            cap: 10,
+            ..SweepSpec::default()
+        };
+        let err = capped.expand(&cfg).unwrap_err();
+        assert!(err.to_string().contains("cap"));
+
+        let zero = SweepSpec {
+            replicas: vec![0],
+            ..SweepSpec::default()
+        };
+        assert!(zero.expand(&cfg).is_err());
+    }
+
+    #[test]
+    fn autoscale_max_clamps_to_the_pool_size() {
+        let spec = SweepSpec {
+            replicas: vec![3],
+            autoscales: vec![Some(AutoscaleSpec {
+                max_replicas: 2,
+                up_depth: 32,
+                down_depth: 4,
+            })],
+            ..SweepSpec::default()
+        };
+        let scenarios = spec.expand(&tiny_cfg()).unwrap();
+        for s in &scenarios {
+            let a = s.autoscale.expect("autoscaler on");
+            assert!(a.max_replicas >= s.pool.len(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn fault_variants_build_the_canonical_crash_plan() {
+        let cfg = tiny_cfg();
+        let (none, control) = FaultVariant::None.plan(&cfg);
+        assert!(none.is_none() && !control);
+        let (crash, control) = FaultVariant::Crash.plan(&cfg);
+        assert_eq!(crash.crashes.len(), 1);
+        assert_eq!(crash.crashes[0].replica, 0);
+        assert!(!control);
+        let (fo, control) = FaultVariant::CrashFailover.plan(&cfg);
+        assert_eq!(fo, crash);
+        assert!(control, "failover variant turns the control plane on");
+    }
+
+    #[test]
+    fn axis_summary_names_every_axis_in_expansion_order() {
+        let spec = SweepSpec::default();
+        let axes = spec.axis_summary();
+        let keys: Vec<&str> = axes.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "arrival",
+                "rate",
+                "batch",
+                "scheduler",
+                "replicas",
+                "shards",
+                "cache-bytes",
+                "autoscale",
+                "faults"
+            ]
+        );
+        let rate = &axes[1].1;
+        assert_eq!(rate, "600000,1200000");
+    }
+}

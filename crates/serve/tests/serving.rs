@@ -198,6 +198,7 @@ fn suite_is_byte_for_byte_deterministic() {
         wall_clock_s: 0.0,
         serve,
         host: Vec::new(),
+        sweep: Vec::new(),
     };
     let (ja, jb) = (suite(), suite());
     assert_eq!(

@@ -328,6 +328,342 @@ impl ServeScenarioRecord {
     }
 }
 
+/// The objectives of the sweep Pareto frontier, as
+/// `(serve metric key, higher_is_better)`: the tail must be short, the
+/// throughput high, the replica-seconds (serving cost of goods) and
+/// DRAM traffic low. [`dominates`] and [`pareto_frontier`] read
+/// exactly these keys from a [`SweepRowRecord`].
+pub const SWEEP_OBJECTIVES: &[(&str, bool)] = &[
+    ("p99_ns", false),
+    ("throughput_rps", true),
+    ("replica_seconds", false),
+    ("dram_bytes", false),
+];
+
+/// One row of a sweep's result table: the scenario label plus its
+/// pool-wide aggregate values for the [`SWEEP_OBJECTIVES`] (and any
+/// additional numeric columns a future sweep records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRowRecord {
+    /// Scenario label, unique within the sweep.
+    pub scenario: String,
+    /// Stable-ordered numeric metrics, the [`SWEEP_OBJECTIVES`] keys.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl SweepRowRecord {
+    /// Looks up a metric by key (`"p99_ns"`, `"replica_seconds"`, …).
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// The row object of a sweep's `table` array.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("scenario".to_string(), Json::from(self.scenario.as_str()))];
+        fields.extend(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v))),
+        );
+        Json::Obj(fields)
+    }
+
+    /// Parses one row object of a sweep's `table` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let mut scenario = None;
+        let mut metrics = Vec::new();
+        for (k, field) in v.as_obj().ok_or("sweep row is not an object")? {
+            match (k.as_str(), field) {
+                ("scenario", Json::Str(s)) => scenario = Some(s.clone()),
+                (_, Json::Num(x)) => metrics.push((k.clone(), *x)),
+                _ => return Err(format!("unexpected sweep row field {k:?}")),
+            }
+        }
+        Ok(SweepRowRecord {
+            scenario: scenario.ok_or("sweep row: missing scenario")?,
+            metrics,
+        })
+    }
+}
+
+/// Whether `a` Pareto-dominates `b` over [`SWEEP_OBJECTIVES`]: no
+/// worse on every objective and strictly better on at least one. Rows
+/// missing an objective on either side dominate nothing and nothing
+/// dominates through them (the comparison is undefined, not zero).
+pub fn dominates(a: &SweepRowRecord, b: &SweepRowRecord) -> bool {
+    let mut strictly_better = false;
+    for &(key, higher_is_better) in SWEEP_OBJECTIVES {
+        let (Some(av), Some(bv)) = (a.metric(key), b.metric(key)) else {
+            return false;
+        };
+        let (better, worse) = if higher_is_better {
+            (av > bv, av < bv)
+        } else {
+            (av < bv, av > bv)
+        };
+        if worse {
+            return false;
+        }
+        if better {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// The Pareto frontier of a sweep table over [`SWEEP_OBJECTIVES`]:
+/// table indices of every row no other row [`dominates`], in table
+/// order. Dominance is transitive, so every excluded row is dominated
+/// by some *frontier* row — the property net in `crates/bench` pins
+/// this.
+pub fn pareto_frontier(table: &[SweepRowRecord]) -> Vec<usize> {
+    (0..table.len())
+        .filter(|&i| !table.iter().any(|other| dominates(other, &table[i])))
+        .collect()
+}
+
+/// The recommendation a sweep resolves for an SLO: the *cheapest*
+/// (minimum `replica_seconds`) frontier config whose tail meets the
+/// p99 SLO, within the replica-seconds budget when one is given.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecommendation {
+    /// The requested p99 ceiling, virtual ns.
+    pub slo_p99_ns: f64,
+    /// The requested cost ceiling, replica-seconds (0 = unbounded).
+    pub budget_replica_seconds: f64,
+    /// Whether any frontier config met the constraints.
+    pub feasible: bool,
+    /// The chosen scenario label; empty when infeasible.
+    pub scenario: String,
+    /// The chosen row's objective values; empty when infeasible.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl SweepRecommendation {
+    /// Looks up a chosen-row objective by key (`"p99_ns"`, …).
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// The `recommend` object of a sweep record.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("slo_p99_ns".to_string(), Json::from(self.slo_p99_ns)),
+            (
+                "budget_replica_seconds".to_string(),
+                Json::from(self.budget_replica_seconds),
+            ),
+            ("feasible".to_string(), Json::from(self.feasible)),
+            ("scenario".to_string(), Json::from(self.scenario.as_str())),
+        ];
+        fields.extend(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v))),
+        );
+        Json::Obj(fields)
+    }
+
+    /// Parses the `recommend` object of a sweep record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let mut out = SweepRecommendation {
+            slo_p99_ns: v
+                .get("slo_p99_ns")
+                .and_then(Json::as_f64)
+                .ok_or("sweep recommend: missing slo_p99_ns")?,
+            budget_replica_seconds: v
+                .get("budget_replica_seconds")
+                .and_then(Json::as_f64)
+                .ok_or("sweep recommend: missing budget_replica_seconds")?,
+            feasible: v
+                .get("feasible")
+                .and_then(Json::as_bool)
+                .ok_or("sweep recommend: missing feasible")?,
+            scenario: v
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("sweep recommend: missing scenario")?
+                .to_string(),
+            metrics: Vec::new(),
+        };
+        for (k, field) in v.as_obj().ok_or("sweep recommend is not an object")? {
+            if let (false, Json::Num(x)) = (
+                matches!(k.as_str(), "slo_p99_ns" | "budget_replica_seconds"),
+                field,
+            ) {
+                out.metrics.push((k.clone(), *x));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Resolves the recommendation for a computed frontier: among the
+/// frontier rows with `p99_ns <= slo_p99_ns` (and
+/// `replica_seconds <= budget_replica_seconds` when the budget is
+/// nonzero), the one with minimum `replica_seconds` — first in table
+/// order on ties, so the answer is deterministic.
+pub fn recommend(
+    table: &[SweepRowRecord],
+    frontier: &[usize],
+    slo_p99_ns: f64,
+    budget_replica_seconds: f64,
+) -> SweepRecommendation {
+    let mut best: Option<&SweepRowRecord> = None;
+    for &i in frontier {
+        let row = &table[i];
+        let (Some(p99), Some(cost)) = (row.metric("p99_ns"), row.metric("replica_seconds")) else {
+            continue;
+        };
+        if p99 > slo_p99_ns {
+            continue;
+        }
+        if budget_replica_seconds > 0.0 && cost > budget_replica_seconds {
+            continue;
+        }
+        let cheaper = best
+            .and_then(|b| b.metric("replica_seconds"))
+            .is_none_or(|b_cost| cost < b_cost);
+        if cheaper {
+            best = Some(row);
+        }
+    }
+    SweepRecommendation {
+        slo_p99_ns,
+        budget_replica_seconds,
+        feasible: best.is_some(),
+        scenario: best.map(|r| r.scenario.clone()).unwrap_or_default(),
+        metrics: best.map(|r| r.metrics.clone()).unwrap_or_default(),
+    }
+}
+
+/// One scenario-space sweep: the swept axes, the full results table,
+/// the Pareto frontier over [`SWEEP_OBJECTIVES`], and (when an SLO was
+/// requested) the resolved recommendation. The `sweep` record family
+/// of `gdr-bench/v1` — reported, never gated: the table's shape is
+/// whatever the user swept, so there is no stable baseline to compare
+/// against (the canonical `serve` family carries the gated scenarios).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Sweep label (`"default"`, or a user-chosen name).
+    pub name: String,
+    /// The swept axes as `(axis, comma-joined values)` pairs, in
+    /// expansion order — the sweep's self-description.
+    pub axes: Vec<(String, String)>,
+    /// Requests per scenario.
+    pub requests: u64,
+    /// The backend every replica ran.
+    pub platform: String,
+    /// One row per expanded scenario, in expansion order.
+    pub table: Vec<SweepRowRecord>,
+    /// Scenario labels of the Pareto frontier, in table order.
+    pub frontier: Vec<String>,
+    /// The SLO resolution, when `--slo-p99` was given.
+    pub recommend: Option<SweepRecommendation>,
+}
+
+impl SweepRecord {
+    /// The sweep object of the `sweep` array in `gdr-bench/v1`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), Json::from(self.name.as_str())),
+            (
+                "axes".to_string(),
+                Json::arr(self.axes.iter().map(|(axis, values)| {
+                    Json::obj([
+                        ("axis", Json::from(axis.as_str())),
+                        ("values", Json::from(values.as_str())),
+                    ])
+                })),
+            ),
+            ("requests".to_string(), Json::from(self.requests)),
+            ("platform".to_string(), Json::from(self.platform.as_str())),
+            (
+                "table".to_string(),
+                Json::arr(self.table.iter().map(SweepRowRecord::to_json)),
+            ),
+            (
+                "frontier".to_string(),
+                Json::arr(self.frontier.iter().map(|s| Json::from(s.as_str()))),
+            ),
+        ];
+        if let Some(rec) = &self.recommend {
+            fields.push(("recommend".to_string(), rec.to_json()));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses one sweep object of the `sweep` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let string = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("sweep record: missing string field {key:?}"))
+        };
+        let mut axes = Vec::new();
+        for a in v
+            .get("axes")
+            .and_then(Json::as_arr)
+            .ok_or("sweep record: missing axes")?
+        {
+            let field = |key: &str| -> Result<String, String> {
+                a.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("sweep axis: missing {key:?}"))
+            };
+            axes.push((field("axis")?, field("values")?));
+        }
+        let table = v
+            .get("table")
+            .and_then(Json::as_arr)
+            .ok_or("sweep record: missing table")?
+            .iter()
+            .map(SweepRowRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let frontier = v
+            .get("frontier")
+            .and_then(Json::as_arr)
+            .ok_or("sweep record: missing frontier")?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or("non-string frontier label")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepRecord {
+            name: string("name")?,
+            axes,
+            requests: v
+                .get("requests")
+                .and_then(Json::as_f64)
+                .ok_or("sweep record: missing requests")? as u64,
+            platform: string("platform")?,
+            table,
+            frontier,
+            // `recommend` is present only when an SLO was requested.
+            recommend: match v.get("recommend") {
+                None => None,
+                Some(r) => Some(SweepRecommendation::from_json(r)?),
+            },
+        })
+    }
+}
+
 /// One platform's record for one grid cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -391,6 +727,10 @@ pub struct BenchReport {
     /// Reported, never gated; empty for serve-only reports, whose bytes
     /// must be deterministic.
     pub host: Vec<HostRecord>,
+    /// Scenario-space sweep records (`gdr-bench sweep`). Reported,
+    /// never gated; like serve records they carry no wall clock, so
+    /// sweep-only reports are byte-for-byte reproducible.
+    pub sweep: Vec<SweepRecord>,
 }
 
 impl BenchReport {
@@ -450,6 +790,7 @@ impl BenchReport {
             wall_clock_s: t0.elapsed().as_secs_f64(),
             serve: Vec::new(),
             host: Vec::new(),
+            sweep: Vec::new(),
         })
     }
 
@@ -527,6 +868,10 @@ impl BenchReport {
                 Json::arr(self.serve.iter().map(ServeScenarioRecord::to_json)),
             ),
             ("host", Json::arr(self.host.iter().map(HostRecord::to_json))),
+            (
+                "sweep",
+                Json::arr(self.sweep.iter().map(SweepRecord::to_json)),
+            ),
         ])
     }
 
@@ -631,6 +976,17 @@ impl BenchReport {
                 .map(HostRecord::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // `sweep` likewise: reports written before the sweep family
+        // exist parse with no sweep records.
+        let sweep = match v.get("sweep") {
+            None => Vec::new(),
+            Some(s) => s
+                .as_arr()
+                .ok_or("sweep is not an array")?
+                .iter()
+                .map(SweepRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(BenchReport {
             seed: num(config, "seed")? as u64,
             scale: num(config, "scale")?,
@@ -639,6 +995,7 @@ impl BenchReport {
             wall_clock_s: num(v, "wall_clock_s")?,
             serve,
             host,
+            sweep,
         })
     }
 
@@ -662,6 +1019,12 @@ impl BenchReport {
                 out.push('\n');
             }
             out.push_str(&self.host_markdown());
+        }
+        if !self.sweep.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&self.sweep_markdown());
         }
         out
     }
@@ -767,6 +1130,66 @@ impl BenchReport {
             self.scale,
             table(&headers, &rows)
         )
+    }
+
+    fn sweep_markdown(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sweep {
+            let headers = [
+                "frontier scenario",
+                "p99 ms",
+                "req/s",
+                "replica s",
+                "DRAM MiB",
+            ];
+            let rows: Vec<Vec<String>> = s
+                .table
+                .iter()
+                .filter(|row| s.frontier.contains(&row.scenario))
+                .map(|row| {
+                    vec![
+                        row.scenario.clone(),
+                        f2(row.metric("p99_ns").unwrap_or(0.0) / 1e6),
+                        f2(row.metric("throughput_rps").unwrap_or(0.0)),
+                        f2(row.metric("replica_seconds").unwrap_or(0.0)),
+                        f2(row.metric("dram_bytes").unwrap_or(0.0) / (1 << 20) as f64),
+                    ]
+                })
+                .collect();
+            out.push_str(&format!(
+                "### Sweep {} — {} scenarios, {} on the Pareto frontier (seed {}, scale {})\n\n{}",
+                s.name,
+                s.table.len(),
+                s.frontier.len(),
+                self.seed,
+                self.scale,
+                table(&headers, &rows),
+            ));
+            if let Some(rec) = &s.recommend {
+                let budget = if rec.budget_replica_seconds > 0.0 {
+                    format!(" within {} replica-seconds", rec.budget_replica_seconds)
+                } else {
+                    String::new()
+                };
+                if rec.feasible {
+                    out.push_str(&format!(
+                        "\nrecommended for p99 <= {} ms{budget}: {} \
+                         (p99 {} ms, {} req/s, {} replica-seconds)\n",
+                        f2(rec.slo_p99_ns / 1e6),
+                        rec.scenario,
+                        f2(rec.metric("p99_ns").unwrap_or(0.0) / 1e6),
+                        f2(rec.metric("throughput_rps").unwrap_or(0.0)),
+                        f2(rec.metric("replica_seconds").unwrap_or(0.0)),
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "\nno frontier config meets p99 <= {} ms{budget}\n",
+                        f2(rec.slo_p99_ns / 1e6),
+                    ));
+                }
+            }
+        }
+        out
     }
 
     fn host_markdown(&self) -> String {
@@ -1125,7 +1548,10 @@ impl Comparison {
 /// [`SERVE_FAULT_GATED_METRICS`], flagging any gated metric that moved
 /// in the bad direction by more than `threshold_pct` percent.
 /// Wall-clock fields and non-gated metrics are never compared — they
-/// are either machine-dependent or direction-ambiguous.
+/// are either machine-dependent or direction-ambiguous. The `host` and
+/// `sweep` families are likewise ignored: host records are wall clock,
+/// and a sweep's table shape is whatever the user swept, so neither
+/// has a stable baseline.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
     let mut cmp = Comparison {
         threshold_pct,
@@ -1562,6 +1988,121 @@ mod tests {
             &[("cache_hit_rate", 0.75), ("shard_miss_count", 10.5)],
         )];
         assert!(compare(&base, &close, 10.0).passed());
+    }
+
+    /// A synthetic sweep row over the four frontier objectives.
+    fn sweep_row(name: &str, p99: f64, thr: f64, cost: f64, dram: f64) -> SweepRowRecord {
+        SweepRowRecord {
+            scenario: name.into(),
+            metrics: vec![
+                ("p99_ns".into(), p99),
+                ("throughput_rps".into(), thr),
+                ("replica_seconds".into(), cost),
+                ("dram_bytes".into(), dram),
+            ],
+        }
+    }
+
+    #[test]
+    fn dominance_needs_no_worse_everywhere_and_better_somewhere() {
+        let a = sweep_row("a", 1.0, 100.0, 1.0, 1.0);
+        let better_tail = sweep_row("b", 0.5, 100.0, 1.0, 1.0);
+        let tradeoff = sweep_row("c", 0.5, 100.0, 2.0, 1.0);
+        assert!(dominates(&better_tail, &a));
+        assert!(!dominates(&a, &better_tail));
+        assert!(!dominates(&a, &a), "dominance is irreflexive");
+        assert!(
+            !dominates(&tradeoff, &a) && !dominates(&a, &tradeoff),
+            "a tradeoff dominates nothing"
+        );
+        // a row missing an objective is incomparable, not zero
+        let partial = SweepRowRecord {
+            scenario: "partial".into(),
+            metrics: vec![("p99_ns".into(), 0.1)],
+        };
+        assert!(!dominates(&partial, &a) && !dominates(&a, &partial));
+    }
+
+    #[test]
+    fn frontier_excludes_exactly_the_dominated_rows() {
+        let table = vec![
+            sweep_row("cheap-slow", 4.0, 50.0, 1.0, 8.0),
+            sweep_row("fast-costly", 1.0, 200.0, 4.0, 8.0),
+            sweep_row("dominated", 4.0, 40.0, 2.0, 8.0), // worse than cheap-slow
+            sweep_row("balanced", 2.0, 120.0, 2.0, 8.0),
+        ];
+        let frontier = pareto_frontier(&table);
+        assert_eq!(frontier, [0, 1, 3]);
+        // every excluded row is dominated by some frontier row
+        assert!(frontier.iter().any(|&i| dominates(&table[i], &table[2])));
+    }
+
+    #[test]
+    fn recommendation_picks_the_cheapest_slo_meeting_frontier_config() {
+        let table = vec![
+            sweep_row("cheap-slow", 4.0, 50.0, 1.0, 8.0),
+            sweep_row("fast-costly", 1.0, 200.0, 4.0, 8.0),
+            sweep_row("balanced", 2.0, 120.0, 2.0, 8.0),
+        ];
+        let frontier = pareto_frontier(&table);
+        assert_eq!(frontier, [0, 1, 2]);
+
+        // the cheapest config meeting a 2.5 ns SLO is "balanced"
+        let rec = recommend(&table, &frontier, 2.5, 0.0);
+        assert!(rec.feasible);
+        assert_eq!(rec.scenario, "balanced");
+        assert_eq!(rec.metric("replica_seconds"), Some(2.0));
+        // a loose SLO picks the globally cheapest config
+        assert_eq!(
+            recommend(&table, &frontier, 10.0, 0.0).scenario,
+            "cheap-slow"
+        );
+        // a budget can force the faster, pricier config out
+        let rec = recommend(&table, &frontier, 1.5, 3.0);
+        assert!(!rec.feasible, "only fast-costly meets the SLO, over budget");
+        assert!(rec.scenario.is_empty() && rec.metrics.is_empty());
+        // an impossible SLO is infeasible, not a panic
+        assert!(!recommend(&table, &frontier, 0.1, 0.0).feasible);
+    }
+
+    #[test]
+    fn sweep_records_round_trip_render_and_never_gate() {
+        let table = vec![
+            sweep_row("a", 1.0e6, 200.0, 4.0, 8.0),
+            sweep_row("b", 4.0e6, 50.0, 1.0, 8.0),
+        ];
+        let frontier_idx = pareto_frontier(&table);
+        let rec = recommend(&table, &frontier_idx, 5.0e6, 0.0);
+        let mut r = tiny_report();
+        r.sweep = vec![SweepRecord {
+            name: "default".into(),
+            axes: vec![("rate".into(), "600000,1200000".into())],
+            requests: 384,
+            platform: "HiHGNN+GDR".into(),
+            frontier: frontier_idx
+                .iter()
+                .map(|&i| table[i].scenario.clone())
+                .collect(),
+            table,
+            recommend: Some(rec),
+        }];
+        let parsed = BenchReport::parse(&r.to_json().to_pretty()).unwrap();
+        assert_eq!(parsed, r);
+        let md = r.to_markdown();
+        assert!(md.contains("Pareto frontier") && md.contains("recommended"));
+
+        // sweeps are reported, never gated: stripping or perturbing the
+        // sweep family moves nothing in the comparator.
+        let mut gone = r.clone();
+        gone.sweep.clear();
+        assert!(compare(&r, &gone, 10.0).passed());
+        assert!(compare(&gone, &r, 10.0).passed());
+
+        // a recommend-free record parses with recommend = None
+        let mut bare = r.clone();
+        bare.sweep[0].recommend = None;
+        let parsed = BenchReport::parse(&bare.to_json().to_compact()).unwrap();
+        assert_eq!(parsed, bare);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use gdr_system::grid::{paper_platforms, platform_refs, ExperimentConfig};
 use gdr_system::json::Json;
 use gdr_system::report::{
-    compare, BenchReport, HostRecord, ServeRunRecord, ServeScenarioRecord, HOST_METRIC_KEYS,
-    SERVE_METRIC_KEYS,
+    compare, BenchReport, HostRecord, ServeRunRecord, ServeScenarioRecord, SweepRecommendation,
+    SweepRecord, SweepRowRecord, HOST_METRIC_KEYS, SERVE_METRIC_KEYS, SWEEP_OBJECTIVES,
 };
 
 const GOLDEN: &str = include_str!("golden/bench_schema_keys.txt");
@@ -92,6 +92,42 @@ fn test_scale_report() -> BenchReport {
             .enumerate()
             .map(|(i, &k)| (k.to_string(), (i + 1) as f64))
             .collect(),
+    }];
+    // A representative sweep record pins the `sweep` family's key paths:
+    // axes self-description, one table row per scenario (SWEEP_OBJECTIVES
+    // values), frontier labels, and the resolved recommendation.
+    let sweep_row = |scenario: &str| SweepRowRecord {
+        scenario: scenario.into(),
+        metrics: SWEEP_OBJECTIVES
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, _))| (k.to_string(), (i + 1) as f64))
+            .collect(),
+    };
+    report.sweep = vec![SweepRecord {
+        name: "default".into(),
+        axes: vec![
+            ("arrival".into(), "poisson,bursty".into()),
+            ("rate".into(), "600000,1200000".into()),
+        ],
+        requests: 384,
+        platform: "HiHGNN+GDR".into(),
+        table: vec![
+            sweep_row("poisson-r600000/immediate/round-robin/x2/s0/c0/off/none"),
+            sweep_row("bursty-r1200000/size-capped:8/least-loaded/x3/s0/c0/off/none"),
+        ],
+        frontier: vec!["poisson-r600000/immediate/round-robin/x2/s0/c0/off/none".into()],
+        recommend: Some(SweepRecommendation {
+            slo_p99_ns: 2_000_000.0,
+            budget_replica_seconds: 1.0,
+            feasible: true,
+            scenario: "poisson-r600000/immediate/round-robin/x2/s0/c0/off/none".into(),
+            metrics: SWEEP_OBJECTIVES
+                .iter()
+                .enumerate()
+                .map(|(i, &(k, _))| (k.to_string(), (i + 1) as f64))
+                .collect(),
+        }),
     }];
     report
 }
@@ -258,6 +294,30 @@ fn pre_fault_baselines_parse_and_gate_without_the_new_metrics() {
     // …and the old report round-trips through its own serialization.
     let reread = BenchReport::parse(&old.to_json().to_pretty()).unwrap();
     assert_eq!(reread.serve, old.serve);
+}
+
+#[test]
+fn pre_sweep_baselines_parse_and_gate_cleanly() {
+    // Baselines written before the `sweep` record family existed must
+    // keep parsing (missing family → empty) and keep gating cleanly in
+    // both directions: sweep records are reported, never gated, so their
+    // presence or absence cannot move the gate.
+    let current = test_scale_report();
+    let old_json = strip_key(&current.to_json(), "sweep");
+    let old = BenchReport::from_json(&old_json).expect("pre-sweep reports must parse");
+    assert!(old.sweep.is_empty(), "missing sweep family parses as empty");
+    assert!(compare(&old, &current, 10.0).passed());
+    assert!(compare(&current, &old, 10.0).passed());
+    // …and the stripped report round-trips through its own serialization.
+    let reread = BenchReport::parse(&old.to_json().to_pretty()).unwrap();
+    assert!(reread.sweep.is_empty());
+    assert_eq!(reread.serve, old.serve);
+
+    // A recommend-free sweep record (no --slo-p99) also round-trips.
+    let mut bare = current.clone();
+    bare.sweep[0].recommend = None;
+    let reread = BenchReport::parse(&bare.to_json().to_pretty()).unwrap();
+    assert_eq!(reread.sweep, bare.sweep);
 }
 
 /// Removes every object entry named `key`, recursively — simulating a

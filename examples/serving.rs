@@ -165,5 +165,52 @@ fn main() -> GdrResult<()> {
             all.metric("availability").unwrap_or(1.0) * 100.0,
         );
     }
+
+    // 6. Sweep a slice of the scenario space and let the Pareto
+    //    recommender pick a config: expand a small axis grid, run every
+    //    scenario, keep the non-dominated configs, and name the
+    //    cheapest one meeting a p99 SLO. (`gdr-bench sweep` does the
+    //    same over worker lanes, with identical results — the sweep is
+    //    a pure function of the spec.)
+    let sweep = SweepSpec {
+        requests: 192,
+        ..SweepSpec::default()
+    };
+    let rows: Vec<SweepRowRecord> = sweep
+        .expand(&cfg)?
+        .iter()
+        .map(|spec| {
+            let record = harness.run(spec, cfg.seed)?;
+            let all = record.aggregate().expect("ALL row");
+            let metrics = SWEEP_OBJECTIVES
+                .iter()
+                .filter_map(|&(key, _)| all.metric(key).map(|v| (key.to_string(), v)))
+                .collect();
+            Ok(SweepRowRecord {
+                scenario: record.scenario.clone(),
+                metrics,
+            })
+        })
+        .collect::<GdrResult<_>>()?;
+    let frontier = pareto_frontier(&rows);
+    println!(
+        "\nsweep: {} scenarios, {} on the Pareto frontier \
+         (p99 ↓, req/s ↑, replica-s ↓, DRAM ↓)",
+        rows.len(),
+        frontier.len()
+    );
+    let slo_ns = 100_000.0;
+    let pick = recommend(&rows, &frontier, slo_ns, 0.0);
+    if pick.feasible {
+        println!(
+            "cheapest config meeting p99 <= {:.0} µs: {} (p99 {:.1} µs, {:.2e} replica-seconds)",
+            slo_ns / 1e3,
+            pick.scenario,
+            pick.metric("p99_ns").unwrap_or(0.0) / 1e3,
+            pick.metric("replica_seconds").unwrap_or(0.0),
+        );
+    } else {
+        println!("no swept config meets a p99 of {:.0} µs", slo_ns / 1e3);
+    }
     Ok(())
 }

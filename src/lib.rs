@@ -248,10 +248,10 @@ pub mod prelude {
     pub use gdr_hgnn::model::{ModelConfig, ModelKind};
     pub use gdr_hgnn::workload::Workload;
     pub use gdr_serve::{
-        default_specs, default_suite, ArrivalProcess, AutoscaleSpec, BatchPolicy, Batcher,
-        ControlPlane, CostModel, CrashWindow, FaultSpec, FeatureCache, PoolConfig, ScenarioSpec,
-        SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator, Slowdown, Traffic,
-        TrafficStream,
+        default_specs, default_suite, ArrivalKind, ArrivalProcess, AutoscaleSpec, BatchPolicy,
+        Batcher, ControlPlane, CostModel, CrashWindow, FaultSpec, FaultVariant, FeatureCache,
+        PoolConfig, ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator,
+        Slowdown, SweepSpec, Traffic, TrafficStream,
     };
     pub use gdr_system::builder::{System, SystemBuilder};
     pub use gdr_system::combined::{CombinedRun, CombinedSystem};
@@ -261,7 +261,8 @@ pub mod prelude {
     };
     pub use gdr_system::json::Json;
     pub use gdr_system::report::{
-        collect_host_records, compare, BenchReport, Comparison, HostRecord, PaperReport,
-        ServeRunRecord, ServeScenarioRecord,
+        collect_host_records, compare, dominates, pareto_frontier, recommend, BenchReport,
+        Comparison, HostRecord, PaperReport, ServeRunRecord, ServeScenarioRecord,
+        SweepRecommendation, SweepRecord, SweepRowRecord, SWEEP_OBJECTIVES,
     };
 }
