@@ -25,11 +25,14 @@
 //!
 //! # sweep the serving config space and recommend a config for a 2 ms p99
 //! gdr-bench sweep --scale test --slo-p99 2000000 --out sweep.json
+//!
+//! # trace one scenario's full lifecycle; load the JSON at ui.perfetto.dev
+//! gdr-bench trace --scale test --seed 7 --faults 80000 --control --out trace.json
 //! ```
 //!
 //! Exit codes: 0 = ok, 1 = perf gate failed, 2 = usage/IO error.
 
-use gdr_bench::sweep::{run_sweep, sweep_record};
+use gdr_bench::sweep::{run_sweep_traced, sweep_record};
 use gdr_bench::{
     default_jobs, parse_arrival, parse_autoscale, parse_axis, parse_batch_policy, parse_drop,
     parse_faults, parse_scale, parse_scheduler, parse_slow, parse_threshold, ArrivalArgs,
@@ -38,14 +41,15 @@ use gdr_bench::{
 use gdr_serve::fault::{CrashWindow, FaultSpec, Slowdown};
 use gdr_serve::scheduler::AutoscaleSpec;
 use gdr_serve::suite::{
-    default_suite, scaled_ns, scaled_rate, ScenarioSpec, ServeHarness, BASE_BURST_PERIOD_NS,
-    BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS, HIGH_RATE_RPS,
+    default_suite_with_breakdown, scaled_ns, scaled_rate, scenario_label, ScenarioSpec,
+    ServeHarness, BASE_BURST_PERIOD_NS, BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS, HIGH_RATE_RPS,
 };
 use gdr_serve::sweep::SweepSpec;
 use gdr_system::grid::{
     paper_platforms, platform_names, platform_refs, select_platforms, ExperimentConfig,
 };
-use gdr_system::report::{collect_host_records, compare, BenchReport};
+use gdr_system::report::{collect_host_records_traced, compare, BenchReport};
+use gdr_system::trace_export::ChromeTrace;
 
 const USAGE: &str = "\
 gdr-bench: run the GDR-HGNN evaluation grid, emit gdr-bench/v1 JSON, gate regressions
@@ -57,6 +61,7 @@ USAGE:
   gdr-bench --compare NEW --baseline OLD [--threshold PCT]
   gdr-bench --list-platforms
   gdr-bench host [--scale S] [--seed N] [--passes N] [--out FILE] [--quiet]
+                 [--trace-out FILE]
   gdr-bench serve [--scale S] [--seed N] [--arrival poisson|bursty|closed-loop]
                   [--rate RPS] [--burst-period NS] [--burst-duty F]
                   [--clients N] [--think NS]
@@ -71,7 +76,8 @@ USAGE:
   gdr-bench sweep [--scale S] [--seed N] [--axis KEY=V1,V2,...]...
                   [--jobs N] [--requests N] [--max-scenarios N]
                   [--slo-p99 NS] [--budget S] [--platforms A]
-                  [--out FILE] [--quiet]
+                  [--out FILE] [--trace-out FILE] [--quiet]
+  gdr-bench trace --out TRACE_JSON [every serve scenario flag] [--quiet]
 
 OPTIONS (grid mode):
   --scale       grid scale: \"test\" (CI gate), \"paper\" (Table 2 sizes), or a factor  [test]
@@ -86,6 +92,8 @@ OPTIONS (grid mode):
   --compare     skip simulation; gate the given report file against --baseline
   --list-platforms  print the registered platform names and exit
   --quiet       suppress the markdown summary on stdout
+  --trace-out   (host mode) also write the wall-clock session timeline as
+                Chrome trace JSON (wall clock: not byte-reproducible)
 
 OPTIONS (serve mode — all simulated in virtual time, byte-for-byte reproducible):
   --arrival       arrival process                                                   [poisson]
@@ -125,6 +133,14 @@ OPTIONS (sweep mode — cartesian scenario sweep + Pareto recommender):
                   cheapest (min replica-seconds) frontier config meeting it  [off]
   --budget        replica-seconds ceiling for the recommendation             [unbounded]
   --platforms     the single backend every replica runs               [HiHGNN+GDR]
+  --trace-out     also write a wall-clock lane timeline (Chrome trace JSON); the
+                  record bytes stay lane-count invariant, the trace does not [off]
+
+OPTIONS (trace mode — every serve scenario flag applies, plus):
+  --out           write the Chrome-trace-event JSON here (required); load the file
+                  at ui.perfetto.dev or chrome://tracing. Stamped in virtual ns,
+                  so the bytes are a pure function of the flags: CI runs the same
+                  scenario twice and cmp's the outputs
 ";
 
 struct Args {
@@ -142,6 +158,9 @@ struct Args {
     list_platforms: bool,
     // host-mode flag
     host: bool,
+    // trace-mode flag (`trace_out` also serves host/sweep modes)
+    trace: bool,
+    trace_out: Option<String>,
     // sweep-mode flags
     sweep: bool,
     axes: Vec<String>,
@@ -189,6 +208,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         passes: 2,
         list_platforms: false,
         host: false,
+        trace: false,
+        trace_out: None,
         sweep: false,
         axes: Vec::new(),
         jobs: None,
@@ -236,6 +257,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             first = false;
             continue;
         }
+        if first && flag == "trace" {
+            args.trace = true;
+            first = false;
+            continue;
+        }
         first = false;
         let mut value = || {
             it.next()
@@ -258,6 +284,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--out" => args.out = Some(value()?.to_string()),
+            "--trace-out" => args.trace_out = Some(value()?.to_string()),
             "--baseline" => args.baseline = Some(value()?.to_string()),
             "--threshold" => args.threshold = parse_threshold(value()?)?,
             "--compare" => args.compare_file = Some(value()?.to_string()),
@@ -364,11 +391,21 @@ fn finish(args: &Args, report: &BenchReport) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Writes a Chrome-trace-event JSON file (`--out` in trace mode,
+/// `--trace-out` in host/sweep modes).
+fn write_trace(path: &str, trace: &ChromeTrace) -> Result<(), String> {
+    std::fs::write(path, trace.to_json().to_pretty())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("gdr-bench: wrote {} trace events to {path}", trace.len());
+    Ok(())
+}
+
 /// `gdr-bench host`: measure host-side restructuring throughput only —
 /// the wall-clock `host` record family (`graphs_per_sec`,
 /// `ns_per_graph` per dataset × strategy). Reported, never gated: the
 /// values are machine-dependent, so there is no baseline to compare
-/// them against; CI runs this once as a smoke check.
+/// them against; CI runs this once as a smoke check. `--trace-out`
+/// additionally captures every timed session as a wall-clock span.
 fn run_host(args: &Args) -> Result<i32, String> {
     let cfg = ExperimentConfig {
         seed: args.seed,
@@ -378,6 +415,7 @@ fn run_host(args: &Args) -> Result<i32, String> {
         "gdr-bench host: measuring frontend throughput ({} passes, seed {}, scale {})",
         args.passes, cfg.seed, cfg.scale
     );
+    let mut trace = args.trace_out.as_ref().map(|_| ChromeTrace::new());
     let report = BenchReport {
         seed: cfg.seed,
         scale: cfg.scale,
@@ -385,105 +423,126 @@ fn run_host(args: &Args) -> Result<i32, String> {
         points: Vec::new(),
         wall_clock_s: 0.0,
         serve: Vec::new(),
-        host: collect_host_records(&cfg, args.passes),
+        host: collect_host_records_traced(&cfg, args.passes, trace.as_mut()),
         sweep: Vec::new(),
+        breakdown: Vec::new(),
     };
+    if let (Some(path), Some(t)) = (&args.trace_out, &trace) {
+        write_trace(path, t)?;
+    }
     finish(args, &report)
 }
 
+/// Builds the single-scenario spec (and its backend list) shared by the
+/// `serve` and `trace` subcommands. Defaults are expressed at test
+/// scale and rescaled by the same rule the canonical suite uses, so the
+/// CLI cannot drift from it.
+fn build_scenario(
+    args: &Args,
+    cfg: &ExperimentConfig,
+) -> Result<(ScenarioSpec, Vec<String>), String> {
+    let arrival = parse_arrival(
+        &args.arrival,
+        &ArrivalArgs {
+            rate_rps: args.rate.unwrap_or_else(|| scaled_rate(cfg, HIGH_RATE_RPS)),
+            burst_period_ns: args
+                .burst_period
+                .unwrap_or_else(|| scaled_ns(cfg, BASE_BURST_PERIOD_NS)),
+            burst_duty: args.burst_duty,
+            clients: args.clients,
+            think_ns: args.think.unwrap_or_else(|| scaled_ns(cfg, BASE_THINK_NS)),
+        },
+    )?;
+    let batch = parse_batch_policy(
+        &args.batch_policy,
+        args.batch_cap,
+        args.batch_timeout
+            .unwrap_or_else(|| scaled_ns(cfg, BASE_DEADLINE_TIMEOUT_NS)),
+    )?;
+    let sched = parse_scheduler(&args.scheduler)?;
+    let backends = args
+        .platforms
+        .clone()
+        .unwrap_or_else(|| vec!["HiHGNN+GDR".to_string()]);
+    let pool: Vec<String> = (0..args.replicas)
+        .map(|i| backends[i % backends.len()].clone())
+        .collect();
+    if let Some(a) = &args.autoscale {
+        if a.max_replicas < pool.len() {
+            return Err(format!(
+                "--autoscale MAX ({}) below --replicas ({})",
+                a.max_replicas,
+                pool.len()
+            ));
+        }
+    }
+    let faults = FaultSpec {
+        crashes: args.faults.clone(),
+        slowdowns: args.slow.clone(),
+        drop_prob: args.drop,
+        deadline_ns: args.deadline,
+    };
+    let spec = ScenarioSpec {
+        shards: args.shards,
+        cache_bytes: args.cache_bytes,
+        autoscale: args.autoscale,
+        faults,
+        control: args.control,
+        ..ScenarioSpec::new(
+            scenario_label(arrival.name(), &batch.label(), sched.name()),
+            arrival,
+            args.requests,
+            batch,
+            sched,
+            pool,
+        )
+    };
+    Ok((spec, backends))
+}
+
+/// One log line describing the scenario a subcommand is about to run.
+fn announce_scenario(mode: &str, args: &Args, spec: &ScenarioSpec, seed: u64) {
+    eprintln!(
+        "gdr-bench {mode}: {} — {} requests over {} replicas{}{} (seed {seed})",
+        spec.name,
+        spec.requests,
+        args.replicas,
+        match &spec.autoscale {
+            Some(a) => format!(" (autoscaled up to {})", a.max_replicas),
+            None => String::new(),
+        },
+        match gdr_serve::fault::plan_label(&spec.faults, spec.control).as_str() {
+            "none" => String::new(),
+            plan => format!(" (faults: {plan})"),
+        },
+    );
+}
+
 /// `gdr-bench serve`: simulate one scenario (or the canonical suite) and
-/// emit a serve-only report. No wall clock enters the records, so the
-/// output is byte-for-byte identical across runs of the same flags.
+/// emit a serve-only report, with the matching latency-attribution
+/// `breakdown` records riding along. No wall clock enters the records,
+/// so the output is byte-for-byte identical across runs of the same
+/// flags — attaching the trace sink does not perturb the simulation.
 fn run_serve(args: &Args) -> Result<i32, String> {
     let cfg = ExperimentConfig {
         seed: args.seed,
         scale: args.scale,
     };
-    let records = if args.suite {
+    let (records, breakdowns) = if args.suite {
         eprintln!(
             "gdr-bench serve: running the canonical suite (seed {})",
             cfg.seed
         );
-        default_suite(&cfg).map_err(|e| e.to_string())?
+        default_suite_with_breakdown(&cfg).map_err(|e| e.to_string())?
     } else {
-        // Defaults are expressed at test scale and rescaled by the same
-        // rule the canonical suite uses, so the CLI cannot drift from it.
-        let arrival = parse_arrival(
-            &args.arrival,
-            &ArrivalArgs {
-                rate_rps: args
-                    .rate
-                    .unwrap_or_else(|| scaled_rate(&cfg, HIGH_RATE_RPS)),
-                burst_period_ns: args
-                    .burst_period
-                    .unwrap_or_else(|| scaled_ns(&cfg, BASE_BURST_PERIOD_NS)),
-                burst_duty: args.burst_duty,
-                clients: args.clients,
-                think_ns: args.think.unwrap_or_else(|| scaled_ns(&cfg, BASE_THINK_NS)),
-            },
-        )?;
-        let batch = parse_batch_policy(
-            &args.batch_policy,
-            args.batch_cap,
-            args.batch_timeout
-                .unwrap_or_else(|| scaled_ns(&cfg, BASE_DEADLINE_TIMEOUT_NS)),
-        )?;
-        let sched = parse_scheduler(&args.scheduler)?;
-        let backends = args
-            .platforms
-            .clone()
-            .unwrap_or_else(|| vec!["HiHGNN+GDR".to_string()]);
-        let pool: Vec<String> = (0..args.replicas)
-            .map(|i| backends[i % backends.len()].clone())
-            .collect();
-        if let Some(a) = &args.autoscale {
-            if a.max_replicas < pool.len() {
-                return Err(format!(
-                    "--autoscale MAX ({}) below --replicas ({})",
-                    a.max_replicas,
-                    pool.len()
-                ));
-            }
-        }
-        let faults = FaultSpec {
-            crashes: args.faults.clone(),
-            slowdowns: args.slow.clone(),
-            drop_prob: args.drop,
-            deadline_ns: args.deadline,
-        };
-        let spec = ScenarioSpec {
-            shards: args.shards,
-            cache_bytes: args.cache_bytes,
-            autoscale: args.autoscale,
-            faults,
-            control: args.control,
-            ..ScenarioSpec::new(
-                format!("{}/{}/{}", arrival.name(), batch.label(), sched.name()),
-                arrival,
-                args.requests,
-                batch,
-                sched,
-                pool,
-            )
-        };
+        let (spec, backends) = build_scenario(args, &cfg)?;
+        announce_scenario("serve", args, &spec, cfg.seed);
         let names: Vec<&str> = backends.iter().map(String::as_str).collect();
-        eprintln!(
-            "gdr-bench serve: {} — {} requests over {} replicas{}{} (seed {})",
-            spec.name,
-            spec.requests,
-            args.replicas,
-            match &spec.autoscale {
-                Some(a) => format!(" (autoscaled up to {})", a.max_replicas),
-                None => String::new(),
-            },
-            match gdr_serve::fault::plan_label(&spec.faults, spec.control).as_str() {
-                "none" => String::new(),
-                plan => format!(" (faults: {plan})"),
-            },
-            cfg.seed
-        );
         let harness = ServeHarness::new(&cfg, &names).map_err(|e| e.to_string())?;
-        vec![harness.run(&spec, args.seed).map_err(|e| e.to_string())?]
+        let traced = harness
+            .run_traced(&spec, args.seed)
+            .map_err(|e| e.to_string())?;
+        (vec![traced.record], vec![traced.breakdown])
     };
 
     let mut platforms: Vec<String> = Vec::new();
@@ -506,8 +565,51 @@ fn run_serve(args: &Args) -> Result<i32, String> {
         serve: records,
         host: Vec::new(),
         sweep: Vec::new(),
+        breakdown: breakdowns,
     };
     finish(args, &report)
+}
+
+/// `gdr-bench trace`: simulate one serving scenario with the trace sink
+/// attached and write the Chrome-trace-event JSON to `--out` (load it
+/// at ui.perfetto.dev). Shares every `serve` scenario flag; timestamps
+/// are virtual ns, so the bytes are a pure function of the flags — the
+/// CI `trace-smoke` job runs the same scenario twice and `cmp`s.
+fn run_trace(args: &Args) -> Result<i32, String> {
+    if args.suite {
+        return Err("trace renders one scenario; drop --suite and pass its flags instead".into());
+    }
+    let out = args
+        .out
+        .as_deref()
+        .ok_or("trace needs --out FILE for the Chrome trace JSON")?;
+    let cfg = ExperimentConfig {
+        seed: args.seed,
+        scale: args.scale,
+    };
+    let (spec, backends) = build_scenario(args, &cfg)?;
+    announce_scenario("trace", args, &spec, cfg.seed);
+    let names: Vec<&str> = backends.iter().map(String::as_str).collect();
+    let harness = ServeHarness::new(&cfg, &names).map_err(|e| e.to_string())?;
+    let traced = harness
+        .run_traced(&spec, args.seed)
+        .map_err(|e| e.to_string())?;
+    write_trace(out, &traced.chrome)?;
+    if !args.quiet {
+        let report = BenchReport {
+            seed: cfg.seed,
+            scale: cfg.scale,
+            platforms: backends,
+            points: Vec::new(),
+            wall_clock_s: 0.0,
+            serve: vec![traced.record],
+            host: Vec::new(),
+            sweep: Vec::new(),
+            breakdown: vec![traced.breakdown],
+        };
+        println!("{}", report.to_markdown());
+    }
+    Ok(0)
 }
 
 /// `gdr-bench sweep`: expand the (possibly `--axis`-overridden) sweep
@@ -551,7 +653,11 @@ fn run_sweep_cmd(args: &Args) -> Result<i32, String> {
         cfg.seed,
         cfg.scale
     );
-    let records = run_sweep(&cfg, &spec, jobs).map_err(|e| e.to_string())?;
+    let mut trace = args.trace_out.as_ref().map(|_| ChromeTrace::new());
+    let records = run_sweep_traced(&cfg, &spec, jobs, trace.as_mut()).map_err(|e| e.to_string())?;
+    if let (Some(path), Some(t)) = (&args.trace_out, &trace) {
+        write_trace(path, t)?;
+    }
     let record = sweep_record(
         "default",
         &spec,
@@ -566,11 +672,14 @@ fn run_sweep_cmd(args: &Args) -> Result<i32, String> {
         points: Vec::new(),
         // Sweep reports carry no wall clock and no host records:
         // byte-for-byte reproducibility across runs and lane counts is
-        // part of the contract (CI cmp's --jobs 1 against --jobs 4).
+        // part of the contract (CI cmp's --jobs 1 against --jobs 4). The
+        // optional --trace-out lane timeline is the wall-clock exception,
+        // which is why it lives in its own file, not the report.
         wall_clock_s: 0.0,
         serve: Vec::new(),
         host: Vec::new(),
         sweep: vec![record],
+        breakdown: Vec::new(),
     };
     finish(args, &report)
 }
@@ -586,6 +695,9 @@ fn run(argv: &[String]) -> Result<i32, String> {
     }
     if args.host {
         return run_host(&args);
+    }
+    if args.trace {
+        return run_trace(&args);
     }
     if args.serve {
         return run_serve(&args);
@@ -634,14 +746,16 @@ fn run(argv: &[String]) -> Result<i32, String> {
         report.points.iter().map(|p| p.runs.len()).sum::<usize>()
     );
     if !args.no_serve {
-        report.serve = default_suite(&cfg).map_err(|e| e.to_string())?;
+        let (serve, breakdown) = default_suite_with_breakdown(&cfg).map_err(|e| e.to_string())?;
+        report.serve = serve;
+        report.breakdown = breakdown;
         eprintln!(
             "gdr-bench: serving suite done ({} scenarios)",
             report.serve.len()
         );
     }
     if !args.no_host {
-        report.host = collect_host_records(&cfg, args.passes);
+        report.host = collect_host_records_traced(&cfg, args.passes, None);
         eprintln!(
             "gdr-bench: host throughput done ({} records; wall clock, not gated)",
             report.host.len()

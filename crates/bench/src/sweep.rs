@@ -13,6 +13,7 @@
 //! SLO recommendation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use gdr_hetgraph::GdrResult;
 use gdr_serve::suite::ServeHarness;
@@ -21,8 +22,14 @@ use gdr_system::grid::ExperimentConfig;
 use gdr_system::report::{
     pareto_frontier, recommend, ServeScenarioRecord, SweepRecord, SweepRowRecord, SWEEP_OBJECTIVES,
 };
+use gdr_system::trace_export::ChromeTrace;
 
 use crate::default_jobs;
+
+/// Chrome-trace process id for the sweep executor's wall-clock lane
+/// timeline (`gdr_serve::trace::TRACE_PID` is the virtual-time serving
+/// trace, [`gdr_system::report::HOST_TRACE_PID`] the host sessions).
+pub const SWEEP_TRACE_PID: u64 = 3;
 
 /// Expands `spec` at `cfg` and runs every scenario over `jobs` worker
 /// lanes (0 = [`default_jobs`]), returning the records in expansion
@@ -41,20 +48,45 @@ pub fn run_sweep(
     spec: &SweepSpec,
     jobs: usize,
 ) -> GdrResult<Vec<ServeScenarioRecord>> {
+    run_sweep_traced(cfg, spec, jobs, None)
+}
+
+/// [`run_sweep`] with an optional wall-clock lane timeline.
+///
+/// When `trace` is given, every scenario becomes one duration span on
+/// the lane that executed it (process [`SWEEP_TRACE_PID`], thread
+/// `lane + 1`), timed against a shared origin taken at entry. The
+/// spans show how work spread across lanes — and, like the host
+/// records, they are **wall clock**: the returned records stay
+/// byte-identical across runs and lane counts, the trace does not.
+pub fn run_sweep_traced(
+    cfg: &ExperimentConfig,
+    spec: &SweepSpec,
+    jobs: usize,
+    trace: Option<&mut ChromeTrace>,
+) -> GdrResult<Vec<ServeScenarioRecord>> {
     let scenarios = spec.expand(cfg)?;
     let harness = ServeHarness::new(cfg, &[spec.platform.as_str()])?;
     let lanes = if jobs == 0 { default_jobs() } else { jobs }
         .min(scenarios.len())
         .max(1);
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, GdrResult<ServeScenarioRecord>)> = std::thread::scope(|scope| {
+    let timing = trace.is_some();
+    let origin = Instant::now();
+    type LaneResult = (
+        usize,
+        usize,
+        Option<(u64, u64)>,
+        GdrResult<ServeScenarioRecord>,
+    );
+    let mut indexed: Vec<LaneResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..lanes)
-            .map(|_| {
+            .map(|lane_idx| {
                 // Each lane owns its own copy of the measured cost
                 // table; the scenario list and the work counter are
                 // shared read-only / atomically.
                 let lane = harness.clone();
-                let (next, scenarios) = (&next, &scenarios);
+                let (next, scenarios, origin) = (&next, &scenarios, &origin);
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
@@ -62,7 +94,13 @@ pub fn run_sweep(
                         let Some(spec) = scenarios.get(i) else {
                             break;
                         };
-                        out.push((i, lane.run(spec, lane.config().seed)));
+                        let started_ns = timing.then(|| origin.elapsed().as_nanos() as u64);
+                        let result = lane.run(spec, lane.config().seed);
+                        let span = started_ns.map(|start| {
+                            let end = origin.elapsed().as_nanos() as u64;
+                            (start, end.saturating_sub(start).max(1))
+                        });
+                        out.push((i, lane_idx, span, result));
                     }
                     out
                 })
@@ -76,8 +114,31 @@ pub fn run_sweep(
     // Lanes finish in wall-clock order; the report must not. Restore
     // expansion order, and fail on the *first* scenario error by index
     // so even the error is deterministic.
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    indexed.sort_by_key(|&(i, ..)| i);
+    if let Some(t) = trace {
+        t.process_name(SWEEP_TRACE_PID, "gdr-bench sweep");
+        for lane_idx in 0..lanes {
+            t.thread_name(
+                SWEEP_TRACE_PID,
+                lane_idx as u64 + 1,
+                &format!("lane {lane_idx}"),
+            );
+        }
+        for (_, lane_idx, span, result) in &indexed {
+            if let (Some((start_ns, dur_ns)), Ok(rec)) = (span, result) {
+                t.duration(
+                    SWEEP_TRACE_PID,
+                    *lane_idx as u64 + 1,
+                    *start_ns,
+                    *dur_ns,
+                    &rec.scenario,
+                    "sweep",
+                    vec![],
+                );
+            }
+        }
+    }
+    indexed.into_iter().map(|(.., r)| r).collect()
 }
 
 /// Folds sweep records into one [`SweepRecord`]: one table row per

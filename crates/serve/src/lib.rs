@@ -42,7 +42,13 @@
 //!   headline pair;
 //! * [`sweep`] — per-axis value lists ([`SweepSpec`]) expanded into a
 //!   capped, deterministically ordered cartesian scenario grid — the
-//!   enumeration behind `gdr-bench sweep` and its Pareto recommender.
+//!   enumeration behind `gdr-bench sweep` and its Pareto recommender;
+//! * [`trace`] — the zero-cost-when-disabled [`TraceSink`] lifecycle
+//!   event stream (arrival → seal → dispatch → start → complete/drop,
+//!   plus replica-scope fault and autoscale events), the per-request
+//!   latency-attribution breakdown built on it, and the fold into a
+//!   Perfetto-loadable
+//!   [`ChromeTrace`](gdr_system::trace_export::ChromeTrace).
 //!
 //! Time is **virtual**: the simulation never reads a wall clock, so a
 //! fixed seed produces byte-for-byte identical reports on any machine —
@@ -156,6 +162,42 @@
 //! The same plan with `control: false` drops the dead primary's queued
 //! batches and measurably degrades availability — that contrast is the
 //! committed `crash/failover` vs `crash/no-control` suite pair.
+//!
+//! # Tracing a serving run
+//!
+//! [`ServeHarness::run_traced`] runs a scenario with a
+//! [`RecordingSink`] attached and returns, alongside the ordinary
+//! scenario record, the full virtual-ns event log, the per-request
+//! latency-attribution [`breakdown`](crate::metrics::breakdown_record)
+//! (queue wait / batch formation / bind / service / stall), and a
+//! Chrome-trace-event export you can load at
+//! <https://ui.perfetto.dev>. Tracing never perturbs the simulation —
+//! a traced run's record is byte-identical to an untraced one:
+//!
+//! ```
+//! use gdr_serve::prelude::*;
+//!
+//! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN"])?;
+//! let spec = ScenarioSpec::new(
+//!     "traced",
+//!     ArrivalProcess::Poisson { rate_rps: 4_000.0 },
+//!     48,
+//!     BatchPolicy::SizeCapped { cap: 4 },
+//!     SchedPolicy::LeastLoaded,
+//!     vec!["HiHGNN".into(), "HiHGNN".into()],
+//! );
+//! let traced = harness.run_traced(&spec, 7)?;
+//! assert_eq!(traced.record, harness.run(&spec, 7)?);
+//! assert!(traced
+//!     .events
+//!     .iter()
+//!     .any(|e| matches!(e, TraceEvent::BatchStarted { .. })));
+//! // Write this string to a file and open it in Perfetto.
+//! let json = traced.chrome.to_json().to_pretty();
+//! assert!(json.contains("\"traceEvents\""));
+//! # Ok::<(), gdr_hetgraph::GdrError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -170,6 +212,7 @@ pub mod request;
 pub mod scheduler;
 pub mod suite;
 pub mod sweep;
+pub mod trace;
 pub mod workload;
 
 pub use batcher::{Batch, BatchPolicy, Batcher};
@@ -179,8 +222,12 @@ pub use cost::{CostModel, ServiceCost, MINI_BATCH_DIVISOR};
 pub use fault::{CrashWindow, FaultSpec, Slowdown};
 pub use request::{Cell, Request};
 pub use scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator};
-pub use suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
+pub use suite::{
+    default_specs, default_suite, default_suite_with_breakdown, scenario_label, ScenarioSpec,
+    ServeHarness, TracedRun,
+};
 pub use sweep::{ArrivalKind, FaultVariant, SweepSpec};
+pub use trace::{chrome_trace, RecordingSink, TraceEvent, TraceSink};
 pub use workload::{ArrivalProcess, Traffic, TrafficStream};
 
 /// Everything needed to define and run a serving scenario.
@@ -190,13 +237,21 @@ pub mod prelude {
     pub use crate::control::{ControlPlane, ControlStats};
     pub use crate::cost::{CostModel, ServiceCost};
     pub use crate::fault::{CrashWindow, FaultSpec, Slowdown};
+    pub use crate::metrics::{breakdown_record, request_breakdowns, RequestBreakdown};
     pub use crate::request::{Cell, Request};
     pub use crate::scheduler::{
         AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator,
     };
-    pub use crate::suite::{default_specs, default_suite, ScenarioSpec, ServeHarness};
+    pub use crate::suite::{
+        default_specs, default_suite, default_suite_with_breakdown, scenario_label, ScenarioSpec,
+        ServeHarness, TracedRun,
+    };
     pub use crate::sweep::{ArrivalKind, FaultVariant, SweepSpec};
+    pub use crate::trace::{chrome_trace, RecordingSink, TraceEvent, TraceSink};
     pub use crate::workload::{ArrivalProcess, Traffic, TrafficStream};
     pub use gdr_system::grid::ExperimentConfig;
-    pub use gdr_system::report::{ServeRunRecord, ServeScenarioRecord};
+    pub use gdr_system::report::{
+        BreakdownRecord, BreakdownStage, ServeRunRecord, ServeScenarioRecord,
+    };
+    pub use gdr_system::trace_export::ChromeTrace;
 }

@@ -12,15 +12,35 @@
 //! Every value is a pure function of the scenario configuration, so
 //! records diff byte-for-byte across runs.
 
-use gdr_system::report::{ServeRunRecord, ServeScenarioRecord, SERVE_METRIC_KEYS};
+use gdr_system::report::{
+    BreakdownRecord, BreakdownStage, ServeRunRecord, ServeScenarioRecord, BREAKDOWN_STAGE_KEYS,
+    SERVE_METRIC_KEYS,
+};
 
 use crate::batcher::BatchPolicy;
 use crate::fault::{plan_label, FaultSpec};
 use crate::scheduler::{PoolConfig, SchedPolicy, SimResult};
+use crate::trace::TraceEvent;
 use crate::workload::{Traffic, NS_PER_S};
 
-/// Nearest-rank percentile of an ascending-sorted sample, `pct` in
-/// `(0, 100]`. Empty samples yield 0.
+/// Nearest-rank percentile of an ascending-sorted sample.
+///
+/// The convention, chosen once here and used by every latency metric
+/// in the crate: the value at 1-based rank `ceil(pct / 100 × len)`,
+/// with the rank clamped into `[1, len]`. Consequences worth spelling
+/// out rather than leaving implicit:
+///
+/// * the **empty slice** yields 0 (there is no sample to report, and
+///   the record schema has no null);
+/// * a **single sample** is every percentile of itself;
+/// * **`pct <= 0`** clamps to rank 1 — the minimum — rather than
+///   panicking or interpolating below the data;
+/// * **`pct >= 100`** clamps to rank `len` — the maximum — so `p100`
+///   and anything above it equal `max_ns`.
+///
+/// Nearest-rank always returns an observed sample (no interpolation),
+/// which keeps percentiles of integer nanoseconds integers and makes
+/// records byte-stable across platforms.
 ///
 /// # Examples
 ///
@@ -29,7 +49,12 @@ use crate::workload::{Traffic, NS_PER_S};
 /// let xs = [10, 20, 30, 40];
 /// assert_eq!(percentile(&xs, 50.0), 20);
 /// assert_eq!(percentile(&xs, 99.0), 40);
-/// assert_eq!(percentile(&[], 50.0), 0);
+/// // The documented edges:
+/// assert_eq!(percentile(&[], 50.0), 0); // empty ⇒ 0
+/// assert_eq!(percentile(&[42], 1.0), 42); // single sample ⇒ itself
+/// assert_eq!(percentile(&xs, 0.0), 10); // pct <= 0 ⇒ minimum
+/// assert_eq!(percentile(&xs, 100.0), 40); // pct >= 100 ⇒ maximum
+/// assert_eq!(percentile(&xs, 250.0), 40);
 /// ```
 pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
@@ -37,6 +62,163 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
     }
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One completed request's end-to-end latency, attributed stage by
+/// stage. The five components always sum to `latency_ns` **exactly**
+/// (integer nanoseconds, no rounding): the scheduler stamps the batch
+/// seal, every stall episode, and the bind/execute split of the final
+/// service span, and completion time is by construction
+/// `start + bind + service`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestBreakdown {
+    /// Request id.
+    pub request: u64,
+    /// End-to-end latency (arrival to completion), ns.
+    pub latency_ns: u64,
+    /// Sealed and waiting for (or queued at) a replica, stall episodes
+    /// excluded, ns. Partial executions voided by a crash land here:
+    /// the time re-served after a migration was spent *waiting for the
+    /// completion that counts*.
+    pub queue_wait_ns: u64,
+    /// Arrival to batch seal, ns.
+    pub batch_form_ns: u64,
+    /// The shard-miss cold-bind penalty of the completing service
+    /// span, slowdown-stretched, ns (0 when the replica held the
+    /// shard).
+    pub bind_ns: u64,
+    /// Pure batch execution of the completing service span,
+    /// slowdown-stretched, ns.
+    pub service_ns: u64,
+    /// Parked or orphaned with no live replica (or no primary) to run
+    /// on, ns.
+    pub stall_ns: u64,
+}
+
+impl RequestBreakdown {
+    /// The sum of the five stage components — always equals
+    /// [`latency_ns`](Self::latency_ns).
+    pub fn component_sum(&self) -> u64 {
+        self.queue_wait_ns + self.batch_form_ns + self.bind_ns + self.service_ns + self.stall_ns
+    }
+}
+
+/// Folds a trace into per-request latency attributions, in completion
+/// order (the order of `result.completed`).
+///
+/// Only [`TraceEvent::BatchStarted`] carries attribution, and only the
+/// *last* start per request corresponds to the completion that counts
+/// (earlier spans were voided by a crash and re-issued), so later
+/// events overwrite earlier ones. Dropped requests never complete and
+/// are not attributed. `events` must come from the same run as
+/// `result`; requests missing from the trace (impossible for a
+/// complete trace) are skipped.
+pub fn request_breakdowns(result: &SimResult, events: &[TraceEvent]) -> Vec<RequestBreakdown> {
+    /// What the final start span recorded for one request.
+    struct Started {
+        arrival_ns: u64,
+        formed_ns: u64,
+        start_ns: u64,
+        bind_ns: u64,
+        service_ns: u64,
+        stall_ns: u64,
+    }
+    let mut starts: Vec<(u64, Started)> = Vec::with_capacity(result.completed.len());
+    for event in events {
+        let TraceEvent::BatchStarted {
+            time_ns,
+            formed_ns,
+            bind_ns,
+            service_ns,
+            stall_ns,
+            requests,
+            ..
+        } = event
+        else {
+            continue;
+        };
+        for &(id, arrival_ns) in requests {
+            let started = Started {
+                arrival_ns,
+                formed_ns: *formed_ns,
+                start_ns: *time_ns,
+                bind_ns: *bind_ns,
+                service_ns: *service_ns,
+                stall_ns: *stall_ns,
+            };
+            match starts.iter_mut().find(|(k, _)| *k == id) {
+                // A later start voids the earlier one (crash + re-issue).
+                Some((_, slot)) => *slot = started,
+                None => starts.push((id, started)),
+            }
+        }
+    }
+    result
+        .completed
+        .iter()
+        .filter_map(|c| {
+            let (_, s) = starts.iter().find(|(k, _)| *k == c.request.id)?;
+            Some(RequestBreakdown {
+                request: c.request.id,
+                latency_ns: c.latency_ns(),
+                queue_wait_ns: (s.start_ns - s.formed_ns) - s.stall_ns,
+                batch_form_ns: s.formed_ns - s.arrival_ns,
+                bind_ns: s.bind_ns,
+                service_ns: s.service_ns,
+                stall_ns: s.stall_ns,
+            })
+        })
+        .collect()
+}
+
+/// Aggregates a trace into the scenario's [`BreakdownRecord`]: one
+/// [`BreakdownStage`] per [`BREAKDOWN_STAGE_KEYS`] entry with
+/// mean/p50/p99 over the completed requests. `mean_latency_ns` is the
+/// sum of the per-stage means, so the family's headline invariant —
+/// components sum to end-to-end latency — holds exactly in the record,
+/// not just per request.
+pub fn breakdown_record(
+    scenario: &str,
+    seed: u64,
+    result: &SimResult,
+    events: &[TraceEvent],
+) -> BreakdownRecord {
+    let per_request = request_breakdowns(result, events);
+    let n = per_request.len();
+    let stages = BREAKDOWN_STAGE_KEYS
+        .iter()
+        .map(|&key| {
+            let mut samples: Vec<u64> = per_request
+                .iter()
+                .map(|b| match key {
+                    "queue_wait_ns" => b.queue_wait_ns,
+                    "batch_form_ns" => b.batch_form_ns,
+                    "bind_ns" => b.bind_ns,
+                    "service_ns" => b.service_ns,
+                    "stall_ns" => b.stall_ns,
+                    other => unreachable!("unknown breakdown stage key {other}"),
+                })
+                .collect();
+            samples.sort_unstable();
+            BreakdownStage {
+                stage: key.to_string(),
+                mean_ns: if n == 0 {
+                    0.0
+                } else {
+                    samples.iter().sum::<u64>() as f64 / n as f64
+                },
+                p50_ns: percentile(&samples, 50.0) as f64,
+                p99_ns: percentile(&samples, 99.0) as f64,
+            }
+        })
+        .collect::<Vec<_>>();
+    BreakdownRecord {
+        scenario: scenario.to_string(),
+        seed,
+        requests: n as u64,
+        mean_latency_ns: stages.iter().map(|s| s.mean_ns).sum(),
+        stages,
+    }
 }
 
 /// Builds the scenario record for one simulated scenario.
@@ -306,6 +488,30 @@ mod tests {
         assert_eq!(percentile(&xs, 99.0), 99);
         assert_eq!(percentile(&xs, 100.0), 100);
         assert_eq!(percentile(&[42], 99.0), 42);
+    }
+
+    #[test]
+    fn percentile_edges_follow_the_documented_convention() {
+        // Empty slice: 0, whatever the percentile.
+        for pct in [-5.0, 0.0, 50.0, 100.0, 400.0] {
+            assert_eq!(percentile(&[], pct), 0);
+        }
+        // Single sample: every percentile is the sample.
+        for pct in [-5.0, 0.0, 0.1, 50.0, 100.0, 400.0] {
+            assert_eq!(percentile(&[7], pct), 7);
+        }
+        // pct <= 0 clamps to the minimum, pct >= 100 to the maximum.
+        let xs = [10, 20, 30, 40];
+        assert_eq!(percentile(&xs, 0.0), 10);
+        assert_eq!(percentile(&xs, -10.0), 10);
+        assert_eq!(percentile(&xs, 100.0), 40);
+        assert_eq!(percentile(&xs, 1_000.0), 40);
+        // Just above 0 is still the minimum (rank ceil clamps to 1).
+        assert_eq!(percentile(&xs, 0.0001), 10);
+        // The result is always an observed sample — no interpolation.
+        for pct in [12.5, 37.5, 62.5, 87.5] {
+            assert!(xs.contains(&percentile(&xs, pct)));
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::control::{ControlPlane, HEARTBEAT_INTERVAL_NS, HEARTBEAT_TIMEOUT_NS, 
 use crate::cost::CostModel;
 use crate::fault::FaultSpec;
 use crate::request::Request;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::workload::TrafficStream;
 
 /// The batch-to-replica dispatch policy (see module docs).
@@ -442,7 +443,26 @@ pub struct Simulator<'c> {
     /// Closed-loop clients whose request was dropped: they think and
     /// re-issue just as if the response had arrived.
     followups: Vec<(usize, u64)>,
+    /// The attached trace sink, if any. `None` (the default) keeps the
+    /// loop on the exact pre-tracing path — every emission site is
+    /// guarded, mirroring the lazily-created `drop_rng`.
+    trace: Option<&'c mut dyn TraceSink>,
+    /// Per-batch parked/orphaned bookkeeping for the trace's `stall_ns`
+    /// component, keyed by batch id (first request id). Maintained only
+    /// while a sink is attached.
+    stalls: Vec<StallEntry>,
     result: SimResult,
+}
+
+/// Accumulated parked/orphaned time of one batch (tracing only).
+#[derive(Debug, Clone, Copy)]
+struct StallEntry {
+    /// Batch id: the id of the batch's first request.
+    key: u64,
+    /// Open stall episode's start time, if the batch is parked now.
+    since: Option<u64>,
+    /// Closed episodes' total, ns.
+    accum_ns: u64,
 }
 
 impl<'c> Simulator<'c> {
@@ -563,6 +583,8 @@ impl<'c> Simulator<'c> {
             orphans: VecDeque::new(),
             parked: VecDeque::new(),
             followups: Vec::new(),
+            trace: None,
+            stalls: Vec::new(),
             result: SimResult {
                 completed: Vec::new(),
                 batches: Vec::new(),
@@ -583,6 +605,92 @@ impl<'c> Simulator<'c> {
     /// The shard map in force (full when the pool is unsharded).
     pub fn shard_map(&self) -> &ShardMap {
         &self.shards
+    }
+
+    /// Attaches a [`TraceSink`] that will receive one
+    /// [`TraceEvent`] per lifecycle step, in virtual-time order.
+    /// Tracing never alters the simulation: a traced run's
+    /// [`SimResult`] is byte-identical to an untraced one.
+    pub fn with_trace(mut self, sink: &'c mut dyn TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Emits `event` if a sink is attached. Call sites that would
+    /// allocate to build their event guard on
+    /// [`tracing`](Self::tracing) first.
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.emit(event);
+        }
+    }
+
+    /// Whether a trace sink is attached (the zero-cost-when-disabled
+    /// guard).
+    fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Batch identity in the trace: the id of the first request, which
+    /// is unique because a request rides in exactly one batch.
+    fn batch_key(batch: &Batch) -> u64 {
+        batch.requests.first().map_or(u64::MAX, |req| req.id)
+    }
+
+    /// Opens a stall episode for `batch` at `now` (tracing only): the
+    /// batch just parked or was orphaned off a crashed replica.
+    fn stall_open(&mut self, batch: &Batch, now: u64) {
+        if !self.tracing() {
+            return;
+        }
+        let key = Self::batch_key(batch);
+        match self.stalls.iter_mut().find(|e| e.key == key) {
+            Some(entry) => entry.since = entry.since.or(Some(now)),
+            None => self.stalls.push(StallEntry {
+                key,
+                since: Some(now),
+                accum_ns: 0,
+            }),
+        }
+    }
+
+    /// Closes `batch`'s open stall episode at `now`, if any (tracing
+    /// only): the batch found a replica again.
+    fn stall_close(&mut self, batch: &Batch, now: u64) {
+        if !self.tracing() {
+            return;
+        }
+        let key = Self::batch_key(batch);
+        if let Some(entry) = self.stalls.iter_mut().find(|e| e.key == key) {
+            if let Some(since) = entry.since.take() {
+                entry.accum_ns += now - since;
+            }
+        }
+    }
+
+    /// Total closed stall time accumulated by `batch`, ns.
+    fn stall_of(&self, batch: &Batch) -> u64 {
+        let key = Self::batch_key(batch);
+        self.stalls
+            .iter()
+            .find(|e| e.key == key)
+            .map_or(0, |e| e.accum_ns)
+    }
+
+    /// Emits the seal event for a freshly formed batch and dispatches
+    /// it. Re-issued batches skip this and call `dispatch` directly —
+    /// they were sealed once already.
+    fn seal_and_dispatch(&mut self, batch: Batch, now: u64) {
+        if self.tracing() {
+            let event = TraceEvent::BatchSealed {
+                time_ns: batch.formed_ns,
+                batch: Self::batch_key(&batch),
+                cell: batch.cell.index(),
+                requests: batch.requests.iter().map(|req| req.id).collect(),
+            };
+            self.emit(event);
+        }
+        self.dispatch(batch, now);
     }
 
     /// Runs `stream` through `batcher` to completion and returns the raw
@@ -611,7 +719,7 @@ impl<'c> Simulator<'c> {
                 if batcher.pending_len() > 0 {
                     // End of stream: flush the partial batches.
                     for batch in batcher.flush_all(now) {
-                        self.dispatch(batch, now);
+                        self.seal_and_dispatch(batch, now);
                     }
                 } else if !self.orphans.is_empty() || !self.parked.is_empty() {
                     // Leftover batches with no event left to revive a
@@ -645,8 +753,14 @@ impl<'c> Simulator<'c> {
             now = ev.time;
             match ev.kind {
                 EventKind::Arrival(req) => {
+                    self.emit(TraceEvent::Arrival {
+                        time_ns: now,
+                        request: req.id,
+                        client: req.client,
+                        cell: req.cell.index(),
+                    });
                     if let Some(batch) = batcher.push(req, now) {
-                        self.dispatch(batch, now);
+                        self.seal_and_dispatch(batch, now);
                     }
                     self.schedule_flush(&batcher);
                 }
@@ -655,7 +769,7 @@ impl<'c> Simulator<'c> {
                         self.flush_at = None;
                     }
                     for batch in batcher.flush_due(now) {
-                        self.dispatch(batch, now);
+                        self.seal_and_dispatch(batch, now);
                     }
                     self.schedule_flush(&batcher);
                 }
@@ -726,6 +840,7 @@ impl<'c> Simulator<'c> {
                 }
                 EventKind::ViewChange => {
                     if self.control.is_some() {
+                        self.emit(TraceEvent::ViewChange { time_ns: now });
                         let announcements = self
                             .control
                             .as_mut()
@@ -773,6 +888,12 @@ impl<'c> Simulator<'c> {
             .in_flight
             .take()
             .expect("Done fires only while a batch is in flight");
+        self.emit(TraceEvent::BatchCompleted {
+            time_ns: now,
+            batch: Self::batch_key(&batch),
+            replica: r,
+            size: batch.len(),
+        });
         for req in &batch.requests {
             self.result.completed.push(CompletedRequest {
                 request: *req,
@@ -790,7 +911,7 @@ impl<'c> Simulator<'c> {
             self.replicas[r].queued_est_ns -= est;
             self.start(r, next, now);
         } else if self.replicas[r].draining {
-            self.deactivate(r);
+            self.deactivate(r, now);
         }
     }
 
@@ -798,6 +919,10 @@ impl<'c> Simulator<'c> {
     /// torn off it — migrated to the control plane's re-issue path when
     /// enabled, dropped otherwise — and its caches die with it.
     fn crash(&mut self, r: usize, now: u64) {
+        self.emit(TraceEvent::Crash {
+            time_ns: now,
+            replica: r,
+        });
         let replica = &mut self.replicas[r];
         replica.up = false;
         replica.generation += 1;
@@ -820,6 +945,17 @@ impl<'c> Simulator<'c> {
             };
             let had_work = !dead.is_empty();
             self.result.requeued_batches += dead.len() as u64;
+            if self.tracing() {
+                for batch in &dead {
+                    self.emit(TraceEvent::BatchMigrated {
+                        time_ns: now,
+                        batch: Self::batch_key(batch),
+                        from: r,
+                        size: batch.len(),
+                    });
+                    self.stall_open(batch, now);
+                }
+            }
             self.orphans.extend(dead);
             if was_primary {
                 // Guarantee detection even if the crash beat every
@@ -842,6 +978,10 @@ impl<'c> Simulator<'c> {
     /// Replica `r` rejoins at `now`, cold: caches were dropped at the
     /// crash, and parked work gets a fresh chance to run.
     fn recover(&mut self, r: usize, now: u64) {
+        self.emit(TraceEvent::Recover {
+            time_ns: now,
+            replica: r,
+        });
         self.replicas[r].up = true;
         let primary_still_down = self.control.as_mut().map(|cp| {
             cp.on_recover(r, now);
@@ -881,6 +1021,11 @@ impl<'c> Simulator<'c> {
     /// budget is conserved.
     fn drop_batch(&mut self, batch: Batch, now: u64, replica: Option<usize>) {
         for req in &batch.requests {
+            self.emit(TraceEvent::RequestDropped {
+                time_ns: now,
+                request: req.id,
+                replica,
+            });
             self.result.dropped.push(DroppedRequest {
                 request: *req,
                 dropped_ns: now,
@@ -964,6 +1109,12 @@ impl<'c> Simulator<'c> {
                 .as_ref()
                 .is_some_and(ControlPlane::primary_down)
         {
+            self.emit(TraceEvent::Parked {
+                time_ns: now,
+                batch: Self::batch_key(&batch),
+                size: batch.len(),
+            });
+            self.stall_open(&batch, now);
             self.parked.push_back(batch);
             return;
         }
@@ -1017,6 +1168,13 @@ impl<'c> Simulator<'c> {
         for (b, at) in prepares {
             self.push(at, EventKind::CtrlDeliver(b));
         }
+        self.stall_close(&batch, now);
+        self.emit(TraceEvent::Dispatched {
+            time_ns: now,
+            batch: Self::batch_key(&batch),
+            replica: r,
+            queued: self.replicas[r].in_flight.is_some(),
+        });
         if self.replicas[r].in_flight.is_none() {
             self.start(r, batch, now);
         } else {
@@ -1030,7 +1188,7 @@ impl<'c> Simulator<'c> {
         let cost = self.cost.cost(self.replicas[r].platform, batch.cell);
         let shard_miss = !self.shards.holds(r, Self::dataset_index(&batch));
         let replica = &mut self.replicas[r];
-        let (warm, cache_hit, service, dram_bytes);
+        let (warm, cache_hit, exec, service, dram_bytes);
         if shard_miss {
             // The replica does not hold this dataset: it cold-binds a
             // transient session (full restructuring plus one streaming
@@ -1039,7 +1197,8 @@ impl<'c> Simulator<'c> {
             // sees the transient features.
             warm = false;
             cache_hit = false;
-            service = cost.batch_ns(batch.len(), false, false) + cost.bind_ns;
+            exec = cost.batch_ns(batch.len(), false, false);
+            service = exec + cost.bind_ns;
             dram_bytes = cost.batch_dram_bytes(batch.len(), false) + cost.footprint_bytes;
             replica.last_dataset = None;
         } else {
@@ -1047,18 +1206,50 @@ impl<'c> Simulator<'c> {
             cache_hit = replica
                 .cache
                 .access(batch.cell.index(), cost.footprint_bytes);
-            service = cost.batch_ns(batch.len(), warm, cache_hit);
+            exec = cost.batch_ns(batch.len(), warm, cache_hit);
+            service = exec;
             dram_bytes = cost.batch_dram_bytes(batch.len(), cache_hit);
             replica.last_dataset = Some(batch.cell.dataset);
         }
         // A straggling replica stretches the whole service (bind
         // included). Guarded on 1.0 so healthy runs never round-trip
         // through f64.
-        let service = if self.slow[r] != 1.0 {
-            ((service as f64) * self.slow[r]).round().max(1.0) as u64
-        } else {
-            service
+        let stretch = |ns: u64| {
+            if self.slow[r] != 1.0 {
+                ((ns as f64) * self.slow[r]).round().max(1.0) as u64
+            } else {
+                ns
+            }
         };
+        let service = stretch(service);
+        if self.tracing() {
+            // The trace splits the span into a pure-execute component
+            // and the bind remainder (the shard-miss cold-bind penalty,
+            // stretched alongside). `stretch` is monotone, so the bind
+            // component is never negative and the two parts sum to
+            // `service` exactly — which is what makes the breakdown's
+            // components sum to end-to-end latency.
+            let exec_stretched = stretch(exec);
+            let event = TraceEvent::BatchStarted {
+                time_ns: now,
+                batch: Self::batch_key(&batch),
+                replica: r,
+                formed_ns: batch.formed_ns,
+                size: batch.len(),
+                warm,
+                cache_hit,
+                shard_miss,
+                bind_ns: service - exec_stretched,
+                service_ns: exec_stretched,
+                stall_ns: self.stall_of(&batch),
+                requests: batch
+                    .requests
+                    .iter()
+                    .map(|req| (req.id, req.arrival_ns))
+                    .collect(),
+            };
+            self.emit(event);
+        }
         let replica = &mut self.replicas[r];
         replica.busy_until = now + service;
         self.result.batches.push(BatchRecord {
@@ -1103,6 +1294,11 @@ impl<'c> Simulator<'c> {
                 let delay_ns = self.cost.cold_start_ns(self.replicas[r].platform).max(1);
                 self.replicas[r].pending_up = true;
                 self.pending_ups += 1;
+                self.emit(TraceEvent::ColdStart {
+                    time_ns: now,
+                    replica: r,
+                    delay_ns,
+                });
                 self.result.cold_starts.push(ColdStart {
                     replica: r,
                     delay_ns,
@@ -1114,7 +1310,7 @@ impl<'c> Simulator<'c> {
             if serving.len() > self.result.initial_replicas {
                 let r = *serving.last().expect("non-empty above minimum");
                 if self.replicas[r].idle() {
-                    self.deactivate(r);
+                    self.deactivate(r, now);
                 } else {
                     self.replicas[r].draining = true;
                 }
@@ -1125,7 +1321,11 @@ impl<'c> Simulator<'c> {
     /// Takes a drained replica out of service, cold: its schedule and
     /// feature caches are dropped, so a later re-activation pays full
     /// cold costs again.
-    fn deactivate(&mut self, r: usize) {
+    fn deactivate(&mut self, r: usize, now: u64) {
+        self.emit(TraceEvent::ReplicaDrained {
+            time_ns: now,
+            replica: r,
+        });
         let replica = &mut self.replicas[r];
         debug_assert!(replica.idle(), "only idle replicas deactivate");
         replica.active = false;

@@ -15,14 +15,24 @@
 
 use gdr_hetgraph::{GdrError, GdrResult};
 use gdr_system::grid::{platform_refs, select_platforms, ExperimentConfig};
-use gdr_system::report::ServeScenarioRecord;
+use gdr_system::report::{BreakdownRecord, ServeScenarioRecord};
+use gdr_system::trace_export::ChromeTrace;
 
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::cost::CostModel;
 use crate::fault::{CrashWindow, FaultSpec, Slowdown};
-use crate::metrics::scenario_record;
+use crate::metrics::{breakdown_record, request_breakdowns, scenario_record, RequestBreakdown};
 use crate::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, Simulator};
+use crate::trace::{chrome_trace, RecordingSink, TraceEvent};
 use crate::workload::{ArrivalProcess, Traffic};
+
+/// The shared `arrival/batch/scheduler` scenario-label prefix — the
+/// one formatting rule behind the canonical suite labels, the
+/// `gdr-bench serve` default scenario name, and the first three
+/// segments of every sweep label, so the three can never drift apart.
+pub fn scenario_label(arrival: &str, batch: &str, sched: &str) -> String {
+    format!("{arrival}/{batch}/{sched}")
+}
 
 /// One serving scenario: traffic shape, batching, scheduling, the
 /// replica pool (platform names; repeat a name for several replicas of
@@ -167,6 +177,98 @@ impl ServeHarness {
     /// size, or `down_depth >= up_depth`), or the fault plan is
     /// inconsistent with the slot count ([`FaultSpec::validate`]).
     pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> GdrResult<ServeScenarioRecord> {
+        let replicas = self.validate(spec)?;
+        let traffic = Traffic {
+            process: spec.process,
+            requests: spec.requests,
+            seed,
+        };
+        let pool = spec.pool_config();
+        let result = Simulator::with_faults(
+            &self.cost,
+            spec.sched,
+            &replicas,
+            &pool,
+            &spec.faults,
+            spec.control,
+            seed,
+        )
+        .run(traffic.stream(), Batcher::new(spec.batch));
+        Ok(scenario_record(
+            &spec.name,
+            &traffic,
+            spec.batch,
+            spec.sched,
+            &pool,
+            &spec.faults,
+            spec.control,
+            &result,
+            self.cost.platforms(),
+        ))
+    }
+
+    /// [`ServeHarness::run`] with a [`RecordingSink`] attached: one
+    /// simulation, four views of it. Tracing never perturbs the run, so
+    /// [`TracedRun::record`] is byte-identical to what [`run`] returns
+    /// for the same `(spec, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ServeHarness::run`]'s errors.
+    ///
+    /// [`run`]: ServeHarness::run
+    pub fn run_traced(&self, spec: &ScenarioSpec, seed: u64) -> GdrResult<TracedRun> {
+        let replicas = self.validate(spec)?;
+        let traffic = Traffic {
+            process: spec.process,
+            requests: spec.requests,
+            seed,
+        };
+        let pool = spec.pool_config();
+        let mut sink = RecordingSink::default();
+        let result = Simulator::with_faults(
+            &self.cost,
+            spec.sched,
+            &replicas,
+            &pool,
+            &spec.faults,
+            spec.control,
+            seed,
+        )
+        .with_trace(&mut sink)
+        .run(traffic.stream(), Batcher::new(spec.batch));
+        let record = scenario_record(
+            &spec.name,
+            &traffic,
+            spec.batch,
+            spec.sched,
+            &pool,
+            &spec.faults,
+            spec.control,
+            &result,
+            self.cost.platforms(),
+        );
+        let breakdown = breakdown_record(&spec.name, seed, &result, &sink.events);
+        let requests = request_breakdowns(&result, &sink.events);
+        let chrome = chrome_trace(
+            &spec.name,
+            &sink.events,
+            &result.replica_platforms,
+            self.cost.platforms(),
+        );
+        Ok(TracedRun {
+            record,
+            breakdown,
+            requests,
+            events: sink.events,
+            chrome,
+        })
+    }
+
+    /// Shared `run`/`run_traced` validation: checks the spec against
+    /// the harness and resolves the pool to cost-model platform
+    /// indices.
+    fn validate(&self, spec: &ScenarioSpec) -> GdrResult<Vec<usize>> {
         if spec.pool.is_empty() {
             return Err(GdrError::invalid_config(
                 "pool",
@@ -200,8 +302,7 @@ impl ServeHarness {
                 ));
             }
         }
-        let replicas: Vec<usize> = spec
-            .pool
+        spec.pool
             .iter()
             .map(|name| {
                 self.cost.platform_index(name).ok_or_else(|| {
@@ -214,35 +315,30 @@ impl ServeHarness {
                     )
                 })
             })
-            .collect::<GdrResult<_>>()?;
-        let traffic = Traffic {
-            process: spec.process,
-            requests: spec.requests,
-            seed,
-        };
-        let pool = spec.pool_config();
-        let result = Simulator::with_faults(
-            &self.cost,
-            spec.sched,
-            &replicas,
-            &pool,
-            &spec.faults,
-            spec.control,
-            seed,
-        )
-        .run(traffic.stream(), Batcher::new(spec.batch));
-        Ok(scenario_record(
-            &spec.name,
-            &traffic,
-            spec.batch,
-            spec.sched,
-            &pool,
-            &spec.faults,
-            spec.control,
-            &result,
-            self.cost.platforms(),
-        ))
+            .collect()
     }
+}
+
+/// Everything one traced scenario run produces: the ordinary scenario
+/// record, the latency-attribution breakdown, the raw lifecycle event
+/// log (virtual-ns order), and the Perfetto-loadable export. All four
+/// are views of the *same* simulation — the run is not repeated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedRun {
+    /// The `serve` record, byte-identical to an untraced run's.
+    pub record: ServeScenarioRecord,
+    /// The scenario's `breakdown` record.
+    pub breakdown: BreakdownRecord,
+    /// Per-completed-request stage attribution, in completion order.
+    /// Each entry's components sum to its end-to-end latency exactly.
+    pub requests: Vec<RequestBreakdown>,
+    /// Every lifecycle event the simulator emitted, in virtual-time
+    /// order.
+    pub events: Vec<TraceEvent>,
+    /// The Chrome-trace-event export (write
+    /// `chrome.to_json().to_pretty()` to a file and load it at
+    /// <https://ui.perfetto.dev>).
+    pub chrome: ChromeTrace,
 }
 
 /// Offered load of the high-rate scenarios **at test scale**, requests
@@ -538,6 +634,38 @@ pub fn default_specs(cfg: &ExperimentConfig) -> Vec<ScenarioSpec> {
 /// Propagates harness construction errors; the canonical specs
 /// themselves cannot fail on a measured harness.
 pub fn default_suite(cfg: &ExperimentConfig) -> GdrResult<Vec<ServeScenarioRecord>> {
+    let harness = suite_harness(cfg)?;
+    default_specs(cfg)
+        .iter()
+        .map(|s| harness.run(s, cfg.seed))
+        .collect()
+}
+
+/// [`default_suite`] traced: runs the same committed scenarios with a
+/// sink attached and returns, alongside the (byte-identical) serve
+/// records, one `breakdown` record per scenario. This is what
+/// `gdr-bench serve --suite` embeds so every gated scenario ships its
+/// latency attribution.
+///
+/// # Errors
+///
+/// Exactly [`default_suite`]'s errors.
+pub fn default_suite_with_breakdown(
+    cfg: &ExperimentConfig,
+) -> GdrResult<(Vec<ServeScenarioRecord>, Vec<BreakdownRecord>)> {
+    let harness = suite_harness(cfg)?;
+    let mut records = Vec::new();
+    let mut breakdowns = Vec::new();
+    for spec in default_specs(cfg) {
+        let traced = harness.run_traced(&spec, cfg.seed)?;
+        records.push(traced.record);
+        breakdowns.push(traced.breakdown);
+    }
+    Ok((records, breakdowns))
+}
+
+/// One harness measuring every platform the canonical suite pools.
+fn suite_harness(cfg: &ExperimentConfig) -> GdrResult<ServeHarness> {
     let specs = default_specs(cfg);
     let mut names: Vec<&str> = Vec::new();
     for spec in &specs {
@@ -547,8 +675,7 @@ pub fn default_suite(cfg: &ExperimentConfig) -> GdrResult<Vec<ServeScenarioRecor
             }
         }
     }
-    let harness = ServeHarness::new(cfg, &names)?;
-    specs.iter().map(|s| harness.run(s, cfg.seed)).collect()
+    ServeHarness::new(cfg, &names)
 }
 
 #[cfg(test)]

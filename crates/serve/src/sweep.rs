@@ -18,8 +18,8 @@ use crate::batcher::BatchPolicy;
 use crate::fault::{CrashWindow, FaultSpec};
 use crate::scheduler::{AutoscaleSpec, SchedPolicy};
 use crate::suite::{
-    scaled_bytes, scaled_ns, scaled_rate, ScenarioSpec, BASE_BURST_PERIOD_NS, BASE_CACHE_BYTES,
-    BASE_CRASH_AT_NS, BASE_THINK_NS, HIGH_RATE_RPS, SUITE_REQUESTS,
+    scaled_bytes, scaled_ns, scaled_rate, scenario_label, ScenarioSpec, BASE_BURST_PERIOD_NS,
+    BASE_CACHE_BYTES, BASE_CRASH_AT_NS, BASE_THINK_NS, HIGH_RATE_RPS, SUITE_REQUESTS,
 };
 use crate::workload::ArrivalProcess;
 
@@ -318,12 +318,15 @@ impl SweepSpec {
             ..a
         });
         let (faults, control) = fault.plan(cfg);
+        // The first three segments are the shared scenario-label
+        // format; the sweep appends its pool-shaping axes.
         let name = format!(
-            "{}-r{}/{}/{}/x{}/s{}/c{}/{}/{}",
-            arrival.name(),
-            fmt_rate(rate),
-            batch.label(),
-            sched.name(),
+            "{}/x{}/s{}/c{}/{}/{}",
+            scenario_label(
+                &format!("{}-r{}", arrival.name(), fmt_rate(rate)),
+                &batch.label(),
+                sched.name(),
+            ),
             replicas,
             shards,
             cache,

@@ -199,6 +199,7 @@ fn suite_is_byte_for_byte_deterministic() {
         serve,
         host: Vec::new(),
         sweep: Vec::new(),
+        breakdown: Vec::new(),
     };
     let (ja, jb) = (suite(), suite());
     assert_eq!(

@@ -16,7 +16,10 @@
 //!   and [`report::compare`] two reports for the CI perf gate;
 //! * [`json`] — hand-rolled JSON value/writer/parser (crates.io is
 //!   unreachable in the build environment);
-//! * [`markdown`] — report formatting.
+//! * [`markdown`] — report formatting;
+//! * [`trace_export`] — Chrome-trace-event (Perfetto-loadable) JSON
+//!   builder, fed by `gdr_serve::trace` and the host-side wall-clock
+//!   hooks.
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@ pub mod grid;
 pub mod json;
 pub mod markdown;
 pub mod report;
+pub mod trace_export;
 
 pub use builder::{System, SystemBuilder};
 pub use combined::{CombinedRun, CombinedSystem};
@@ -49,5 +53,7 @@ pub use grid::{
     select_platforms, ExperimentConfig, GridPoint,
 };
 pub use report::{
-    compare, BenchReport, Comparison, PaperReport, ServeRunRecord, ServeScenarioRecord,
+    compare, BenchReport, BreakdownRecord, BreakdownStage, Comparison, PaperReport, ServeRunRecord,
+    ServeScenarioRecord,
 };
+pub use trace_export::ChromeTrace;

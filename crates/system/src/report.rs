@@ -34,6 +34,7 @@ use crate::experiments::{
 use crate::grid::{cell_inputs, run_grid, run_platforms, ExperimentConfig};
 use crate::json::Json;
 use crate::markdown::{f2, table};
+use crate::trace_export::ChromeTrace;
 
 /// Schema identifier written into every report.
 pub const SCHEMA: &str = "gdr-bench/v1";
@@ -664,6 +665,148 @@ impl SweepRecord {
     }
 }
 
+/// The latency-attribution stage keys of the `breakdown` record
+/// family, in pipeline order. Per completed request the five
+/// components sum *exactly* to end-to-end latency:
+///
+/// * `queue_wait_ns` — sealed batch waiting for (or queued at) a
+///   replica, stall episodes excluded;
+/// * `batch_form_ns` — request arrival to batch seal;
+/// * `bind_ns` — the shard-miss cold-bind penalty, when paid;
+/// * `service_ns` — pure batch execution (slowdown-stretched);
+/// * `stall_ns` — parked/orphaned time with no live replica (or no
+///   primary) to run on.
+pub const BREAKDOWN_STAGE_KEYS: &[&str] = &[
+    "queue_wait_ns",
+    "batch_form_ns",
+    "bind_ns",
+    "service_ns",
+    "stall_ns",
+];
+
+/// One stage's aggregate within a [`BreakdownRecord`]: the stage key
+/// (one of [`BREAKDOWN_STAGE_KEYS`]) and its mean/p50/p99 over the
+/// scenario's completed requests, virtual ns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownStage {
+    /// Stage key, one of [`BREAKDOWN_STAGE_KEYS`].
+    pub stage: String,
+    /// Mean over completed requests, ns.
+    pub mean_ns: f64,
+    /// Median over completed requests, ns.
+    pub p50_ns: f64,
+    /// 99th percentile over completed requests, ns.
+    pub p99_ns: f64,
+}
+
+impl BreakdownStage {
+    /// The stage object of a breakdown record's `stages` array.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("stage", Json::from(self.stage.as_str())),
+            ("mean_ns", Json::from(self.mean_ns)),
+            ("p50_ns", Json::from(self.p50_ns)),
+            ("p99_ns", Json::from(self.p99_ns)),
+        ])
+    }
+
+    /// Parses one stage object of a breakdown record's `stages` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("breakdown stage: missing numeric field {key:?}"))
+        };
+        Ok(BreakdownStage {
+            stage: v
+                .get("stage")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or("breakdown stage: missing stage")?,
+            mean_ns: num("mean_ns")?,
+            p50_ns: num("p50_ns")?,
+            p99_ns: num("p99_ns")?,
+        })
+    }
+}
+
+/// One scenario's latency attribution: where the completed requests'
+/// nanoseconds went, stage by stage ([`BREAKDOWN_STAGE_KEYS`]). The
+/// `breakdown` record family of `gdr-bench/v1` — reported, never
+/// gated: it decomposes the already-gated `serve` latencies rather
+/// than adding an independent surface, and per-stage means sum to
+/// `mean_latency_ns` exactly (the p50/p99 of different stages need
+/// not, since each stage's tail is its own distribution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRecord {
+    /// Scenario label, matching the `serve` record it decomposes.
+    pub scenario: String,
+    /// Traffic seed of the run.
+    pub seed: u64,
+    /// Completed requests the attribution covers.
+    pub requests: u64,
+    /// Mean end-to-end latency over those requests, ns — the sum of
+    /// the per-stage means.
+    pub mean_latency_ns: f64,
+    /// One aggregate per stage, in [`BREAKDOWN_STAGE_KEYS`] order.
+    pub stages: Vec<BreakdownStage>,
+}
+
+impl BreakdownRecord {
+    /// Looks up a stage by key (`"queue_wait_ns"`, …).
+    pub fn stage(&self, key: &str) -> Option<&BreakdownStage> {
+        self.stages.iter().find(|s| s.stage == key)
+    }
+
+    /// The breakdown object of the `breakdown` array in `gdr-bench/v1`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::from(self.scenario.as_str())),
+            ("seed", Json::from(self.seed)),
+            ("requests", Json::from(self.requests)),
+            ("mean_latency_ns", Json::from(self.mean_latency_ns)),
+            (
+                "stages",
+                Json::arr(self.stages.iter().map(BreakdownStage::to_json)),
+            ),
+        ])
+    }
+
+    /// Parses one breakdown object of the `breakdown` array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("breakdown record: missing numeric field {key:?}"))
+        };
+        Ok(BreakdownRecord {
+            scenario: v
+                .get("scenario")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or("breakdown record: missing scenario")?,
+            seed: num("seed")? as u64,
+            requests: num("requests")? as u64,
+            mean_latency_ns: num("mean_latency_ns")?,
+            stages: v
+                .get("stages")
+                .and_then(Json::as_arr)
+                .ok_or("breakdown record: missing stages")?
+                .iter()
+                .map(BreakdownStage::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
 /// One platform's record for one grid cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -731,6 +874,11 @@ pub struct BenchReport {
     /// never gated; like serve records they carry no wall clock, so
     /// sweep-only reports are byte-for-byte reproducible.
     pub sweep: Vec<SweepRecord>,
+    /// Per-scenario latency-attribution records built from serving
+    /// traces ([`BreakdownRecord`]). Reported, never gated; fully
+    /// virtual-time, so traced reports stay byte-for-byte
+    /// reproducible.
+    pub breakdown: Vec<BreakdownRecord>,
 }
 
 impl BenchReport {
@@ -791,6 +939,7 @@ impl BenchReport {
             serve: Vec::new(),
             host: Vec::new(),
             sweep: Vec::new(),
+            breakdown: Vec::new(),
         })
     }
 
@@ -871,6 +1020,10 @@ impl BenchReport {
             (
                 "sweep",
                 Json::arr(self.sweep.iter().map(SweepRecord::to_json)),
+            ),
+            (
+                "breakdown",
+                Json::arr(self.breakdown.iter().map(BreakdownRecord::to_json)),
             ),
         ])
     }
@@ -987,6 +1140,17 @@ impl BenchReport {
                 .map(SweepRecord::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // `breakdown` likewise: reports written before the breakdown
+        // family exist parse with no breakdown records.
+        let breakdown = match v.get("breakdown") {
+            None => Vec::new(),
+            Some(b) => b
+                .as_arr()
+                .ok_or("breakdown is not an array")?
+                .iter()
+                .map(BreakdownRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(BenchReport {
             seed: num(config, "seed")? as u64,
             scale: num(config, "scale")?,
@@ -996,6 +1160,7 @@ impl BenchReport {
             serve,
             host,
             sweep,
+            breakdown,
         })
     }
 
@@ -1013,6 +1178,12 @@ impl BenchReport {
                 out.push('\n');
             }
             out.push_str(&self.serve_markdown());
+        }
+        if !self.breakdown.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&self.breakdown_markdown());
         }
         if !self.host.is_empty() {
             if !out.is_empty() {
@@ -1132,6 +1303,31 @@ impl BenchReport {
         )
     }
 
+    fn breakdown_markdown(&self) -> String {
+        let headers = ["scenario", "stage", "mean ms", "p50 ms", "p99 ms"];
+        let rows: Vec<Vec<String>> = self
+            .breakdown
+            .iter()
+            .flat_map(|b| {
+                b.stages.iter().map(|s| {
+                    vec![
+                        b.scenario.clone(),
+                        s.stage.clone(),
+                        f2(s.mean_ns / 1e6),
+                        f2(s.p50_ns / 1e6),
+                        f2(s.p99_ns / 1e6),
+                    ]
+                })
+            })
+            .collect();
+        format!(
+            "### Latency attribution (virtual time, not gated; seed {}, scale {})\n\n{}",
+            self.seed,
+            self.scale,
+            table(&headers, &rows)
+        )
+    }
+
     fn sweep_markdown(&self) -> String {
         let mut out = String::new();
         for s in &self.sweep {
@@ -1232,11 +1428,39 @@ impl BenchReport {
 /// are reported but never gated ([`compare`] ignores the `host`
 /// family). `passes` is clamped to at least 1.
 pub fn collect_host_records(cfg: &ExperimentConfig, passes: usize) -> Vec<HostRecord> {
+    collect_host_records_traced(cfg, passes, None)
+}
+
+/// Trace track (`pid`) carrying host-side wall-clock sections —
+/// distinct from the serving trace's virtual-time process so the two
+/// clock domains never share a lane.
+pub const HOST_TRACE_PID: u64 = 2;
+
+/// [`collect_host_records`] plus an optional [`ChromeTrace`] hook:
+/// when a trace is given, every timed section lands on it as a
+/// duration event — one thread track per strategy (`fresh`/`reused`/
+/// `parallel`), one span per dataset, timestamped as wall-clock
+/// offsets from the collection's start. Unlike serving traces these
+/// spans are **not** byte-reproducible (they measure the host), which
+/// is why they live on their own [`HOST_TRACE_PID`] process track.
+pub fn collect_host_records_traced(
+    cfg: &ExperimentConfig,
+    passes: usize,
+    mut trace: Option<&mut ChromeTrace>,
+) -> Vec<HostRecord> {
     use gdr_frontend::config::FrontendConfig;
     use gdr_frontend::pipeline::FrontendPipeline;
     use gdr_frontend::session::Session;
     use gdr_frontend::Workspace;
 
+    const STRATEGIES: [&str; 3] = ["fresh", "reused", "parallel"];
+    if let Some(t) = trace.as_deref_mut() {
+        t.process_name(HOST_TRACE_PID, "gdr-bench host");
+        for (i, strategy) in STRATEGIES.iter().enumerate() {
+            t.thread_name(HOST_TRACE_PID, i as u64 + 1, strategy);
+        }
+    }
+    let origin = Instant::now();
     let passes = passes.max(1);
     let mut out = Vec::new();
     for dataset in Dataset::ALL {
@@ -1266,26 +1490,48 @@ pub fn collect_host_records(cfg: &ExperimentConfig, passes: usize) -> Vec<HostRe
                     .collect(),
             });
         };
+        let span = |trace: &mut Option<&mut ChromeTrace>,
+                    strategy_idx: usize,
+                    started_ns: u64,
+                    elapsed: std::time::Duration| {
+            if let Some(t) = trace.as_deref_mut() {
+                t.duration(
+                    HOST_TRACE_PID,
+                    strategy_idx as u64 + 1,
+                    started_ns,
+                    (elapsed.as_nanos() as u64).max(1),
+                    &format!("session/{}", dataset.name()),
+                    "host",
+                    vec![],
+                );
+            }
+        };
 
+        let started_ns = origin.elapsed().as_nanos() as u64;
         let t0 = Instant::now();
         for _ in 0..passes {
             for g in &graphs {
                 std::hint::black_box(pipeline.process(g));
             }
         }
+        span(&mut trace, 0, started_ns, t0.elapsed());
         record("fresh", t0.elapsed().as_secs_f64());
 
         let mut ws = Workspace::new();
+        let started_ns = origin.elapsed().as_nanos() as u64;
         let t0 = Instant::now();
         for _ in 0..passes {
             std::hint::black_box(session.process_with(&mut ws));
         }
+        span(&mut trace, 1, started_ns, t0.elapsed());
         record("reused", t0.elapsed().as_secs_f64());
 
+        let started_ns = origin.elapsed().as_nanos() as u64;
         let t0 = Instant::now();
         for _ in 0..passes {
             std::hint::black_box(session.par_process());
         }
+        span(&mut trace, 2, started_ns, t0.elapsed());
         record("parallel", t0.elapsed().as_secs_f64());
     }
     out
@@ -1548,10 +1794,11 @@ impl Comparison {
 /// [`SERVE_FAULT_GATED_METRICS`], flagging any gated metric that moved
 /// in the bad direction by more than `threshold_pct` percent.
 /// Wall-clock fields and non-gated metrics are never compared — they
-/// are either machine-dependent or direction-ambiguous. The `host` and
-/// `sweep` families are likewise ignored: host records are wall clock,
-/// and a sweep's table shape is whatever the user swept, so neither
-/// has a stable baseline.
+/// are either machine-dependent or direction-ambiguous. The `host`,
+/// `sweep`, and `breakdown` families are likewise ignored: host
+/// records are wall clock, a sweep's table shape is whatever the user
+/// swept, and a breakdown only decomposes latencies the `serve` family
+/// already gates — so none has an independent stable baseline.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
     let mut cmp = Comparison {
         threshold_pct,

@@ -11,8 +11,9 @@
 use gdr_system::grid::{paper_platforms, platform_refs, ExperimentConfig};
 use gdr_system::json::Json;
 use gdr_system::report::{
-    compare, BenchReport, HostRecord, ServeRunRecord, ServeScenarioRecord, SweepRecommendation,
-    SweepRecord, SweepRowRecord, HOST_METRIC_KEYS, SERVE_METRIC_KEYS, SWEEP_OBJECTIVES,
+    compare, BenchReport, BreakdownRecord, BreakdownStage, HostRecord, ServeRunRecord,
+    ServeScenarioRecord, SweepRecommendation, SweepRecord, SweepRowRecord, BREAKDOWN_STAGE_KEYS,
+    HOST_METRIC_KEYS, SERVE_METRIC_KEYS, SWEEP_OBJECTIVES,
 };
 
 const GOLDEN: &str = include_str!("golden/bench_schema_keys.txt");
@@ -128,6 +129,27 @@ fn test_scale_report() -> BenchReport {
                 .map(|(i, &(k, _))| (k.to_string(), (i + 1) as f64))
                 .collect(),
         }),
+    }];
+    // A representative breakdown record pins the `breakdown` family's
+    // key paths: one stage entry per BREAKDOWN_STAGE_KEYS, with the
+    // headline mean equal to the sum of the stage means (the invariant
+    // `gdr_serve`'s trace tests prove across seeds).
+    let stages: Vec<BreakdownStage> = BREAKDOWN_STAGE_KEYS
+        .iter()
+        .enumerate()
+        .map(|(i, &stage)| BreakdownStage {
+            stage: stage.into(),
+            mean_ns: (i + 1) as f64 * 100.0,
+            p50_ns: (i + 1) as f64 * 90.0,
+            p99_ns: (i + 1) as f64 * 400.0,
+        })
+        .collect();
+    report.breakdown = vec![BreakdownRecord {
+        scenario: "sharded/warm-cache/shard-affinity-partial".into(),
+        seed: 42,
+        requests: 384,
+        mean_latency_ns: stages.iter().map(|s| s.mean_ns).sum(),
+        stages,
     }];
     report
 }
@@ -318,6 +340,61 @@ fn pre_sweep_baselines_parse_and_gate_cleanly() {
     bare.sweep[0].recommend = None;
     let reread = BenchReport::parse(&bare.to_json().to_pretty()).unwrap();
     assert_eq!(reread.sweep, bare.sweep);
+}
+
+#[test]
+fn pre_breakdown_baselines_parse_and_gate_cleanly() {
+    // Baselines written before the `breakdown` record family existed
+    // must keep parsing (missing family → empty) and keep gating
+    // cleanly in both directions: breakdown records only decompose
+    // latencies the `serve` family already gates, so their presence or
+    // absence cannot move the gate.
+    let current = test_scale_report();
+    let old_json = strip_key(&current.to_json(), "breakdown");
+    let old = BenchReport::from_json(&old_json).expect("pre-breakdown reports must parse");
+    assert!(
+        old.breakdown.is_empty(),
+        "missing breakdown family parses as empty"
+    );
+    assert!(compare(&old, &current, 10.0).passed());
+    assert!(compare(&current, &old, 10.0).passed());
+    // …and the stripped report round-trips through its own serialization.
+    let reread = BenchReport::parse(&old.to_json().to_pretty()).unwrap();
+    assert!(reread.breakdown.is_empty());
+    assert_eq!(reread.serve, old.serve);
+}
+
+#[test]
+fn breakdown_records_round_trip_render_and_never_gate() {
+    let current = test_scale_report();
+
+    // Round trip preserves the records and their stage order exactly.
+    let reread = BenchReport::parse(&current.to_json().to_pretty()).unwrap();
+    assert_eq!(reread.breakdown, current.breakdown);
+    let stages: Vec<&str> = reread.breakdown[0]
+        .stages
+        .iter()
+        .map(|s| s.stage.as_str())
+        .collect();
+    assert_eq!(stages, BREAKDOWN_STAGE_KEYS);
+
+    // The markdown report renders one attribution row per stage.
+    let md = current.to_markdown();
+    assert!(md.contains("Latency attribution"));
+    for key in BREAKDOWN_STAGE_KEYS {
+        assert!(md.contains(key), "stage {key} missing from the markdown");
+    }
+
+    // Wildly different breakdown values never move the gate: the family
+    // is reported, not gated.
+    let mut slow = current.clone();
+    for stage in &mut slow.breakdown[0].stages {
+        stage.mean_ns *= 100.0;
+        stage.p99_ns *= 100.0;
+    }
+    slow.breakdown[0].mean_latency_ns *= 100.0;
+    assert!(compare(&current, &slow, 0.0).passed());
+    assert!(compare(&slow, &current, 0.0).passed());
 }
 
 /// Removes every object entry named `key`, recursively — simulating a

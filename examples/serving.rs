@@ -212,5 +212,47 @@ fn main() -> GdrResult<()> {
     } else {
         println!("no swept config meets a p99 of {:.0} µs", slo_ns / 1e3);
     }
+
+    // 7. Trace a run and attribute its latency. `run_traced` replays
+    //    the crash scenario with the trace sink attached — the record
+    //    is byte-identical to the untraced run — and folds the spans
+    //    into a per-stage latency breakdown plus a Perfetto-loadable
+    //    Chrome trace. Write `traced.chrome.to_json().to_pretty()` to a
+    //    file and open it at https://ui.perfetto.dev to see one track
+    //    per replica: batch spans (with their bind/service/stall split
+    //    in `args`), the crash/recover instants, and the view change.
+    //    `gdr-bench trace --out trace.json` does exactly this from the
+    //    command line.
+    let traced = harness.run_traced(&crashed("traced crash", true), cfg.seed)?;
+    assert_eq!(
+        traced.record,
+        harness.run(&crashed("traced crash", true), cfg.seed)?
+    );
+    println!(
+        "\nlatency attribution ({} events, {} completed requests):",
+        traced.events.len(),
+        traced.requests.len()
+    );
+    for stage in &traced.breakdown.stages {
+        println!(
+            "  {:<14} mean {:>8.2} µs  p50 {:>8.2} µs  p99 {:>8.2} µs",
+            stage.stage,
+            stage.mean_ns / 1e3,
+            stage.p50_ns / 1e3,
+            stage.p99_ns / 1e3,
+        );
+    }
+    println!(
+        "  {:<14} mean {:>8.2} µs (stages sum to the end-to-end mean exactly)",
+        "end-to-end",
+        traced.breakdown.mean_latency_ns / 1e3
+    );
+    let trace_json = traced.chrome.to_json().to_pretty();
+    println!(
+        "trace: {} Chrome trace events, {} bytes of JSON — write them to a \
+         file and load it at ui.perfetto.dev",
+        traced.chrome.len(),
+        trace_json.len()
+    );
     Ok(())
 }

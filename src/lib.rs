@@ -218,6 +218,11 @@ pub use gdr_system as system;
 ///   [`PaperReport`](prelude::PaperReport) /
 ///   [`compare`](prelude::compare) (markdown + `gdr-bench/v1` JSON,
 ///   CI perf gate)
+/// * trace: [`TracedRun`](prelude::TracedRun) /
+///   [`ChromeTrace`](prelude::ChromeTrace) /
+///   [`BreakdownRecord`](prelude::BreakdownRecord) (deterministic
+///   per-request lifecycle spans, Perfetto export, latency
+///   attribution)
 /// * serve: [`ServeHarness`](prelude::ServeHarness) /
 ///   [`ScenarioSpec`](prelude::ScenarioSpec) /
 ///   [`ArrivalProcess`](prelude::ArrivalProcess) /
@@ -247,11 +252,13 @@ pub mod prelude {
     pub use gdr_hetgraph::{BipartiteGraph, GdrError, GdrResult, HeteroGraph};
     pub use gdr_hgnn::model::{ModelConfig, ModelKind};
     pub use gdr_hgnn::workload::Workload;
+    pub use gdr_serve::metrics::{breakdown_record, request_breakdowns, RequestBreakdown};
     pub use gdr_serve::{
-        default_specs, default_suite, ArrivalKind, ArrivalProcess, AutoscaleSpec, BatchPolicy,
-        Batcher, ControlPlane, CostModel, CrashWindow, FaultSpec, FaultVariant, FeatureCache,
-        PoolConfig, ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator,
-        Slowdown, SweepSpec, Traffic, TrafficStream,
+        chrome_trace, default_specs, default_suite, default_suite_with_breakdown, scenario_label,
+        ArrivalKind, ArrivalProcess, AutoscaleSpec, BatchPolicy, Batcher, ControlPlane, CostModel,
+        CrashWindow, FaultSpec, FaultVariant, FeatureCache, PoolConfig, RecordingSink,
+        ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator, Slowdown,
+        SweepSpec, TraceEvent, TraceSink, TracedRun, Traffic, TrafficStream,
     };
     pub use gdr_system::builder::{System, SystemBuilder};
     pub use gdr_system::combined::{CombinedRun, CombinedSystem};
@@ -261,8 +268,10 @@ pub mod prelude {
     };
     pub use gdr_system::json::Json;
     pub use gdr_system::report::{
-        collect_host_records, compare, dominates, pareto_frontier, recommend, BenchReport,
-        Comparison, HostRecord, PaperReport, ServeRunRecord, ServeScenarioRecord,
-        SweepRecommendation, SweepRecord, SweepRowRecord, SWEEP_OBJECTIVES,
+        collect_host_records, collect_host_records_traced, compare, dominates, pareto_frontier,
+        recommend, BenchReport, BreakdownRecord, BreakdownStage, Comparison, HostRecord,
+        PaperReport, ServeRunRecord, ServeScenarioRecord, SweepRecommendation, SweepRecord,
+        SweepRowRecord, BREAKDOWN_STAGE_KEYS, HOST_TRACE_PID, SWEEP_OBJECTIVES,
     };
+    pub use gdr_system::trace_export::ChromeTrace;
 }
