@@ -35,11 +35,11 @@
 use gdr_bench::sweep::{run_sweep_traced, sweep_record};
 use gdr_bench::{
     default_jobs, parse_arrival, parse_autoscale, parse_axis, parse_batch_policy, parse_drop,
-    parse_faults, parse_scale, parse_scheduler, parse_slow, parse_threshold, ArrivalArgs,
-    BENCH_SEED,
+    parse_faults, parse_scale, parse_scheduler, parse_slo, parse_slow, parse_threshold,
+    ArrivalArgs, BENCH_SEED,
 };
 use gdr_serve::fault::{CrashWindow, FaultSpec, Slowdown};
-use gdr_serve::scheduler::AutoscaleSpec;
+use gdr_serve::scheduler::{AutoscaleSpec, SloSpec};
 use gdr_serve::suite::{
     default_suite_with_breakdown, scaled_ns, scaled_rate, scenario_label, ScenarioSpec,
     ServeHarness, BASE_BURST_PERIOD_NS, BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS, HIGH_RATE_RPS,
@@ -70,12 +70,13 @@ USAGE:
                   [--scheduler round-robin|least-loaded|shard-affinity|shard-affinity-partial]
                   [--replicas N] [--platforms A,B] [--requests N] [--suite]
                   [--shards N] [--cache-bytes N] [--autoscale MAX:UP:DOWN]
+                  [--slo NS[:HEADROOM]]
                   [--faults CRASH_AT[:RECOVER_AFTER],..] [--slow REPLICA:FACTOR]
                   [--drop P] [--deadline NS] [--control]
                   [--out FILE] [--baseline FILE] [--threshold PCT]
   gdr-bench sweep [--scale S] [--seed N] [--axis KEY=V1,V2,...]...
                   [--jobs N] [--requests N] [--max-scenarios N]
-                  [--slo-p99 NS] [--budget S] [--platforms A]
+                  [--slo NS[:HEADROOM]] [--slo-p99 NS] [--budget S] [--platforms A]
                   [--out FILE] [--trace-out FILE] [--quiet]
   gdr-bench trace --out TRACE_JSON [every serve scenario flag] [--quiet]
 
@@ -111,7 +112,12 @@ OPTIONS (serve mode — all simulated in virtual time, byte-for-byte reproducibl
   --requests      total requests to generate                                        [384]
   --shards        dataset shards per replica (partial replicas; 0 = full)           [0]
   --cache-bytes   per-replica cross-batch feature cache capacity (0 = off)          [0]
-  --autoscale     queue-driven autoscaler: MAX:UP:DOWN (e.g. 4:32:2)                [off]
+  --autoscale     autoscaler: MAX:UP:DOWN (e.g. 4:32:2) — queue-driven, unless
+                  --slo switches the controller to predicted-p99 scaling           [off]
+  --slo           p99 latency target, virtual ns, with an optional headroom
+                  fraction in (0, 1] tightening the internal deadline
+                  (e.g. 400000:0.8); measures slo_violation_rate and, with
+                  --autoscale, drives scaling from predicted p99                   [off]
   --faults        per-replica crash schedule, virtual ns: the i-th comma-separated
                   entry crashes replica i at CRASH_AT and revives it RECOVER_AFTER
                   later (0 or omitted = never; \"-\" skips the replica)             [none]
@@ -125,10 +131,13 @@ OPTIONS (sweep mode — cartesian scenario sweep + Pareto recommender):
   --axis          replace one axis with KEY=V1,V2,... (repeatable); keys: arrival,
                   rate, batch (immediate|size-capped:CAP|deadline:CAP:TIMEOUT_NS),
                   scheduler, replicas, shards, cache-bytes,
-                  autoscale (off|MAX:UP:DOWN), faults (none|crash|crash-failover);
+                  autoscale (off|MAX:UP:DOWN), slo (off|NS[:HEADROOM]),
+                  faults (none|crash|crash-failover);
                   rates/timeouts/bytes at test scale       [default 64-scenario sweep]
   --jobs          worker lanes (results are lane-count invariant)  [available cores]
   --max-scenarios hard cap on the expanded scenario count                    [1024]
+  --slo           run every scenario under this SLO (target at test scale,
+                  like the axis values); shorthand for --axis slo=NS[:HEADROOM]  [off]
   --slo-p99       p99 SLO, virtual ns: emit a recommend block naming the
                   cheapest (min replica-seconds) frontier config meeting it  [off]
   --budget        replica-seconds ceiling for the recommendation             [unbounded]
@@ -186,6 +195,7 @@ struct Args {
     shards: usize,
     cache_bytes: u64,
     autoscale: Option<AutoscaleSpec>,
+    slo: Option<SloSpec>,
     faults: Vec<CrashWindow>,
     slow: Vec<Slowdown>,
     drop: f64,
@@ -233,6 +243,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         shards: 0,
         cache_bytes: 0,
         autoscale: None,
+        slo: None,
         faults: Vec::new(),
         slow: Vec::new(),
         drop: 0.0,
@@ -323,6 +334,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--shards" => args.shards = parse_num("--shards", value()?)? as usize,
             "--cache-bytes" => args.cache_bytes = parse_num("--cache-bytes", value()?)?,
             "--autoscale" => args.autoscale = Some(parse_autoscale(value()?)?),
+            "--slo" => args.slo = Some(parse_slo(value()?)?),
             "--faults" => args.faults = parse_faults(value()?)?,
             "--slow" => args.slow.push(parse_slow(value()?)?),
             "--drop" => args.drop = parse_drop(value()?)?,
@@ -486,6 +498,7 @@ fn build_scenario(
         shards: args.shards,
         cache_bytes: args.cache_bytes,
         autoscale: args.autoscale,
+        slo: args.slo,
         faults,
         control: args.control,
         ..ScenarioSpec::new(
@@ -641,6 +654,9 @@ fn run_sweep_cmd(args: &Args) -> Result<i32, String> {
         cap: args.max_scenarios.unwrap_or(SweepSpec::default().cap),
         ..SweepSpec::default()
     };
+    if let Some(slo) = args.slo {
+        spec.slos = vec![Some(slo)];
+    }
     for axis in &args.axes {
         parse_axis(&mut spec, axis)?;
     }

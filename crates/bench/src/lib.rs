@@ -13,7 +13,7 @@ use gdr_hgnn::model::ModelKind;
 use gdr_hgnn::workload::Workload;
 use gdr_serve::batcher::BatchPolicy;
 use gdr_serve::fault::{CrashWindow, Slowdown};
-use gdr_serve::scheduler::{AutoscaleSpec, SchedPolicy};
+use gdr_serve::scheduler::{AutoscaleSpec, SchedPolicy, SloSpec};
 use gdr_serve::sweep::{ArrivalKind, FaultVariant, SweepSpec};
 use gdr_serve::workload::ArrivalProcess;
 use gdr_system::grid::{cell_inputs, ExperimentConfig};
@@ -284,6 +284,63 @@ pub fn parse_autoscale(arg: &str) -> Result<AutoscaleSpec, String> {
     Ok(spec)
 }
 
+/// Parses a `--slo` argument of the form `NS[:HEADROOM]` — a p99
+/// latency target in virtual ns, with an optional headroom fraction in
+/// `(0, 1]` (default 1.0) that tightens the controller's internal
+/// deadline below the target. With `--autoscale`, the SLO controller
+/// supersedes the queue-depth thresholds; without it, the run measures
+/// `slo_violation_rate` against a fixed pool.
+///
+/// # Errors
+///
+/// Returns a message for a malformed field, a zero target, or a
+/// headroom outside `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use gdr_bench::parse_slo;
+/// use gdr_serve::scheduler::SloSpec;
+///
+/// assert_eq!(
+///     parse_slo("400000:0.8"),
+///     Ok(SloSpec { p99_target_ns: 400_000, headroom: 0.8 })
+/// );
+/// assert_eq!(
+///     parse_slo("400000"),
+///     Ok(SloSpec { p99_target_ns: 400_000, headroom: 1.0 })
+/// );
+/// assert!(parse_slo("0:0.8").is_err(), "zero target");
+/// assert!(parse_slo("400000:1.5").is_err(), "headroom above 1");
+/// assert!(parse_slo("400000:0.8:2").is_err(), "too many fields");
+/// ```
+pub fn parse_slo(arg: &str) -> Result<SloSpec, String> {
+    let bad = || {
+        format!(
+            "invalid --slo {arg:?}: expected NS[:HEADROOM] — a positive p99 \
+             target in virtual ns and an optional headroom fraction in (0, 1] \
+             (e.g. \"400000:0.8\")"
+        )
+    };
+    let mut fields = arg.split(':');
+    let p99_target_ns: u64 = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+    let headroom: f64 = match fields.next() {
+        Some(f) => f.parse().map_err(|_| bad())?,
+        None => 1.0,
+    };
+    if fields.next().is_some()
+        || p99_target_ns == 0
+        || !headroom.is_finite()
+        || !(headroom > 0.0 && headroom <= 1.0)
+    {
+        return Err(bad());
+    }
+    Ok(SloSpec {
+        p99_target_ns,
+        headroom,
+    })
+}
+
 /// Parses a `--faults` argument: comma-separated per-replica crash
 /// windows, where the i-th entry schedules replica i. Each entry is
 /// `CRASH_AT[:RECOVER_AFTER]` in virtual ns (`RECOVER_AFTER` 0 or
@@ -476,8 +533,9 @@ pub fn parse_batch_label(value: &str) -> Result<BatchPolicy, String> {
 /// — they would expand into duplicate scenario labels.
 ///
 /// Axis keys: `arrival`, `rate`, `batch`, `scheduler`, `replicas`,
-/// `shards`, `cache-bytes`, `autoscale` (`off` or `MAX:UP:DOWN`), and
-/// `faults` (`none`, `crash`, `crash-failover`).
+/// `shards`, `cache-bytes`, `autoscale` (`off` or `MAX:UP:DOWN`),
+/// `slo` (`off` or `NS[:HEADROOM]` at test scale), and `faults`
+/// (`none`, `crash`, `crash-failover`).
 ///
 /// # Errors
 ///
@@ -496,6 +554,7 @@ pub fn parse_batch_label(value: &str) -> Result<BatchPolicy, String> {
 /// assert_eq!(spec.arrivals, [ArrivalKind::ClosedLoop]);
 /// parse_axis(&mut spec, "batch=immediate,size-capped:8").unwrap();
 /// parse_axis(&mut spec, "autoscale=off,4:32:2").unwrap();
+/// parse_axis(&mut spec, "slo=off,400000:0.8").unwrap();
 /// parse_axis(&mut spec, "faults=none,crash-failover").unwrap();
 /// assert_eq!(spec.faults, [FaultVariant::None, FaultVariant::CrashFailover]);
 /// assert!(parse_axis(&mut spec, "vibes=high").is_err(), "unknown axis");
@@ -573,6 +632,15 @@ pub fn parse_axis(spec: &mut SweepSpec, arg: &str) -> Result<(), String> {
                 }
             })?;
         }
+        "slo" => {
+            spec.slos = values(arg, list, |v| {
+                if v == "off" {
+                    Ok(None)
+                } else {
+                    parse_slo(v).map(Some)
+                }
+            })?;
+        }
         "faults" => {
             spec.faults = values(arg, list, |v| {
                 FaultVariant::ALL
@@ -587,7 +655,7 @@ pub fn parse_axis(spec: &mut SweepSpec, arg: &str) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown --axis key {other:?}: expected arrival, rate, batch, scheduler, \
-                 replicas, shards, cache-bytes, autoscale, or faults"
+                 replicas, shards, cache-bytes, autoscale, slo, or faults"
             ));
         }
     }
@@ -762,6 +830,37 @@ mod tests {
             "8:64:0",
         ] {
             assert!(parse_autoscale(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn slo_parser_validates_target_and_headroom() {
+        assert_eq!(
+            parse_slo("250000"),
+            Ok(SloSpec {
+                p99_target_ns: 250_000,
+                headroom: 1.0
+            })
+        );
+        assert_eq!(
+            parse_slo("250000:0.5"),
+            Ok(SloSpec {
+                p99_target_ns: 250_000,
+                headroom: 0.5
+            })
+        );
+        for bad in [
+            "",
+            "soon",
+            "0",
+            "0:0.8",
+            "250000:0",
+            "250000:-0.5",
+            "250000:1.01",
+            "250000:nan",
+            "250000:0.8:2",
+        ] {
+            assert!(parse_slo(bad).is_err(), "{bad:?} must be rejected");
         }
     }
 }

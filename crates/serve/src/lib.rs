@@ -15,8 +15,11 @@
 //!   batches across a replica pool (round-robin, least-loaded,
 //!   shard-affinity, shard-affinity-partial), shaped by a
 //!   [`PoolConfig`]: **partial-replica dataset sharding** with
-//!   miss-penalty routing, and a queue-driven **autoscaler** whose
-//!   scale-ups are priced as full cold session binds;
+//!   miss-penalty routing, and an **autoscaler** — queue-driven by
+//!   default, or **SLO-driven** (scaling on predicted p99 against an
+//!   [`SloSpec`] deadline) — whose scale-ups are priced as full cold
+//!   session binds and whose scale-downs migrate the drained replica's
+//!   queued batches to the survivors;
 //! * [`cache`] — the per-replica cross-batch **feature cache**
 //!   (LRU-by-bytes over cell working sets) whose hits discount marginal
 //!   service time and DRAM traffic;
@@ -163,6 +166,60 @@
 //! batches and measurably degrades availability — that contrast is the
 //! committed `crash/failover` vs `crash/no-control` suite pair.
 //!
+//! # Serving under an SLO
+//!
+//! Attach an [`SloSpec`] to an autoscaled pool and the controller scales
+//! on *predicted* p99 instead of raw queue depth: up whenever the
+//! estimate (live queued work over the serving replicas, priced by the
+//! measured per-request cost) exceeds the headroom-tightened deadline,
+//! down — migrating the drained replica's queued batches to the
+//! survivors — once one replica fewer would still clear it with margin.
+//! The record gains an `slo_violation_rate` metric, and `replica_seconds`
+//! says what meeting the target cost:
+//!
+//! ```
+//! use gdr_serve::prelude::*;
+//!
+//! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN+GDR"])?;
+//! let record = harness.run(
+//!     &ScenarioSpec {
+//!         autoscale: Some(AutoscaleSpec {
+//!             max_replicas: 4, // the cap; thresholds are superseded
+//!             up_depth: 32,
+//!             down_depth: 4,
+//!         }),
+//!         slo: Some(SloSpec {
+//!             p99_target_ns: 100_000,
+//!             headroom: 0.8, // scale at 80% of the target
+//!         }),
+//!         ..ScenarioSpec::new(
+//!             "slo",
+//!             ArrivalProcess::Bursty {
+//!                 rate_rps: 600_000.0,
+//!                 period_ns: 1_000_000,
+//!                 duty: 0.25,
+//!             },
+//!             96,
+//!             BatchPolicy::SizeCapped { cap: 8 },
+//!             SchedPolicy::LeastLoaded,
+//!             vec!["HiHGNN+GDR".into()], // one warm replica to start
+//!         )
+//!     },
+//!     7,
+//! )?;
+//! let all = record.aggregate().unwrap();
+//! let violations = all.metric("slo_violation_rate").unwrap();
+//! assert!((0.0..=1.0).contains(&violations));
+//! assert!(all.metric("replicas_max").unwrap() <= 4.0);
+//! # Ok::<(), gdr_hetgraph::GdrError>(())
+//! ```
+//!
+//! Without `autoscale` the SLO is purely observational: the run keeps
+//! its fixed pool and just reports the violation rate — which is how the
+//! committed `slo/static-max` twin pins the cost of meeting the same
+//! target with a statically provisioned pool.
+//!
 //! # Tracing a serving run
 //!
 //! [`ServeHarness::run_traced`] runs a scenario with a
@@ -221,7 +278,9 @@ pub use control::{ControlPlane, ControlStats};
 pub use cost::{CostModel, ServiceCost, MINI_BATCH_DIVISOR};
 pub use fault::{CrashWindow, FaultSpec, Slowdown};
 pub use request::{Cell, Request};
-pub use scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator};
+pub use scheduler::{
+    AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator, SloSpec,
+};
 pub use suite::{
     default_specs, default_suite, default_suite_with_breakdown, scenario_label, ScenarioSpec,
     ServeHarness, TracedRun,
@@ -240,7 +299,7 @@ pub mod prelude {
     pub use crate::metrics::{breakdown_record, request_breakdowns, RequestBreakdown};
     pub use crate::request::{Cell, Request};
     pub use crate::scheduler::{
-        AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator,
+        AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator, SloSpec,
     };
     pub use crate::suite::{
         default_specs, default_suite, default_suite_with_breakdown, scenario_label, ScenarioSpec,

@@ -6,11 +6,13 @@
 //! hit rate, shard-miss count, autoscale shape (peak replicas and
 //! total cold-start latency), `replica_seconds` — the integral of
 //! active replicas over virtual time, the cost-of-goods denominator for
-//! comparing autoscale policies on efficiency — and the fault family
+//! comparing autoscale policies on efficiency — the fault family
 //! (`dropped`, `availability`, `p99_under_failure_ns`, `failover_ns`,
-//! `requeued_batches`), pool-wide (`"ALL"`) and per distinct platform.
-//! Every value is a pure function of the scenario configuration, so
-//! records diff byte-for-byte across runs.
+//! `requeued_batches`), and `slo_violation_rate` — the fraction of this
+//! row's completions whose end-to-end latency exceeded the pool's
+//! [`SloSpec`] p99 target (0 when no SLO is set) — pool-wide (`"ALL"`)
+//! and per distinct platform. Every value is a pure function of the
+//! scenario configuration, so records diff byte-for-byte across runs.
 
 use gdr_system::report::{
     BreakdownRecord, BreakdownStage, ServeRunRecord, ServeScenarioRecord, BREAKDOWN_STAGE_KEYS,
@@ -19,7 +21,7 @@ use gdr_system::report::{
 
 use crate::batcher::BatchPolicy;
 use crate::fault::{plan_label, FaultSpec};
-use crate::scheduler::{PoolConfig, SchedPolicy, SimResult};
+use crate::scheduler::{PoolConfig, SchedPolicy, SimResult, SloSpec};
 use crate::trace::TraceEvent;
 use crate::workload::{Traffic, NS_PER_S};
 
@@ -239,12 +241,18 @@ pub fn scenario_record(
     result: &SimResult,
     platform_names: &[String],
 ) -> ServeScenarioRecord {
-    let mut runs = vec![run_record("ALL", result, faults, None)];
+    let mut runs = vec![run_record("ALL", result, faults, pool.slo, None)];
     let mut seen: Vec<usize> = Vec::new();
     for &p in &result.replica_platforms {
         if !seen.contains(&p) {
             seen.push(p);
-            runs.push(run_record(&platform_names[p], result, faults, Some(p)));
+            runs.push(run_record(
+                &platform_names[p],
+                result,
+                faults,
+                pool.slo,
+                Some(p),
+            ));
         }
     }
     ServeScenarioRecord {
@@ -260,9 +268,19 @@ pub fn scenario_record(
             0
         },
         cache_bytes: pool.cache_bytes,
-        autoscale: pool
-            .autoscale
-            .map_or_else(|| "off".to_string(), |a| a.label()),
+        autoscale: {
+            // The controller label carries the SLO when one is set:
+            // `"off+slo:…"` for a static pool measured against a
+            // target, `"queue:…+slo:…"` when the SLO controller
+            // supersedes the queue thresholds.
+            let base = pool
+                .autoscale
+                .map_or_else(|| "off".to_string(), |a| a.label());
+            match pool.slo {
+                None => base,
+                Some(slo) => format!("{base}+{}", slo.label()),
+            }
+        },
         faults: plan_label(faults, control),
         seed: traffic.seed,
         requests: traffic.requests as u64,
@@ -276,6 +294,7 @@ fn run_record(
     label: &str,
     result: &SimResult,
     faults: &FaultSpec,
+    slo: Option<SloSpec>,
     platform: Option<usize>,
 ) -> ServeRunRecord {
     let on_platform =
@@ -432,6 +451,22 @@ fn run_record(
         }
     };
 
+    // SLO violations: the fraction of this row's completions whose
+    // end-to-end latency exceeded the pool's p99 target. Headroom is a
+    // controller steering margin, not part of the contract, so the
+    // *target* is what violations are measured against. No SLO (or no
+    // completions) reports 0 — the key is always present.
+    let slo_violation_rate = match slo {
+        Some(spec) if completed > 0 => {
+            latencies
+                .iter()
+                .filter(|&&l| l > spec.p99_target_ns)
+                .count() as f64
+                / completed as f64
+        }
+        _ => 0.0,
+    };
+
     let value = |key: &str| -> f64 {
         match key {
             "completed" => completed as f64,
@@ -459,6 +494,7 @@ fn run_record(
             // identical on every row of the scenario.
             "failover_ns" => result.failover_ns as f64,
             "requeued_batches" => result.requeued_batches as f64,
+            "slo_violation_rate" => slo_violation_rate,
             other => unreachable!("unknown serve metric key {other}"),
         }
     };

@@ -27,9 +27,17 @@
 //! The pool itself is shaped by a [`PoolConfig`]: **partial replicas**
 //! (each replica holds a dataset shard, misses priced as cold rebinds),
 //! a per-replica cross-batch **feature cache**
-//! ([`FeatureCache`]), and a queue-driven **autoscaler**
-//! ([`AutoscaleSpec`]) that adds replicas (cold-start priced as a full
-//! session bind) and drains them back to the initial pool size.
+//! ([`FeatureCache`]), and an **autoscaler** that adds replicas
+//! (cold-start priced as a full session bind) and drains them back to
+//! the initial pool size. Scale decisions come from one of two
+//! controllers: the queue-depth thresholds of [`AutoscaleSpec`], or —
+//! when the pool also carries an [`SloSpec`] — a predictive controller
+//! that estimates the near-term p99 from the live backlog and the
+//! measured service costs and scales against the SLO deadline instead
+//! of raw depth. Either way, a scale-down hands the drained replica's
+//! queued batches to the survivors (counted in
+//! [`SimResult::requeued_batches`]) so they finish warm rather than
+//! cold on a dying replica.
 //!
 //! Faults enter through [`Simulator::with_faults`]: a [`FaultSpec`]
 //! turns crashes and recoveries into heap events, stretches a
@@ -153,9 +161,16 @@ impl ShardMap {
 /// activated after a cold-start delay priced as the platform's
 /// worst-case full session bind
 /// ([`CostModel::cold_start_ns`]); when the depth falls below
-/// `down_depth`, the highest-indexed surplus replica drains (finishes
-/// its queue, then deactivates cold). The active count never leaves
-/// `[initial pool size, max_replicas]`.
+/// `down_depth`, one surplus replica scales down — an idle one
+/// deactivates immediately, otherwise the least-loaded one drains: its
+/// queued batches migrate to the survivors and it deactivates cold once
+/// its in-flight batch lands. At most one drain is in progress at a
+/// time (a draining replica still occupies its surplus slot), and the
+/// active count never leaves `[initial pool size, max_replicas]`.
+///
+/// When the pool also carries an [`SloSpec`], the depth thresholds are
+/// ignored and the predictive SLO controller drives the same scale-up /
+/// scale-down machinery; `max_replicas` stays the capacity cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AutoscaleSpec {
     /// Upper bound on concurrently active replicas.
@@ -180,10 +195,53 @@ impl AutoscaleSpec {
     }
 }
 
+/// The latency-SLO serving target: a p99 deadline the pool should meet,
+/// and the headroom the controller keeps against it.
+///
+/// On its own (no [`AutoscaleSpec`]) an `SloSpec` is purely
+/// observational: the run reports its `slo_violation_rate` — the
+/// fraction of completions whose end-to-end latency exceeded
+/// `p99_target_ns` — against a fixed pool. Combined with an
+/// `AutoscaleSpec`, it **supersedes the queue-depth thresholds**: the
+/// controller predicts the near-term p99 from the live backlog and the
+/// measured service costs (see
+/// [`Simulator`] docs) and scales up whenever the prediction exceeds
+/// [`SloSpec::deadline_ns`], scaling down only when the pool minus one
+/// replica would still clear the deadline with a 2x margin. The
+/// prediction uses only virtual-time state, so SLO-controlled runs stay
+/// byte-for-byte reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// The p99 end-to-end latency target, ns. Must be positive.
+    pub p99_target_ns: u64,
+    /// Fraction of the target the controller steers to, in `(0, 1]`:
+    /// the effective deadline is `p99_target_ns * headroom`, so
+    /// prediction error eats headroom before it eats the SLO. `1.0`
+    /// steers straight at the target.
+    pub headroom: f64,
+}
+
+impl SloSpec {
+    /// The effective deadline the controller compares predictions to:
+    /// `p99_target_ns * headroom`, never below 1 ns.
+    pub fn deadline_ns(&self) -> u64 {
+        ((self.p99_target_ns as f64) * self.headroom)
+            .round()
+            .max(1.0) as u64
+    }
+
+    /// Stable label serialized into serve records
+    /// (`"slo:2000000:h0.8"` = 2 ms p99 target at 80% headroom).
+    pub fn label(&self) -> String {
+        format!("slo:{}:h{}", self.p99_target_ns, self.headroom)
+    }
+}
+
 /// Pool shaping beyond the replica list: dataset sharding, the
-/// per-replica feature cache, and autoscaling. [`PoolConfig::default`]
-/// reproduces the classic fixed pool of full replicas with no cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// per-replica feature cache, autoscaling, and the latency SLO.
+/// [`PoolConfig::default`] reproduces the classic fixed pool of full
+/// replicas with no cache.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PoolConfig {
     /// Dataset shards per replica (`0` or `1` = full replicas).
     pub shards: usize,
@@ -191,6 +249,10 @@ pub struct PoolConfig {
     pub cache_bytes: u64,
     /// Autoscaling policy (`None` = fixed pool).
     pub autoscale: Option<AutoscaleSpec>,
+    /// Latency SLO (`None` = no target). With `autoscale` set, the SLO
+    /// controller replaces the queue-depth thresholds; without it, the
+    /// run just measures `slo_violation_rate` against a fixed pool.
+    pub slo: Option<SloSpec>,
 }
 
 /// One served request: when it finished and which replica ran it.
@@ -418,6 +480,15 @@ pub struct Simulator<'c> {
     sched: SchedPolicy,
     shards: ShardMap,
     autoscale: Option<AutoscaleSpec>,
+    /// Latency SLO driving the predictive controller, if any.
+    slo: Option<SloSpec>,
+    /// Running totals of executed batch service time, requests, and
+    /// batches — the measured means behind the SLO controller's p99
+    /// prediction. Maintained unconditionally (cheap), read only when
+    /// `slo` is set.
+    served_service_ns: u64,
+    served_requests: u64,
+    served_batches: u64,
     replicas: Vec<Replica>,
     events: BinaryHeap<Event>,
     seq: u64,
@@ -475,9 +546,10 @@ impl<'c> Simulator<'c> {
     /// # Panics
     ///
     /// Panics if `replica_platforms` is empty, names a platform index
-    /// outside the cost model, or `pool.autoscale` is inconsistent
+    /// outside the cost model, `pool.autoscale` is inconsistent
     /// (`max_replicas` below the pool size, or
-    /// `down_depth >= up_depth`).
+    /// `down_depth >= up_depth`), or `pool.slo` is inconsistent (a zero
+    /// target, or headroom outside `(0, 1]`).
     pub fn new(
         cost: &'c CostModel,
         sched: SchedPolicy,
@@ -545,6 +617,13 @@ impl<'c> Simulator<'c> {
         if let Err(msg) = faults.validate(slots) {
             panic!("inconsistent fault plan: {msg}");
         }
+        if let Some(slo) = &pool.slo {
+            assert!(slo.p99_target_ns > 0, "slo p99 target must be positive");
+            assert!(
+                slo.headroom > 0.0 && slo.headroom <= 1.0,
+                "slo headroom must be in (0, 1]"
+            );
+        }
         let mut slow = vec![1.0; slots];
         for s in &faults.slowdowns {
             slow[s.replica] = s.factor;
@@ -554,6 +633,10 @@ impl<'c> Simulator<'c> {
             sched,
             shards,
             autoscale: pool.autoscale,
+            slo: pool.slo,
+            served_service_ns: 0,
+            served_requests: 0,
+            served_batches: 0,
             replicas: (0..slots)
                 .map(|i| Replica {
                     platform: replica_platforms[i % initial],
@@ -1250,6 +1333,9 @@ impl<'c> Simulator<'c> {
             };
             self.emit(event);
         }
+        self.served_service_ns += service;
+        self.served_requests += batch.len() as u64;
+        self.served_batches += 1;
         let replica = &mut self.replicas[r];
         replica.busy_until = now + service;
         self.result.batches.push(BatchRecord {
@@ -1272,19 +1358,75 @@ impl<'c> Simulator<'c> {
         );
     }
 
-    /// The queue-driven control loop, evaluated after every event.
+    /// Deterministic near-term p99 estimate for a pool of `serving`
+    /// dispatchable replicas: the bound backlog (in-flight remainders
+    /// plus queued cold estimates) spread evenly over the pool, plus
+    /// the unbound work (batcher, parked, orphaned requests) priced at
+    /// the measured per-request mean, plus one mean batch service —
+    /// roughly what the last request in the backlog would wait. Before
+    /// the first batch executes the measured means are zero and the
+    /// estimate reduces to the bound-backlog spread. Uses only
+    /// virtual-time state, so it replays byte-identically.
+    fn predicted_p99_ns(&self, now: u64, batcher: &Batcher, serving: usize) -> u64 {
+        if serving == 0 {
+            return u64::MAX;
+        }
+        let bound: u64 = self
+            .replicas
+            .iter()
+            .filter(|r| r.up && r.active)
+            .map(|r| r.outstanding_ns(now))
+            .sum();
+        let unbound = (batcher.pending_len()
+            + self.orphans.iter().map(Batch::len).sum::<usize>()
+            + self.parked.iter().map(Batch::len).sum::<usize>()) as u64;
+        let per_request = self
+            .served_service_ns
+            .checked_div(self.served_requests)
+            .unwrap_or(0);
+        let per_batch = self
+            .served_service_ns
+            .checked_div(self.served_batches)
+            .unwrap_or(0);
+        (bound + unbound * per_request) / serving as u64 + per_batch
+    }
+
+    /// The autoscaling control loop, evaluated after every event:
+    /// either the queue-depth thresholds of [`AutoscaleSpec`] or, when
+    /// an [`SloSpec`] is present, the predicted-p99-vs-deadline
+    /// controller. Both share the scale-up and drain machinery.
     fn autoscale_step(&mut self, now: u64, batcher: &Batcher) {
         let Some(spec) = self.autoscale else {
             return;
         };
-        let depth = batcher.pending_len()
-            + self
-                .replicas
-                .iter()
-                .filter(|r| r.active)
-                .map(Replica::queued_requests)
-                .sum::<usize>();
-        if depth > spec.up_depth && self.active_count() + self.pending_ups < spec.max_replicas {
+        let (want_up, want_down) = match self.slo {
+            Some(slo) => {
+                let serving = self.available().len();
+                let deadline = slo.deadline_ns();
+                let up = self.predicted_p99_ns(now, batcher, serving) > deadline;
+                // Scale down only when one replica fewer would still
+                // clear the deadline with a 2x margin — the hysteresis
+                // that keeps the controller from flapping around it.
+                let down = !up
+                    && serving > 1
+                    && self
+                        .predicted_p99_ns(now, batcher, serving - 1)
+                        .saturating_mul(2)
+                        <= deadline;
+                (up, down)
+            }
+            None => {
+                let depth = batcher.pending_len()
+                    + self
+                        .replicas
+                        .iter()
+                        .filter(|r| r.active)
+                        .map(Replica::queued_requests)
+                        .sum::<usize>();
+                (depth > spec.up_depth, depth < spec.down_depth)
+            }
+        };
+        if want_up && self.active_count() + self.pending_ups < spec.max_replicas {
             // One activation per event keeps the loop smooth; a deep
             // queue keeps producing events, so growth stays exponential
             // in wall (virtual) time, not instantaneous.
@@ -1305,16 +1447,70 @@ impl<'c> Simulator<'c> {
                 });
                 self.push(now + delay_ns, EventKind::ScaleUp(r));
             }
-        } else if depth < spec.down_depth && self.pending_ups == 0 {
+        } else if want_down && self.pending_ups == 0 {
             let serving: Vec<usize> = self.available();
-            if serving.len() > self.result.initial_replicas {
-                let r = *serving.last().expect("non-empty above minimum");
+            let draining = self.replicas.iter().filter(|r| r.draining && r.up).count();
+            // A draining replica still occupies its surplus slot: a new
+            // drain starts only when none is in progress, survivors stay
+            // at or above the initial floor, and at least one replica
+            // keeps serving (so migrated batches never strand).
+            if draining == 0 && serving.len() > self.result.initial_replicas && serving.len() > 1 {
+                let r = self.drain_target(&serving, now);
                 if self.replicas[r].idle() {
                     self.deactivate(r, now);
                 } else {
-                    self.replicas[r].draining = true;
+                    self.drain_with_migration(r, now);
                 }
             }
+        }
+    }
+
+    /// Picks the replica to scale down: an idle one deactivates for
+    /// free, so prefer the highest-indexed idle replica (the
+    /// most-recently-added slots go first, keeping the warmed initial
+    /// pool); otherwise drain the one with the least outstanding work —
+    /// the quickest to empty.
+    fn drain_target(&self, serving: &[usize], now: u64) -> usize {
+        serving
+            .iter()
+            .rev()
+            .copied()
+            .find(|&r| self.replicas[r].idle())
+            .unwrap_or_else(|| {
+                serving
+                    .iter()
+                    .copied()
+                    .min_by_key(|&r| (self.replicas[r].outstanding_ns(now), r))
+                    .expect("serving set is non-empty")
+            })
+    }
+
+    /// Marks `r` draining and hands its queued (not yet bound) batches
+    /// to the survivors — the scale-down twin of the crash-migration
+    /// path, counted in [`SimResult::requeued_batches`] — so they
+    /// finish warm instead of cold on a dying replica. The in-flight
+    /// batch is already bound and runs to completion, after which the
+    /// replica deactivates ([`Simulator::complete`]).
+    fn drain_with_migration(&mut self, r: usize, now: u64) {
+        self.replicas[r].draining = true;
+        let moved: Vec<Batch> = self.replicas[r].queue.drain(..).collect();
+        self.replicas[r].queued_est_ns = 0;
+        self.result.requeued_batches += moved.len() as u64;
+        if self.tracing() {
+            for batch in &moved {
+                self.emit(TraceEvent::BatchMigrated {
+                    time_ns: now,
+                    batch: Self::batch_key(batch),
+                    from: r,
+                    size: batch.len(),
+                });
+            }
+        }
+        for batch in moved {
+            self.dispatch(batch, now);
+        }
+        if self.replicas[r].idle() {
+            self.deactivate(r, now);
         }
     }
 
@@ -1846,6 +2042,201 @@ mod tests {
             ..PoolConfig::default()
         };
         let _ = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0, 0], &pool);
+    }
+
+    // ---- autoscale scale-down + SLO controller ----
+
+    /// A one-request batch for direct replica-state manipulation.
+    fn test_batch(id: u64) -> Batch {
+        let cell = crate::request::Cell::from_index(0);
+        Batch {
+            cell,
+            requests: vec![Request {
+                id,
+                client: id as usize,
+                arrival_ns: 0,
+                cell,
+            }],
+            formed_ns: 0,
+        }
+    }
+
+    fn autoscaled_sim(cost: &CostModel, initial: usize, max: usize) -> Simulator<'_> {
+        let pool = PoolConfig {
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: max,
+                up_depth: 8,
+                down_depth: 4,
+            }),
+            ..PoolConfig::default()
+        };
+        Simulator::new(cost, SchedPolicy::LeastLoaded, &vec![0; initial], &pool)
+    }
+
+    #[test]
+    fn scale_down_starts_at_most_one_drain_at_a_time() {
+        // Regression: the old guard compared `available().len()` (which
+        // excludes draining replicas) against the floor, so every
+        // subsequent low-depth event marked another busy replica
+        // draining while the first drain was still in progress.
+        let cost = flat_cost(10_000, 1_000, 0);
+        let mut sim = autoscaled_sim(&cost, 1, 4);
+        for r in 0..4 {
+            sim.replicas[r].active = true;
+            sim.replicas[r].in_flight = Some((test_batch(r as u64), 1_000_000));
+            sim.replicas[r].busy_until = 1_000_000;
+        }
+        let batcher = Batcher::new(BatchPolicy::Immediate);
+        let draining = |sim: &Simulator| sim.replicas.iter().filter(|r| r.draining).count();
+        sim.autoscale_step(0, &batcher);
+        assert_eq!(draining(&sim), 1, "one busy replica starts draining");
+        // Further low-depth events while the drain is in progress must
+        // not start another one: the draining replica counts as still
+        // occupying its surplus slot.
+        sim.autoscale_step(1, &batcher);
+        sim.autoscale_step(2, &batcher);
+        assert_eq!(draining(&sim), 1, "at most one drain in flight");
+        assert!(
+            sim.available().len() >= sim.result.initial_replicas,
+            "dispatchable replicas never dip below the initial pool"
+        );
+    }
+
+    #[test]
+    fn scale_down_deactivates_an_idle_replica_before_draining_a_busy_one() {
+        // Regression: the old controller always picked `serving.last()`
+        // and marked it draining even when another replica was idle and
+        // could deactivate immediately for free.
+        let cost = flat_cost(10_000, 1_000, 0);
+        let mut sim = autoscaled_sim(&cost, 1, 4);
+        // Slot 1 scaled up and busy; slot 2 scaled up and idle. The old
+        // code would pick slot 2 (`serving.last()`) only by accident of
+        // ordering — rearrange so the busy one is last.
+        sim.replicas[1].active = true;
+        sim.replicas[2].active = true;
+        sim.replicas[2].in_flight = Some((test_batch(0), 1_000_000));
+        sim.replicas[2].busy_until = 1_000_000;
+        let batcher = Batcher::new(BatchPolicy::Immediate);
+        sim.autoscale_step(0, &batcher);
+        assert!(
+            !sim.replicas[1].active,
+            "the idle surplus replica deactivates immediately"
+        );
+        assert!(
+            sim.replicas.iter().all(|r| !r.draining),
+            "no busy replica starts draining while an idle one exists"
+        );
+        assert!(
+            sim.replicas[2].in_flight.is_some() && sim.replicas[2].active,
+            "the busy replica keeps serving"
+        );
+    }
+
+    #[test]
+    fn draining_replica_hands_queued_batches_to_survivors() {
+        let cost = flat_cost(10_000, 1_000, 0);
+        let mut sim = autoscaled_sim(&cost, 1, 2);
+        // Replica 0 busy but cheap to finish; replica 1 busy with two
+        // queued batches. Everything is busy, so the drain target is the
+        // least-loaded replica — and its queue must migrate, not die.
+        sim.replicas[0].active = true;
+        sim.replicas[0].in_flight = Some((test_batch(0), 5_000_000));
+        sim.replicas[0].busy_until = 5_000_000;
+        sim.replicas[1].active = true;
+        sim.replicas[1].in_flight = Some((test_batch(1), 1_000_000));
+        sim.replicas[1].busy_until = 1_000_000;
+        sim.replicas[1].queue.push_back(test_batch(2));
+        sim.replicas[1].queue.push_back(test_batch(3));
+        sim.replicas[1].queued_est_ns = 2 * 11_000;
+        let batcher = Batcher::new(BatchPolicy::Immediate);
+        sim.autoscale_step(0, &batcher);
+        assert!(sim.replicas[1].draining, "the least-loaded replica drains");
+        assert!(
+            sim.replicas[1].queue.is_empty(),
+            "its queued batches left with the drain"
+        );
+        assert_eq!(
+            sim.replicas[0].queue.len(),
+            2,
+            "the survivor inherited the queued batches"
+        );
+        assert_eq!(
+            sim.result.requeued_batches, 2,
+            "drain migration is counted like crash migration"
+        );
+        assert!(
+            sim.replicas[1].in_flight.is_some(),
+            "the bound in-flight batch still runs to completion"
+        );
+    }
+
+    #[test]
+    fn slo_controller_scales_through_the_burst_and_drains_back() {
+        let cost = flat_cost(100_000, 10_000, 0);
+        let pool = PoolConfig {
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 4,
+                up_depth: 8,
+                down_depth: 1,
+            }),
+            slo: Some(SloSpec {
+                p99_target_ns: 2_000_000,
+                headroom: 0.8,
+            }),
+            ..PoolConfig::default()
+        };
+        let stream = || {
+            TrafficStream::new(Traffic {
+                process: ArrivalProcess::Bursty {
+                    rate_rps: 200_000.0,
+                    period_ns: 40_000_000,
+                    duty: 0.05,
+                },
+                requests: 300,
+                seed: 21,
+            })
+        };
+        let run_once = || {
+            run_pool(
+                &cost,
+                SchedPolicy::LeastLoaded,
+                &[0],
+                &pool,
+                BatchPolicy::SizeCapped { cap: 8 },
+                stream(),
+            )
+        };
+        let r = run_once();
+        assert_eq!(r.completed.len(), 300);
+        assert!(
+            r.replicas_max > 1 && r.replicas_max <= 4,
+            "the predicted tail forces scale-up within the cap (got {})",
+            r.replicas_max
+        );
+        for s in &r.samples {
+            assert!((1..=4).contains(&s.active_replicas));
+        }
+        assert_eq!(
+            r.samples.last().unwrap().active_replicas,
+            1,
+            "the pool drains back once the burst passes"
+        );
+        // SLO-controlled runs replay byte-identically.
+        assert_eq!(r, run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom must be in (0, 1]")]
+    fn slo_rejects_out_of_range_headroom() {
+        let cost = flat_cost(1, 1, 0);
+        let pool = PoolConfig {
+            slo: Some(SloSpec {
+                p99_target_ns: 1_000,
+                headroom: 1.5,
+            }),
+            ..PoolConfig::default()
+        };
+        let _ = Simulator::new(&cost, SchedPolicy::LeastLoaded, &[0], &pool);
     }
 
     // ---- fault injection + control plane ----

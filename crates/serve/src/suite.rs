@@ -8,10 +8,13 @@
 //! stresses tails with bursty arrivals, exercises dataset-affine
 //! scheduling over a heterogeneous replica pool, contrasts warm-cache
 //! partial-replica sharding against blind cold routing, drives the
-//! queue-driven autoscaler through a burst, and serves through faults —
-//! the availability headline pair (a primary crash with the replicated
-//! control plane failing over vs. the same crash dropping the dead
-//! replica's work), a deadline-gated straggler, and in-transit loss.
+//! queue-driven autoscaler through a burst, pits the **SLO-driven
+//! controller** against a static max-size pool on the same burst (the
+//! meet-the-SLO-at-lower-`replica_seconds` headline), and serves
+//! through faults — the availability headline pair (a primary crash
+//! with the replicated control plane failing over vs. the same crash
+//! dropping the dead replica's work), a deadline-gated straggler, and
+//! in-transit loss.
 
 use gdr_hetgraph::{GdrError, GdrResult};
 use gdr_system::grid::{platform_refs, select_platforms, ExperimentConfig};
@@ -22,7 +25,7 @@ use crate::batcher::{BatchPolicy, Batcher};
 use crate::cost::CostModel;
 use crate::fault::{CrashWindow, FaultSpec, Slowdown};
 use crate::metrics::{breakdown_record, request_breakdowns, scenario_record, RequestBreakdown};
-use crate::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, Simulator};
+use crate::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, Simulator, SloSpec};
 use crate::trace::{chrome_trace, RecordingSink, TraceEvent};
 use crate::workload::{ArrivalProcess, Traffic};
 
@@ -59,6 +62,10 @@ pub struct ScenarioSpec {
     pub cache_bytes: u64,
     /// Queue-driven autoscaling (`None` = fixed pool).
     pub autoscale: Option<AutoscaleSpec>,
+    /// Latency SLO (`None` = no target). With `autoscale` set, the
+    /// predictive SLO controller supersedes the queue thresholds; on a
+    /// fixed pool it just measures `slo_violation_rate`.
+    pub slo: Option<SloSpec>,
     /// Deterministic fault plan (empty = fault-free).
     pub faults: FaultSpec,
     /// Whether the replicated control plane orders dispatches and fails
@@ -88,6 +95,7 @@ impl ScenarioSpec {
             shards: 0,
             cache_bytes: 0,
             autoscale: None,
+            slo: None,
             faults: FaultSpec::default(),
             control: false,
         }
@@ -99,6 +107,7 @@ impl ScenarioSpec {
             shards: self.shards,
             cache_bytes: self.cache_bytes,
             autoscale: self.autoscale,
+            slo: self.slo,
         }
     }
 }
@@ -174,7 +183,8 @@ impl ServeHarness {
     /// Returns [`GdrError::InvalidConfig`] when the spec's pool names a
     /// platform the harness did not measure, the pool is empty, the
     /// autoscale spec is inconsistent (`max_replicas` below the pool
-    /// size, or `down_depth >= up_depth`), or the fault plan is
+    /// size, or `down_depth >= up_depth`), the SLO is inconsistent (a
+    /// zero target, or headroom outside `(0, 1]`), or the fault plan is
     /// inconsistent with the slot count ([`FaultSpec::validate`]).
     pub fn run(&self, spec: &ScenarioSpec, seed: u64) -> GdrResult<ServeScenarioRecord> {
         let replicas = self.validate(spec)?;
@@ -302,6 +312,20 @@ impl ServeHarness {
                 ));
             }
         }
+        if let Some(slo) = &spec.slo {
+            if slo.p99_target_ns == 0 {
+                return Err(GdrError::invalid_config(
+                    "slo",
+                    "p99 target must be positive",
+                ));
+            }
+            if !(slo.headroom > 0.0 && slo.headroom <= 1.0) {
+                return Err(GdrError::invalid_config(
+                    "slo",
+                    format!("headroom {} must be in (0, 1]", slo.headroom),
+                ));
+            }
+        }
         spec.pool
             .iter()
             .map(|name| {
@@ -384,6 +408,15 @@ pub const BASE_CRASH_AT_NS: f64 = 80_000.0;
 /// straggler's tail — late completions are exactly what the deadline is
 /// meant to surface. Rescaled with [`scaled_ns`].
 pub const BASE_FAULT_DEADLINE_NS: f64 = 60_000.0;
+
+/// p99 latency target of the canonical SLO scenarios **at test scale**,
+/// ns: loose enough that a static max-size pool meets it comfortably,
+/// tight enough that a single replica cannot ride out the bursts — the
+/// regime where the SLO controller must scale up through each burst yet
+/// can drain back between them, meeting the same target as the static
+/// pool at materially lower `replica_seconds`. Rescaled with
+/// [`scaled_ns`].
+pub const BASE_SLO_TARGET_NS: f64 = 100_000.0;
 
 /// Rescales a test-scale offered load to `cfg`'s dataset scale: service
 /// times grow roughly linearly with the datasets, so rates shrink by
@@ -532,6 +565,55 @@ pub fn default_specs(cfg: &ExperimentConfig) -> Vec<ScenarioSpec> {
                 BatchPolicy::SizeCapped { cap: 8 },
                 SchedPolicy::LeastLoaded,
                 vec![gdr.clone()],
+            )
+        },
+        // The SLO headline pair: identical bursty traffic against the
+        // same p99 target. The SLO-controlled pool starts at one warm
+        // replica and scales on predicted p99, paying replica-seconds
+        // only while the bursts demand them; the static pool pins the
+        // controller's max size for the whole run. Both meet the
+        // target; the controller does it materially cheaper.
+        ScenarioSpec {
+            cache_bytes: scaled_bytes(cfg, BASE_CACHE_BYTES),
+            autoscale: Some(AutoscaleSpec {
+                max_replicas: 4,
+                up_depth: 32,
+                down_depth: 4,
+            }),
+            slo: Some(SloSpec {
+                p99_target_ns: ns(BASE_SLO_TARGET_NS),
+                headroom: 0.8,
+            }),
+            ..ScenarioSpec::new(
+                "slo/bursty/least-loaded",
+                ArrivalProcess::Bursty {
+                    rate_rps: rate(HIGH_RATE_RPS / 2.0),
+                    period_ns: ns(BASE_BURST_PERIOD_NS * 10.0),
+                    duty: 0.25,
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::LeastLoaded,
+                vec![gdr.clone()],
+            )
+        },
+        ScenarioSpec {
+            cache_bytes: scaled_bytes(cfg, BASE_CACHE_BYTES),
+            slo: Some(SloSpec {
+                p99_target_ns: ns(BASE_SLO_TARGET_NS),
+                headroom: 0.8,
+            }),
+            ..ScenarioSpec::new(
+                "slo/static-max/least-loaded",
+                ArrivalProcess::Bursty {
+                    rate_rps: rate(HIGH_RATE_RPS / 2.0),
+                    period_ns: ns(BASE_BURST_PERIOD_NS * 10.0),
+                    duty: 0.25,
+                },
+                SUITE_REQUESTS,
+                BatchPolicy::SizeCapped { cap: 8 },
+                SchedPolicy::LeastLoaded,
+                vec![gdr.clone(), gdr.clone(), gdr.clone(), gdr.clone()],
             )
         },
         // The availability headline pair: identical traffic, pool, and
@@ -728,16 +810,34 @@ mod tests {
                 up_depth: 8,
                 down_depth: 8,
             }),
-            ..base
+            ..base.clone()
         };
         let err = harness.run(&inverted, 1).unwrap_err();
         assert!(err.to_string().contains("below up_depth"));
+        let zero_target = ScenarioSpec {
+            slo: Some(SloSpec {
+                p99_target_ns: 0,
+                headroom: 0.8,
+            }),
+            ..base.clone()
+        };
+        let err = harness.run(&zero_target, 1).unwrap_err();
+        assert!(err.to_string().contains("p99 target must be positive"));
+        let bad_headroom = ScenarioSpec {
+            slo: Some(SloSpec {
+                p99_target_ns: 1_000_000,
+                headroom: 1.5,
+            }),
+            ..base
+        };
+        let err = harness.run(&bad_headroom, 1).unwrap_err();
+        assert!(err.to_string().contains("must be in (0, 1]"));
     }
 
     #[test]
     fn suite_labels_are_unique_and_stable() {
         let specs = default_specs(&tiny_cfg());
-        assert_eq!(specs.len(), 12);
+        assert_eq!(specs.len(), 14);
         let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
@@ -771,6 +871,23 @@ mod tests {
         let spec = auto.autoscale.expect("autoscaler on");
         assert!(spec.max_replicas > auto.pool.len());
         assert!(spec.down_depth < spec.up_depth);
+        // the SLO headline pair shares traffic and target; the static
+        // twin pins the controller's max size for the whole run
+        let slo = specs
+            .iter()
+            .find(|s| s.name == "slo/bursty/least-loaded")
+            .expect("slo scenario");
+        let static_max = specs
+            .iter()
+            .find(|s| s.name == "slo/static-max/least-loaded")
+            .expect("static-max scenario");
+        assert_eq!(slo.process, static_max.process);
+        assert_eq!(slo.batch, static_max.batch);
+        assert_eq!(slo.slo, static_max.slo);
+        assert!(slo.slo.is_some());
+        let cap = slo.autoscale.expect("slo scenario autoscales");
+        assert_eq!(static_max.pool.len(), cap.max_replicas);
+        assert!(static_max.autoscale.is_none());
         // the availability headline pair differs only in the control
         // plane — same traffic, pool, batching, and crash schedule
         let failover = specs

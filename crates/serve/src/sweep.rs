@@ -2,7 +2,7 @@
 //!
 //! A [`SweepSpec`] lists values per configuration axis (arrival shape,
 //! offered rate, batching, scheduling, pool size, sharding, cache,
-//! autoscaling, faults) and [`SweepSpec::expand`] takes their cartesian
+//! autoscaling, SLO targets, faults) and [`SweepSpec::expand`] takes their cartesian
 //! product into a deterministically ordered, uniquely labeled
 //! [`ScenarioSpec`] grid — the input of the sweep executor in
 //! `gdr-bench`. Axis values are expressed **at test scale**, like the
@@ -16,7 +16,7 @@ use gdr_system::grid::ExperimentConfig;
 
 use crate::batcher::BatchPolicy;
 use crate::fault::{CrashWindow, FaultSpec};
-use crate::scheduler::{AutoscaleSpec, SchedPolicy};
+use crate::scheduler::{AutoscaleSpec, SchedPolicy, SloSpec};
 use crate::suite::{
     scaled_bytes, scaled_ns, scaled_rate, scenario_label, ScenarioSpec, BASE_BURST_PERIOD_NS,
     BASE_CACHE_BYTES, BASE_CRASH_AT_NS, BASE_THINK_NS, HIGH_RATE_RPS, SUITE_REQUESTS,
@@ -180,6 +180,11 @@ pub struct SweepSpec {
     /// small autoscaler composes with a large `replicas` value instead
     /// of producing an invalid scenario.
     pub autoscales: Vec<Option<AutoscaleSpec>>,
+    /// SLO targets, `None` = no SLO (`slo` axis). Targets are expressed
+    /// at test scale and rescaled at expansion like the time constants.
+    /// Labels gain an `slo` segment only when this axis carries at
+    /// least one target, so the default grid's labels are unchanged.
+    pub slos: Vec<Option<SloSpec>>,
     /// Fault-plan variants (`faults` axis).
     pub faults: Vec<FaultVariant>,
     /// The single backend every replica runs.
@@ -201,6 +206,7 @@ impl Default for SweepSpec {
             shards: vec![0],
             cache_bytes: vec![0, BASE_CACHE_BYTES as u64],
             autoscales: vec![None],
+            slos: vec![None],
             faults: vec![FaultVariant::None],
             platform: "HiHGNN+GDR".into(),
             requests: SUITE_REQUESTS,
@@ -221,6 +227,7 @@ impl SweepSpec {
             self.shards.len(),
             self.cache_bytes.len(),
             self.autoscales.len(),
+            self.slos.len(),
             self.faults.len(),
         ]
         .iter()
@@ -248,6 +255,7 @@ impl SweepSpec {
             ("shards", self.shards.len()),
             ("cache-bytes", self.cache_bytes.len()),
             ("autoscale", self.autoscales.len()),
+            ("slo", self.slos.len()),
             ("faults", self.faults.len()),
         ] {
             if len == 0 {
@@ -282,11 +290,13 @@ impl SweepSpec {
                             for &shards in &self.shards {
                                 for &cache in &self.cache_bytes {
                                     for &autoscale in &self.autoscales {
-                                        for &fault in &self.faults {
-                                            out.push(self.scenario(
-                                                cfg, arrival, rate, batch, sched, replicas, shards,
-                                                cache, autoscale, fault,
-                                            ));
+                                        for &slo in &self.slos {
+                                            for &fault in &self.faults {
+                                                out.push(self.scenario(
+                                                    cfg, arrival, rate, batch, sched, replicas,
+                                                    shards, cache, autoscale, slo, fault,
+                                                ));
+                                            }
                                         }
                                     }
                                 }
@@ -311,6 +321,7 @@ impl SweepSpec {
         shards: usize,
         cache: u64,
         autoscale: Option<AutoscaleSpec>,
+        slo: Option<SloSpec>,
         fault: FaultVariant,
     ) -> ScenarioSpec {
         let autoscale = autoscale.map(|a| AutoscaleSpec {
@@ -318,10 +329,17 @@ impl SweepSpec {
             ..a
         });
         let (faults, control) = fault.plan(cfg);
+        // The label records the test-scale target (scale-invariant,
+        // like the rate axis); the scenario gets the rescaled one.
+        let slo_segment = if self.slos.iter().any(Option::is_some) {
+            format!("/{}", slo.map_or("slo-off".into(), |s| s.label()))
+        } else {
+            String::new()
+        };
         // The first three segments are the shared scenario-label
         // format; the sweep appends its pool-shaping axes.
         let name = format!(
-            "{}/x{}/s{}/c{}/{}/{}",
+            "{}/x{}/s{}/c{}/{}{}/{}",
             scenario_label(
                 &format!("{}-r{}", arrival.name(), fmt_rate(rate)),
                 &batch.label(),
@@ -331,6 +349,7 @@ impl SweepSpec {
             shards,
             cache,
             autoscale.map_or("off".into(), |a| a.label()),
+            slo_segment,
             fault.name(),
         );
         ScenarioSpec {
@@ -341,6 +360,10 @@ impl SweepSpec {
                 scaled_bytes(cfg, cache as f64)
             },
             autoscale,
+            slo: slo.map(|s| SloSpec {
+                p99_target_ns: scaled_ns(cfg, s.p99_target_ns as f64),
+                ..s
+            }),
             faults,
             control,
             ..ScenarioSpec::new(
@@ -394,6 +417,15 @@ impl SweepSpec {
                     self.autoscales
                         .iter()
                         .map(|a| a.map_or("off".into(), |a| a.label()))
+                        .collect(),
+                ),
+            ),
+            (
+                "slo".into(),
+                join(
+                    self.slos
+                        .iter()
+                        .map(|s| s.map_or("off".into(), |s| s.label()))
                         .collect(),
                 ),
             ),
@@ -500,6 +532,48 @@ mod tests {
     }
 
     #[test]
+    fn slo_axis_extends_labels_and_rescales_targets() {
+        let spec = SweepSpec {
+            slos: vec![
+                None,
+                Some(SloSpec {
+                    p99_target_ns: 400_000,
+                    headroom: 0.8,
+                }),
+            ],
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.scenario_count(), Some(128));
+        let scenarios = spec.expand(&tiny_cfg()).unwrap();
+        let off: Vec<&ScenarioSpec> = scenarios.iter().step_by(2).collect();
+        let on: Vec<&ScenarioSpec> = scenarios.iter().skip(1).step_by(2).collect();
+        for s in &off {
+            assert!(s.name.contains("/slo-off/"), "{}", s.name);
+            assert!(s.slo.is_none());
+        }
+        for s in &on {
+            assert!(s.name.contains("/slo:400000:h0.8/"), "{}", s.name);
+            assert!(s.slo.is_some());
+        }
+        // the target rescales with the dataset scale, the label does not
+        let big = spec
+            .expand(&ExperimentConfig {
+                seed: 7,
+                scale: 0.08,
+            })
+            .unwrap();
+        assert_eq!(scenarios[1].name, big[1].name);
+        let (small_t, big_t) = (
+            scenarios[1].slo.unwrap().p99_target_ns,
+            big[1].slo.unwrap().p99_target_ns,
+        );
+        assert!(big_t > small_t, "targets rescale like time constants");
+        // the default axis leaves labels untouched
+        let default = SweepSpec::default().expand(&tiny_cfg()).unwrap();
+        assert!(default.iter().all(|s| !s.name.contains("slo")));
+    }
+
+    #[test]
     fn fault_variants_build_the_canonical_crash_plan() {
         let cfg = tiny_cfg();
         let (none, control) = FaultVariant::None.plan(&cfg);
@@ -529,6 +603,7 @@ mod tests {
                 "shards",
                 "cache-bytes",
                 "autoscale",
+                "slo",
                 "faults"
             ]
         );

@@ -12,7 +12,10 @@
 //!   that carried it;
 //! * **batch sizes never exceed the policy cap**;
 //! * **cache hit rate ∈ [0, 1]**, and zero whenever the cache is off;
-//! * **autoscaler replica count ∈ [min, max]** at every event sample.
+//! * **autoscaler replica count ∈ [min, max]** at every event sample;
+//! * **SLO-scaled pools never dip below the initial pool**, conserve
+//!   every request across drain migrations, replay deterministically,
+//!   and report an `slo_violation_rate` in [0, 1].
 //!
 //! The percentile estimator is separately cross-checked against a naive
 //! sort-based quantile on randomized samples, including the 1-sample and
@@ -37,7 +40,7 @@ use gdr_serve::batcher::{BatchPolicy, Batcher};
 use gdr_serve::cost::{CostModel, ServiceCost};
 use gdr_serve::fault::{CrashWindow, FaultSpec, Slowdown};
 use gdr_serve::metrics::{percentile, scenario_record};
-use gdr_serve::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, SimResult, Simulator};
+use gdr_serve::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, SimResult, Simulator, SloSpec};
 use gdr_serve::workload::{ArrivalProcess, Traffic};
 use gdr_system::report::SERVE_METRIC_KEYS;
 
@@ -101,6 +104,10 @@ fn random_scenario(seed: u64) -> Scenario {
                 up_depth,
                 down_depth: rng.gen_range(0..up_depth),
             }
+        }),
+        slo: rng.gen_bool(0.3).then(|| SloSpec {
+            p99_target_ns: rng.gen_range(10_000..5_000_000u64),
+            headroom: rng.gen_range(0.3..1.0f64),
         }),
     };
     let batch = match rng.gen_range(0..3usize) {
@@ -452,7 +459,11 @@ fn fault_metrics_stay_well_formed_and_failover_tracks_view_changes() {
         );
         if !control {
             assert_eq!(r.view_changes, 0, "seed {seed}");
-            assert_eq!(r.requeued_batches, 0, "seed {seed}");
+            if s.pool.autoscale.is_none() {
+                // the autoscaler's drain path also requeues batches, so
+                // a zero count is only guaranteed with both planes off
+                assert_eq!(r.requeued_batches, 0, "seed {seed}");
+            }
         }
         let rec = scenario_record(
             "prop-fault",
@@ -536,5 +547,101 @@ fn simulation_is_replay_deterministic_across_random_scenarios() {
         assert_eq!(a.batches, b.batches, "seed {seed}");
         assert_eq!(a.samples, b.samples, "seed {seed}");
         assert_eq!(a.cold_starts, b.cold_starts, "seed {seed}");
+    }
+}
+
+/// The base scenario with the SLO controller forced on: autoscale
+/// headroom above the initial pool and a randomized p99 target, so
+/// every seed exercises predictive scaling and its drain path.
+fn random_slo_scenario(seed: u64) -> Scenario {
+    let mut s = random_scenario(seed);
+    let mut rng = SmallRng::seed_from_u64(0x510 ^ seed);
+    s.pool.autoscale = Some(AutoscaleSpec {
+        max_replicas: s.replicas.len() + rng.gen_range(1..4usize),
+        up_depth: 32,
+        down_depth: 4,
+    });
+    s.pool.slo = Some(SloSpec {
+        p99_target_ns: rng.gen_range(10_000..5_000_000u64),
+        headroom: rng.gen_range(0.3..1.0f64),
+    });
+    s
+}
+
+#[test]
+fn slo_scaling_never_dips_below_the_initial_pool() {
+    for seed in 0..SEEDS {
+        let s = random_slo_scenario(seed);
+        let min = s.replicas.len();
+        let max = s.pool.autoscale.expect("forced on").max_replicas;
+        let r = run(&s);
+        for sample in &r.samples {
+            assert!(
+                (min..=max).contains(&sample.active_replicas),
+                "seed {seed}: {} active outside [{min}, {max}]",
+                sample.active_replicas
+            );
+        }
+        assert!((min..=max).contains(&r.replicas_max), "seed {seed}");
+    }
+}
+
+#[test]
+fn drain_migrations_conserve_requests() {
+    // both controllers share the drain path; alternate seeds exercise
+    // the queue-depth one so its migrations are covered too
+    let mut migrations = 0;
+    for seed in 0..SEEDS {
+        let mut s = random_slo_scenario(seed);
+        if seed % 2 == 0 {
+            s.pool.slo = None;
+        }
+        let r = run(&s);
+        migrations += r.requeued_batches;
+        assert_eq!(r.completed.len(), s.traffic.requests, "seed {seed}");
+        let mut ids: Vec<u64> = r.completed.iter().map(|c| c.request.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), s.traffic.requests, "seed {seed}: duplicate ids");
+    }
+    assert!(
+        migrations > 0,
+        "the net must exercise at least one drain migration"
+    );
+}
+
+#[test]
+fn slo_controller_is_replay_deterministic() {
+    for seed in 0..8 {
+        let s = random_slo_scenario(seed);
+        let (a, b) = (run(&s), run(&s));
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn slo_violation_rate_is_a_rate() {
+    for seed in 0..SEEDS {
+        let s = random_slo_scenario(seed);
+        let r = run(&s);
+        let rec = scenario_record(
+            "prop-slo",
+            &s.traffic,
+            s.batch,
+            s.sched,
+            &s.pool,
+            &FaultSpec::default(),
+            false,
+            &r,
+            s.cost.platforms(),
+        );
+        for run in &rec.runs {
+            let rate = run.metric("slo_violation_rate").expect("key present");
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "seed {seed}: violation rate {rate} on {}",
+                run.platform
+            );
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! End-to-end serving tests: the canonical suite's headline claims
-//! (batching, warm-cache sharding, autoscaling) and the byte-for-byte
-//! determinism the CI smoke step relies on.
+//! (batching, warm-cache sharding, autoscaling, SLO-driven scaling)
+//! and the byte-for-byte determinism the CI smoke step relies on.
 
 use gdr_serve::scheduler::AutoscaleSpec;
 use gdr_serve::suite::{ScenarioSpec, ServeHarness};
@@ -96,9 +96,56 @@ fn autoscaler_scales_through_the_burst_and_prices_cold_starts() {
 }
 
 #[test]
+fn slo_controller_meets_the_target_at_lower_replica_seconds() {
+    // The committed SLO headline: identical bursty traffic against the
+    // same p99 target — the SLO controller (one warm replica, scaling on
+    // predicted p99 up to 4) meets the target just like the static
+    // 4-replica pool, at materially lower replica-seconds.
+    let records = suite();
+    let slo = "slo/bursty/least-loaded";
+    let static_max = "slo/static-max/least-loaded";
+    let target = gdr_serve::suite::scaled_ns(
+        &ExperimentConfig::test_scale(),
+        gdr_serve::suite::BASE_SLO_TARGET_NS,
+    ) as f64;
+
+    let slo_p99 = metric(&records, slo, "p99_ns");
+    let static_p99 = metric(&records, static_max, "p99_ns");
+    assert!(
+        slo_p99 <= target,
+        "SLO controller misses its own target ({slo_p99} > {target})"
+    );
+    assert!(
+        static_p99 <= target,
+        "the static max pool must also meet the target ({static_p99} > {target})"
+    );
+
+    let slo_cost = metric(&records, slo, "replica_seconds");
+    let static_cost = metric(&records, static_max, "replica_seconds");
+    assert!(
+        slo_cost <= 0.8 * static_cost,
+        "the controller must be materially cheaper: {slo_cost} vs {static_cost} replica-seconds"
+    );
+
+    // both runs report a well-formed violation rate, and the controller
+    // actually scaled (paying cold starts) rather than riding one replica
+    for name in [slo, static_max] {
+        let rate = metric(&records, name, "slo_violation_rate");
+        assert!((0.0..=1.0).contains(&rate), "{name}: rate {rate}");
+    }
+    let rmax = metric(&records, slo, "replicas_max");
+    assert!(
+        rmax > 1.0 && rmax <= 4.0,
+        "the SLO burst forces scale-up within the cap (got {rmax})"
+    );
+    assert!(metric(&records, slo, "cold_start_ns") > 0.0);
+    assert_eq!(metric(&records, static_max, "replicas_max"), 4.0);
+}
+
+#[test]
 fn suite_covers_policies_pools_and_metric_keys() {
     let records = suite();
-    assert_eq!(records.len(), 12);
+    assert_eq!(records.len(), 14);
     for rec in &records {
         assert!(rec.aggregate().is_some(), "{}", rec.scenario);
         let all = rec.aggregate().unwrap();

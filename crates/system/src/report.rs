@@ -72,13 +72,24 @@ pub const SERVE_FAULT_GATED_METRICS: &[(&str, bool)] = &[
     ("requeued_batches", false),
 ];
 
+/// Cost-family serve metrics the gate compares **only when the baseline
+/// pins them**, as `(key, higher_is_better)` — the same conditional
+/// convention as [`SERVE_FAULT_GATED_METRICS`]. This is the "meet the
+/// SLO at minimum replica-seconds" half of the serving evaluation:
+/// once a baseline records a scenario's `replica_seconds` (cost of
+/// goods) and `slo_violation_rate`, neither may grow. Baselines written
+/// before these keys existed parse and gate unchanged.
+pub const SERVE_COST_GATED_METRICS: &[(&str, bool)] =
+    &[("replica_seconds", false), ("slo_violation_rate", false)];
+
 /// The canonical metric keys of a [`ServeRunRecord`], in serialization
 /// order. `gdr-serve` emits exactly this set; the golden-file schema test
 /// pins it. `replica_seconds` — the integral of active replicas over
-/// virtual time — is the serving cost-of-goods metric: deterministic
-/// (virtual time, not wall clock) but **not gated**, since the right
-/// direction depends on the latency target an autoscale policy trades
-/// it against.
+/// virtual time — is the serving cost-of-goods metric, and
+/// `slo_violation_rate` the fraction of completions that blew the
+/// scenario's SLO target (0 when no SLO is set); both are deterministic
+/// (virtual time, not wall clock) and gated conditionally via
+/// [`SERVE_COST_GATED_METRICS`] — only when the baseline pins them.
 pub const SERVE_METRIC_KEYS: &[&str] = &[
     "completed",
     "p50_ns",
@@ -103,6 +114,7 @@ pub const SERVE_METRIC_KEYS: &[&str] = &[
     "p99_under_failure_ns",
     "failover_ns",
     "requeued_batches",
+    "slo_violation_rate",
 ];
 
 /// The canonical metric keys of a [`HostRecord`], in serialization
@@ -1791,8 +1803,10 @@ impl Comparison {
 /// Compares `current` against `baseline` on [`GATED_METRICS`] (grid
 /// records, lower-is-better), [`SERVE_GATED_METRICS`] (serve records,
 /// direction per metric), and — when the baseline records them —
-/// [`SERVE_FAULT_GATED_METRICS`], flagging any gated metric that moved
-/// in the bad direction by more than `threshold_pct` percent.
+/// [`SERVE_FAULT_GATED_METRICS`] and [`SERVE_COST_GATED_METRICS`]
+/// (the fault family and the replica-seconds / SLO-violation cost
+/// family), flagging any gated metric that moved in the bad direction
+/// by more than `threshold_pct` percent.
 /// Wall-clock fields and non-gated metrics are never compared — they
 /// are either machine-dependent or direction-ambiguous. The `host`,
 /// `sweep`, and `breakdown` families are likewise ignored: host
@@ -1894,10 +1908,14 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64
                     cmp.improvements.push(delta);
                 }
             }
-            for &(metric, higher_is_better) in SERVE_FAULT_GATED_METRICS {
-                // Fault metrics gate only once the baseline pins them:
-                // pre-fault baselines lack the keys entirely, and
-                // treating absence as zero would invent regressions.
+            let conditional = SERVE_FAULT_GATED_METRICS
+                .iter()
+                .chain(SERVE_COST_GATED_METRICS);
+            for &(metric, higher_is_better) in conditional {
+                // Fault and cost metrics gate only once the baseline
+                // pins them: older baselines lack the keys entirely,
+                // and treating absence as zero would invent
+                // regressions.
                 let Some(b) = b_run.metric(metric) else {
                     continue;
                 };
@@ -2402,5 +2420,57 @@ mod tests {
             }
         }
         assert!(compare(&old, &flaky, 10.0).passed());
+    }
+
+    #[test]
+    fn comparator_gates_cost_metrics_only_when_the_baseline_pins_them() {
+        let mut base = tiny_report();
+        base.serve = vec![serve_scenario_with(
+            "s",
+            &[("replica_seconds", 2.0), ("slo_violation_rate", 0.01)],
+        )];
+
+        // burning more replica-seconds fails — the "meet the SLO at
+        // minimum cost" half of the serving evaluation …
+        let mut pricey = base.clone();
+        pricey.serve = vec![serve_scenario_with(
+            "s",
+            &[("replica_seconds", 3.0), ("slo_violation_rate", 0.01)],
+        )];
+        let cmp = compare(&base, &pricey, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].metric, "replica_seconds");
+
+        // … and so does a growing violation rate.
+        let mut violating = base.clone();
+        violating.serve = vec![serve_scenario_with(
+            "s",
+            &[("replica_seconds", 2.0), ("slo_violation_rate", 0.2)],
+        )];
+        let cmp = compare(&base, &violating, 10.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].metric, "slo_violation_rate");
+
+        // A current report that *lost* a pinned cost metric fails as
+        // missing, like any gated metric.
+        let mut lost = base.clone();
+        lost.serve[0].runs[0]
+            .metrics
+            .retain(|(k, _)| k != "replica_seconds");
+        let cmp = compare(&base, &lost, 10.0);
+        assert!(!cmp.passed());
+        assert!(cmp.missing.iter().any(|m| m.contains("replica_seconds")));
+
+        // A *baseline* without the cost keys gates nothing on them:
+        // reports written before the keys existed stay comparable.
+        let mut old = base.clone();
+        for s in &mut old.serve {
+            for r in &mut s.runs {
+                r.metrics
+                    .retain(|(k, _)| !SERVE_COST_GATED_METRICS.iter().any(|&(ck, _)| ck == k));
+            }
+        }
+        assert!(compare(&old, &pricey, 10.0).passed());
+        assert!(compare(&old, &violating, 10.0).passed());
     }
 }

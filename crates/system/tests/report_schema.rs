@@ -248,8 +248,9 @@ fn reports_without_replica_seconds_or_host_still_parse_and_gate() {
     // Back-compat within the schema id: baselines written before the
     // `replica_seconds` serve metric and the `host` record family
     // existed must keep parsing (empty host, serve records simply
-    // lacking the key) and keep gating cleanly against current reports
-    // — `replica_seconds` and everything in `host` are not gated.
+    // lacking the key) and keep gating cleanly as the *baseline* —
+    // `replica_seconds` gates conditionally, only once a baseline pins
+    // it, and everything in `host` is never gated.
     let current = test_scale_report();
     let old_json = strip_key(&strip_key(&current.to_json(), "replica_seconds"), "host");
     let old = BenchReport::from_json(&old_json).expect("pre-host reports must parse");
@@ -259,10 +260,17 @@ fn reports_without_replica_seconds_or_host_still_parse_and_gate() {
         None,
         "the metric is simply absent on old records"
     );
-    // old baseline vs current report (and the reverse) both pass: no
-    // gated metric involves the new fields.
+    // old baseline vs current report: nothing pinned, nothing gated.
     assert!(compare(&old, &current, 10.0).passed());
-    assert!(compare(&current, &old, 10.0).passed());
+    // current baseline vs old report: the baseline pins the cost
+    // metric, so a report that lost it must fail as missing.
+    let cmp = compare(&current, &old, 10.0);
+    assert!(
+        !cmp.passed(),
+        "dropping a pinned replica_seconds must not gate clean"
+    );
+    assert!(cmp.regressions.is_empty());
+    assert!(cmp.missing.iter().any(|m| m.contains("replica_seconds")));
     // …and the old report round-trips through its own serialization.
     let reread = BenchReport::parse(&old.to_json().to_pretty()).unwrap();
     assert_eq!(reread.serve, old.serve);

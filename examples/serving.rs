@@ -151,7 +151,65 @@ fn main() -> GdrResult<()> {
         );
     }
 
-    // 5. The committed canonical suite — what `gdr-bench` embeds into
+    // 5. SLO-driven autoscaling: the same bursty stream served two ways
+    //    against one p99 target — a controller scaling on *predicted*
+    //    p99 from one warm replica (draining replicas hand their queued
+    //    batches to the survivors), and a statically provisioned
+    //    max-size pool. Both meet the target; the controller pays
+    //    replica-seconds only while the bursts demand them.
+    println!("\nSLO p99 <= 100 µs under bursty traffic:");
+    let bursty = ArrivalProcess::Bursty {
+        rate_rps: 600_000.0,
+        period_ns: 1_000_000,
+        duty: 0.25,
+    };
+    let slo = SloSpec {
+        p99_target_ns: 100_000,
+        headroom: 0.8, // scale once predicted p99 passes 80 µs
+    };
+    let controlled = ScenarioSpec {
+        cache_bytes: 64 << 20,
+        autoscale: Some(AutoscaleSpec {
+            max_replicas: 4, // the cap; thresholds are superseded
+            up_depth: 32,
+            down_depth: 4,
+        }),
+        slo: Some(slo),
+        ..ScenarioSpec::new(
+            "slo controller",
+            bursty,
+            384,
+            BatchPolicy::SizeCapped { cap: 8 },
+            SchedPolicy::LeastLoaded,
+            vec!["HiHGNN+GDR".into()],
+        )
+    };
+    let static_max = ScenarioSpec {
+        cache_bytes: 64 << 20,
+        slo: Some(slo), // observational: fixed pool, measured violations
+        ..ScenarioSpec::new(
+            "static max pool",
+            bursty,
+            384,
+            BatchPolicy::SizeCapped { cap: 8 },
+            SchedPolicy::LeastLoaded,
+            vec!["HiHGNN+GDR".into(); 4],
+        )
+    };
+    for spec in [controlled, static_max] {
+        let rec = harness.run(&spec, cfg.seed)?;
+        let all = rec.aggregate().expect("ALL row");
+        println!(
+            "  {:<16} p99 {:>7.1} µs, violations {:>5.1}%, {:.2e} replica-seconds, peak {:.0} replicas",
+            spec.name,
+            all.metric("p99_ns").unwrap_or(0.0) / 1e3,
+            all.metric("slo_violation_rate").unwrap_or(0.0) * 100.0,
+            all.metric("replica_seconds").unwrap_or(0.0),
+            all.metric("replicas_max").unwrap_or(0.0),
+        );
+    }
+
+    // 6. The committed canonical suite — what `gdr-bench` embeds into
     //    grid reports and CI gates against bench/baseline.json (the
     //    crash/straggler/lossy scenarios pin the availability headline).
     println!("\ncanonical suite:");
@@ -166,7 +224,7 @@ fn main() -> GdrResult<()> {
         );
     }
 
-    // 6. Sweep a slice of the scenario space and let the Pareto
+    // 7. Sweep a slice of the scenario space and let the Pareto
     //    recommender pick a config: expand a small axis grid, run every
     //    scenario, keep the non-dominated configs, and name the
     //    cheapest one meeting a p99 SLO. (`gdr-bench sweep` does the
@@ -213,7 +271,7 @@ fn main() -> GdrResult<()> {
         println!("no swept config meets a p99 of {:.0} µs", slo_ns / 1e3);
     }
 
-    // 7. Trace a run and attribute its latency. `run_traced` replays
+    // 8. Trace a run and attribute its latency. `run_traced` replays
     //    the crash scenario with the trace sink attached — the record
     //    is byte-identical to the untraced run — and folds the spans
     //    into a per-stage latency breakdown plus a Perfetto-loadable

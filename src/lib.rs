@@ -231,9 +231,10 @@ pub use gdr_system as system;
 ///   with [`PoolConfig`](prelude::PoolConfig) /
 ///   [`ShardMap`](prelude::ShardMap) /
 ///   [`FeatureCache`](prelude::FeatureCache) /
-///   [`AutoscaleSpec`](prelude::AutoscaleSpec) shaping the pool
-///   (partial-replica sharding, cross-batch feature cache, queue-driven
-///   autoscaling)
+///   [`AutoscaleSpec`](prelude::AutoscaleSpec) /
+///   [`SloSpec`](prelude::SloSpec) shaping the pool (partial-replica
+///   sharding, cross-batch feature cache, queue- or SLO-driven
+///   autoscaling with drain-time batch migration)
 /// * errors: [`GdrError`](prelude::GdrError) /
 ///   [`GdrResult`](prelude::GdrResult) across all of the above
 pub mod prelude {
@@ -257,8 +258,8 @@ pub mod prelude {
         chrome_trace, default_specs, default_suite, default_suite_with_breakdown, scenario_label,
         ArrivalKind, ArrivalProcess, AutoscaleSpec, BatchPolicy, Batcher, ControlPlane, CostModel,
         CrashWindow, FaultSpec, FaultVariant, FeatureCache, PoolConfig, RecordingSink,
-        ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator, Slowdown,
-        SweepSpec, TraceEvent, TraceSink, TracedRun, Traffic, TrafficStream,
+        ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator, SloSpec,
+        Slowdown, SweepSpec, TraceEvent, TraceSink, TracedRun, Traffic, TrafficStream,
     };
     pub use gdr_system::builder::{System, SystemBuilder};
     pub use gdr_system::combined::{CombinedRun, CombinedSystem};
