@@ -8,8 +8,9 @@
 use std::collections::HashMap;
 
 use gdr_core::schedule::EdgeSchedule;
+use gdr_core::workspace::BufferScratch;
 use gdr_hetgraph::BipartiteGraph;
-use gdr_memsim::buffer::{Access, Replacement, SetAssocBuffer};
+use gdr_memsim::buffer::{Access, BufferStats, Replacement, SetAssocBuffer};
 use gdr_memsim::hbm::MemRequest;
 
 use crate::calib::FEATURE_BYTES;
@@ -162,23 +163,30 @@ impl NaBufferSim {
         items: &[(&BipartiteGraph, &EdgeSchedule, u64)],
         chunk: usize,
     ) -> NaTrace {
+        let mut scratch = BufferScratch::default();
+        let stats = self.simulate_wave_with(&mut scratch, items, chunk);
+        Self::into_trace(stats, &mut scratch)
+    }
+
+    /// [`NaBufferSim::simulate_wave`] over caller-pooled scratch. The
+    /// returned stats cover this wave only; the DRAM request trace is
+    /// left in `scratch.requests` and the buffer's fetch counters keep
+    /// aggregating across waves (tags are graph-namespaced) until the
+    /// caller resets the scratch. Per-wave residency, stats, and
+    /// requests are identical to the transient-buffer path.
+    pub fn simulate_wave_with(
+        &self,
+        scratch: &mut BufferScratch,
+        items: &[(&BipartiteGraph, &EdgeSchedule, u64)],
+        chunk: usize,
+    ) -> BufferStats {
         assert!(chunk > 0, "chunk must be positive");
-        let mut buf = SetAssocBuffer::with_capacity(self.capacity_features, self.ways, self.policy);
+        let (buf, requests) = scratch.prepare(self.capacity_features, self.ways, self.policy);
         let fb = FEATURE_BYTES as u32;
-        let mut requests: Vec<MemRequest> = Vec::new();
 
         // Topology streams per lane.
         for &(g, _, graph_tag) in items {
-            let topo_bytes = (g.edge_count() as u64) * 8;
-            let mut off = 0;
-            while off < topo_bytes {
-                let size = (topo_bytes - off).min(256) as u32;
-                requests.push(MemRequest::read(
-                    TOPO_BASE + graph_tag * 0x0100_0000 + off,
-                    size,
-                ));
-                off += size as u64;
-            }
+            stream_topology(requests, g, graph_tag);
         }
 
         let mut cursors = vec![0usize; items.len()];
@@ -192,7 +200,7 @@ impl NaBufferSim {
                 }
                 let end = (cursors[i] + chunk).min(edges.len());
                 for e in &edges[cursors[i]..end] {
-                    access_edge(&mut buf, &mut requests, graph_tag, e, fb);
+                    access_edge(buf, requests, graph_tag, e, fb);
                 }
                 cursors[i] = end;
                 if cursors[i] < edges.len() {
@@ -202,59 +210,86 @@ impl NaBufferSim {
         }
         // Per-graph flush of finished accumulators.
         for &(g, _, _) in items {
-            for d in 0..g.dst_count() {
-                if g.in_degree(d) > 0 {
-                    requests.push(MemRequest::write(DST_BASE + d as u64 * fb as u64, fb));
-                }
-            }
+            flush_accumulators(requests, g, fb);
         }
-        let stats = buf.stats().clone();
-        NaTrace {
-            accesses: stats.accesses,
-            hits: stats.hits,
-            misses: stats.misses,
-            requests,
-            fetch_counts: buf.fetch_counts().clone(),
-        }
+        buf.stats().clone()
     }
 
     /// Simulates the schedule; `graph_tag` namespaces the tags so traces
     /// from several semantic graphs can be aggregated.
     pub fn simulate(&self, g: &BipartiteGraph, schedule: &EdgeSchedule, graph_tag: u64) -> NaTrace {
-        let mut buf = SetAssocBuffer::with_capacity(self.capacity_features, self.ways, self.policy);
+        let mut scratch = BufferScratch::default();
+        let stats = self.simulate_edges_with(&mut scratch, g, schedule.edges(), graph_tag);
+        Self::into_trace(stats, &mut scratch)
+    }
+
+    /// [`NaBufferSim::simulate`] over caller-pooled scratch and a raw
+    /// edge slice — the zero-allocation entry point for replayed
+    /// schedules living in a
+    /// [`Workspace`](gdr_core::workspace::Workspace)'s `edges` buffer
+    /// (the state [`restructure_with`](gdr_core::restructure::Restructurer::restructure_with)
+    /// leaves behind). Same contract as
+    /// [`NaBufferSim::simulate_wave_with`]: per-run stats returned,
+    /// requests in `scratch.requests`, fetch counters aggregating.
+    pub fn simulate_edges_with(
+        &self,
+        scratch: &mut BufferScratch,
+        g: &BipartiteGraph,
+        edges: &[gdr_hetgraph::Edge],
+        graph_tag: u64,
+    ) -> BufferStats {
+        let (buf, requests) = scratch.prepare(self.capacity_features, self.ways, self.policy);
         let fb = FEATURE_BYTES as u32;
-        let mut requests: Vec<MemRequest> = Vec::new();
 
         // Topology streaming: the edge list itself (8 B per edge), read
         // sequentially in 256 B bursts.
-        let topo_bytes = (g.edge_count() as u64) * 8;
-        let mut off = 0;
-        while off < topo_bytes {
-            let chunk = (topo_bytes - off).min(256) as u32;
-            requests.push(MemRequest::read(
-                TOPO_BASE + graph_tag * 0x0100_0000 + off,
-                chunk,
-            ));
-            off += chunk as u64;
-        }
+        stream_topology(requests, g, graph_tag);
 
-        for e in schedule.iter() {
-            access_edge(&mut buf, &mut requests, graph_tag, &e, fb);
+        for e in edges {
+            access_edge(buf, requests, graph_tag, e, fb);
         }
         // Flush: every destination written once at the end (finished
         // accumulators stream out to the SF stage's DRAM region).
-        for d in 0..g.dst_count() {
-            if g.in_degree(d) > 0 {
-                requests.push(MemRequest::write(DST_BASE + d as u64 * fb as u64, fb));
-            }
-        }
-        let stats = buf.stats().clone();
+        flush_accumulators(requests, g, fb);
+        buf.stats().clone()
+    }
+
+    /// Folds a transient scratch into the owned [`NaTrace`] the
+    /// allocating wrappers return.
+    fn into_trace(stats: BufferStats, scratch: &mut BufferScratch) -> NaTrace {
         NaTrace {
             accesses: stats.accesses,
             hits: stats.hits,
             misses: stats.misses,
-            requests,
-            fetch_counts: buf.fetch_counts().clone(),
+            requests: std::mem::take(&mut scratch.requests),
+            fetch_counts: scratch
+                .buffer
+                .as_mut()
+                .map(SetAssocBuffer::take_fetch_counts)
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Streams a graph's edge list (8 B per edge) in 256 B bursts.
+fn stream_topology(requests: &mut Vec<MemRequest>, g: &BipartiteGraph, graph_tag: u64) {
+    let topo_bytes = (g.edge_count() as u64) * 8;
+    let mut off = 0;
+    while off < topo_bytes {
+        let size = (topo_bytes - off).min(256) as u32;
+        requests.push(MemRequest::read(
+            TOPO_BASE + graph_tag * 0x0100_0000 + off,
+            size,
+        ));
+        off += size as u64;
+    }
+}
+
+/// Writes every finished destination accumulator out once.
+fn flush_accumulators(requests: &mut Vec<MemRequest>, g: &BipartiteGraph, fb: u32) {
+    for d in 0..g.dst_count() {
+        if g.in_degree(d) > 0 {
+            requests.push(MemRequest::write(DST_BASE + d as u64 * fb as u64, fb));
         }
     }
 }
@@ -347,5 +382,48 @@ mod tests {
     #[should_panic(expected = "degenerate na buffer")]
     fn zero_capacity_rejected() {
         let _ = NaBufferSim::new(0, 4);
+    }
+
+    #[test]
+    fn pooled_scratch_matches_transient_runs() {
+        let sim = NaBufferSim::new(96, 8);
+        let mut scratch = BufferScratch::default();
+        let mut expected_counts: HashMap<u64, u32> = HashMap::new();
+        for seed in 0..5u64 {
+            let g = PowerLawConfig::new(120, 120, 900)
+                .dst_alpha(0.8)
+                .generate("g", seed);
+            let sched = EdgeSchedule::dst_major(&g);
+            let stats = sim.simulate_edges_with(&mut scratch, &g, sched.edges(), seed);
+            let fresh = sim.simulate(&g, &sched, seed);
+            assert_eq!(stats.accesses, fresh.accesses, "seed {seed}");
+            assert_eq!(stats.hits, fresh.hits, "seed {seed}");
+            assert_eq!(stats.misses, fresh.misses, "seed {seed}");
+            assert_eq!(scratch.requests, fresh.requests, "seed {seed}");
+            // counters aggregate across runs (tags are namespaced by seed)
+            for (t, f) in &fresh.fetch_counts {
+                *expected_counts.entry(*t).or_insert(0) += f;
+            }
+            let buf = scratch.buffer.as_ref().unwrap();
+            assert_eq!(buf.fetch_counts(), &expected_counts, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pooled_wave_matches_transient_wave() {
+        let a = PowerLawConfig::new(90, 90, 700).generate("a", 1);
+        let b = PowerLawConfig::new(60, 60, 400).generate("b", 2);
+        let sa = EdgeSchedule::dst_major(&a);
+        let sb = EdgeSchedule::dst_major(&b);
+        let items = [(&a, &sa, 0u64), (&b, &sb, 1u64)];
+        let sim = NaBufferSim::new(64, 8);
+        let mut scratch = BufferScratch::default();
+        for round in 0..3 {
+            let stats = sim.simulate_wave_with(&mut scratch, &items, 16);
+            let fresh = sim.simulate_wave(&items, 16);
+            assert_eq!(stats.accesses, fresh.accesses, "round {round}");
+            assert_eq!(stats.misses, fresh.misses, "round {round}");
+            assert_eq!(scratch.requests, fresh.requests, "round {round}");
+        }
     }
 }

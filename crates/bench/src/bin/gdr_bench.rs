@@ -28,6 +28,10 @@
 //!
 //! # trace one scenario's full lifecycle; load the JSON at ui.perfetto.dev
 //! gdr-bench trace --scale test --seed 7 --faults 80000 --control --out trace.json
+//!
+//! # replay a simulated schedule on 4 real worker lanes; wall-clock host records
+//! gdr-bench replay --scale test --seed 7 --shards 3 --replicas 3 \
+//!           --scheduler shard-affinity-partial --jobs 4 --out replay.json
 //! ```
 //!
 //! Exit codes: 0 = ok, 1 = perf gate failed, 2 = usage/IO error.
@@ -39,16 +43,18 @@ use gdr_bench::{
     ArrivalArgs, BENCH_SEED,
 };
 use gdr_serve::fault::{CrashWindow, FaultSpec, Slowdown};
+use gdr_serve::replay::{replay as replay_log, AssignmentLog, ReplayDatasets, ReplayReport};
 use gdr_serve::scheduler::{AutoscaleSpec, SloSpec};
 use gdr_serve::suite::{
-    default_suite_with_breakdown, scaled_ns, scaled_rate, scenario_label, ScenarioSpec,
-    ServeHarness, BASE_BURST_PERIOD_NS, BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS, HIGH_RATE_RPS,
+    default_specs, default_suite_with_breakdown, scaled_ns, scaled_rate, scenario_label,
+    ScenarioSpec, ServeHarness, BASE_BURST_PERIOD_NS, BASE_DEADLINE_TIMEOUT_NS, BASE_THINK_NS,
+    HIGH_RATE_RPS,
 };
 use gdr_serve::sweep::SweepSpec;
 use gdr_system::grid::{
     paper_platforms, platform_names, platform_refs, select_platforms, ExperimentConfig,
 };
-use gdr_system::report::{collect_host_records_traced, compare, BenchReport};
+use gdr_system::report::{collect_host_records_traced, compare, BenchReport, HostRecord};
 use gdr_system::trace_export::ChromeTrace;
 
 const USAGE: &str = "\
@@ -79,6 +85,7 @@ USAGE:
                   [--slo NS[:HEADROOM]] [--slo-p99 NS] [--budget S] [--platforms A]
                   [--out FILE] [--trace-out FILE] [--quiet]
   gdr-bench trace --out TRACE_JSON [every serve scenario flag] [--quiet]
+  gdr-bench replay [every serve scenario flag] [--jobs N] [--out FILE] [--quiet]
 
 OPTIONS (grid mode):
   --scale       grid scale: \"test\" (CI gate), \"paper\" (Table 2 sizes), or a factor  [test]
@@ -150,6 +157,13 @@ OPTIONS (trace mode — every serve scenario flag applies, plus):
                   at ui.perfetto.dev or chrome://tracing. Stamped in virtual ns,
                   so the bytes are a pure function of the flags: CI runs the same
                   scenario twice and cmp's the outputs
+
+OPTIONS (replay mode — every serve scenario flag applies, plus):
+  --jobs          real worker lanes for the threaded replay; the schedule is
+                  simulated once, then executed at 1 lane and at N lanes so the
+                  report carries the lane-count scaling    [available cores]
+                  The serve record stays byte-reproducible; the replay rows are
+                  wall clock (host family: reported, never gated)
 ";
 
 struct Args {
@@ -170,6 +184,8 @@ struct Args {
     // trace-mode flag (`trace_out` also serves host/sweep modes)
     trace: bool,
     trace_out: Option<String>,
+    // replay-mode flag (`jobs` is shared with sweep mode)
+    replay: bool,
     // sweep-mode flags
     sweep: bool,
     axes: Vec<String>,
@@ -220,6 +236,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         host: false,
         trace: false,
         trace_out: None,
+        replay: false,
         sweep: false,
         axes: Vec::new(),
         jobs: None,
@@ -270,6 +287,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         if first && flag == "trace" {
             args.trace = true;
+            first = false;
+            continue;
+        }
+        if first && flag == "replay" {
+            args.replay = true;
             first = false;
             continue;
         }
@@ -428,6 +450,11 @@ fn run_host(args: &Args) -> Result<i32, String> {
         args.passes, cfg.seed, cfg.scale
     );
     let mut trace = args.trace_out.as_ref().map(|_| ChromeTrace::new());
+    let mut host = collect_host_records_traced(&cfg, args.passes, trace.as_mut());
+    host.extend(sharded_replay_records(
+        &cfg,
+        args.jobs.unwrap_or_else(default_jobs).max(1),
+    )?);
     let report = BenchReport {
         seed: cfg.seed,
         scale: cfg.scale,
@@ -435,13 +462,112 @@ fn run_host(args: &Args) -> Result<i32, String> {
         points: Vec::new(),
         wall_clock_s: 0.0,
         serve: Vec::new(),
-        host: collect_host_records_traced(&cfg, args.passes, trace.as_mut()),
+        host,
         sweep: Vec::new(),
         breakdown: Vec::new(),
     };
     if let (Some(path), Some(t)) = (&args.trace_out, &trace) {
         write_trace(path, t)?;
     }
+    finish(args, &report)
+}
+
+/// The lane counts one replay invocation measures: single-lane first
+/// (the scaling denominator), then the requested count when it differs.
+fn jobs_ladder(jobs: usize) -> Vec<usize> {
+    if jobs > 1 {
+        vec![1, jobs]
+    } else {
+        vec![1]
+    }
+}
+
+/// Replays one recorded log across [`jobs_ladder`] and returns the host
+/// rows, logging each run's sustained throughput.
+fn replay_ladder(
+    log: &AssignmentLog,
+    datasets: &ReplayDatasets,
+    jobs: usize,
+) -> Result<Vec<HostRecord>, String> {
+    jobs_ladder(jobs)
+        .into_iter()
+        .map(|j| {
+            let report: ReplayReport = replay_log(log, datasets, j).map_err(|e| e.to_string())?;
+            eprintln!(
+                "gdr-bench replay: {} jobs={j}: {:.0} graphs/s \
+                 ({} graphs, {} batches, mean lane util {:.2})",
+                report.scenario,
+                report.graphs_per_sec(),
+                report.graphs(),
+                report.batches(),
+                report.host_record().metric("util_mean").unwrap_or(0.0),
+            );
+            Ok(report.host_record())
+        })
+        .collect()
+}
+
+/// Real-threads replay rows for the committed sharded suite scenario —
+/// the lane-scaling reference `gdr-bench host` reports alongside the
+/// fresh/reused/parallel session rows.
+fn sharded_replay_records(cfg: &ExperimentConfig, jobs: usize) -> Result<Vec<HostRecord>, String> {
+    let spec = default_specs(cfg)
+        .into_iter()
+        .find(|s| s.name == "sharded/warm-cache/shard-affinity-partial")
+        .ok_or("committed sharded scenario missing from the suite")?;
+    let mut names: Vec<&str> = Vec::new();
+    for n in &spec.pool {
+        if !names.contains(&n.as_str()) {
+            names.push(n);
+        }
+    }
+    let harness = ServeHarness::new(cfg, &names).map_err(|e| e.to_string())?;
+    let (_record, log) = harness
+        .run_replayable(&spec, cfg.seed)
+        .map_err(|e| e.to_string())?;
+    let datasets = ReplayDatasets::build(&log.config);
+    replay_ladder(&log, &datasets, jobs)
+}
+
+/// `gdr-bench replay`: simulate one serving scenario (every `serve`
+/// flag applies), record its batch assignments, and execute them on
+/// real worker lanes — single-lane first, then `--jobs` lanes — so the
+/// report carries the lane-count scaling. The serve record is the usual
+/// byte-reproducible one; the replay rows are wall clock and land in
+/// the `host` family (reported, never gated).
+fn run_replay(args: &Args) -> Result<i32, String> {
+    if args.suite {
+        return Err("replay executes one scenario; drop --suite and pass its flags instead".into());
+    }
+    let cfg = ExperimentConfig {
+        seed: args.seed,
+        scale: args.scale,
+    };
+    let (spec, backends) = build_scenario(args, &cfg)?;
+    announce_scenario("replay", args, &spec, args.seed);
+    let names: Vec<&str> = backends.iter().map(String::as_str).collect();
+    let harness = ServeHarness::new(&cfg, &names).map_err(|e| e.to_string())?;
+    let (record, log) = harness
+        .run_replayable(&spec, args.seed)
+        .map_err(|e| e.to_string())?;
+    let datasets = ReplayDatasets::build(&log.config);
+    let jobs = args.jobs.unwrap_or_else(default_jobs).max(1);
+    let host = replay_ladder(&log, &datasets, jobs)?;
+    let wall_clock_s = host
+        .iter()
+        .filter_map(|r| r.metric("wall_clock_s"))
+        .sum::<f64>();
+    let report = BenchReport {
+        seed: cfg.seed,
+        scale: cfg.scale,
+        platforms: backends,
+        points: Vec::new(),
+        wall_clock_s,
+        serve: vec![record],
+        host,
+        sweep: Vec::new(),
+        breakdown: Vec::new(),
+    };
     finish(args, &report)
 }
 
@@ -714,6 +840,9 @@ fn run(argv: &[String]) -> Result<i32, String> {
     }
     if args.trace {
         return run_trace(&args);
+    }
+    if args.replay {
+        return run_replay(&args);
     }
     if args.serve {
         return run_serve(&args);

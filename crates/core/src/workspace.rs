@@ -50,11 +50,64 @@
 use std::collections::VecDeque;
 
 use gdr_hetgraph::Edge;
+use gdr_memsim::buffer::{Replacement, SetAssocBuffer};
 use gdr_memsim::hbm::MemRequest;
 
 use crate::backbone::Backbone;
+use crate::locality::LruScratch;
 use crate::matching::Matching;
 use crate::recouple::{RestructuredSubgraphs, VertexPartition};
+
+/// Pooled set-associative buffer simulation state: one
+/// [`SetAssocBuffer`] (kept across runs, [`SetAssocBuffer::flush`]ed
+/// between them so its fetch counters can aggregate) plus a DRAM
+/// request-log vector, both `clear()`ed, never dropped. The NA-engine
+/// models drive their `_with` entry points through one of these instead
+/// of constructing transient buffers per wave.
+#[derive(Debug, Clone, Default)]
+pub struct BufferScratch {
+    /// Pooled buffer; `None` until the first [`BufferScratch::prepare`].
+    pub buffer: Option<SetAssocBuffer>,
+    /// Pooled DRAM request log (cleared per prepare, capacity kept).
+    pub requests: Vec<MemRequest>,
+}
+
+impl BufferScratch {
+    /// Readies the scratch for one simulation run at the given buffer
+    /// geometry: the request log is cleared and the pooled buffer is
+    /// flushed (residency and stats restart; **fetch counters are
+    /// kept**, aggregating across runs until [`BufferScratch::reset`]).
+    /// A geometry change reshapes the buffer in place, which resets the
+    /// counters too.
+    pub fn prepare(
+        &mut self,
+        capacity_lines: usize,
+        ways: usize,
+        policy: Replacement,
+    ) -> (&mut SetAssocBuffer, &mut Vec<MemRequest>) {
+        self.requests.clear();
+        let sets = (capacity_lines / ways).max(1);
+        match &mut self.buffer {
+            Some(buf) if buf.sets() == sets && buf.ways() == ways && buf.policy() == policy => {
+                buf.flush();
+            }
+            Some(buf) => buf.reshape(sets, ways, policy),
+            None => self.buffer = Some(SetAssocBuffer::new(sets, ways, policy)),
+        }
+        (
+            self.buffer.as_mut().expect("just ensured"),
+            &mut self.requests,
+        )
+    }
+
+    /// Clears everything, fetch counters included (capacity kept).
+    pub fn reset(&mut self) {
+        self.requests.clear();
+        if let Some(buf) = &mut self.buffer {
+            buf.reset();
+        }
+    }
+}
 
 /// Scratch consumed by the matching engines and backbone selection:
 /// the decoupling FIFOs, epoch-tagged bitmaps, BFS layer arrays, and
@@ -133,6 +186,12 @@ pub struct Workspace {
     /// whole runs hand the storage back with
     /// [`Workspace::recycle_request_log`].
     pub request_pool: Vec<Vec<MemRequest>>,
+    /// Pooled NA-buffer simulation state (set-associative buffer +
+    /// request log) for the accelerator models' `_with` entry points.
+    pub buffer_scratch: BufferScratch,
+    /// Pooled fully-associative LRU analysis state for
+    /// [`try_simulate_lru_with`](crate::locality::try_simulate_lru_with).
+    pub lru_scratch: LruScratch,
 }
 
 impl Workspace {

@@ -14,7 +14,10 @@
 //! * **subgraphs** — same three edge lists, names, and
 //!   `cover_violations`;
 //! * **schedule** — same emitted edge order;
-//! * **stats** — same decoupling work counters.
+//! * **stats** — same decoupling work counters;
+//! * **locality** — the pooled LRU scratch produces the same
+//!   [`LocalityReport`](gdr_core::locality::LocalityReport) as a fresh
+//!   simulation at any capacity.
 //!
 //! This is what makes the allocating wrappers safe as thin adapters:
 //! any divergence between the paths is a correctness bug, not a tuning
@@ -119,6 +122,35 @@ fn reused_workspace_is_byte_identical_to_fresh_restructuring() {
             // and the workspace result is a real restructuring
             assert!(ws.backbone.covers_all_edges(&g), "{ctx}");
             assert_eq!(ws.edges.len(), g.edge_count(), "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn pooled_lru_scratch_is_byte_identical_to_fresh_simulation() {
+    use gdr_core::locality::{try_simulate_lru, try_simulate_lru_with};
+    use gdr_core::schedule::EdgeSchedule;
+
+    for seed in 0..SEEDS {
+        let mut rng = SmallRng::seed_from_u64(2_000 + seed);
+        let mut ws = Workspace::new();
+        for step in 0..6 {
+            let g = random_graph(&mut rng, step);
+            // Alternate natural and restructured orders so the pooled
+            // scratch sees both hit-heavy and miss-heavy access streams.
+            let schedule = if rng.gen_bool(0.5) {
+                EdgeSchedule::dst_major(&g)
+            } else {
+                random_restructurer(&mut rng)
+                    .restructure(&g)
+                    .schedule()
+                    .clone()
+            };
+            let capacity = rng.gen_range(1..96usize);
+            let pooled =
+                try_simulate_lru_with(&mut ws.lru_scratch, &g, &schedule, capacity).unwrap();
+            let fresh = try_simulate_lru(&g, &schedule, capacity).unwrap();
+            assert_eq!(pooled, fresh, "seed {seed} step {step} cap {capacity}");
         }
     }
 }

@@ -116,6 +116,21 @@ impl SetAssocBuffer {
         self.sets * self.ways
     }
 
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity (lines per set).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Replacement policy.
+    pub fn policy(&self) -> Replacement {
+        self.policy
+    }
+
     /// Access statistics.
     pub fn stats(&self) -> &BufferStats {
         &self.stats
@@ -179,12 +194,43 @@ impl SetAssocBuffer {
         v
     }
 
-    /// Invalidates everything and clears statistics.
-    pub fn reset(&mut self) {
+    /// Invalidates everything and clears statistics, **keeping** the
+    /// accumulated fetch counters. A flushed buffer behaves exactly like
+    /// a freshly constructed one on its next access stream (residency,
+    /// stamps, and stats all start over), which is what lets one pooled
+    /// buffer stand in for a sequence of transient ones while the fetch
+    /// counters keep aggregating across the sequence.
+    pub fn flush(&mut self) {
         self.lines.iter_mut().for_each(|l| l.clear());
         self.clock = 0;
         self.stats = BufferStats::default();
+    }
+
+    /// Invalidates everything and clears statistics and fetch counters.
+    pub fn reset(&mut self) {
+        self.flush();
         self.fetch_counts.clear();
+    }
+
+    /// Re-geometries the buffer in place (reusing the line storage where
+    /// possible) and fully resets it, fetch counters included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0` or `ways == 0`.
+    pub fn reshape(&mut self, sets: usize, ways: usize, policy: Replacement) {
+        assert!(sets > 0 && ways > 0, "degenerate buffer geometry");
+        self.lines.resize_with(sets, Vec::new);
+        self.sets = sets;
+        self.ways = ways;
+        self.policy = policy;
+        self.reset();
+    }
+
+    /// Moves the fetch counters out, leaving an empty (but
+    /// capacity-preserving) table behind.
+    pub fn take_fetch_counts(&mut self) -> HashMap<u64, u32> {
+        std::mem::take(&mut self.fetch_counts)
     }
 }
 
@@ -270,5 +316,47 @@ mod tests {
     #[should_panic(expected = "degenerate buffer geometry")]
     fn zero_ways_rejected() {
         let _ = SetAssocBuffer::new(4, 0, Replacement::Lru);
+    }
+
+    #[test]
+    fn flush_restarts_residency_but_keeps_counts() {
+        let mut pooled = SetAssocBuffer::new(4, 2, Replacement::Lru);
+        let stream: Vec<u64> = vec![1, 2, 3, 1, 9, 2, 7, 7];
+        for &t in &stream {
+            pooled.access(t);
+        }
+        let first_counts = pooled.fetch_counts().clone();
+        pooled.flush();
+        assert_eq!(pooled.stats(), &BufferStats::default());
+        assert!(!pooled.contains(1));
+        // The flushed buffer replays the stream exactly like a fresh one…
+        let mut fresh = SetAssocBuffer::new(4, 2, Replacement::Lru);
+        for &t in &stream {
+            assert_eq!(pooled.access(t), fresh.access(t));
+        }
+        assert_eq!(pooled.stats(), fresh.stats());
+        // …while its counters kept aggregating across the flush.
+        for (tag, count) in fresh.fetch_counts() {
+            assert_eq!(
+                pooled.fetch_counts()[tag],
+                count + first_counts.get(tag).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn reshape_matches_fresh_construction() {
+        let mut b = SetAssocBuffer::new(2, 1, Replacement::Fifo);
+        b.access(5);
+        b.reshape(8, 2, Replacement::Lru);
+        assert_eq!((b.sets(), b.ways(), b.policy()), (8, 2, Replacement::Lru));
+        assert_eq!(b.stats(), &BufferStats::default());
+        assert!(b.fetch_counts().is_empty());
+        let mut fresh = SetAssocBuffer::new(8, 2, Replacement::Lru);
+        for t in [3u64, 9, 3, 11, 200, 9, 3] {
+            assert_eq!(b.access(t), fresh.access(t));
+        }
+        assert_eq!(b.stats(), fresh.stats());
+        assert_eq!(b.fetch_counts(), fresh.fetch_counts());
     }
 }

@@ -43,6 +43,11 @@
 //! * [`suite`] — the [`ServeHarness`] runner and the committed,
 //!   CI-gated scenario suite, including the crash/failover availability
 //!   headline pair;
+//! * [`mod@replay`] — the **real-threads replay executor**: the simulator's
+//!   recorded batch placements ([`AssignmentLog`]) executed on
+//!   `std::thread` worker lanes over the zero-alloc frontend hot path,
+//!   measuring sustained wall-clock graphs/sec (the `host` record
+//!   family — reported, never gated);
 //! * [`sweep`] — per-axis value lists ([`SweepSpec`]) expanded into a
 //!   capped, deterministically ordered cartesian scenario grid — the
 //!   enumeration behind `gdr-bench sweep` and its Pareto recommender;
@@ -220,6 +225,49 @@
 //! committed `slo/static-max` twin pins the cost of meeting the same
 //! target with a statically provisioned pool.
 //!
+//! # Replaying a scenario on real threads
+//!
+//! Everything above runs in virtual time. To measure what the *host*
+//! can sustain, record a run's batch placements with
+//! [`ServeHarness::run_replayable`] and execute the log on real worker
+//! lanes: each lane owns a frontend
+//! [`Workspace`](gdr_core::workspace::Workspace) and drives the
+//! steady-state zero-allocation decouple → recouple → schedule →
+//! execute path per batch. Which requests complete, where, and in what
+//! per-replica order is identical for every lane count — only the
+//! wall-clock throughput (reported through the `host` family, never
+//! gated) depends on the machine:
+//!
+//! ```
+//! use gdr_serve::prelude::*;
+//! use gdr_serve::replay::{replay, ReplayDatasets};
+//!
+//! let cfg = ExperimentConfig { seed: 7, scale: 0.04 };
+//! let harness = ServeHarness::new(&cfg, &["HiHGNN+GDR"])?;
+//! let spec = ScenarioSpec::new(
+//!     "replayed",
+//!     ArrivalProcess::Poisson { rate_rps: 50_000.0 },
+//!     32,
+//!     BatchPolicy::SizeCapped { cap: 4 },
+//!     SchedPolicy::LeastLoaded,
+//!     vec!["HiHGNN+GDR".into(), "HiHGNN+GDR".into()],
+//! );
+//! let (_record, log) = harness.run_replayable(&spec, 7)?;
+//! let datasets = ReplayDatasets::build(&log.config);
+//! let solo = replay(&log, &datasets, 1)?;
+//! let duo = replay(&log, &datasets, 2)?;
+//! // The plan replays identically at any lane count…
+//! assert_eq!(solo.completed_ids, duo.completed_ids);
+//! assert_eq!(solo.per_replica_ids, duo.per_replica_ids);
+//! // …and the wall-clock throughput lands in a host record.
+//! assert!(duo.host_record().metric("graphs_per_sec").unwrap() > 0.0);
+//! # Ok::<(), gdr_hetgraph::GdrError>(())
+//! ```
+//!
+//! `gdr-bench replay --jobs N` wraps exactly this flow over the
+//! committed scenario suite and emits the host records alongside the
+//! session rows.
+//!
 //! # Tracing a serving run
 //!
 //! [`ServeHarness::run_traced`] runs a scenario with a
@@ -265,6 +313,7 @@ pub mod control;
 pub mod cost;
 pub mod fault;
 pub mod metrics;
+pub mod replay;
 pub mod request;
 pub mod scheduler;
 pub mod suite;
@@ -277,9 +326,10 @@ pub use cache::FeatureCache;
 pub use control::{ControlPlane, ControlStats};
 pub use cost::{CostModel, ServiceCost, MINI_BATCH_DIVISOR};
 pub use fault::{CrashWindow, FaultSpec, Slowdown};
+pub use replay::{replay, AssignmentLog, LaneStats, ReplayDatasets, ReplayReport};
 pub use request::{Cell, Request};
 pub use scheduler::{
-    AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator, SloSpec,
+    Assignment, AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator, SloSpec,
 };
 pub use suite::{
     default_specs, default_suite, default_suite_with_breakdown, scenario_label, ScenarioSpec,
@@ -297,9 +347,10 @@ pub mod prelude {
     pub use crate::cost::{CostModel, ServiceCost};
     pub use crate::fault::{CrashWindow, FaultSpec, Slowdown};
     pub use crate::metrics::{breakdown_record, request_breakdowns, RequestBreakdown};
+    pub use crate::replay::{replay, AssignmentLog, LaneStats, ReplayDatasets, ReplayReport};
     pub use crate::request::{Cell, Request};
     pub use crate::scheduler::{
-        AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator, SloSpec,
+        Assignment, AutoscaleSpec, PoolConfig, SchedPolicy, ShardMap, SimResult, Simulator, SloSpec,
     };
     pub use crate::suite::{
         default_specs, default_suite, default_suite_with_breakdown, scenario_label, ScenarioSpec,

@@ -64,7 +64,7 @@ use crate::cache::FeatureCache;
 use crate::control::{ControlPlane, HEARTBEAT_INTERVAL_NS, HEARTBEAT_TIMEOUT_NS, VIEW_CHANGE_NS};
 use crate::cost::CostModel;
 use crate::fault::FaultSpec;
-use crate::request::Request;
+use crate::request::{Cell, Request};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::workload::TrafficStream;
 
@@ -296,6 +296,29 @@ pub struct BatchRecord {
     pub service_ns: u64,
 }
 
+/// One recorded batch dispatch — the replayable unit of the
+/// virtual-time scheduler's decisions. Recorded (in execution-start
+/// order, the same order as [`SimResult::batches`]) only when
+/// [`Simulator::record_assignments`] was requested; the replay executor
+/// (`crate::replay`) re-executes exactly this sequence on real host
+/// threads, preserving per-replica order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Replica the batch was dispatched to.
+    pub replica: usize,
+    /// The (model, dataset) cell every request in the batch shares.
+    pub cell: Cell,
+    /// Whether the replica was dataset-warm at dispatch.
+    pub warm: bool,
+    /// Whether the feature cache held the cell's working set.
+    pub cache_hit: bool,
+    /// Whether the dispatch cold-bound a dataset outside the replica's
+    /// shard.
+    pub shard_miss: bool,
+    /// The ids of the requests riding in the batch, batch order.
+    pub request_ids: Vec<u64>,
+}
+
 /// One autoscale activation: which replica came up and what its
 /// cold start cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -376,6 +399,11 @@ pub struct SimResult {
     /// Batches that migrated off crashed replicas for re-issue (control
     /// plane only).
     pub requeued_batches: u64,
+    /// The dispatch sequence, execution-start order — empty unless the
+    /// run was built with [`Simulator::record_assignments`]. Recording
+    /// never perturbs the simulation (it copies state `start` already
+    /// computes), so every other field is byte-identical either way.
+    pub assignments: Vec<Assignment>,
 }
 
 #[derive(Debug)]
@@ -522,6 +550,10 @@ pub struct Simulator<'c> {
     /// component, keyed by batch id (first request id). Maintained only
     /// while a sink is attached.
     stalls: Vec<StallEntry>,
+    /// Whether `start` records each dispatch into
+    /// [`SimResult::assignments`] (off by default; see
+    /// [`Simulator::record_assignments`]).
+    record_assignments: bool,
     result: SimResult,
 }
 
@@ -668,6 +700,7 @@ impl<'c> Simulator<'c> {
             followups: Vec::new(),
             trace: None,
             stalls: Vec::new(),
+            record_assignments: false,
             result: SimResult {
                 completed: Vec::new(),
                 batches: Vec::new(),
@@ -681,6 +714,7 @@ impl<'c> Simulator<'c> {
                 view_changes: 0,
                 failover_ns: 0,
                 requeued_batches: 0,
+                assignments: Vec::new(),
             },
         }
     }
@@ -696,6 +730,16 @@ impl<'c> Simulator<'c> {
     /// [`SimResult`] is byte-identical to an untraced one.
     pub fn with_trace(mut self, sink: &'c mut dyn TraceSink) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Records every batch dispatch into [`SimResult::assignments`] so
+    /// the run can be replayed on real host threads
+    /// (see `crate::replay`). Like [`Simulator::with_trace`], recording
+    /// never alters the simulation — every other result field stays
+    /// byte-identical.
+    pub fn record_assignments(mut self) -> Self {
+        self.record_assignments = true;
         self
     }
 
@@ -1347,6 +1391,16 @@ impl<'c> Simulator<'c> {
             dram_bytes,
             service_ns: service,
         });
+        if self.record_assignments {
+            self.result.assignments.push(Assignment {
+                replica: r,
+                cell: batch.cell,
+                warm,
+                cache_hit,
+                shard_miss,
+                request_ids: batch.requests.iter().map(|req| req.id).collect(),
+            });
+        }
         replica.in_flight = Some((batch, service));
         let generation = replica.generation;
         self.push(

@@ -25,6 +25,7 @@ use crate::batcher::{BatchPolicy, Batcher};
 use crate::cost::CostModel;
 use crate::fault::{CrashWindow, FaultSpec, Slowdown};
 use crate::metrics::{breakdown_record, request_breakdowns, scenario_record, RequestBreakdown};
+use crate::replay::AssignmentLog;
 use crate::scheduler::{AutoscaleSpec, PoolConfig, SchedPolicy, Simulator, SloSpec};
 use crate::trace::{chrome_trace, RecordingSink, TraceEvent};
 use crate::workload::{ArrivalProcess, Traffic};
@@ -215,6 +216,60 @@ impl ServeHarness {
             &result,
             self.cost.platforms(),
         ))
+    }
+
+    /// [`ServeHarness::run`] with assignment recording switched on: the
+    /// same simulation (recording never perturbs it — the returned
+    /// record is byte-identical to [`run`]'s for the same
+    /// `(spec, seed)`), plus the [`AssignmentLog`] the real-threads
+    /// replay executor ([`mod@crate::replay`]) consumes.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ServeHarness::run`]'s errors.
+    ///
+    /// [`run`]: ServeHarness::run
+    pub fn run_replayable(
+        &self,
+        spec: &ScenarioSpec,
+        seed: u64,
+    ) -> GdrResult<(ServeScenarioRecord, AssignmentLog)> {
+        let replicas = self.validate(spec)?;
+        let traffic = Traffic {
+            process: spec.process,
+            requests: spec.requests,
+            seed,
+        };
+        let pool = spec.pool_config();
+        let mut result = Simulator::with_faults(
+            &self.cost,
+            spec.sched,
+            &replicas,
+            &pool,
+            &spec.faults,
+            spec.control,
+            seed,
+        )
+        .record_assignments()
+        .run(traffic.stream(), Batcher::new(spec.batch));
+        let record = scenario_record(
+            &spec.name,
+            &traffic,
+            spec.batch,
+            spec.sched,
+            &pool,
+            &spec.faults,
+            spec.control,
+            &result,
+            self.cost.platforms(),
+        );
+        let log = AssignmentLog {
+            scenario: spec.name.clone(),
+            seed,
+            config: self.cfg,
+            assignments: std::mem::take(&mut result.assignments),
+        };
+        Ok((record, log))
     }
 
     /// [`ServeHarness::run`] with a [`RecordingSink`] attached: one

@@ -312,5 +312,49 @@ fn main() -> GdrResult<()> {
         traced.chrome.len(),
         trace_json.len()
     );
+
+    // 9. Replay a simulated schedule on real threads. Everything above
+    //    ran in virtual time; `run_replayable` records the scheduler's
+    //    batch placements and `replay` executes them on `std::thread`
+    //    worker lanes — each lane drives the zero-allocation frontend
+    //    hot path per batch. The completed set and per-replica order
+    //    are identical at any lane count; only the wall-clock
+    //    throughput is machine-dependent (host family: reported, never
+    //    gated). `gdr-bench replay --jobs N` does this from the CLI.
+    let (_, log) = harness.run_replayable(
+        &sharded(
+            "replayed shard-affinity",
+            SchedPolicy::ShardAffinityPartial,
+            64 << 20,
+        ),
+        cfg.seed,
+    )?;
+    let datasets = ReplayDatasets::build(&log.config);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nreal-threads replay ({} recorded batches):",
+        log.assignments.len()
+    );
+    let mut reference: Option<ReplayReport> = None;
+    for jobs in [1, cores] {
+        let report = replay(&log, &datasets, jobs)?;
+        if let Some(solo) = &reference {
+            assert_eq!(report.completed_ids, solo.completed_ids);
+            assert_eq!(report.per_replica_ids, solo.per_replica_ids);
+        }
+        println!(
+            "  jobs={:<2} {:>8.0} graphs/s  ({} graphs, mean lane utilization {:>4.0}%)",
+            jobs,
+            report.graphs_per_sec(),
+            report.graphs(),
+            report.host_record().metric("util_mean").unwrap_or(0.0) * 100.0,
+        );
+        if reference.is_none() {
+            reference = Some(report);
+        }
+        if jobs == cores {
+            break; // cores == 1: one run is both reference and replay
+        }
+    }
     Ok(())
 }

@@ -255,9 +255,10 @@ pub mod prelude {
     pub use gdr_hgnn::workload::Workload;
     pub use gdr_serve::metrics::{breakdown_record, request_breakdowns, RequestBreakdown};
     pub use gdr_serve::{
-        chrome_trace, default_specs, default_suite, default_suite_with_breakdown, scenario_label,
-        ArrivalKind, ArrivalProcess, AutoscaleSpec, BatchPolicy, Batcher, ControlPlane, CostModel,
-        CrashWindow, FaultSpec, FaultVariant, FeatureCache, PoolConfig, RecordingSink,
+        chrome_trace, default_specs, default_suite, default_suite_with_breakdown, replay,
+        scenario_label, ArrivalKind, ArrivalProcess, Assignment, AssignmentLog, AutoscaleSpec,
+        BatchPolicy, Batcher, ControlPlane, CostModel, CrashWindow, FaultSpec, FaultVariant,
+        FeatureCache, LaneStats, PoolConfig, RecordingSink, ReplayDatasets, ReplayReport,
         ScenarioSpec, SchedPolicy, ServeHarness, ServiceCost, ShardMap, Simulator, SloSpec,
         Slowdown, SweepSpec, TraceEvent, TraceSink, TracedRun, Traffic, TrafficStream,
     };
